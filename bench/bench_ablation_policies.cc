@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Ablation of the MaFIN-vs-GeFIN divergence mechanisms (the design
+ * choices DESIGN.md calls out).
+ *
+ * The paper *attributes* the L1D gap (Remark 3) to two MARSS-specific
+ * behaviours — aggressive early load issue and the QEMU hypervisor's
+ * cache bypass — and the LSQ gap (Remark 1) to the unified queue
+ * holding load data.  Because this reproduction implements each
+ * mechanism as an explicit policy, we can do what the paper could
+ * not: turn them off one at a time on the MARSS model and measure
+ * each one's contribution directly.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "inject/campaign.hh"
+
+using namespace dfi;
+using namespace dfi::inject;
+
+namespace
+{
+
+double
+vulnerability(const char *component, const char *benchmark,
+              const char *core, std::uint64_t injections,
+              std::function<void(uarch::CoreConfig &)> tweak)
+{
+    CampaignConfig cfg;
+    cfg.component = component;
+    cfg.benchmark = benchmark;
+    cfg.coreName = core;
+    cfg.numInjections = injections;
+    cfg.configTweak = std::move(tweak);
+    InjectionCampaign campaign(cfg);
+    Parser parser;
+    return campaign.run().classify(parser).vulnerability();
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::uint64_t injections = envUint("DFI_INJECTIONS", 120);
+    const char *benchmarks[] = {"fft", "caes", "smooth"};
+
+    struct Ablation
+    {
+        const char *label;
+        const char *component;
+        std::function<void(uarch::CoreConfig &)> tweak;
+    };
+    const Ablation ablations[] = {
+        {"l1d baseline (all policies)", "l1d", {}},
+        {"- hypervisor cache bypass", "l1d",
+         [](uarch::CoreConfig &c) { c.hypervisor = false; }},
+        {"- aggressive load issue", "l1d",
+         [](uarch::CoreConfig &c) { c.aggressiveLoadIssue = false; }},
+        {"- L1 prefetchers", "l1d",
+         [](uarch::CoreConfig &c) {
+             c.hier.prefetchL1D = false;
+             c.hier.prefetchL1I = false;
+         }},
+        {"lsq baseline", "lsq", {}},
+        {"- unified-LSQ load data", "lsq",
+         [](uarch::CoreConfig &c) { c.lsqHoldsLoadData = false; }},
+        {"l1i baseline", "l1i", {}},
+        {"- dense assertion checking", "l1i",
+         [](uarch::CoreConfig &c) {
+             c.assertPolicy = uarch::AssertPolicy::Sparse;
+         }},
+    };
+
+    TextTable table;
+    std::vector<std::string> header = {"ablation", "component"};
+    for (const char *bench : benchmarks)
+        header.push_back(bench);
+    table.header(std::move(header));
+
+    for (const Ablation &ablation : ablations) {
+        std::vector<std::string> row = {ablation.label,
+                                        ablation.component};
+        for (const char *bench : benchmarks) {
+            const double v =
+                vulnerability(ablation.component, bench, "marss-x86",
+                              injections, ablation.tweak);
+            row.push_back(formatFixed(v, 1) + "%");
+            std::fprintf(stderr, "  [%s] %s done\n", ablation.label,
+                         bench);
+        }
+        table.row(std::move(row));
+    }
+
+    std::printf("Policy ablation on the MARSS model "
+                "(vulnerability %%, %lu injections/cell)\n\n%s\n",
+                static_cast<unsigned long>(injections),
+                table.render().c_str());
+    std::printf(
+        "reading: removing the hypervisor bypass should RAISE the\n"
+        "L1D vulnerability toward the gem5 model's (Remark 3);\n"
+        "removing unified-LSQ load data should LOWER the lsq number\n"
+        "toward GeFIN's (Remark 1); removing dense asserts moves\n"
+        "Assert outcomes into Crash without changing vulnerability\n"
+        "much (Remark 8).\n");
+    return 0;
+}

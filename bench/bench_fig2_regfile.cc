@@ -1,0 +1,17 @@
+/**
+ * @file
+ * Regenerates Figure 2 of the paper: faulty behavior
+ * classification for the integer physical register file,
+ * for the ten benchmarks on MaFIN-x86, GeFIN-x86 and GeFIN-ARM.
+ */
+
+#include "figure_common.hh"
+
+int
+main()
+{
+    const auto report = dfi::bench::runFigure(
+        "Figure 2: integer physical register file", "int_regfile");
+    dfi::bench::printFigure(report);
+    return 0;
+}

@@ -1,0 +1,17 @@
+/**
+ * @file
+ * Regenerates Figure 3 of the paper: faulty behavior
+ * classification for the L1D cache (data arrays),
+ * for the ten benchmarks on MaFIN-x86, GeFIN-x86 and GeFIN-ARM.
+ */
+
+#include "figure_common.hh"
+
+int
+main()
+{
+    const auto report = dfi::bench::runFigure(
+        "Figure 3: L1D cache (data arrays)", "l1d");
+    dfi::bench::printFigure(report);
+    return 0;
+}

@@ -1,0 +1,17 @@
+/**
+ * @file
+ * Regenerates Figure 4 of the paper: faulty behavior
+ * classification for the L1I cache (instruction arrays),
+ * for the ten benchmarks on MaFIN-x86, GeFIN-x86 and GeFIN-ARM.
+ */
+
+#include "figure_common.hh"
+
+int
+main()
+{
+    const auto report = dfi::bench::runFigure(
+        "Figure 4: L1I cache (instruction arrays)", "l1i");
+    dfi::bench::printFigure(report);
+    return 0;
+}

@@ -1,0 +1,17 @@
+/**
+ * @file
+ * Regenerates Figure 5 of the paper: faulty behavior
+ * classification for the L2 cache (data arrays),
+ * for the ten benchmarks on MaFIN-x86, GeFIN-x86 and GeFIN-ARM.
+ */
+
+#include "figure_common.hh"
+
+int
+main()
+{
+    const auto report = dfi::bench::runFigure(
+        "Figure 5: L2 cache (data arrays)", "l2");
+    dfi::bench::printFigure(report);
+    return 0;
+}

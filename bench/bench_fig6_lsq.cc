@@ -1,0 +1,17 @@
+/**
+ * @file
+ * Regenerates Figure 6 of the paper: faulty behavior
+ * classification for the Load/Store Queue (data field),
+ * for the ten benchmarks on MaFIN-x86, GeFIN-x86 and GeFIN-ARM.
+ */
+
+#include "figure_common.hh"
+
+int
+main()
+{
+    const auto report = dfi::bench::runFigure(
+        "Figure 6: Load/Store Queue (data field)", "lsq");
+    dfi::bench::printFigure(report);
+    return 0;
+}

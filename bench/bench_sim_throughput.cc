@@ -1,0 +1,99 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the framework's own hot paths:
+ * simulator cycle throughput per model, FaultableArray access costs,
+ * and checkpoint copy cost.  These are engineering benchmarks (not a
+ * paper figure) used to keep campaign runtimes in check.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "isa/codegen.hh"
+#include "prog/benchmark.hh"
+#include "storage/faultable_array.hh"
+#include "uarch/core_config.hh"
+#include "uarch/ooo_core.hh"
+
+using namespace dfi;
+
+namespace
+{
+
+const isa::Image &
+microImage(isa::IsaKind kind)
+{
+    static const isa::Image x86 = ir::compileModule(
+        prog::buildBenchmark("micro").module, isa::IsaKind::X86);
+    static const isa::Image arm = ir::compileModule(
+        prog::buildBenchmark("micro").module, isa::IsaKind::Arm);
+    return kind == isa::IsaKind::X86 ? x86 : arm;
+}
+
+void
+BM_CoreCycles(benchmark::State &state, uarch::CoreConfig cfg)
+{
+    uarch::scaleCaches(cfg, 0.0625);
+    const isa::Image &image = microImage(cfg.isa);
+    std::uint64_t cycles = 0;
+    for (auto _ : state) {
+        uarch::OooCore core(cfg, image);
+        while (core.tick()) {}
+        cycles += core.cycle();
+    }
+    state.counters["cycles/s"] = benchmark::Counter(
+        static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+
+void
+BM_FaultableArrayRead(benchmark::State &state)
+{
+    FaultableArray array("bench", 512, 512);
+    std::uint64_t sum = 0;
+    std::size_t i = 0;
+    for (auto _ : state) {
+        sum += array.readBits(i % 512, (i * 8) % 448, 32);
+        ++i;
+    }
+    benchmark::DoNotOptimize(sum);
+}
+
+void
+BM_FaultableArrayReadBytes(benchmark::State &state)
+{
+    FaultableArray array("bench", 512, 512);
+    std::uint8_t line[64];
+    std::size_t i = 0;
+    for (auto _ : state) {
+        array.readBytes(i % 512, 0, 64, line);
+        benchmark::DoNotOptimize(line[0]);
+        ++i;
+    }
+}
+
+void
+BM_CheckpointCopy(benchmark::State &state)
+{
+    auto cfg = uarch::marssX86Config();
+    uarch::scaleCaches(cfg, 0.0625);
+    uarch::OooCore core(cfg, microImage(isa::IsaKind::X86));
+    for (int i = 0; i < 500; ++i)
+        core.tick();
+    for (auto _ : state) {
+        uarch::OooCore copy = core;
+        benchmark::DoNotOptimize(copy.cycle());
+    }
+}
+
+} // namespace
+
+BENCHMARK_CAPTURE(BM_CoreCycles, marss_x86, uarch::marssX86Config())
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_CoreCycles, gem5_x86, uarch::gem5X86Config())
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_CoreCycles, gem5_arm, uarch::gem5ArmConfig())
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FaultableArrayRead);
+BENCHMARK(BM_FaultableArrayReadBytes);
+BENCHMARK(BM_CheckpointCopy)->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

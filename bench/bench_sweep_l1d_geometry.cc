@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Structure-geometry sweep (the paper's footnote 4: "studies ... for
+ * different sizes and organizations of the hardware structures").
+ *
+ * Sweeps the L1D capacity and associativity on both simulator models
+ * and reports the measured vulnerability: larger caches hold data
+ * longer (higher exposure per bit but lower occupancy), while higher
+ * associativity changes the replacement behaviour.  This is the kind
+ * of protection-dimensioning study the injectors exist to support.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "inject/campaign.hh"
+
+using namespace dfi;
+using namespace dfi::inject;
+
+namespace
+{
+
+double
+measure(const char *core, std::uint32_t size_bytes, std::uint32_t ways,
+        std::uint64_t injections)
+{
+    CampaignConfig cfg;
+    cfg.component = "l1d";
+    cfg.benchmark = "fft";
+    cfg.coreName = core;
+    cfg.numInjections = injections;
+    cfg.configTweak = [size_bytes, ways](uarch::CoreConfig &c) {
+        c.hier.l1d.sizeBytes = size_bytes;
+        c.hier.l1d.ways = ways;
+    };
+    InjectionCampaign campaign(cfg);
+    Parser parser;
+    return campaign.run().classify(parser).vulnerability();
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::uint64_t injections = envUint("DFI_INJECTIONS", 120);
+
+    TextTable table;
+    table.header({"L1D geometry", "MaFIN-x86 vuln", "GeFIN-x86 vuln"});
+    struct Point
+    {
+        std::uint32_t size;
+        std::uint32_t ways;
+    };
+    for (const Point p : {Point{1024, 2}, Point{2048, 4},
+                          Point{4096, 4}, Point{8192, 4},
+                          Point{4096, 2}, Point{4096, 8}}) {
+        const double m = measure("marss-x86", p.size, p.ways,
+                                 injections);
+        const double g = measure("gem5-x86", p.size, p.ways,
+                                 injections);
+        table.row({std::to_string(p.size / 1024) + "KB " +
+                       std::to_string(p.ways) + "-way",
+                   formatFixed(m, 1) + "%", formatFixed(g, 1) + "%"});
+        std::fprintf(stderr, "  %uKB/%u-way done\n", p.size / 1024,
+                     p.ways);
+    }
+
+    std::printf("L1D geometry sweep (fft, %lu injections/cell)\n\n%s\n",
+                static_cast<unsigned long>(injections),
+                table.render().c_str());
+    std::printf(
+        "reading: growing capacity dilutes per-bit vulnerability once\n"
+        "the working set fits (occupancy drops); the MaFIN-below-GeFIN\n"
+        "ordering from Fig. 3 should persist across geometries.\n");
+    return 0;
+}

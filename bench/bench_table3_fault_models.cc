@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Regenerates Table III: the three fault models, demonstrated live.
+ *
+ * For each model the bench injects a directed fault into the integer
+ * register file of a running MaFIN campaign and shows the model's
+ * defining behaviour: a transient flips once and can be overwritten,
+ * an intermittent holds its value for exactly its window, a permanent
+ * holds forever.
+ */
+
+#include <cstdio>
+
+#include "common/stats.hh"
+#include "inject/campaign.hh"
+#include "inject/parser.hh"
+#include "storage/fault_domain.hh"
+#include "storage/faultable_array.hh"
+
+using namespace dfi;
+using namespace dfi::inject;
+
+namespace
+{
+
+/** Demonstrate the raw model semantics on a bare array. */
+std::string
+demoSemantics(FaultType type)
+{
+    FaultableArray array("demo", 4, 32);
+    FaultDomain domain;
+    domain.setResolver(
+        [&array](StructureId) -> FaultableArray * { return &array; });
+    FaultMask mask;
+    mask.structure = StructureId::IntRegFile;
+    mask.entry = 1;
+    mask.bit = 5;
+    mask.type = type;
+    mask.cycle = 10;
+    mask.duration = 5;
+    mask.stuckValue = true;
+    domain.arm(mask);
+
+    std::string timeline;
+    for (std::uint64_t cycle = 8; cycle <= 18; ++cycle) {
+        domain.tick(cycle);
+        if (cycle == 12)
+            array.writeBit(1, 5, false); // program writes a zero
+        timeline += array.peekBit(1, 5) ? '1' : '0';
+    }
+    return timeline; // cycles 8..18
+}
+
+} // namespace
+
+int
+main()
+{
+    TextTable table;
+    table.header({"Fault model", "Paper definition",
+                  "bit value, cycles 8..18 (inject@10, write-0@12)"});
+    table.row({"transient",
+               "bit flipped at a cycle; position/cycle arbitrary",
+               demoSemantics(FaultType::Transient)});
+    table.row({"intermittent",
+               "bit stuck at 0/1 for a duration from a start cycle",
+               demoSemantics(FaultType::Intermittent)});
+    table.row({"permanent", "bit permanently stuck at 0/1",
+               demoSemantics(FaultType::Permanent)});
+    std::printf("Table III: fault models (live semantics demo)\n\n%s\n",
+                table.render().c_str());
+
+    // And a small live campaign per model on the real injector.
+    Parser parser;
+    for (auto [name, type] :
+         {std::pair{"transient", FaultType::Transient},
+          std::pair{"intermittent", FaultType::Intermittent},
+          std::pair{"permanent", FaultType::Permanent}}) {
+        CampaignConfig cfg;
+        cfg.benchmark = "micro";
+        cfg.coreName = "marss-x86";
+        cfg.component = "int_regfile";
+        cfg.faultType = type;
+        cfg.numInjections = 60;
+        InjectionCampaign campaign(cfg);
+        const auto result = campaign.run();
+        const auto counts = result.classify(parser);
+        std::printf("%-13s on int RF (micro, 60 runs): "
+                    "masked %.1f%%, vulnerable %.1f%%\n",
+                    name, counts.percent(OutcomeClass::Masked),
+                    counts.vulnerability());
+    }
+    std::printf("\nexpectation: permanent >= intermittent >= transient "
+                "vulnerability (longer residency, larger effect)\n");
+    return 0;
+}

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Shared driver for the figure-regeneration benches (Figs. 2-6).
+ *
+ * Each figure bench names the component under study; this driver runs
+ * the full differential campaign — every benchmark on the three
+ * setups (MaFIN-x86, GeFIN-x86, GeFIN-ARM) — classifies the logs and
+ * renders the paper-style stacked-bar report.
+ *
+ * Environment knobs:
+ *   DFI_INJECTIONS   runs per benchmark/setup cell (default 150;
+ *                    the paper used 2000)
+ *   DFI_BENCHMARKS   comma-separated subset of benchmark names
+ *   DFI_SEED         campaign seed (default 0x5eed)
+ */
+
+#ifndef DFI_BENCH_FIGURE_COMMON_HH
+#define DFI_BENCH_FIGURE_COMMON_HH
+
+#include <string>
+
+#include "inject/report.hh"
+
+namespace dfi::bench
+{
+
+/** Setup display names, in the paper's bar order. */
+inline const std::vector<std::string> &
+setupNames()
+{
+    static const std::vector<std::string> names = {"M-x86", "G-x86",
+                                                   "G-ARM"};
+    return names;
+}
+
+/** Run the full differential campaign for one component. */
+inject::FigureReport runFigure(const std::string &figure_title,
+                               const std::string &component);
+
+/** Render table + bars + summary to stdout. */
+void printFigure(const inject::FigureReport &report);
+
+} // namespace dfi::bench
+
+#endif // DFI_BENCH_FIGURE_COMMON_HH

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Fault-model sweep: beyond the paper's transient study.
+ *
+ * The tools support the full Table III model space; this example
+ * sweeps all three fault models plus multi-bit populations over one
+ * structure/workload pair and shows how the outcome distribution
+ * shifts — the kind of study Section III says the tools enable
+ * (intermittent faults from marginal cells, permanent faults from
+ * early-life failures, spatial multi-bit upsets).
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "common/config.hh"
+#include "inject/campaign.hh"
+#include "inject/parser.hh"
+
+using namespace dfi;
+using namespace dfi::inject;
+
+namespace
+{
+
+ClassCounts
+sweep(const char *label, CampaignConfig cfg)
+{
+    InjectionCampaign campaign(std::move(cfg));
+    Parser parser;
+    const auto counts = campaign.run().classify(parser);
+    std::printf("%-28s", label);
+    for (std::size_t c = 0; c < kNumOutcomeClasses; ++c) {
+        std::printf(" %6.1f",
+                    counts.percent(static_cast<OutcomeClass>(c)));
+    }
+    std::printf(" | %5.1f%%\n", counts.vulnerability());
+    return counts;
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::uint64_t injections = envUint("DFI_INJECTIONS", 80);
+
+    CampaignConfig base;
+    base.benchmark = "fft";
+    base.coreName = "marss-x86";
+    base.component = "l1d";
+    base.numInjections = injections;
+
+    std::printf("fault-model sweep: %s / %s / %lu runs each\n\n",
+                base.component.c_str(), base.benchmark.c_str(),
+                static_cast<unsigned long>(injections));
+    std::printf("%-28s %6s %6s %6s %6s %6s %6s | %s\n", "model",
+                "Masked", "SDC", "DUE", "Tmout", "Crash", "Assrt",
+                "vuln");
+
+    CampaignConfig cfg = base;
+    const auto transient = sweep("transient single-bit", cfg);
+
+    cfg = base;
+    cfg.faultType = dfi::FaultType::Intermittent;
+    cfg.intermittentMin = 100;
+    cfg.intermittentMax = 2000;
+    const auto intermittent = sweep("intermittent (100-2k cyc)", cfg);
+
+    cfg = base;
+    cfg.faultType = dfi::FaultType::Permanent;
+    const auto permanent = sweep("permanent stuck-at", cfg);
+
+    cfg = base;
+    cfg.population = Population::DoubleAdjacent;
+    sweep("transient double-adjacent", cfg);
+
+    cfg = base;
+    cfg.population = Population::MultiStructure;
+    sweep("transient multi-location", cfg);
+
+    std::printf(
+        "\nexpected ordering: permanent (%.1f%%) >= intermittent "
+        "(%.1f%%) >= transient (%.1f%%)\n"
+        "— longer fault residency strictly grows the effect window.\n",
+        permanent.vulnerability(), intermittent.vulnerability(),
+        transient.vulnerability());
+    return 0;
+}

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Protection study: the decision workflow the paper motivates.
+ *
+ * The point of early reliability assessment is to decide *which*
+ * structures deserve protection (ECC, parity, duplication) before
+ * tape-out, without over-provisioning based on pessimistic analytical
+ * estimates.  This example ranks the major structures of one
+ * microarchitecture by measured vulnerability under a fixed fault
+ * budget and applies a simple cost model: parity on the cheapest
+ * sufficient subset that covers ~90% of the observed failures.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "inject/campaign.hh"
+#include "inject/parser.hh"
+#include "inject/target.hh"
+#include "isa/codegen.hh"
+#include "prog/benchmark.hh"
+
+using namespace dfi;
+using namespace dfi::inject;
+
+int
+main()
+{
+    const std::uint64_t injections = envUint("DFI_INJECTIONS", 80);
+    const char *workload = "caes";
+
+    struct Ranked
+    {
+        std::string component;
+        double vulnerability; //!< % of injections not masked
+        std::uint64_t bits;   //!< protection cost proxy
+        double failureShare;  //!< vulnerability x bits (relative)
+    };
+    std::vector<Ranked> ranking;
+
+    Parser parser;
+    for (const std::string component :
+         {"l1d", "l1i", "l2", "int_regfile", "lsq", "issue_queue",
+          "dtlb", "btb"}) {
+        CampaignConfig cfg;
+        cfg.benchmark = workload;
+        cfg.coreName = "gem5-x86";
+        cfg.component = component;
+        cfg.numInjections = injections;
+        InjectionCampaign campaign(cfg);
+        const auto result = campaign.run();
+        const auto counts = result.classify(parser);
+
+        // Bits at risk: geometry from the component resolution.
+        uarch::CoreConfig probe_cfg =
+            uarch::coreConfigByName(cfg.coreName);
+        uarch::scaleCaches(probe_cfg, cfg.cacheScale);
+        const auto bench =
+            prog::buildBenchmark(cfg.benchmark, cfg.scale);
+        const auto image =
+            ir::compileModule(bench.module, probe_cfg.isa, 0x200000);
+        uarch::OooCore probe(probe_cfg, image);
+        const std::uint64_t bits = componentBits(component, probe);
+
+        ranking.push_back(Ranked{component, counts.vulnerability(),
+                                 bits,
+                                 counts.vulnerability() *
+                                     static_cast<double>(bits)});
+        std::fprintf(stderr, "  measured %s\n", component.c_str());
+    }
+
+    // Failure share is proportional to vulnerability x capacity
+    // (uniform raw fault rate per bit).
+    double total_share = 0;
+    for (const Ranked &r : ranking)
+        total_share += r.failureShare;
+    std::sort(ranking.begin(), ranking.end(),
+              [](const Ranked &a, const Ranked &b) {
+                  return a.failureShare > b.failureShare;
+              });
+
+    std::printf("protection study: gem5-x86 running '%s' "
+                "(%lu injections per structure)\n\n",
+                workload, static_cast<unsigned long>(injections));
+    std::printf("%-12s %14s %12s %15s\n", "structure",
+                "vulnerability", "bits", "failure share");
+    double covered = 0;
+    std::size_t needed = 0;
+    for (const Ranked &r : ranking) {
+        const double share =
+            total_share > 0 ? 100.0 * r.failureShare / total_share
+                            : 0.0;
+        std::printf("%-12s %13.1f%% %12lu %14.1f%%\n",
+                    r.component.c_str(), r.vulnerability,
+                    static_cast<unsigned long>(r.bits), share);
+        if (covered < 90.0) {
+            covered += share;
+            ++needed;
+        }
+    }
+    std::printf("\ndecision: protecting the top %zu structure(s) "
+                "covers %.1f%% of observed failures;\n"
+                "the remaining structures' measured vulnerability "
+                "does not justify their protection cost\n"
+                "(the over-estimation trap of ACE-style analysis the "
+                "paper's introduction warns about).\n",
+                needed, covered);
+    return 0;
+}

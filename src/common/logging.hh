@@ -1,0 +1,145 @@
+/**
+ * @file
+ * gem5-style status and error reporting for the DFI framework.
+ *
+ * The distinction between the report levels follows the gem5 coding
+ * style guide:
+ *  - panic():  something happened that should never happen regardless
+ *              of what the user does, i.e. a framework bug.  Aborts.
+ *  - fatal():  the run cannot continue due to a user error (bad
+ *              configuration, invalid arguments).  Throws FatalError so
+ *              embedding tools (and tests) can intercept it.
+ *  - warn():   something works well enough but deserves attention.
+ *  - inform(): plain status messages.
+ *
+ * Note that *simulated* failures (guest crashes, simulator-model
+ * assertion checkpoints raised by injected faults) deliberately do NOT
+ * use these functions: they are modelled outcomes, reported through
+ * syskit::RunOutcome, never host-process errors.
+ */
+
+#ifndef DFI_COMMON_LOGGING_HH
+#define DFI_COMMON_LOGGING_HH
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dfi
+{
+
+/** Thrown by fatal(): an unrecoverable *user* error (not a bug). */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+/** Verbosity levels for the global logger. */
+enum class LogLevel : std::uint8_t
+{
+    Quiet = 0,  //!< errors only
+    Warn = 1,   //!< + warnings
+    Info = 2,   //!< + status messages
+    Debug = 3,  //!< + debugging chatter
+};
+
+/** Set the process-wide verbosity (default: Warn). */
+void setLogLevel(LogLevel level);
+
+/** Current process-wide verbosity. */
+LogLevel logLevel();
+
+namespace detail
+{
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+void debugImpl(const std::string &msg);
+
+/** Minimal printf-style formatter into std::string ('%s' style via streams). */
+inline void
+formatRest(std::ostringstream &os, const char *fmt)
+{
+    os << fmt;
+}
+
+template <typename T, typename... Args>
+void
+formatRest(std::ostringstream &os, const char *fmt, const T &value,
+           Args &&...args)
+{
+    for (; *fmt; ++fmt) {
+        if (fmt[0] == '%' && fmt[1] == 's') {
+            os << value;
+            formatRest(os, fmt + 2, std::forward<Args>(args)...);
+            return;
+        }
+        os << *fmt;
+    }
+}
+
+template <typename... Args>
+std::string
+format(const char *fmt, Args &&...args)
+{
+    std::ostringstream os;
+    formatRest(os, fmt, std::forward<Args>(args)...);
+    return os.str();
+}
+
+} // namespace detail
+
+/**
+ * Report a framework bug and abort.  Use only for conditions that can
+ * never occur unless dfi itself is broken.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(const char *fmt, Args &&...args)
+{
+    detail::panicImpl("", 0,
+                      detail::format(fmt, std::forward<Args>(args)...));
+}
+
+/** Report an unrecoverable user error; throws FatalError. */
+template <typename... Args>
+[[noreturn]] void
+fatal(const char *fmt, Args &&...args)
+{
+    detail::fatalImpl(detail::format(fmt, std::forward<Args>(args)...));
+}
+
+/** Report a suspicious-but-survivable condition. */
+template <typename... Args>
+void
+warn(const char *fmt, Args &&...args)
+{
+    detail::warnImpl(detail::format(fmt, std::forward<Args>(args)...));
+}
+
+/** Report normal operating status. */
+template <typename... Args>
+void
+inform(const char *fmt, Args &&...args)
+{
+    detail::informImpl(detail::format(fmt, std::forward<Args>(args)...));
+}
+
+/** Debug chatter, only shown at LogLevel::Debug. */
+template <typename... Args>
+void
+debugLog(const char *fmt, Args &&...args)
+{
+    detail::debugImpl(detail::format(fmt, std::forward<Args>(args)...));
+}
+
+} // namespace dfi
+
+#endif // DFI_COMMON_LOGGING_HH

@@ -1,0 +1,101 @@
+#include "common/rng.hh"
+
+#include "common/logging.hh"
+
+namespace dfi
+{
+
+namespace
+{
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t s = seed;
+    for (auto &word : state_)
+        word = splitmix64(s);
+    // All-zero state is invalid for xoshiro; splitmix64 never produces
+    // four zero outputs in a row, but be defensive anyway.
+    if (state_[0] == 0 && state_[1] == 0 && state_[2] == 0 &&
+        state_[3] == 0) {
+        state_[0] = 1;
+    }
+}
+
+std::uint64_t
+Rng::next64()
+{
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+
+    return result;
+}
+
+std::uint64_t
+Rng::nextBounded(std::uint64_t bound)
+{
+    if (bound == 0)
+        panic("Rng::nextBounded called with zero bound");
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t threshold = -bound % bound;
+    for (;;) {
+        const std::uint64_t r = next64();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+std::uint64_t
+Rng::nextRange(std::uint64_t lo, std::uint64_t hi)
+{
+    if (lo > hi)
+        panic("Rng::nextRange: lo > hi");
+    const std::uint64_t span = hi - lo + 1;
+    if (span == 0) // full 64-bit range
+        return next64();
+    return lo + nextBounded(span);
+}
+
+double
+Rng::nextDouble()
+{
+    return static_cast<double>(next64() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::nextBool(double p)
+{
+    return nextDouble() < p;
+}
+
+Rng
+Rng::fork()
+{
+    return Rng(next64());
+}
+
+} // namespace dfi

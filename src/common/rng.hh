@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for reproducible
+ * injection campaigns.
+ *
+ * Every stochastic decision in the framework (fault mask generation,
+ * sampling, workload input synthesis) draws from an Rng instance that
+ * is explicitly seeded, so a campaign is bit-reproducible from
+ * (config, program, seed).  The generator is xoshiro256** which is
+ * fast, high-quality and trivially copyable (needed for simulator
+ * checkpointing).
+ */
+
+#ifndef DFI_COMMON_RNG_HH
+#define DFI_COMMON_RNG_HH
+
+#include <array>
+#include <cstdint>
+
+namespace dfi
+{
+
+/** Copyable deterministic RNG (xoshiro256**). */
+class Rng
+{
+  public:
+    /** Seed via splitmix64 expansion of a single 64-bit seed. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next64();
+
+    /** Uniform value in [0, bound) — bound must be non-zero. */
+    std::uint64_t nextBounded(std::uint64_t bound);
+
+    /** Uniform value in [lo, hi] inclusive. */
+    std::uint64_t nextRange(std::uint64_t lo, std::uint64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli draw with probability p. */
+    bool nextBool(double p = 0.5);
+
+    /** Fork an independent stream (for per-run RNGs). */
+    Rng fork();
+
+  private:
+    std::array<std::uint64_t, 4> state_;
+};
+
+} // namespace dfi
+
+#endif // DFI_COMMON_RNG_HH

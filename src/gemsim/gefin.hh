@@ -1,0 +1,54 @@
+/**
+ * @file
+ * GeFIN — the Gem5-based Fault INjector.
+ *
+ * The named façade of the paper's GeFIN tool: injection campaigns
+ * pinned to the gem5-like simulator model in either of its two ISA
+ * instantiations (gem5-x86, gem5-arm).  The gem5-specific behaviours
+ * the study isolates live in those CoreConfigs: split 16/16
+ * load/store queues where only the store queue holds data, 40-entry
+ * ROB, conservative load issue, fully internal system handling (the
+ * kernel reads guest buffers through the caches and its code occupies
+ * the L1I), sparse assertion checking (corruption surfaces as
+ * simulator crashes), the history-indexed tournament chooser and the
+ * direct-mapped unified 2K BTB.
+ */
+
+#ifndef DFI_GEMSIM_GEFIN_HH
+#define DFI_GEMSIM_GEFIN_HH
+
+#include "common/logging.hh"
+#include "inject/campaign.hh"
+#include "uarch/core_config.hh"
+#include "uarch/ooo_core.hh"
+
+namespace dfi::gefin
+{
+
+/** The gem5-like simulator model GeFIN instruments. */
+inline uarch::CoreConfig
+simulatorConfig(isa::IsaKind isa)
+{
+    return isa == isa::IsaKind::X86 ? uarch::gem5X86Config()
+                                    : uarch::gem5ArmConfig();
+}
+
+/** Build a GeFIN campaign for the chosen ISA. */
+inline inject::InjectionCampaign
+makeCampaign(inject::CampaignConfig config, isa::IsaKind isa)
+{
+    config.coreName =
+        isa == isa::IsaKind::X86 ? "gem5-x86" : "gem5-arm";
+    return inject::InjectionCampaign(std::move(config));
+}
+
+/** Instantiate the bare simulator (for direct-driving studies). */
+inline uarch::OooCore
+makeSimulator(const isa::Image &image)
+{
+    return uarch::OooCore(simulatorConfig(image.isa), image);
+}
+
+} // namespace dfi::gefin
+
+#endif // DFI_GEMSIM_GEFIN_HH

@@ -1,0 +1,290 @@
+#include "inject/campaign.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "inject/sampling.hh"
+#include "inject/target.hh"
+#include "isa/codegen.hh"
+#include "prog/benchmark.hh"
+#include "uarch/core_config.hh"
+
+namespace dfi::inject
+{
+
+using dfi::FaultMask;
+using dfi::FaultType;
+
+namespace
+{
+
+/** Hard upper bound on any single simulated run. */
+constexpr std::uint64_t kAbsoluteCycleCap = 200'000'000;
+
+} // namespace
+
+InjectionCampaign::InjectionCampaign(CampaignConfig config)
+    : cfg_(std::move(config))
+{
+}
+
+InjectionCampaign::~InjectionCampaign() = default;
+
+void
+InjectionCampaign::prepare()
+{
+    if (prepared_)
+        return;
+    prepared_ = true;
+
+    uarch::CoreConfig core_cfg =
+        uarch::coreConfigByName(cfg_.coreName);
+    uarch::scaleCaches(core_cfg, cfg_.cacheScale);
+    if (cfg_.configTweak)
+        cfg_.configTweak(core_cfg);
+    const prog::Benchmark bench =
+        prog::buildBenchmark(cfg_.benchmark, cfg_.scale);
+    expectedOutput_ = bench.expectedOutput;
+    image_ = ir::compileModule(bench.module, core_cfg.isa, 0x200000);
+
+    // Golden pass: learn the run length and validate the workload.
+    {
+        uarch::OooCore core(core_cfg, image_);
+        while (core.tick()) {
+            if (core.cycle() > kAbsoluteCycleCap)
+                fatal("golden run of '%s' on '%s' exceeded the cycle "
+                      "cap",
+                      cfg_.benchmark, cfg_.coreName);
+        }
+        golden_ = core.record();
+        if (golden_.term != syskit::Termination::Exited)
+            fatal("golden run of '%s' on '%s' did not exit cleanly: %s",
+                  cfg_.benchmark, cfg_.coreName, golden_.detail);
+        if (golden_.output != expectedOutput_)
+            fatal("golden run of '%s' on '%s' produced wrong output",
+                  cfg_.benchmark, cfg_.coreName);
+    }
+
+    // Checkpoint pass: snapshot the core at fixed intervals so faulty
+    // runs can start close to their injection cycle.
+    checkpoints_.clear();
+    checkpointCycles_.clear();
+    checkpoints_.push_back(
+        std::make_unique<uarch::OooCore>(core_cfg, image_));
+    checkpointCycles_.push_back(0);
+    if (cfg_.useCheckpoints && cfg_.checkpointCount > 1) {
+        const std::uint64_t interval =
+            std::max<std::uint64_t>(1, golden_.cycles /
+                                           cfg_.checkpointCount);
+        uarch::OooCore core(core_cfg, image_);
+        std::uint64_t next = interval;
+        while (core.tick()) {
+            if (core.cycle() >= next) {
+                checkpoints_.push_back(
+                    std::make_unique<uarch::OooCore>(core));
+                checkpointCycles_.push_back(core.cycle());
+                next += interval;
+            }
+        }
+    }
+}
+
+const syskit::RunRecord &
+InjectionCampaign::golden()
+{
+    prepare();
+    return golden_;
+}
+
+uarch::OooCore &
+InjectionCampaign::checkpointFor(std::uint64_t cycle)
+{
+    std::size_t best = 0;
+    for (std::size_t i = 0; i < checkpointCycles_.size(); ++i) {
+        if (checkpointCycles_[i] < cycle)
+            best = i;
+    }
+    return *checkpoints_[best];
+}
+
+syskit::RunRecord
+InjectionCampaign::runOne(const std::vector<FaultMask> &masks,
+                          std::uint64_t *simulated_cycles)
+{
+    prepare();
+    if (masks.empty())
+        fatal("runOne: empty mask group");
+
+    std::uint64_t first_cycle = ~0ull;
+    for (const FaultMask &mask : masks)
+        first_cycle = std::min(first_cycle, mask.cycle);
+
+    // Dispatch: restore the nearest checkpoint before the injection.
+    uarch::OooCore core = checkpointFor(first_cycle);
+    const std::uint64_t restored_cycle = core.cycle();
+
+    dfi::FaultDomain domain;
+    domain.setResolver([&core](dfi::StructureId id) {
+        return core.arrayFor(id);
+    });
+    for (const FaultMask &mask : masks)
+        domain.arm(mask);
+
+    const bool single_transient =
+        masks.size() == 1 && masks[0].type == FaultType::Transient;
+    const std::uint64_t limit = std::min<std::uint64_t>(
+        kAbsoluteCycleCap,
+        static_cast<std::uint64_t>(
+            static_cast<double>(golden_.cycles) * cfg_.timeoutFactor));
+
+    bool injected = domain.numArmed() > 0 && first_cycle == 0;
+    bool watch_armed = false;
+    bool early_masked = false;
+    std::string early_reason;
+    dfi::FaultableArray *watch_array = nullptr;
+
+    // Permanent/intermittent faults active from cycle 0.
+    domain.tick(core.cycle());
+
+    while (!core.finished()) {
+        const std::uint64_t next_cycle = core.cycle() + 1;
+
+        // Early-stop rule (i): the fault lands in an invalid entry.
+        if (single_transient && !injected &&
+            next_cycle >= masks[0].cycle) {
+            if (cfg_.earlyStopInvalidEntry &&
+                !core.entryLive(masks[0].structure, masks[0].entry)) {
+                early_masked = true;
+                early_reason = "invalid-entry";
+                break;
+            }
+        }
+
+        domain.tick(next_cycle);
+
+        // Arm the overwrite watch the moment the flip lands.
+        if (single_transient && !injected &&
+            domain.allTransientsApplied()) {
+            injected = true;
+            if (cfg_.earlyStopOverwrite) {
+                watch_array = core.arrayFor(masks[0].structure);
+                watch_array->armWatch(masks[0].entry, masks[0].bit);
+                watch_armed = true;
+            }
+        }
+
+        if (!core.tick())
+            break;
+
+        // Early-stop rule (ii): overwritten before ever read.
+        if (watch_armed) {
+            const dfi::WatchState state = watch_array->watchState();
+            if (state == dfi::WatchState::WrittenFirst) {
+                early_masked = true;
+                early_reason = "overwritten-before-read";
+                break;
+            }
+            if (state == dfi::WatchState::ReadFirst) {
+                watch_array->clearWatch();
+                watch_armed = false;
+            }
+        }
+
+        if (core.cycle() >= limit) {
+            core.forceTimeout();
+            break;
+        }
+    }
+
+    if (watch_armed && watch_array != nullptr)
+        watch_array->clearWatch();
+
+    syskit::RunRecord record;
+    if (early_masked) {
+        record.earlyStopMasked = true;
+        record.earlyStopReason = early_reason;
+        record.cycles = core.cycle();
+        record.instructions = core.committedInstructions();
+    } else {
+        if (!core.finished())
+            core.forceTimeout();
+        record = core.record();
+    }
+    if (simulated_cycles != nullptr)
+        *simulated_cycles = core.cycle() - restored_cycle;
+    return record;
+}
+
+CampaignResult
+InjectionCampaign::run(const Progress &progress)
+{
+    prepare();
+
+    CampaignResult result;
+    result.config = cfg_;
+    result.golden = golden_;
+
+    // Resolve the injection count through the sampling module.
+    std::uint64_t runs = cfg_.numInjections;
+    {
+        uarch::CoreConfig core_cfg =
+            uarch::coreConfigByName(cfg_.coreName);
+        uarch::scaleCaches(core_cfg, cfg_.cacheScale);
+        if (cfg_.configTweak)
+            cfg_.configTweak(core_cfg);
+        uarch::OooCore probe(core_cfg, image_);
+        if (runs == 0) {
+            const std::uint64_t population =
+                componentBits(cfg_.component, probe) * golden_.cycles;
+            runs = requiredInjections(population, cfg_.confidence,
+                                      cfg_.margin);
+        }
+
+        MaskGenConfig gen;
+        gen.component = cfg_.component;
+        gen.type = cfg_.faultType;
+        gen.population = cfg_.population;
+        gen.numRuns = runs;
+        gen.maxCycle = golden_.cycles;
+        gen.intermittentMin = cfg_.intermittentMin;
+        gen.intermittentMax = cfg_.intermittentMax;
+        gen.seed = cfg_.seed;
+        result.masks = generateMasks(gen, probe);
+    }
+
+    // Drive the runs.
+    std::vector<FaultMask> group;
+    std::size_t index = 0;
+    for (std::uint64_t run_id = 0; run_id < runs; ++run_id) {
+        group.clear();
+        while (index < result.masks.size() &&
+               result.masks[index].runId == run_id) {
+            group.push_back(result.masks[index]);
+            ++index;
+        }
+        std::uint64_t simulated = 0;
+        result.records.push_back(runOne(group, &simulated));
+        result.simulatedFaultyCycles += simulated;
+        // Without checkpoints and early stops the run would have
+        // simulated from reset to wherever it ended (or to the end of
+        // the program for masked runs).
+        const syskit::RunRecord &rec = result.records.back();
+        result.fullRunEquivalentCycles +=
+            rec.earlyStopMasked ? golden_.cycles
+                                : std::max(rec.cycles, golden_.cycles);
+        if (progress)
+            progress(run_id + 1, runs);
+    }
+    return result;
+}
+
+ClassCounts
+CampaignResult::classify(const Parser &parser) const
+{
+    ClassCounts counts;
+    for (const syskit::RunRecord &record : records)
+        counts.add(parser.classify(golden, record).cls);
+    return counts;
+}
+
+} // namespace dfi::inject

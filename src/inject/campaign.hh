@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Injection Campaign Controller and Injector Dispatcher (module 2 of
+ * Fig. 1).
+ *
+ * The controller owns a complete campaign: it runs the golden
+ * (fault-free) reference, takes interval checkpoints of the simulator
+ * (the paper's use of the simulators' checkpointing to speed up
+ * campaigns), asks the Fault Mask Generator for masks, and drives one
+ * faulty run per mask group through the dispatcher, which applies the
+ * masks to the core's storage arrays and implements the two
+ * early-stop optimizations of Section III.B:
+ *
+ *  (i)  a fault injected into an invalid/unused entry ends the run
+ *       immediately as Masked;
+ *  (ii) a faulted bit that is overwritten before ever being read ends
+ *       the run as Masked.
+ *
+ * Every faulty run is bounded by `timeoutFactor x golden cycles`
+ * (3x in the paper's experiments).
+ */
+
+#ifndef DFI_INJECT_CAMPAIGN_HH
+#define DFI_INJECT_CAMPAIGN_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "inject/mask_gen.hh"
+#include "uarch/core_config.hh"
+#include "inject/parser.hh"
+#include "storage/fault_domain.hh"
+#include "syskit/run_record.hh"
+#include "uarch/ooo_core.hh"
+
+namespace dfi::inject
+{
+
+/** Full campaign parameters. */
+struct CampaignConfig
+{
+    std::string component = "int_regfile";
+    std::string benchmark = "sha";
+    std::uint32_t scale = 1;
+    std::string coreName = "marss-x86";
+
+    /**
+     * Number of injection runs; 0 derives it from the statistical
+     * sampling parameters below.
+     */
+    std::uint64_t numInjections = 0;
+    double confidence = 0.99;
+    double margin = 0.03;
+
+    dfi::FaultType faultType = dfi::FaultType::Transient;
+    Population population = Population::SingleBit;
+    std::uint64_t intermittentMin = 50, intermittentMax = 500;
+
+    /**
+     * Proportional cache-capacity scale (see uarch::scaleCaches).
+     * The default 1/16 keeps cache occupancy representative of the
+     * paper's testbed at this repository's scaled-down workload
+     * footprints; set 1.0 for the full Table II capacities.
+     */
+    double cacheScale = 0.0625;
+
+    double timeoutFactor = 3.0;
+    bool earlyStopInvalidEntry = true;
+    bool earlyStopOverwrite = true;
+    bool useCheckpoints = true;
+    std::uint32_t checkpointCount = 6;
+
+    std::uint64_t seed = 0x5eed;
+
+    /**
+     * Optional hook applied to the resolved CoreConfig (after cache
+     * scaling).  Used by ablation studies to toggle individual model
+     * policies (aggressive load issue, hypervisor, assert density,
+     * ...) while keeping everything else fixed.
+     */
+    std::function<void(uarch::CoreConfig &)> configTweak;
+};
+
+/** Everything a campaign leaves behind (the logs repository). */
+struct CampaignResult
+{
+    CampaignConfig config;
+    syskit::RunRecord golden;
+    std::vector<dfi::FaultMask> masks;          //!< all masks
+    std::vector<syskit::RunRecord> records;     //!< one per runId
+    std::uint64_t simulatedFaultyCycles = 0;    //!< post-restore cycles
+    std::uint64_t fullRunEquivalentCycles = 0;  //!< without the
+                                                //!< optimizations
+
+    /** Classify every record with the given parser. */
+    ClassCounts classify(const Parser &parser) const;
+};
+
+/** The campaign controller. */
+class InjectionCampaign
+{
+  public:
+    using Progress = std::function<void(std::uint64_t done,
+                                        std::uint64_t total)>;
+
+    explicit InjectionCampaign(CampaignConfig config);
+    ~InjectionCampaign();
+
+    /** Golden reference record (runs it on first use). */
+    const syskit::RunRecord &golden();
+
+    /** Run the whole campaign. */
+    CampaignResult run(const Progress &progress = {});
+
+    /**
+     * Run a single fault group (exposed for tests and directed
+     * studies).  `masks` must share one runId.
+     */
+    syskit::RunRecord runOne(const std::vector<dfi::FaultMask> &masks,
+                             std::uint64_t *simulated_cycles = nullptr);
+
+  private:
+    void prepare();
+    uarch::OooCore &checkpointFor(std::uint64_t cycle);
+
+    CampaignConfig cfg_;
+    bool prepared_ = false;
+    isa::Image image_;
+    std::vector<std::uint8_t> expectedOutput_;
+    syskit::RunRecord golden_;
+    std::vector<std::unique_ptr<uarch::OooCore>> checkpoints_;
+    std::vector<std::uint64_t> checkpointCycles_;
+};
+
+} // namespace dfi::inject
+
+#endif // DFI_INJECT_CAMPAIGN_HH

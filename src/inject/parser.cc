@@ -1,0 +1,107 @@
+#include "inject/parser.hh"
+
+#include "common/logging.hh"
+
+namespace dfi::inject
+{
+
+std::string
+outcomeClassName(OutcomeClass cls)
+{
+    static const char *names[] = {"Masked", "SDC",   "DUE",
+                                  "Timeout", "Crash", "Assert"};
+    const auto i = static_cast<std::size_t>(cls);
+    if (i >= kNumOutcomeClasses)
+        panic("outcomeClassName: bad class %s", i);
+    return names[i];
+}
+
+Classification
+Parser::classify(const syskit::RunRecord &golden,
+                 const syskit::RunRecord &faulty) const
+{
+    Classification result;
+
+    if (faulty.earlyStopMasked) {
+        result.cls = OutcomeClass::Masked;
+        result.subclass = "early-stop:" + faulty.earlyStopReason;
+        return result;
+    }
+
+    switch (faulty.term) {
+      case syskit::Termination::SimAssert:
+        result.cls = OutcomeClass::Assert;
+        result.subclass = "sim-assert";
+        return result;
+      case syskit::Termination::SimCrash:
+        result.cls = cfg_.simulatorCrashAsAssert ? OutcomeClass::Assert
+                                                 : OutcomeClass::Crash;
+        result.subclass = "simulator-crash";
+        return result;
+      case syskit::Termination::ProcessCrash:
+        result.cls = OutcomeClass::Crash;
+        result.subclass = "process-crash";
+        return result;
+      case syskit::Termination::KernelPanic:
+        result.cls = OutcomeClass::Crash;
+        result.subclass = "system-crash";
+        return result;
+      case syskit::Termination::CycleLimit:
+        result.cls = OutcomeClass::Timeout;
+        // Crude deadlock/livelock discrimination: a deadlocked core
+        // stops committing entirely; a livelocked one keeps retiring
+        // wild instructions.
+        result.subclass = faulty.instructions >= golden.instructions
+                              ? "livelock"
+                              : "deadlock";
+        return result;
+      case syskit::Termination::Exited:
+        break;
+    }
+
+    const bool output_matches = faulty.output == golden.output &&
+                                faulty.exitCode == golden.exitCode;
+    if (!faulty.dueEvents.empty()) {
+        result.cls = OutcomeClass::Due;
+        if (cfg_.splitDue)
+            result.subclass = output_matches ? "false-due" : "true-due";
+        return result;
+    }
+    result.cls =
+        output_matches ? OutcomeClass::Masked : OutcomeClass::Sdc;
+    return result;
+}
+
+void
+ClassCounts::add(const ClassCounts &other)
+{
+    for (std::size_t i = 0; i < kNumOutcomeClasses; ++i)
+        counts[i] += other.counts[i];
+}
+
+std::uint64_t
+ClassCounts::total() const
+{
+    std::uint64_t sum = 0;
+    for (std::uint64_t c : counts)
+        sum += c;
+    return sum;
+}
+
+double
+ClassCounts::percent(OutcomeClass cls) const
+{
+    const std::uint64_t sum = total();
+    if (sum == 0)
+        return 0.0;
+    return 100.0 * static_cast<double>(get(cls)) /
+           static_cast<double>(sum);
+}
+
+double
+ClassCounts::vulnerability() const
+{
+    return 100.0 - percent(OutcomeClass::Masked);
+}
+
+} // namespace dfi::inject

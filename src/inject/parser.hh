@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The Parser (module 3 of Fig. 1): classifies logged run records into
+ * fault-effect classes.
+ *
+ * Default classification is the paper's six classes — Masked, SDC,
+ * DUE, Timeout, Crash, Assert — and, exactly as Section III.B
+ * describes, the parser is reconfigurable over the *same* logs:
+ * coarse Masked/Non-Masked, DUE split into true/false DUE, or the
+ * Simulator-Crash subcategory regrouped under Assert.  No re-run is
+ * ever needed to reclassify.
+ */
+
+#ifndef DFI_INJECT_PARSER_HH
+#define DFI_INJECT_PARSER_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "syskit/run_record.hh"
+
+namespace dfi::inject
+{
+
+/** The six fault-effect classes of Section III.A. */
+enum class OutcomeClass : std::uint8_t
+{
+    Masked,
+    Sdc,
+    Due,
+    Timeout,
+    Crash,
+    Assert,
+
+    NumClasses
+};
+
+constexpr std::size_t kNumOutcomeClasses =
+    static_cast<std::size_t>(OutcomeClass::NumClasses);
+
+std::string outcomeClassName(OutcomeClass cls);
+
+/** Classification of one run, with the finer-grain evidence. */
+struct Classification
+{
+    OutcomeClass cls = OutcomeClass::Masked;
+    std::string subclass; //!< e.g. "process-crash", "true-due",
+                          //!< "early-stop:overwritten"
+};
+
+/** Parser configuration (reclassification knobs). */
+struct ParserConfig
+{
+    /** Regroup simulator crashes under Assert (Section III.B). */
+    bool simulatorCrashAsAssert = false;
+    /** Annotate DUEs as true/false DUE in the subclass. */
+    bool splitDue = true;
+};
+
+/** Classifies faulty runs against the golden run. */
+class Parser
+{
+  public:
+    Parser() = default;
+    explicit Parser(const ParserConfig &config) : cfg_(config) {}
+
+    /** Classify one faulty record against the fault-free reference. */
+    Classification classify(const syskit::RunRecord &golden,
+                            const syskit::RunRecord &faulty) const;
+
+    const ParserConfig &config() const { return cfg_; }
+
+  private:
+    ParserConfig cfg_;
+};
+
+/** Per-class counters with percentage helpers. */
+struct ClassCounts
+{
+    std::array<std::uint64_t, kNumOutcomeClasses> counts{};
+
+    void
+    add(OutcomeClass cls)
+    {
+        ++counts[static_cast<std::size_t>(cls)];
+    }
+    void add(const ClassCounts &other);
+
+    std::uint64_t total() const;
+    std::uint64_t get(OutcomeClass cls) const
+    {
+        return counts[static_cast<std::size_t>(cls)];
+    }
+    double percent(OutcomeClass cls) const;
+    /** Sum of all non-masked classes, in percent (the paper's term). */
+    double vulnerability() const;
+};
+
+} // namespace dfi::inject
+
+#endif // DFI_INJECT_PARSER_HH

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Differential reports: the paper's per-figure presentation.
+ *
+ * A FigureReport collects, per benchmark, the classification of the
+ * three setups (M-x86, G-x86, G-ARM) and renders the terminal-text
+ * analog of the stacked-bar figures (Figs. 2-6), including the
+ * rightmost average bars and the vulnerability summary the paper's
+ * analysis quotes.
+ */
+
+#ifndef DFI_INJECT_REPORT_HH
+#define DFI_INJECT_REPORT_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "inject/parser.hh"
+
+namespace dfi::inject
+{
+
+/** One cell: a benchmark x setup classification. */
+struct FigureCell
+{
+    std::string benchmark;
+    std::string setup; //!< "M-x86", "G-x86", "G-ARM"
+    ClassCounts counts;
+};
+
+/** A whole figure. */
+class FigureReport
+{
+  public:
+    FigureReport(std::string title, std::vector<std::string> setups);
+
+    void add(const std::string &benchmark, const std::string &setup,
+             const ClassCounts &counts);
+
+    /** Average counts of one setup across benchmarks. */
+    ClassCounts average(const std::string &setup) const;
+
+    /** Vulnerability (non-masked %) of one benchmark x setup cell. */
+    double vulnerability(const std::string &benchmark,
+                         const std::string &setup) const;
+
+    /** Render the classification table (per-class percentages). */
+    std::string renderTable() const;
+
+    /** Render ASCII stacked bars like the paper's figures. */
+    std::string renderBars(int width = 50) const;
+
+    /** Render the average-vulnerability comparison summary. */
+    std::string renderSummary() const;
+
+    const std::vector<FigureCell> &cells() const { return cells_; }
+    const std::vector<std::string> &benchmarks() const
+    {
+        return benchmarks_;
+    }
+
+  private:
+    const FigureCell *find(const std::string &benchmark,
+                           const std::string &setup) const;
+
+    std::string title_;
+    std::vector<std::string> setups_;
+    std::vector<std::string> benchmarks_; //!< insertion order
+    std::vector<FigureCell> cells_;
+};
+
+} // namespace dfi::inject
+
+#endif // DFI_INJECT_REPORT_HH

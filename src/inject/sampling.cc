@@ -1,0 +1,120 @@
+#include "inject/sampling.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace dfi::inject
+{
+
+namespace
+{
+
+/**
+ * Acklam's rational approximation of the standard normal quantile
+ * function (relative error < 1.15e-9 — far below sampling noise).
+ */
+double
+probit(double p)
+{
+    static const double a[] = {-3.969683028665376e+01,
+                               2.209460984245205e+02,
+                               -2.759285104469687e+02,
+                               1.383577518672690e+02,
+                               -3.066479806614716e+01,
+                               2.506628277459239e+00};
+    static const double b[] = {-5.447609879822406e+01,
+                               1.615858368580409e+02,
+                               -1.556989798598866e+02,
+                               6.680131188771972e+01,
+                               -1.328068155288572e+01};
+    static const double c[] = {-7.784894002430293e-03,
+                               -3.223964580411365e-01,
+                               -2.400758277161838e+00,
+                               -2.549732539343734e+00,
+                               4.374664141464968e+00,
+                               2.938163982698783e+00};
+    static const double d[] = {7.784695709041462e-03,
+                               3.224671290700398e-01,
+                               2.445134137142996e+00,
+                               3.754408661907416e+00};
+    const double plow = 0.02425;
+
+    if (p <= 0.0 || p >= 1.0)
+        fatal("probit: probability %s out of (0, 1)", p);
+    if (p < plow) {
+        const double q = std::sqrt(-2 * std::log(p));
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q +
+                 c[4]) *
+                    q +
+                c[5]) /
+               ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+    }
+    if (p <= 1 - plow) {
+        const double q = p - 0.5;
+        const double r = q * q;
+        return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r +
+                 a[4]) *
+                    r +
+                a[5]) *
+               q /
+               (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r +
+                 b[4]) *
+                    r +
+                1);
+    }
+    const double q = std::sqrt(-2 * std::log(1 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) *
+                 q +
+             c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+}
+
+} // namespace
+
+double
+confidenceZScore(double confidence)
+{
+    if (confidence <= 0.0 || confidence >= 1.0)
+        fatal("confidence %s out of (0, 1)", confidence);
+    return probit(0.5 + confidence / 2.0);
+}
+
+std::uint64_t
+requiredInjections(std::uint64_t population, double confidence,
+                   double margin, double p)
+{
+    if (margin <= 0.0 || margin >= 1.0)
+        fatal("error margin %s out of (0, 1)", margin);
+    const double t = confidenceZScore(confidence);
+    const double numerator = t * t * p * (1.0 - p) / (margin * margin);
+    if (population == 0) {
+        // Infinite-population limit.
+        return static_cast<std::uint64_t>(std::llround(numerator));
+    }
+    const double n_pop = static_cast<double>(population);
+    const double n =
+        n_pop / (1.0 + (margin * margin * (n_pop - 1.0)) /
+                           (t * t * p * (1.0 - p)));
+    return static_cast<std::uint64_t>(std::llround(n));
+}
+
+double
+achievedMargin(std::uint64_t injections, std::uint64_t population,
+               double confidence, double p)
+{
+    if (injections == 0)
+        fatal("achievedMargin: zero injections");
+    const double t = confidenceZScore(confidence);
+    const double n = static_cast<double>(injections);
+    double finite = 1.0;
+    if (population > 0) {
+        const double n_pop = static_cast<double>(population);
+        finite = (n_pop - n) / (n_pop - 1.0);
+        if (finite < 0.0)
+            finite = 0.0;
+    }
+    return t * std::sqrt(p * (1.0 - p) / n * finite);
+}
+
+} // namespace dfi::inject

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Statistical fault sampling (Leveugle et al., DATE 2009 — ref [20]
+ * of the paper, used in Section IV.A).
+ *
+ * Given the fault population (bits of the structure x cycles of the
+ * workload), the desired confidence and error margin, the formula
+ *
+ *      n = N / (1 + e^2 (N - 1) / (t^2 p (1 - p)))
+ *
+ * yields the number of injections required.  With 99% confidence and
+ * a 3% margin this gives the paper's 1843 runs; relaxing the margin
+ * to 5% gives 663.
+ */
+
+#ifndef DFI_INJECT_SAMPLING_HH
+#define DFI_INJECT_SAMPLING_HH
+
+#include <cstdint>
+
+namespace dfi::inject
+{
+
+/** Two-sided normal quantile for the given confidence (e.g. 0.99). */
+double confidenceZScore(double confidence);
+
+/**
+ * Required number of injections.
+ * @param population  total fault population N (bits x cycles);
+ *                    pass 0 for the infinite-population limit
+ * @param confidence  e.g. 0.99
+ * @param margin      error margin e, e.g. 0.03
+ * @param p           estimated proportion (0.5 = worst case)
+ */
+std::uint64_t requiredInjections(std::uint64_t population,
+                                 double confidence, double margin,
+                                 double p = 0.5);
+
+/**
+ * Achieved error margin when running `injections` runs against a
+ * population (the paper quotes 2.88% for 2000 runs at 99%).
+ */
+double achievedMargin(std::uint64_t injections,
+                      std::uint64_t population, double confidence,
+                      double p = 0.5);
+
+} // namespace dfi::inject
+
+#endif // DFI_INJECT_SAMPLING_HH

@@ -1,0 +1,84 @@
+#include "inject/target.hh"
+
+#include "common/logging.hh"
+
+namespace dfi::inject
+{
+
+using dfi::StructureId;
+
+const std::vector<std::string> &
+componentNames()
+{
+    static const std::vector<std::string> names = {
+        "int_regfile", "fp_regfile", "issue_queue", "lsq",
+        "l1d",         "l1d_tag",    "l1d_valid",   "l1i",
+        "l1i_tag",     "l1i_valid",  "l2",          "l2_tag",
+        "l2_valid",    "dtlb",       "itlb",        "btb",
+        "ras",         "prefetchers"};
+    return names;
+}
+
+std::vector<StructureId>
+resolveComponent(const std::string &component, uarch::OooCore &core)
+{
+    std::vector<StructureId> wanted;
+    if (component == "int_regfile") {
+        wanted = {StructureId::IntRegFile};
+    } else if (component == "fp_regfile") {
+        wanted = {StructureId::FpRegFile};
+    } else if (component == "issue_queue") {
+        wanted = {StructureId::IssueQueue};
+    } else if (component == "lsq") {
+        wanted = {StructureId::LoadStoreQueue, StructureId::LoadQueue,
+                  StructureId::StoreQueue};
+    } else if (component == "l1d") {
+        wanted = {StructureId::L1DData};
+    } else if (component == "l1d_tag") {
+        wanted = {StructureId::L1DTag};
+    } else if (component == "l1d_valid") {
+        wanted = {StructureId::L1DValid};
+    } else if (component == "l1i") {
+        wanted = {StructureId::L1IData};
+    } else if (component == "l1i_tag") {
+        wanted = {StructureId::L1ITag};
+    } else if (component == "l1i_valid") {
+        wanted = {StructureId::L1IValid};
+    } else if (component == "l2") {
+        wanted = {StructureId::L2Data};
+    } else if (component == "l2_tag") {
+        wanted = {StructureId::L2Tag};
+    } else if (component == "l2_valid") {
+        wanted = {StructureId::L2Valid};
+    } else if (component == "dtlb") {
+        wanted = {StructureId::DTlb};
+    } else if (component == "itlb") {
+        wanted = {StructureId::ITlb};
+    } else if (component == "btb") {
+        wanted = {StructureId::Btb, StructureId::BtbIndirect};
+    } else if (component == "ras") {
+        wanted = {StructureId::Ras};
+    } else if (component == "prefetchers") {
+        wanted = {StructureId::PrefetchL1D, StructureId::PrefetchL1I};
+    } else {
+        fatal("unknown injection component '%s'", component);
+    }
+
+    std::vector<StructureId> present;
+    for (StructureId id : wanted) {
+        if (core.arrayFor(id) != nullptr)
+            present.push_back(id);
+    }
+    return present;
+}
+
+std::uint64_t
+componentBits(const std::string &component, uarch::OooCore &core)
+{
+    std::uint64_t bits = 0;
+    for (StructureId id : resolveComponent(component, core))
+        bits += core.arrayFor(id)->totalBits();
+    return bits;
+}
+
+} // namespace dfi::inject

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Logical injection targets and their per-tool resolution.
+ *
+ * A campaign names the *component* it studies (e.g. "lsq", "l1d");
+ * the dispatcher resolves it to the physical arrays the current
+ * simulator model implements.  This is where the paper's Remark 1
+ * lives: "lsq" resolves to the unified 32-entry data-field array on
+ * MaFIN but to the split load/store queues on GeFIN, where only the
+ * store queue holds data.
+ */
+
+#ifndef DFI_INJECT_TARGET_HH
+#define DFI_INJECT_TARGET_HH
+
+#include <string>
+#include <vector>
+
+#include "storage/structure_id.hh"
+#include "uarch/ooo_core.hh"
+
+namespace dfi::inject
+{
+
+/** Component names accepted by campaigns (the figures' subjects). */
+const std::vector<std::string> &componentNames();
+
+/**
+ * Resolve a component name to the structures implementing it on this
+ * core.  fatal() on unknown names; the result is empty only when the
+ * core genuinely lacks the component (e.g. prefetchers on gemsim).
+ */
+std::vector<dfi::StructureId> resolveComponent(
+    const std::string &component, uarch::OooCore &core);
+
+/** Total injectable bits across the resolved structures. */
+std::uint64_t componentBits(const std::string &component,
+                            uarch::OooCore &core);
+
+} // namespace dfi::inject
+
+#endif // DFI_INJECT_TARGET_HH

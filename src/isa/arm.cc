@@ -1,0 +1,318 @@
+#include "isa/arm.hh"
+
+#include "common/logging.hh"
+
+namespace dfi::isa
+{
+
+namespace
+{
+
+constexpr std::uint8_t kOpNop = 0x00;
+constexpr std::uint8_t kOpRet = 0x01;
+constexpr std::uint8_t kOpHlt = 0x02;
+constexpr std::uint8_t kOpSvc = 0x03;
+constexpr std::uint8_t kOpAluRRR = 0x10;
+constexpr std::uint8_t kOpAluRRI = 0x20;
+constexpr std::uint8_t kOpMovRR = 0x40;
+constexpr std::uint8_t kOpMovW = 0x41;
+constexpr std::uint8_t kOpMovT = 0x42;
+constexpr std::uint8_t kOpLdr = 0x43;
+constexpr std::uint8_t kOpLdrH = 0x44;
+constexpr std::uint8_t kOpLdrB = 0x45;
+constexpr std::uint8_t kOpStr = 0x46;
+constexpr std::uint8_t kOpStrH = 0x47;
+constexpr std::uint8_t kOpStrB = 0x48;
+constexpr std::uint8_t kOpCmpRR = 0x49;
+constexpr std::uint8_t kOpCmpRI = 0x4A;
+constexpr std::uint8_t kOpBcc = 0x50;
+constexpr std::uint8_t kOpB = 0x5A;
+constexpr std::uint8_t kOpBl = 0x5B;
+constexpr std::uint8_t kOpBx = 0x5C;
+
+std::uint32_t
+pack(std::uint8_t op, std::uint8_t rd, std::uint8_t rn, std::uint8_t rm,
+     std::uint32_t imm12)
+{
+    return (static_cast<std::uint32_t>(op) << 24) |
+           (static_cast<std::uint32_t>(rd & 0xf) << 20) |
+           (static_cast<std::uint32_t>(rn & 0xf) << 16) |
+           (static_cast<std::uint32_t>(rm & 0xf) << 12) |
+           (imm12 & 0xfff);
+}
+
+void
+emit(std::vector<std::uint8_t> &out, std::uint32_t word)
+{
+    out.push_back(static_cast<std::uint8_t>(word));
+    out.push_back(static_cast<std::uint8_t>(word >> 8));
+    out.push_back(static_cast<std::uint8_t>(word >> 16));
+    out.push_back(static_cast<std::uint8_t>(word >> 24));
+}
+
+/** Signed word offset in the low 20 bits (Bcc). */
+std::uint32_t
+encodeRel20(std::int32_t byte_offset)
+{
+    if (byte_offset % 4 != 0)
+        panic("DARM branch offset %s not word aligned", byte_offset);
+    const std::int32_t words = byte_offset / 4;
+    if (words < -(1 << 19) || words >= (1 << 19))
+        panic("DARM Bcc offset %s out of range", byte_offset);
+    return static_cast<std::uint32_t>(words) & 0xfffff;
+}
+
+/** Signed word offset in the low 24 bits (B/BL). */
+std::uint32_t
+encodeRel24(std::int32_t byte_offset)
+{
+    if (byte_offset % 4 != 0)
+        panic("DARM branch offset %s not word aligned", byte_offset);
+    const std::int32_t words = byte_offset / 4;
+    if (words < -(1 << 23) || words >= (1 << 23))
+        panic("DARM B/BL offset %s out of range", byte_offset);
+    return static_cast<std::uint32_t>(words) & 0xffffff;
+}
+
+std::int32_t
+decodeRel(std::uint32_t field, unsigned bits)
+{
+    const std::uint32_t sign = 1u << (bits - 1);
+    std::int32_t words = static_cast<std::int32_t>(field & ((1u << bits) - 1));
+    if (field & sign)
+        words -= 1 << bits;
+    return words * 4;
+}
+
+} // namespace
+
+void
+armEncode(const MacroOp &op, std::vector<std::uint8_t> &out)
+{
+    switch (op.kind) {
+      case OpKind::Nop:
+        emit(out, pack(kOpNop, 0, 0, 0, 0));
+        return;
+      case OpKind::Ret:
+        emit(out, pack(kOpRet, 0, 0, 0, 0));
+        return;
+      case OpKind::Halt:
+        emit(out, pack(kOpHlt, 0, 0, 0, 0));
+        return;
+      case OpKind::Syscall:
+        emit(out, pack(kOpSvc, 0, 0, 0, 0));
+        return;
+      case OpKind::AluRR:
+        emit(out, pack(kOpAluRRR + static_cast<std::uint8_t>(op.func),
+                       op.rd, op.rn, op.rm, 0));
+        return;
+      case OpKind::AluRI:
+        if (op.imm < 0 || op.imm > 0xfff)
+            panic("DARM ALU imm12 out of range: %s", op.imm);
+        emit(out, pack(kOpAluRRI + static_cast<std::uint8_t>(op.func),
+                       op.rd, op.rn, 0,
+                       static_cast<std::uint32_t>(op.imm)));
+        return;
+      case OpKind::MovRR:
+        emit(out, pack(kOpMovRR, op.rd, 0, op.rm, 0));
+        return;
+      case OpKind::MovRI: {
+        const auto imm = static_cast<std::uint32_t>(op.imm);
+        if (imm > 0xffff)
+            panic("DARM MOVW imm16 out of range: %s", op.imm);
+        emit(out, pack(kOpMovW, op.rd, 0,
+                       static_cast<std::uint8_t>(imm >> 12), imm & 0xfff));
+        return;
+      }
+      case OpKind::MovTI: {
+        const auto imm = static_cast<std::uint32_t>(op.imm);
+        if (imm > 0xffff)
+            panic("DARM MOVT imm16 out of range: %s", op.imm);
+        emit(out, pack(kOpMovT, op.rd, 0,
+                       static_cast<std::uint8_t>(imm >> 12), imm & 0xfff));
+        return;
+      }
+      case OpKind::Load:
+      case OpKind::Store: {
+        if (op.imm < 0 || op.imm > 0xfff)
+            panic("DARM mem imm12 out of range: %s", op.imm);
+        std::uint8_t opc;
+        if (op.kind == OpKind::Load) {
+            opc = op.width == MemWidth::Word   ? kOpLdr
+                  : op.width == MemWidth::Half ? kOpLdrH
+                                               : kOpLdrB;
+            emit(out, pack(opc, op.rd, op.rn, 0,
+                           static_cast<std::uint32_t>(op.imm)));
+        } else {
+            opc = op.width == MemWidth::Word   ? kOpStr
+                  : op.width == MemWidth::Half ? kOpStrH
+                                               : kOpStrB;
+            emit(out, pack(opc, 0, op.rn, op.rm,
+                           static_cast<std::uint32_t>(op.imm)));
+        }
+        return;
+      }
+      case OpKind::CmpRR:
+        emit(out, pack(kOpCmpRR, 0, op.rn, op.rm, 0));
+        return;
+      case OpKind::CmpRI:
+        if (op.imm < 0 || op.imm > 0xfff)
+            panic("DARM CMP imm12 out of range: %s", op.imm);
+        emit(out, pack(kOpCmpRI, 0, op.rn, 0,
+                       static_cast<std::uint32_t>(op.imm)));
+        return;
+      case OpKind::BrCond: {
+        const std::uint32_t rel = encodeRel20(op.imm);
+        emit(out, (static_cast<std::uint32_t>(
+                       kOpBcc + static_cast<std::uint8_t>(op.cond))
+                   << 24) |
+                      rel);
+        return;
+      }
+      case OpKind::Jump:
+        emit(out, (static_cast<std::uint32_t>(kOpB) << 24) |
+                      encodeRel24(op.imm));
+        return;
+      case OpKind::Call:
+        emit(out, (static_cast<std::uint32_t>(kOpBl) << 24) |
+                      encodeRel24(op.imm));
+        return;
+      case OpKind::JumpInd:
+      case OpKind::CallInd:
+        // DARM has no indirect call opcode: codegen emits MOV LR + BX.
+        if (op.kind == OpKind::CallInd)
+            panic("DARM indirect calls must be lowered to MOV LR + BX");
+        emit(out, pack(kOpBx, 0, 0, op.rm, 0));
+        return;
+      default:
+        panic("armEncode: cannot encode %s", opKindName(op.kind));
+    }
+}
+
+MacroOp
+armDecode(const std::uint8_t *bytes, std::size_t avail)
+{
+    MacroOp op;
+    op.kind = OpKind::Illegal;
+    op.length = kArmInsnBytes;
+    if (avail < kArmInsnBytes) {
+        op.length = static_cast<std::uint8_t>(avail);
+        return op;
+    }
+
+    const std::uint32_t word = static_cast<std::uint32_t>(bytes[0]) |
+                               (static_cast<std::uint32_t>(bytes[1]) << 8) |
+                               (static_cast<std::uint32_t>(bytes[2]) << 16) |
+                               (static_cast<std::uint32_t>(bytes[3]) << 24);
+    const auto opc = static_cast<std::uint8_t>(word >> 24);
+    const auto rd = static_cast<std::uint8_t>((word >> 20) & 0xf);
+    const auto rn = static_cast<std::uint8_t>((word >> 16) & 0xf);
+    const auto rm = static_cast<std::uint8_t>((word >> 12) & 0xf);
+    const std::uint32_t imm12 = word & 0xfff;
+
+    switch (opc) {
+      case kOpNop:
+        op.kind = OpKind::Nop;
+        return op;
+      case kOpRet:
+        op.kind = OpKind::Ret;
+        return op;
+      case kOpHlt:
+        op.kind = OpKind::Halt;
+        return op;
+      case kOpSvc:
+        op.kind = OpKind::Syscall;
+        return op;
+      default:
+        break;
+    }
+
+    if (opc >= kOpAluRRR && opc < kOpAluRRR + kNumAluFuncs) {
+        op.kind = OpKind::AluRR;
+        op.func = static_cast<AluFunc>(opc - kOpAluRRR);
+        op.rd = rd;
+        op.rn = rn;
+        op.rm = rm;
+        return op;
+    }
+    if (opc >= kOpAluRRI && opc < kOpAluRRI + kNumAluFuncs) {
+        op.kind = OpKind::AluRI;
+        op.func = static_cast<AluFunc>(opc - kOpAluRRI);
+        op.rd = rd;
+        op.rn = rn;
+        op.imm = static_cast<std::int32_t>(imm12);
+        return op;
+    }
+    if (opc >= kOpBcc && opc < kOpBcc + kNumConds) {
+        op.kind = OpKind::BrCond;
+        op.cond = static_cast<Cond>(opc - kOpBcc);
+        op.imm = decodeRel(word & 0xfffff, 20);
+        return op;
+    }
+
+    switch (opc) {
+      case kOpMovRR:
+        op.kind = OpKind::MovRR;
+        op.rd = rd;
+        op.rm = rm;
+        return op;
+      case kOpMovW:
+        op.kind = OpKind::MovRI;
+        op.rd = rd;
+        op.imm = static_cast<std::int32_t>((rm << 12) | imm12);
+        return op;
+      case kOpMovT:
+        op.kind = OpKind::MovTI;
+        op.rd = rd;
+        op.imm = static_cast<std::int32_t>((rm << 12) | imm12);
+        return op;
+      case kOpLdr:
+      case kOpLdrH:
+      case kOpLdrB:
+        op.kind = OpKind::Load;
+        op.width = opc == kOpLdr    ? MemWidth::Word
+                   : opc == kOpLdrH ? MemWidth::Half
+                                    : MemWidth::Byte;
+        op.rd = rd;
+        op.rn = rn;
+        op.imm = static_cast<std::int32_t>(imm12);
+        return op;
+      case kOpStr:
+      case kOpStrH:
+      case kOpStrB:
+        op.kind = OpKind::Store;
+        op.width = opc == kOpStr    ? MemWidth::Word
+                   : opc == kOpStrH ? MemWidth::Half
+                                    : MemWidth::Byte;
+        op.rm = rm;
+        op.rn = rn;
+        op.imm = static_cast<std::int32_t>(imm12);
+        return op;
+      case kOpCmpRR:
+        op.kind = OpKind::CmpRR;
+        op.rn = rn;
+        op.rm = rm;
+        return op;
+      case kOpCmpRI:
+        op.kind = OpKind::CmpRI;
+        op.rn = rn;
+        op.imm = static_cast<std::int32_t>(imm12);
+        return op;
+      case kOpB:
+        op.kind = OpKind::Jump;
+        op.imm = decodeRel(word & 0xffffff, 24);
+        return op;
+      case kOpBl:
+        op.kind = OpKind::Call;
+        op.imm = decodeRel(word & 0xffffff, 24);
+        return op;
+      case kOpBx:
+        op.kind = OpKind::JumpInd;
+        op.rm = rm;
+        return op;
+      default:
+        return op; // Illegal
+    }
+}
+
+} // namespace dfi::isa

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * DARM instruction encoding and decoding.
+ *
+ * DARM is the ARM-flavoured synthetic ISA: little-endian, fixed 4-byte
+ * instructions, three-operand ALU ops, strict load/store architecture,
+ * BL/BX link-register calls, MOVW/MOVT for 32-bit immediates.
+ *
+ * Word layout (bit 31 down to 0):
+ *   [op:8][rd:4][rn:4][rm:4][imm12:12]
+ *
+ * Opcode map:
+ *   0x00 NOP  0x01 RET(=BX LR)  0x02 HLT  0x03 SVC
+ *   0x10+f ALU rd, rn, rm
+ *   0x20+f ALU rd, rn, #imm12         (zero-extended)
+ *   0x40 MOV rd, rm
+ *   0x41 MOVW rd, #imm16              (imm16 = rm:imm12)
+ *   0x42 MOVT rd, #imm16
+ *   0x43/44/45 LDR/LDRH/LDRB rd, [rn + #imm12]
+ *   0x46/47/48 STR/STRH/STRB rm, [rn + #imm12]
+ *   0x49 CMP rn, rm    0x4A CMP rn, #imm12
+ *   0x50+cc Bcc #rel   (signed 20-bit word offset in rd:rn:rm:imm12)
+ *   0x5A B #rel24      0x5B BL #rel24  (signed 24-bit word offset)
+ *   0x5C BX rm
+ * Any other opcode byte decodes to Illegal (length 4).
+ *
+ * Branch displacements are relative to the next instruction (pc + 4)
+ * and are encoded in words (offset / 4); MacroOp::imm always holds the
+ * byte displacement.
+ */
+
+#ifndef DFI_ISA_ARM_HH
+#define DFI_ISA_ARM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/macroop.hh"
+
+namespace dfi::isa
+{
+
+/** Every DARM instruction is 4 bytes. */
+constexpr std::size_t kArmInsnBytes = 4;
+
+/** Append the 4-byte encoding of `op` to `out`. */
+void armEncode(const MacroOp &op, std::vector<std::uint8_t> &out);
+
+/**
+ * Decode 4 bytes at `bytes` (with `avail` readable).  Returns Illegal
+ * when fewer than 4 bytes are available or the opcode is unknown.
+ */
+MacroOp armDecode(const std::uint8_t *bytes, std::size_t avail);
+
+} // namespace dfi::isa
+
+#endif // DFI_ISA_ARM_HH

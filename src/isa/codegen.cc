@@ -1,0 +1,453 @@
+#include "isa/codegen.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "isa/arm.hh"
+#include "isa/x86.hh"
+#include "syskit/layout.hh"
+#include "syskit/os.hh"
+
+namespace dfi::ir
+{
+
+// Defined in codegen_x86.cc / codegen_arm.cc.
+void runX86Codegen(const Module &module, const Function &func,
+                   AsmBuffer &buffer);
+void runArmCodegen(const Module &module, const Function &func,
+                   AsmBuffer &buffer);
+
+int
+AsmBuffer::newLabel()
+{
+    labelPos_.push_back(-1);
+    return static_cast<int>(labelPos_.size()) - 1;
+}
+
+void
+AsmBuffer::bindLabel(int label)
+{
+    if (label < 0 || label >= static_cast<int>(labelPos_.size()))
+        panic("AsmBuffer: bad label %s", label);
+    if (labelPos_[label] != -1)
+        panic("AsmBuffer: label %s bound twice", label);
+    labelPos_[label] = static_cast<int>(insns_.size());
+}
+
+void
+AsmBuffer::push(const isa::MacroOp &op)
+{
+    insns_.push_back(AsmInsn{op, RelocKind::None, -1, -1});
+}
+
+void
+AsmBuffer::pushReloc(const isa::MacroOp &op, RelocKind reloc, int target)
+{
+    AsmInsn insn{op, reloc, -1, -1};
+    if (reloc == RelocKind::Code)
+        insn.label = target;
+    else
+        insn.sym = target;
+    insns_.push_back(insn);
+}
+
+FunctionCodegen::FunctionCodegen(const Module &module,
+                                 const Function &func, AsmBuffer &buffer)
+    : module_(module), func_(func), buf_(buffer),
+      liveness_(computeLiveness(func))
+{
+}
+
+std::int32_t
+FunctionCodegen::slotOffset(int slot) const
+{
+    return 16 + 4 * slot;
+}
+
+std::uint8_t
+FunctionCodegen::useReg(VReg v, std::uint8_t scratch)
+{
+    const Location &location = loc(v);
+    if (location.dead)
+        panic("codegen: use of dead vreg %s in '%s'", v, func_.name);
+    if (location.inReg)
+        return location.reg;
+    emitLoadSp(scratch, slotOffset(location.slot));
+    return scratch;
+}
+
+std::uint8_t
+FunctionCodegen::defReg(VReg v, std::uint8_t scratch)
+{
+    const Location &location = loc(v);
+    if (location.dead || !location.inReg)
+        return scratch;
+    return location.reg;
+}
+
+void
+FunctionCodegen::finishDef(VReg v, std::uint8_t reg)
+{
+    const Location &location = loc(v);
+    if (location.dead)
+        return;
+    if (location.inReg) {
+        if (location.reg != reg)
+            emitMovRR(location.reg, reg);
+    } else {
+        emitStoreSp(reg, slotOffset(location.slot));
+    }
+}
+
+void
+FunctionCodegen::finalizeFrame()
+{
+    // 16 bytes of argument-marshal area plus the spill slots; the
+    // target prologue appends its saved-register area above this.
+    frameSize_ = 16 + 4 * alloc_.numSpillSlots;
+}
+
+void
+FunctionCodegen::emitParamMoves()
+{
+    // Stage all incoming argument registers into the marshal area
+    // first so no assignment can clobber a yet-unread argument.
+    for (int p = 0; p < func_.numParams; ++p) {
+        if (loc(static_cast<VReg>(p)).dead)
+            continue;
+        emitStoreSp(static_cast<std::uint8_t>(p), marshalOffset(p));
+    }
+    for (int p = 0; p < func_.numParams; ++p) {
+        const Location &location = loc(static_cast<VReg>(p));
+        if (location.dead)
+            continue;
+        if (location.inReg) {
+            emitLoadSp(location.reg, marshalOffset(p));
+        } else {
+            emitLoadSp(scratchA(), marshalOffset(p));
+            emitStoreSp(scratchA(), slotOffset(location.slot));
+        }
+    }
+}
+
+void
+FunctionCodegen::emitCallLike(const Inst &inst)
+{
+    if (inst.op == IrOp::Call) {
+        for (std::size_t i = 0; i < inst.args.size(); ++i) {
+            const std::uint8_t v = useReg(inst.args[i], scratchA());
+            emitStoreSp(v, marshalOffset(static_cast<int>(i)));
+        }
+        for (std::size_t i = 0; i < inst.args.size(); ++i) {
+            emitLoadSp(static_cast<std::uint8_t>(i),
+                       marshalOffset(static_cast<int>(i)));
+        }
+        emitCall(inst.callee);
+        if (inst.dst != kNoVReg)
+            finishDef(inst.dst, 0);
+    } else { // Syscall
+        std::uint8_t v = useReg(inst.a, scratchA());
+        emitStoreSp(v, marshalOffset(0));
+        v = useReg(inst.b, scratchA());
+        emitStoreSp(v, marshalOffset(1));
+        emitLoadSp(1, marshalOffset(0));
+        emitLoadSp(2, marshalOffset(1));
+        emitMovImm32(0, inst.imm);
+        emitSyscall();
+        finishDef(inst.dst, 0);
+    }
+}
+
+void
+FunctionCodegen::emitInst(const Block &block, std::size_t ii,
+                          std::size_t bi)
+{
+    const Inst &inst = block.insts[ii];
+    const int next_block = static_cast<int>(bi) + 1;
+
+    switch (inst.op) {
+      case IrOp::Bin: {
+        const std::uint8_t a = useReg(inst.a, scratchA());
+        const std::uint8_t b = useReg(inst.b, scratchB());
+        const std::uint8_t d = defReg(inst.dst, scratchA());
+        emitBin(inst.func, d, a, b);
+        finishDef(inst.dst, d);
+        break;
+      }
+      case IrOp::BinImm: {
+        const std::uint8_t a = useReg(inst.a, scratchA());
+        const std::uint8_t d = defReg(inst.dst, scratchA());
+        emitBinImm(inst.func, d, a, inst.imm);
+        finishDef(inst.dst, d);
+        break;
+      }
+      case IrOp::Mov: {
+        const std::uint8_t a = useReg(inst.a, scratchA());
+        const std::uint8_t d = defReg(inst.dst, scratchA());
+        if (d != a)
+            emitMovRR(d, a);
+        finishDef(inst.dst, d);
+        break;
+      }
+      case IrOp::MovImm: {
+        const std::uint8_t d = defReg(inst.dst, scratchA());
+        emitMovImm32(d, inst.imm);
+        finishDef(inst.dst, d);
+        break;
+      }
+      case IrOp::GlobalAddr: {
+        const std::uint8_t d = defReg(inst.dst, scratchA());
+        emitGlobalAddr(d, inst.sym);
+        finishDef(inst.dst, d);
+        break;
+      }
+      case IrOp::Load: {
+        const std::uint8_t base = useReg(inst.a, scratchA());
+        const std::uint8_t d = defReg(inst.dst, scratchB());
+        emitLoad(d, base, inst.imm, inst.width);
+        finishDef(inst.dst, d);
+        break;
+      }
+      case IrOp::Store: {
+        const std::uint8_t base = useReg(inst.a, scratchA());
+        const std::uint8_t v = useReg(inst.b, scratchB());
+        emitStore(v, base, inst.imm, inst.width);
+        break;
+      }
+      case IrOp::Br:
+        if (inst.target0 != next_block)
+            emitJump(blockLabels_[inst.target0]);
+        break;
+      case IrOp::CondBr: {
+        const std::uint8_t a = useReg(inst.a, scratchA());
+        const std::uint8_t b = useReg(inst.b, scratchB());
+        emitCmpRR(a, b);
+        emitBranchCond(inst.cond, blockLabels_[inst.target0]);
+        if (inst.target1 != next_block)
+            emitJump(blockLabels_[inst.target1]);
+        break;
+      }
+      case IrOp::CondBrImm: {
+        const std::uint8_t a = useReg(inst.a, scratchA());
+        emitCmpRI(a, inst.imm);
+        emitBranchCond(inst.cond, blockLabels_[inst.target0]);
+        if (inst.target1 != next_block)
+            emitJump(blockLabels_[inst.target1]);
+        break;
+      }
+      case IrOp::Call:
+      case IrOp::Syscall:
+        emitCallLike(inst);
+        break;
+      case IrOp::Ret: {
+        if (inst.a != kNoVReg) {
+            const std::uint8_t v = useReg(inst.a, scratchA());
+            if (v != 0)
+                emitMovRR(0, v);
+        }
+        const bool last_block = bi + 1 == func_.blocks.size();
+        if (!last_block)
+            emitJump(epilogueLabel_);
+        break;
+      }
+    }
+}
+
+void
+FunctionCodegen::run()
+{
+    alloc_ = linearScan(liveness_, pools());
+    finalizeFrame();
+
+    blockLabels_.clear();
+    for (std::size_t b = 0; b < func_.blocks.size(); ++b)
+        blockLabels_.push_back(buf_.newLabel());
+    epilogueLabel_ = buf_.newLabel();
+
+    emitPrologue();
+    emitParamMoves();
+
+    for (std::size_t bi = 0; bi < func_.blocks.size(); ++bi) {
+        buf_.bindLabel(blockLabels_[bi]);
+        const Block &block = func_.blocks[bi];
+        for (std::size_t ii = 0; ii < block.insts.size(); ++ii) {
+            const std::size_t fused = tryFuse(block, ii);
+            if (fused > 0) {
+                ii += fused - 1;
+                continue;
+            }
+            emitInst(block, ii, bi);
+        }
+    }
+
+    buf_.bindLabel(epilogueLabel_);
+    emitEpilogue();
+}
+
+namespace
+{
+
+std::uint32_t
+alignUp(std::uint32_t value, std::uint32_t align)
+{
+    return (value + align - 1) & ~(align - 1);
+}
+
+} // namespace
+
+isa::Image
+compileModule(const Module &module, isa::IsaKind isa,
+              std::uint32_t mem_size)
+{
+    module.verify();
+    const int main_index = module.findFunc("main");
+    if (main_index < 0)
+        fatal("compileModule: module has no 'main'");
+
+    AsmBuffer buf(static_cast<int>(module.funcs.size()));
+
+    // Startup stub: call main, then exit(r0).
+    {
+        isa::MacroOp call;
+        call.kind = isa::OpKind::Call;
+        buf.pushReloc(call, RelocKind::Code, main_index);
+        isa::MacroOp mov;
+        mov.kind = isa::OpKind::MovRR;
+        mov.rd = 1;
+        mov.rm = 0;
+        buf.push(mov);
+        isa::MacroOp movi;
+        movi.kind = isa::OpKind::MovRI;
+        movi.rd = 0;
+        movi.imm = static_cast<std::int32_t>(syskit::kSysExit);
+        buf.push(movi);
+        isa::MacroOp sys;
+        sys.kind = isa::OpKind::Syscall;
+        buf.push(sys);
+        isa::MacroOp halt;
+        halt.kind = isa::OpKind::Halt;
+        buf.push(halt);
+    }
+
+    for (std::size_t f = 0; f < module.funcs.size(); ++f) {
+        buf.bindLabel(static_cast<int>(f));
+        if (isa == isa::IsaKind::X86)
+            runX86Codegen(module, module.funcs[f], buf);
+        else
+            runArmCodegen(module, module.funcs[f], buf);
+    }
+
+    // --- layout ---------------------------------------------------------
+    const auto &insns = buf.insns();
+    std::vector<std::uint32_t> addr(insns.size() + 1);
+    std::uint32_t pc = syskit::kCodeBase;
+    for (std::size_t i = 0; i < insns.size(); ++i) {
+        addr[i] = pc;
+        pc += isa == isa::IsaKind::X86
+                  ? static_cast<std::uint32_t>(x86Length(insns[i].op))
+                  : static_cast<std::uint32_t>(isa::kArmInsnBytes);
+    }
+    addr[insns.size()] = pc;
+    const std::uint32_t code_end = pc;
+
+    std::vector<std::uint32_t> label_addr(buf.labelPositions().size());
+    for (std::size_t l = 0; l < label_addr.size(); ++l) {
+        const int position = buf.labelPositions()[l];
+        if (position < 0)
+            panic("compileModule: unbound label %s", l);
+        label_addr[l] = addr[position];
+    }
+
+    // --- data segment -----------------------------------------------------
+    std::uint32_t data_base = alignUp(code_end, syskit::kSegmentAlign);
+    std::vector<std::uint8_t> data;
+    std::map<std::string, std::uint32_t> symbols;
+    std::vector<std::uint32_t> global_va(module.globals.size());
+    {
+        std::uint32_t cursor = data_base;
+        for (std::size_t g = 0; g < module.globals.size(); ++g) {
+            const Global &global = module.globals[g];
+            cursor = alignUp(cursor, global.align);
+            global_va[g] = cursor;
+            symbols[global.name] = cursor;
+            cursor += global.size();
+        }
+        data.assign(cursor - data_base, 0);
+        for (std::size_t g = 0; g < module.globals.size(); ++g) {
+            const Global &global = module.globals[g];
+            if (!global.bytes.empty()) {
+                std::copy(global.bytes.begin(), global.bytes.end(),
+                          data.begin() + (global_va[g] - data_base));
+            }
+        }
+        if (cursor + 0x10000 > mem_size)
+            fatal("compileModule: image does not fit in %s bytes of "
+                  "guest memory",
+                  mem_size);
+    }
+
+    // --- relocate and encode ----------------------------------------------
+    isa::Image image;
+    image.isa = isa;
+    image.codeBase = syskit::kCodeBase;
+    image.entry = syskit::kCodeBase;
+    image.dataBase = data_base;
+    image.data = std::move(data);
+    image.bssBase = data_base + static_cast<std::uint32_t>(
+                                    image.data.size());
+    image.bssSize = 0;
+    image.memSize = mem_size;
+    image.stackTop = mem_size - 64;
+    image.symbols = std::move(symbols);
+    for (std::size_t f = 0; f < module.funcs.size(); ++f)
+        image.symbols["fn:" + module.funcs[f].name] = label_addr[f];
+
+    image.code.reserve(code_end - syskit::kCodeBase);
+    for (std::size_t i = 0; i < insns.size(); ++i) {
+        isa::MacroOp op = insns[i].op;
+        switch (insns[i].reloc) {
+          case RelocKind::None:
+            break;
+          case RelocKind::Code: {
+            const std::uint32_t len =
+                isa == isa::IsaKind::X86
+                    ? static_cast<std::uint32_t>(x86Length(op))
+                    : isa::kArmInsnBytes;
+            const std::int64_t rel =
+                static_cast<std::int64_t>(label_addr[insns[i].label]) -
+                (static_cast<std::int64_t>(addr[i]) + len);
+            if (isa == isa::IsaKind::X86 &&
+                (rel < -32768 || rel > 32767)) {
+                panic("DX86 branch displacement %s out of rel16 range",
+                      rel);
+            }
+            op.imm = static_cast<std::int32_t>(rel);
+            break;
+          }
+          case RelocKind::DataAbs:
+            op.imm = static_cast<std::int32_t>(global_va[insns[i].sym]);
+            break;
+          case RelocKind::DataLo:
+            op.imm = static_cast<std::int32_t>(global_va[insns[i].sym] &
+                                               0xffffu);
+            break;
+          case RelocKind::DataHi:
+            op.imm = static_cast<std::int32_t>(global_va[insns[i].sym] >>
+                                               16);
+            break;
+        }
+        if (isa == isa::IsaKind::X86)
+            x86Encode(op, image.code);
+        else
+            armEncode(op, image.code);
+        if (image.code.size() + syskit::kCodeBase !=
+            addr[i + 1]) {
+            panic("compileModule: encoding length mismatch at insn %s",
+                  i);
+        }
+    }
+
+    return image;
+}
+
+} // namespace dfi::ir

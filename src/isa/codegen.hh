@@ -1,0 +1,178 @@
+/**
+ * @file
+ * IR-to-ISA compilation: assembly buffer, relocations, and the shared
+ * per-function code-generation driver.
+ *
+ * compileModule() turns an ir::Module into a linked isa::Image for
+ * either target.  The driver walks IR in layout order; ISA-specific
+ * instruction selection (two-operand DX86 with load-op folding vs
+ * three-operand DARM with imm-range fixups) lives in the two
+ * FunctionCodegen subclasses.
+ */
+
+#ifndef DFI_ISA_CODEGEN_HH
+#define DFI_ISA_CODEGEN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/image.hh"
+#include "isa/ir.hh"
+#include "isa/liveness.hh"
+#include "isa/regalloc.hh"
+
+namespace dfi::ir
+{
+
+/** Relocation kinds carried by assembly instructions. */
+enum class RelocKind : std::uint8_t
+{
+    None,
+    Code,    //!< pc-relative to a label (branches/calls)
+    DataAbs, //!< absolute VA of a data symbol (DX86 MOV ri)
+    DataLo,  //!< low 16 bits of a data symbol VA (DARM MOVW)
+    DataHi   //!< high 16 bits of a data symbol VA (DARM MOVT)
+};
+
+/** One symbolic instruction awaiting layout/relocation. */
+struct AsmInsn
+{
+    isa::MacroOp op;
+    RelocKind reloc = RelocKind::None;
+    int label = -1; //!< Code reloc target label
+    int sym = -1;   //!< Data reloc global index
+};
+
+/** Growable instruction buffer with labels. */
+class AsmBuffer
+{
+  public:
+    /** Reserve `count` labels up front (function entry labels). */
+    explicit AsmBuffer(int count = 0) : labelPos_(count, -1) {}
+
+    int newLabel();
+    /** Bind `label` to the next emitted instruction. */
+    void bindLabel(int label);
+    void push(const isa::MacroOp &op);
+    void pushReloc(const isa::MacroOp &op, RelocKind reloc, int target);
+
+    const std::vector<AsmInsn> &insns() const { return insns_; }
+    const std::vector<int> &labelPositions() const { return labelPos_; }
+
+  private:
+    std::vector<AsmInsn> insns_;
+    std::vector<int> labelPos_;
+};
+
+/**
+ * Compile a verified module to a linked image.
+ * @param module   the IR program (must contain a 'main' function)
+ * @param isa      target ISA
+ * @param mem_size total guest memory (code+data must fit well below)
+ */
+isa::Image compileModule(const Module &module, isa::IsaKind isa,
+                         std::uint32_t mem_size = 0x400000);
+
+/**
+ * Shared per-function code generator.  Subclasses provide the
+ * target-specific instruction selection.
+ */
+class FunctionCodegen
+{
+  public:
+    FunctionCodegen(const Module &module, const Function &func,
+                    AsmBuffer &buffer);
+    virtual ~FunctionCodegen() = default;
+
+    /** Generate the complete function (prologue .. epilogue). */
+    void run();
+
+  protected:
+    // --- queried from subclasses --------------------------------------
+    virtual RegPools pools() const = 0;
+    virtual std::uint8_t scratchA() const = 0;
+    virtual std::uint8_t scratchB() const = 0;
+
+    // --- target instruction selection ----------------------------------
+    virtual void emitPrologue() = 0;
+    virtual void emitEpilogue() = 0;
+    virtual void emitMovRR(std::uint8_t dst, std::uint8_t src) = 0;
+    virtual void emitMovImm32(std::uint8_t dst, std::int32_t imm) = 0;
+    /** reg <- [sp + off] */
+    virtual void emitLoadSp(std::uint8_t reg, std::int32_t off) = 0;
+    /** [sp + off] <- reg */
+    virtual void emitStoreSp(std::uint8_t reg, std::int32_t off) = 0;
+    virtual void emitBin(isa::AluFunc func, std::uint8_t dst,
+                         std::uint8_t a, std::uint8_t b) = 0;
+    virtual void emitBinImm(isa::AluFunc func, std::uint8_t dst,
+                            std::uint8_t a, std::int32_t imm) = 0;
+    virtual void emitLoad(std::uint8_t dst, std::uint8_t base,
+                          std::int32_t disp, isa::MemWidth width) = 0;
+    virtual void emitStore(std::uint8_t src, std::uint8_t base,
+                           std::int32_t disp, isa::MemWidth width) = 0;
+    virtual void emitGlobalAddr(std::uint8_t dst, int sym) = 0;
+    virtual void emitCmpRR(std::uint8_t a, std::uint8_t b) = 0;
+    virtual void emitCmpRI(std::uint8_t a, std::int32_t imm) = 0;
+    virtual void emitBranchCond(isa::Cond cond, int label) = 0;
+    virtual void emitJump(int label) = 0;
+    virtual void emitCall(int func_label) = 0;
+    virtual void emitSyscall() = 0;
+
+    /**
+     * Target peephole hook: emit `inst` (at index `ii` of `block`)
+     * fused with its successor if profitable.  Returns the number of
+     * IR instructions consumed (0 = no fusion, driver handles inst).
+     */
+    virtual std::size_t
+    tryFuse(const Block &block, std::size_t ii)
+    {
+        (void)block;
+        (void)ii;
+        return 0;
+    }
+
+    // --- shared helpers for subclasses ---------------------------------
+    /** Frame offset of a spill slot. */
+    std::int32_t slotOffset(int slot) const;
+    /** Frame offset of arg-marshal slot i. */
+    std::int32_t marshalOffset(int i) const { return 4 * i; }
+    /** Total frame size below the saved-register area. */
+    std::int32_t frameSize() const { return frameSize_; }
+
+    /** Location of a vreg. */
+    const Location &loc(VReg v) const { return alloc_.locs[v]; }
+    /** Number of uses of a vreg (for fusion legality). */
+    int useCount(VReg v) const
+    {
+        return liveness_.intervals[v].useCount;
+    }
+
+    /**
+     * Materialize a vreg for reading: its register, or a scratch
+     * loaded from its slot.
+     */
+    std::uint8_t useReg(VReg v, std::uint8_t scratch);
+    /** Register to compute a def into. */
+    std::uint8_t defReg(VReg v, std::uint8_t scratch);
+    /** Finish a def: spill if v lives in a slot. */
+    void finishDef(VReg v, std::uint8_t reg);
+
+    const Module &module_;
+    const Function &func_;
+    AsmBuffer &buf_;
+    LivenessInfo liveness_;
+    Allocation alloc_;
+    std::vector<int> blockLabels_;
+    int epilogueLabel_ = -1;
+    std::int32_t frameSize_ = 0;
+
+  private:
+    void emitInst(const Block &block, std::size_t ii, std::size_t bi);
+    void emitParamMoves();
+    void emitCallLike(const Inst &inst);
+    void finalizeFrame();
+};
+
+} // namespace dfi::ir
+
+#endif // DFI_ISA_CODEGEN_HH

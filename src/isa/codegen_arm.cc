@@ -1,0 +1,337 @@
+/**
+ * @file
+ * DARM instruction selection.
+ *
+ * Register convention:
+ *   r0..r3   arguments / return value (caller-saved)
+ *   r0..r5   caller-saved allocatable
+ *   r6..r11  callee-saved allocatable
+ *   r12,r13  codegen scratch (never allocated)
+ *   r14      LR
+ *   r15      SP
+ *
+ * DARM is a strict load/store target: every memory access is an
+ * explicit LDR/STR, 32-bit immediates take MOVW/MOVT pairs, and calls
+ * link through LR (saved to the frame in non-leaf functions).  The
+ * resulting instruction mix — more instructions, more explicit
+ * loads/stores, larger code — is the ARM side of the paper's ISA
+ * comparison.
+ */
+
+#include "common/logging.hh"
+#include "isa/codegen.hh"
+
+namespace dfi::ir
+{
+
+namespace
+{
+
+using isa::AluFunc;
+using isa::MacroOp;
+using isa::MemWidth;
+using isa::OpKind;
+
+constexpr std::uint8_t kScratchA = 12;
+constexpr std::uint8_t kScratchB = 13;
+
+class ArmCodegen : public FunctionCodegen
+{
+  public:
+    using FunctionCodegen::FunctionCodegen;
+
+  protected:
+    RegPools
+    pools() const override
+    {
+        return RegPools{{0, 1, 2, 3, 4, 5}, {6, 7, 8, 9, 10, 11}};
+    }
+
+    std::uint8_t scratchA() const override { return kScratchA; }
+    std::uint8_t scratchB() const override { return kScratchB; }
+
+    void
+    emitPrologue() override
+    {
+        // Frame: [marshal | spills | saved LR | saved callee regs].
+        savedBase_ = frameSize();
+        const std::int32_t total =
+            savedBase_ +
+            4 * (1 + static_cast<std::int32_t>(
+                         alloc_.usedCalleeSaved.size()));
+        pushAluRI(AluFunc::Sub, isa::kRegSp, isa::kRegSp, total);
+        pushMem(OpKind::Store, isa::kRegLr, isa::kRegSp, savedBase_);
+        std::int32_t off = savedBase_ + 4;
+        for (std::uint8_t r : alloc_.usedCalleeSaved) {
+            pushMem(OpKind::Store, r, isa::kRegSp, off);
+            off += 4;
+        }
+        totalFrame_ = total;
+    }
+
+    void
+    emitEpilogue() override
+    {
+        pushMem(OpKind::Load, isa::kRegLr, isa::kRegSp, savedBase_);
+        std::int32_t off = savedBase_ + 4;
+        for (std::uint8_t r : alloc_.usedCalleeSaved) {
+            pushMem(OpKind::Load, r, isa::kRegSp, off);
+            off += 4;
+        }
+        pushAluRI(AluFunc::Add, isa::kRegSp, isa::kRegSp, totalFrame_);
+        MacroOp ret;
+        ret.kind = OpKind::Ret;
+        buf_.push(ret);
+    }
+
+    void
+    emitMovRR(std::uint8_t dst, std::uint8_t src) override
+    {
+        MacroOp op;
+        op.kind = OpKind::MovRR;
+        op.rd = dst;
+        op.rm = src;
+        buf_.push(op);
+    }
+
+    void
+    emitMovImm32(std::uint8_t dst, std::int32_t imm) override
+    {
+        const auto u = static_cast<std::uint32_t>(imm);
+        MacroOp movw;
+        movw.kind = OpKind::MovRI;
+        movw.rd = dst;
+        movw.imm = static_cast<std::int32_t>(u & 0xffffu);
+        buf_.push(movw);
+        if ((u >> 16) != 0) {
+            MacroOp movt;
+            movt.kind = OpKind::MovTI;
+            movt.rd = dst;
+            movt.imm = static_cast<std::int32_t>(u >> 16);
+            buf_.push(movt);
+        }
+    }
+
+    void
+    emitLoadSp(std::uint8_t reg, std::int32_t off) override
+    {
+        emitLoad(reg, isa::kRegSp, off, MemWidth::Word);
+    }
+
+    void
+    emitStoreSp(std::uint8_t reg, std::int32_t off) override
+    {
+        emitStore(reg, isa::kRegSp, off, MemWidth::Word);
+    }
+
+    void
+    emitBin(AluFunc func, std::uint8_t dst, std::uint8_t a,
+            std::uint8_t b) override
+    {
+        MacroOp op;
+        op.kind = OpKind::AluRR;
+        op.func = func;
+        op.rd = dst;
+        op.rn = a;
+        op.rm = b;
+        buf_.push(op);
+    }
+
+    void
+    emitBinImm(AluFunc func, std::uint8_t dst, std::uint8_t a,
+               std::int32_t imm) override
+    {
+        // imm12 is unsigned; fold negative add/sub, otherwise
+        // materialize through a scratch register.
+        if (imm >= 0 && imm <= 0xfff) {
+            pushAluRI3(func, dst, a, imm);
+            return;
+        }
+        if (imm < 0 && imm >= -0xfff &&
+            (func == AluFunc::Add || func == AluFunc::Sub)) {
+            pushAluRI3(func == AluFunc::Add ? AluFunc::Sub : AluFunc::Add,
+                       dst, a, -imm);
+            return;
+        }
+        // General case: scratchB is never an operand register here
+        // (operands were materialized into scratchA at most).
+        emitMovImm32(kScratchB, imm);
+        emitBin(func, dst, a, kScratchB);
+    }
+
+    void
+    emitLoad(std::uint8_t dst, std::uint8_t base, std::int32_t disp,
+             MemWidth width) override
+    {
+        const std::uint8_t real_base = fixupBase(base, disp);
+        pushMemW(OpKind::Load, dst, real_base,
+                 real_base == base ? disp : 0, width);
+    }
+
+    void
+    emitStore(std::uint8_t src, std::uint8_t base, std::int32_t disp,
+              MemWidth width) override
+    {
+        // fixupBase may use scratchB; the store source may be in
+        // scratchB as well, so route the address through scratchA
+        // variants carefully: use scratchB for the address only when
+        // the data is elsewhere.
+        if (disp >= 0 && disp <= 0xfff) {
+            pushMemW(OpKind::Store, src, base, disp, width);
+            return;
+        }
+        const std::uint8_t addr_scratch =
+            src == kScratchB ? kScratchA : kScratchB;
+        if (src == kScratchB && base == kScratchA)
+            panic("DARM store: scratch collision (base and data)");
+        emitMovImm32(addr_scratch, disp);
+        emitBin(AluFunc::Add, addr_scratch, addr_scratch, base);
+        pushMemW(OpKind::Store, src, addr_scratch, 0, width);
+    }
+
+    void
+    emitGlobalAddr(std::uint8_t dst, int sym) override
+    {
+        MacroOp movw;
+        movw.kind = OpKind::MovRI;
+        movw.rd = dst;
+        buf_.pushReloc(movw, RelocKind::DataLo, sym);
+        MacroOp movt;
+        movt.kind = OpKind::MovTI;
+        movt.rd = dst;
+        buf_.pushReloc(movt, RelocKind::DataHi, sym);
+    }
+
+    void
+    emitCmpRR(std::uint8_t a, std::uint8_t b) override
+    {
+        MacroOp op;
+        op.kind = OpKind::CmpRR;
+        op.rn = a;
+        op.rm = b;
+        buf_.push(op);
+    }
+
+    void
+    emitCmpRI(std::uint8_t a, std::int32_t imm) override
+    {
+        if (imm >= 0 && imm <= 0xfff) {
+            MacroOp op;
+            op.kind = OpKind::CmpRI;
+            op.rn = a;
+            op.imm = imm;
+            buf_.push(op);
+            return;
+        }
+        // CMP operand register: scratchB (operand a is at most in
+        // scratchA).
+        emitMovImm32(kScratchB, imm);
+        emitCmpRR(a, kScratchB);
+    }
+
+    void
+    emitBranchCond(isa::Cond cond, int label) override
+    {
+        MacroOp op;
+        op.kind = OpKind::BrCond;
+        op.cond = cond;
+        buf_.pushReloc(op, RelocKind::Code, label);
+    }
+
+    void
+    emitJump(int label) override
+    {
+        MacroOp op;
+        op.kind = OpKind::Jump;
+        buf_.pushReloc(op, RelocKind::Code, label);
+    }
+
+    void
+    emitCall(int func_label) override
+    {
+        MacroOp op;
+        op.kind = OpKind::Call;
+        buf_.pushReloc(op, RelocKind::Code, func_label);
+    }
+
+    void
+    emitSyscall() override
+    {
+        MacroOp op;
+        op.kind = OpKind::Syscall;
+        buf_.push(op);
+    }
+
+  private:
+    void
+    pushAluRI(AluFunc func, std::uint8_t dst, std::uint8_t a,
+              std::int32_t imm)
+    {
+        if (imm < 0 || imm > 0xfff)
+            panic("DARM imm12 out of range in prologue: %s", imm);
+        pushAluRI3(func, dst, a, imm);
+    }
+
+    void
+    pushAluRI3(AluFunc func, std::uint8_t dst, std::uint8_t a,
+               std::int32_t imm)
+    {
+        MacroOp op;
+        op.kind = OpKind::AluRI;
+        op.func = func;
+        op.rd = dst;
+        op.rn = a;
+        op.imm = imm;
+        buf_.push(op);
+    }
+
+    void
+    pushMem(OpKind kind, std::uint8_t reg, std::uint8_t base,
+            std::int32_t disp)
+    {
+        pushMemW(kind, reg, base, disp, MemWidth::Word);
+    }
+
+    void
+    pushMemW(OpKind kind, std::uint8_t reg, std::uint8_t base,
+             std::int32_t disp, MemWidth width)
+    {
+        if (disp < 0 || disp > 0xfff)
+            panic("DARM mem disp %s out of imm12 range", disp);
+        MacroOp op;
+        op.kind = kind;
+        op.width = width;
+        if (kind == OpKind::Load)
+            op.rd = reg;
+        else
+            op.rm = reg;
+        op.rn = base;
+        op.imm = disp;
+        buf_.push(op);
+    }
+
+    /** Fold an out-of-range displacement into scratchB. */
+    std::uint8_t
+    fixupBase(std::uint8_t base, std::int32_t disp)
+    {
+        if (disp >= 0 && disp <= 0xfff)
+            return base;
+        emitMovImm32(kScratchB, disp);
+        emitBin(AluFunc::Add, kScratchB, kScratchB, base);
+        return kScratchB;
+    }
+
+    std::int32_t savedBase_ = 0;
+    std::int32_t totalFrame_ = 0;
+};
+
+} // namespace
+
+void
+runArmCodegen(const Module &module, const Function &func,
+              AsmBuffer &buffer)
+{
+    ArmCodegen(module, func, buffer).run();
+}
+
+} // namespace dfi::ir

@@ -1,0 +1,331 @@
+/**
+ * @file
+ * DX86 instruction selection.
+ *
+ * Register convention:
+ *   r0..r3   arguments / return value (caller-saved)
+ *   r0..r5   caller-saved allocatable
+ *   r6..r9   callee-saved allocatable
+ *   r10..r12 codegen scratch (never allocated)
+ *   r13,r14  reserved (unused by the ABI)
+ *   r15      SP
+ *
+ * DX86 has 10 allocatable registers against DARM's 12, mirroring the
+ * tighter register file of real x86; the backend compensates the
+ * two-operand pressure with load-op folding (tryFuse), giving the
+ * CISC-flavoured instruction mix the paper's analysis leans on.
+ */
+
+#include "common/logging.hh"
+#include "isa/codegen.hh"
+
+namespace dfi::ir
+{
+
+namespace
+{
+
+using isa::AluFunc;
+using isa::MacroOp;
+using isa::MemWidth;
+using isa::OpKind;
+
+constexpr std::uint8_t kScratchA = 10;
+constexpr std::uint8_t kScratchB = 11;
+constexpr std::uint8_t kScratchC = 12;
+
+bool
+isCommutative(AluFunc func)
+{
+    switch (func) {
+      case AluFunc::Add:
+      case AluFunc::And:
+      case AluFunc::Or:
+      case AluFunc::Xor:
+      case AluFunc::Mul:
+        return true;
+      default:
+        return false;
+    }
+}
+
+class X86Codegen : public FunctionCodegen
+{
+  public:
+    using FunctionCodegen::FunctionCodegen;
+
+  protected:
+    RegPools
+    pools() const override
+    {
+        return RegPools{{0, 1, 2, 3, 4, 5}, {6, 7, 8, 9}};
+    }
+
+    std::uint8_t scratchA() const override { return kScratchA; }
+    std::uint8_t scratchB() const override { return kScratchB; }
+
+    void
+    emitPrologue() override
+    {
+        for (std::uint8_t r : alloc_.usedCalleeSaved) {
+            MacroOp push;
+            push.kind = OpKind::Push;
+            push.rm = r;
+            buf_.push(push);
+        }
+        emitBinImm(AluFunc::Sub, isa::kRegSp, isa::kRegSp, frameSize());
+    }
+
+    void
+    emitEpilogue() override
+    {
+        emitBinImm(AluFunc::Add, isa::kRegSp, isa::kRegSp, frameSize());
+        for (auto it = alloc_.usedCalleeSaved.rbegin();
+             it != alloc_.usedCalleeSaved.rend(); ++it) {
+            MacroOp pop;
+            pop.kind = OpKind::Pop;
+            pop.rd = *it;
+            buf_.push(pop);
+        }
+        MacroOp ret;
+        ret.kind = OpKind::Ret;
+        buf_.push(ret);
+    }
+
+    void
+    emitMovRR(std::uint8_t dst, std::uint8_t src) override
+    {
+        MacroOp op;
+        op.kind = OpKind::MovRR;
+        op.rd = dst;
+        op.rm = src;
+        buf_.push(op);
+    }
+
+    void
+    emitMovImm32(std::uint8_t dst, std::int32_t imm) override
+    {
+        MacroOp op;
+        op.kind = OpKind::MovRI;
+        op.rd = dst;
+        op.imm = imm;
+        buf_.push(op);
+    }
+
+    void
+    emitLoadSp(std::uint8_t reg, std::int32_t off) override
+    {
+        emitLoad(reg, isa::kRegSp, off, MemWidth::Word);
+    }
+
+    void
+    emitStoreSp(std::uint8_t reg, std::int32_t off) override
+    {
+        emitStore(reg, isa::kRegSp, off, MemWidth::Word);
+    }
+
+    void
+    emitBin(AluFunc func, std::uint8_t dst, std::uint8_t a,
+            std::uint8_t b) override
+    {
+        // Two-operand form: dst = dst <func> src.
+        if (dst == a) {
+            pushAluRR(func, dst, b);
+        } else if (dst == b) {
+            if (isCommutative(func)) {
+                pushAluRR(func, dst, a);
+            } else {
+                emitMovRR(kScratchC, b);
+                emitMovRR(dst, a);
+                pushAluRR(func, dst, kScratchC);
+            }
+        } else {
+            emitMovRR(dst, a);
+            pushAluRR(func, dst, b);
+        }
+    }
+
+    void
+    emitBinImm(AluFunc func, std::uint8_t dst, std::uint8_t a,
+               std::int32_t imm) override
+    {
+        if (dst != a)
+            emitMovRR(dst, a);
+        MacroOp op;
+        op.kind = OpKind::AluRI;
+        op.func = func;
+        op.rd = op.rn = dst;
+        op.imm = imm;
+        buf_.push(op);
+    }
+
+    void
+    emitLoad(std::uint8_t dst, std::uint8_t base, std::int32_t disp,
+             MemWidth width) override
+    {
+        checkDisp(disp);
+        MacroOp op;
+        op.kind = OpKind::Load;
+        op.width = width;
+        op.rd = dst;
+        op.rn = base;
+        op.imm = disp;
+        buf_.push(op);
+    }
+
+    void
+    emitStore(std::uint8_t src, std::uint8_t base, std::int32_t disp,
+              MemWidth width) override
+    {
+        checkDisp(disp);
+        MacroOp op;
+        op.kind = OpKind::Store;
+        op.width = width;
+        op.rm = src;
+        op.rn = base;
+        op.imm = disp;
+        buf_.push(op);
+    }
+
+    void
+    emitGlobalAddr(std::uint8_t dst, int sym) override
+    {
+        MacroOp op;
+        op.kind = OpKind::MovRI;
+        op.rd = dst;
+        // Placeholder immediate outside the imm8 range so the layout
+        // pass picks the long encoding the relocated address needs.
+        op.imm = 0x7fffffff;
+        buf_.pushReloc(op, RelocKind::DataAbs, sym);
+    }
+
+    void
+    emitCmpRR(std::uint8_t a, std::uint8_t b) override
+    {
+        MacroOp op;
+        op.kind = OpKind::CmpRR;
+        op.rn = a;
+        op.rm = b;
+        buf_.push(op);
+    }
+
+    void
+    emitCmpRI(std::uint8_t a, std::int32_t imm) override
+    {
+        MacroOp op;
+        op.kind = OpKind::CmpRI;
+        op.rn = a;
+        op.imm = imm;
+        buf_.push(op);
+    }
+
+    void
+    emitBranchCond(isa::Cond cond, int label) override
+    {
+        MacroOp op;
+        op.kind = OpKind::BrCond;
+        op.cond = cond;
+        buf_.pushReloc(op, RelocKind::Code, label);
+    }
+
+    void
+    emitJump(int label) override
+    {
+        MacroOp op;
+        op.kind = OpKind::Jump;
+        buf_.pushReloc(op, RelocKind::Code, label);
+    }
+
+    void
+    emitCall(int func_label) override
+    {
+        MacroOp op;
+        op.kind = OpKind::Call;
+        buf_.pushReloc(op, RelocKind::Code, func_label);
+    }
+
+    void
+    emitSyscall() override
+    {
+        MacroOp op;
+        op.kind = OpKind::Syscall;
+        buf_.push(op);
+    }
+
+    /**
+     * Fold Load (word) + Bin whose second operand is the loaded value
+     * into one DX86 load-op instruction when the load has exactly that
+     * single use.
+     */
+    std::size_t
+    tryFuse(const Block &block, std::size_t ii) override
+    {
+        if (ii + 1 >= block.insts.size())
+            return 0;
+        const Inst &ld = block.insts[ii];
+        const Inst &bin = block.insts[ii + 1];
+        if (ld.op != IrOp::Load || ld.width != MemWidth::Word)
+            return 0;
+        if (bin.op != IrOp::Bin || bin.b != ld.dst || bin.a == ld.dst)
+            return 0;
+        if (useCount(ld.dst) != 1)
+            return 0;
+
+        // Predict operand registers without emitting spill reloads so
+        // bailing out stays side-effect free.
+        const Location &a_loc = loc(bin.a);
+        const Location &base_loc = loc(ld.a);
+        const std::uint8_t a_pred = a_loc.inReg ? a_loc.reg : kScratchA;
+        const std::uint8_t base_pred =
+            base_loc.inReg ? base_loc.reg : kScratchB;
+        const std::uint8_t d_pred = defReg(bin.dst, kScratchA);
+        if (d_pred == base_pred && d_pred != a_pred)
+            return 0; // the mov below would clobber the base
+
+        const std::uint8_t a = useReg(bin.a, kScratchA);
+        const std::uint8_t base = useReg(ld.a, kScratchB);
+        const std::uint8_t d = defReg(bin.dst, kScratchA);
+        checkDisp(ld.imm);
+        if (d != a)
+            emitMovRR(d, a);
+        MacroOp op;
+        op.kind = OpKind::LoadOp;
+        op.func = bin.func;
+        op.rd = d;
+        op.rn = base;
+        op.imm = ld.imm;
+        buf_.push(op);
+        finishDef(bin.dst, d);
+        return 2;
+    }
+
+  private:
+    void
+    pushAluRR(AluFunc func, std::uint8_t dst, std::uint8_t src)
+    {
+        MacroOp op;
+        op.kind = OpKind::AluRR;
+        op.func = func;
+        op.rd = op.rn = dst;
+        op.rm = src;
+        buf_.push(op);
+    }
+
+    static void
+    checkDisp(std::int32_t disp)
+    {
+        if (disp < -32768 || disp > 32767)
+            panic("DX86 displacement %s out of disp16 range", disp);
+    }
+};
+
+} // namespace
+
+void
+runX86Codegen(const Module &module, const Function &func,
+              AsmBuffer &buffer)
+{
+    X86Codegen(module, func, buffer).run();
+}
+
+} // namespace dfi::ir

@@ -1,0 +1,246 @@
+#include "isa/interp.hh"
+
+#include "isa/arm.hh"
+#include "isa/x86.hh"
+
+namespace dfi::isa
+{
+
+namespace
+{
+
+/** Direct main-memory port for the interpreter's syscalls. */
+class DirectPort : public syskit::SysMemPort
+{
+  public:
+    explicit DirectPort(const syskit::GuestMemory &memory)
+        : memory_(memory)
+    {}
+
+    bool
+    readByte(std::uint32_t addr, std::uint8_t *out) override
+    {
+        std::uint32_t value = 0;
+        if (memory_.read(addr, 1, &value) != syskit::MemFault::None)
+            return false;
+        *out = static_cast<std::uint8_t>(value);
+        return true;
+    }
+
+  private:
+    const syskit::GuestMemory &memory_;
+};
+
+} // namespace
+
+Interpreter::Interpreter(const Image &image)
+    : isa_(image.isa), memory_(image.makeMemory())
+{
+    arch_.pc = image.entry;
+    arch_.regs[kRegSp] = image.stackTop;
+}
+
+bool
+Interpreter::step(syskit::RunRecord &record)
+{
+    auto crash = [&](const std::string &why) {
+        record.term = syskit::Termination::ProcessCrash;
+        record.detail = why;
+        return false;
+    };
+
+    // Fetch: up to 6 bytes (longest DX86 instruction).
+    std::uint8_t bytes[8] = {};
+    std::size_t avail = 0;
+    for (; avail < 6; ++avail) {
+        std::uint32_t b = 0;
+        if (memory_.read(arch_.pc + static_cast<std::uint32_t>(avail), 1,
+                         &b) != syskit::MemFault::None) {
+            break;
+        }
+        bytes[avail] = static_cast<std::uint8_t>(b);
+    }
+    if (avail == 0)
+        return crash("fetch fault at pc");
+
+    const MacroOp op = isa_ == IsaKind::X86 ? x86Decode(bytes, avail)
+                                            : armDecode(bytes, avail);
+    const std::uint32_t next_pc = arch_.pc + op.length;
+    ++icount_;
+
+    auto &regs = arch_.regs;
+    const Flags flags = Flags::unpack(regs[kRegFlags]);
+
+    auto mem_read = [&](std::uint32_t addr, MemWidth width,
+                        std::uint32_t *value) {
+        const auto w = static_cast<std::uint32_t>(width);
+        if (addr % w != 0)
+            os_.raiseDue("alignment-fixup", arch_.pc);
+        return memory_.read(addr, w, value) == syskit::MemFault::None;
+    };
+    auto mem_write = [&](std::uint32_t addr, MemWidth width,
+                         std::uint32_t value) {
+        const auto w = static_cast<std::uint32_t>(width);
+        if (addr % w != 0)
+            os_.raiseDue("alignment-fixup", arch_.pc);
+        return memory_.write(addr, w, value) == syskit::MemFault::None;
+    };
+    auto alu = [&](AluFunc func, std::uint32_t a, std::uint32_t b) {
+        const AluResult r = evalAlu(func, a, b);
+        if (r.divByZero)
+            os_.raiseDue("div-zero", arch_.pc);
+        return r.value;
+    };
+
+    switch (op.kind) {
+      case OpKind::Nop:
+        break;
+      case OpKind::Illegal:
+        return crash("illegal instruction");
+      case OpKind::Halt:
+        return crash("privileged instruction (hlt) in user mode");
+      case OpKind::AluRR:
+        regs[op.rd] = alu(op.func, regs[op.rn], regs[op.rm]);
+        break;
+      case OpKind::AluRI:
+        regs[op.rd] =
+            alu(op.func, regs[op.rn], static_cast<std::uint32_t>(op.imm));
+        break;
+      case OpKind::LoadOp: {
+        const std::uint32_t addr =
+            regs[op.rn] + static_cast<std::uint32_t>(op.imm);
+        std::uint32_t value = 0;
+        if (!mem_read(addr, MemWidth::Word, &value))
+            return crash("data fault (load-op)");
+        regs[op.rd] = alu(op.func, regs[op.rd], value);
+        break;
+      }
+      case OpKind::MovRR:
+        regs[op.rd] = regs[op.rm];
+        break;
+      case OpKind::MovRI:
+        regs[op.rd] = static_cast<std::uint32_t>(op.imm);
+        break;
+      case OpKind::MovTI:
+        regs[op.rd] = (regs[op.rd] & 0xffffu) |
+                      (static_cast<std::uint32_t>(op.imm) << 16);
+        break;
+      case OpKind::Load: {
+        const std::uint32_t addr =
+            regs[op.rn] + static_cast<std::uint32_t>(op.imm);
+        std::uint32_t value = 0;
+        if (!mem_read(addr, op.width, &value))
+            return crash("data fault (load)");
+        regs[op.rd] = value;
+        break;
+      }
+      case OpKind::Store: {
+        const std::uint32_t addr =
+            regs[op.rn] + static_cast<std::uint32_t>(op.imm);
+        if (!mem_write(addr, op.width, regs[op.rm]))
+            return crash("data fault (store)");
+        break;
+      }
+      case OpKind::CmpRR:
+        regs[kRegFlags] = evalCmp(regs[op.rn], regs[op.rm]).pack();
+        break;
+      case OpKind::CmpRI:
+        regs[kRegFlags] =
+            evalCmp(regs[op.rn], static_cast<std::uint32_t>(op.imm))
+                .pack();
+        break;
+      case OpKind::BrCond:
+        if (evalCond(op.cond, flags)) {
+            arch_.pc = next_pc + static_cast<std::uint32_t>(op.imm);
+            return true;
+        }
+        break;
+      case OpKind::Jump:
+        arch_.pc = next_pc + static_cast<std::uint32_t>(op.imm);
+        return true;
+      case OpKind::JumpInd:
+        arch_.pc = regs[op.rm];
+        return true;
+      case OpKind::Call:
+      case OpKind::CallInd: {
+        const std::uint32_t target =
+            op.kind == OpKind::Call
+                ? next_pc + static_cast<std::uint32_t>(op.imm)
+                : regs[op.rm];
+        if (isa_ == IsaKind::X86) {
+            regs[kRegSp] -= 4;
+            if (!mem_write(regs[kRegSp], MemWidth::Word, next_pc))
+                return crash("stack fault (call)");
+        } else {
+            regs[kRegLr] = next_pc;
+        }
+        arch_.pc = target;
+        return true;
+      }
+      case OpKind::Ret:
+        if (isa_ == IsaKind::X86) {
+            std::uint32_t target = 0;
+            if (!mem_read(regs[kRegSp], MemWidth::Word, &target))
+                return crash("stack fault (ret)");
+            regs[kRegSp] += 4;
+            arch_.pc = target;
+        } else {
+            arch_.pc = regs[kRegLr];
+        }
+        return true;
+      case OpKind::Push:
+        regs[kRegSp] -= 4;
+        if (!mem_write(regs[kRegSp], MemWidth::Word, regs[op.rm]))
+            return crash("stack fault (push)");
+        break;
+      case OpKind::Pop: {
+        std::uint32_t value = 0;
+        if (!mem_read(regs[kRegSp], MemWidth::Word, &value))
+            return crash("stack fault (pop)");
+        regs[op.rd] = value;
+        regs[kRegSp] += 4;
+        break;
+      }
+      case OpKind::Syscall: {
+        DirectPort port(memory_);
+        const syskit::SyscallResult result = os_.syscall(
+            regs[0], regs[1], regs[2], port, arch_.pc);
+        if (result.kernelPanic) {
+            record.term = syskit::Termination::KernelPanic;
+            record.detail = "unhandled syscall trap";
+            return false;
+        }
+        if (result.exited) {
+            record.term = syskit::Termination::Exited;
+            record.exitCode = result.exitCode;
+            return false;
+        }
+        regs[0] = result.retval;
+        break;
+      }
+    }
+
+    arch_.pc = next_pc;
+    return true;
+}
+
+syskit::RunRecord
+Interpreter::run(std::uint64_t max_instructions)
+{
+    syskit::RunRecord record;
+    while (icount_ < max_instructions) {
+        if (!step(record)) {
+            record.cycles = icount_;
+            record.instructions = icount_;
+            os_.finishInto(record);
+            return record;
+        }
+    }
+    record.term = syskit::Termination::CycleLimit;
+    record.cycles = icount_;
+    record.instructions = icount_;
+    os_.finishInto(record);
+    return record;
+}
+
+} // namespace dfi::isa

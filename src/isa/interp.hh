@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Functional reference interpreter.
+ *
+ * Executes an Image with no timing model.  It serves three purposes:
+ * (1) golden-output validation for the benchmark programs,
+ * (2) a reference the two out-of-order models are differentially
+ *     tested against (same architectural results on fault-free runs),
+ * (3) fast fault-free reference runs for the campaign controller.
+ */
+
+#ifndef DFI_ISA_INTERP_HH
+#define DFI_ISA_INTERP_HH
+
+#include <array>
+#include <cstdint>
+
+#include "isa/image.hh"
+#include "isa/macroop.hh"
+#include "syskit/os.hh"
+#include "syskit/run_record.hh"
+
+namespace dfi::isa
+{
+
+/** Architectural register state shared with the pipeline models. */
+struct ArchState
+{
+    std::array<std::uint32_t, kNumArchRegs> regs{};
+    std::uint32_t pc = 0;
+};
+
+/** Functional executor for either ISA. */
+class Interpreter
+{
+  public:
+    explicit Interpreter(const Image &image);
+
+    /**
+     * Run to completion or until `max_instructions` retire.
+     * Exceeding the bound reports Termination::CycleLimit (with
+     * cycles == instructions, the interpreter's notional 1 IPC).
+     */
+    syskit::RunRecord run(std::uint64_t max_instructions = 100'000'000);
+
+    /** Single-step state access for tests. */
+    const ArchState &arch() const { return arch_; }
+    const syskit::GuestMemory &memory() const { return memory_; }
+
+  private:
+    /** Execute one instruction; false when the run terminated. */
+    bool step(syskit::RunRecord &record);
+
+    IsaKind isa_;
+    ArchState arch_;
+    syskit::GuestMemory memory_;
+    syskit::MiniOs os_;
+    std::uint64_t icount_ = 0;
+};
+
+} // namespace dfi::isa
+
+#endif // DFI_ISA_INTERP_HH

@@ -1,0 +1,468 @@
+#include "isa/ir.hh"
+
+#include "common/logging.hh"
+
+namespace dfi::ir
+{
+
+int
+Module::findFunc(const std::string &name) const
+{
+    for (std::size_t i = 0; i < funcs.size(); ++i) {
+        if (funcs[i].name == name)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+void
+Module::verify() const
+{
+    for (const Function &f : funcs) {
+        if (f.blocks.empty())
+            fatal("ir: function '%s' has no blocks", f.name);
+        if (f.numParams > 4)
+            fatal("ir: function '%s' has more than 4 params", f.name);
+        auto check_vreg = [&](VReg v, const char *what) {
+            if (v == kNoVReg || v >= f.numVRegs)
+                fatal("ir: function '%s': bad %s vreg", f.name, what);
+        };
+        for (std::size_t bi = 0; bi < f.blocks.size(); ++bi) {
+            const Block &block = f.blocks[bi];
+            if (block.insts.empty())
+                fatal("ir: function '%s' block %s is empty", f.name, bi);
+            for (std::size_t ii = 0; ii < block.insts.size(); ++ii) {
+                const Inst &inst = block.insts[ii];
+                const bool last = ii + 1 == block.insts.size();
+                if (inst.isTerminator() != last) {
+                    fatal("ir: function '%s' block %s: terminator "
+                          "placement at inst %s",
+                          f.name, bi, ii);
+                }
+                auto check_target = [&](int t) {
+                    if (t < 0 ||
+                        t >= static_cast<int>(f.blocks.size()))
+                        fatal("ir: function '%s': bad branch target",
+                              f.name);
+                };
+                switch (inst.op) {
+                  case IrOp::Bin:
+                    check_vreg(inst.dst, "dst");
+                    check_vreg(inst.a, "a");
+                    check_vreg(inst.b, "b");
+                    break;
+                  case IrOp::BinImm:
+                  case IrOp::Mov:
+                    check_vreg(inst.dst, "dst");
+                    check_vreg(inst.a, "a");
+                    break;
+                  case IrOp::MovImm:
+                    check_vreg(inst.dst, "dst");
+                    break;
+                  case IrOp::GlobalAddr:
+                    check_vreg(inst.dst, "dst");
+                    if (inst.sym < 0 ||
+                        inst.sym >= static_cast<int>(globals.size()))
+                        fatal("ir: function '%s': bad global index",
+                              f.name);
+                    break;
+                  case IrOp::Load:
+                    check_vreg(inst.dst, "dst");
+                    check_vreg(inst.a, "base");
+                    break;
+                  case IrOp::Store:
+                    check_vreg(inst.a, "base");
+                    check_vreg(inst.b, "value");
+                    break;
+                  case IrOp::Br:
+                    check_target(inst.target0);
+                    break;
+                  case IrOp::CondBr:
+                    check_vreg(inst.a, "a");
+                    check_vreg(inst.b, "b");
+                    check_target(inst.target0);
+                    check_target(inst.target1);
+                    break;
+                  case IrOp::CondBrImm:
+                    check_vreg(inst.a, "a");
+                    check_target(inst.target0);
+                    check_target(inst.target1);
+                    break;
+                  case IrOp::Call: {
+                    if (inst.callee < 0 ||
+                        inst.callee >= static_cast<int>(funcs.size()))
+                        fatal("ir: function '%s': bad callee", f.name);
+                    if (inst.args.size() > 4)
+                        fatal("ir: function '%s': too many call args",
+                              f.name);
+                    const auto &callee = funcs[inst.callee];
+                    if (static_cast<int>(inst.args.size()) !=
+                        callee.numParams)
+                        fatal("ir: call to '%s' with %s args, wants %s",
+                              callee.name, inst.args.size(),
+                              callee.numParams);
+                    for (VReg arg : inst.args)
+                        check_vreg(arg, "arg");
+                    if (inst.dst != kNoVReg)
+                        check_vreg(inst.dst, "dst");
+                    break;
+                  }
+                  case IrOp::Ret:
+                    if (inst.a != kNoVReg)
+                        check_vreg(inst.a, "ret value");
+                    break;
+                  case IrOp::Syscall:
+                    check_vreg(inst.dst, "dst");
+                    check_vreg(inst.a, "a");
+                    check_vreg(inst.b, "b");
+                    break;
+                }
+            }
+        }
+    }
+}
+
+FunctionBuilder::FunctionBuilder(Module &module, std::string name,
+                                 int num_params)
+    : module_(module)
+{
+    func_.name = std::move(name);
+    func_.numParams = num_params;
+    func_.numVRegs = static_cast<VReg>(num_params);
+    func_.blocks.emplace_back();
+}
+
+VReg
+FunctionBuilder::param(int i) const
+{
+    if (i < 0 || i >= func_.numParams)
+        panic("ir: function '%s' has no param %s", func_.name, i);
+    return static_cast<VReg>(i);
+}
+
+VReg
+FunctionBuilder::fresh()
+{
+    return func_.numVRegs++;
+}
+
+int
+FunctionBuilder::newBlock()
+{
+    func_.blocks.emplace_back();
+    return static_cast<int>(func_.blocks.size()) - 1;
+}
+
+void
+FunctionBuilder::setBlock(int block)
+{
+    if (block < 0 || block >= static_cast<int>(func_.blocks.size()))
+        panic("ir: setBlock out of range in '%s'", func_.name);
+    current_ = block;
+    terminated_ = !func_.blocks[block].insts.empty() &&
+                  func_.blocks[block].insts.back().isTerminator();
+}
+
+void
+FunctionBuilder::append(Inst inst)
+{
+    if (terminated_)
+        panic("ir: appending to terminated block in '%s'", func_.name);
+    terminated_ = inst.isTerminator();
+    func_.blocks[current_].insts.push_back(std::move(inst));
+}
+
+VReg
+FunctionBuilder::bin(isa::AluFunc func, VReg a, VReg b)
+{
+    Inst inst;
+    inst.op = IrOp::Bin;
+    inst.func = func;
+    inst.dst = fresh();
+    inst.a = a;
+    inst.b = b;
+    append(inst);
+    return inst.dst;
+}
+
+VReg
+FunctionBuilder::binImm(isa::AluFunc func, VReg a, std::int32_t imm)
+{
+    Inst inst;
+    inst.op = IrOp::BinImm;
+    inst.func = func;
+    inst.dst = fresh();
+    inst.a = a;
+    inst.imm = imm;
+    append(inst);
+    return inst.dst;
+}
+
+VReg
+FunctionBuilder::mov(VReg a)
+{
+    Inst inst;
+    inst.op = IrOp::Mov;
+    inst.dst = fresh();
+    inst.a = a;
+    append(inst);
+    return inst.dst;
+}
+
+VReg
+FunctionBuilder::movImm(std::int32_t imm)
+{
+    Inst inst;
+    inst.op = IrOp::MovImm;
+    inst.dst = fresh();
+    inst.imm = imm;
+    append(inst);
+    return inst.dst;
+}
+
+void
+FunctionBuilder::binTo(VReg dst, isa::AluFunc func, VReg a, VReg b)
+{
+    Inst inst;
+    inst.op = IrOp::Bin;
+    inst.func = func;
+    inst.dst = dst;
+    inst.a = a;
+    inst.b = b;
+    append(inst);
+}
+
+void
+FunctionBuilder::binImmTo(VReg dst, isa::AluFunc func, VReg a,
+                          std::int32_t imm)
+{
+    Inst inst;
+    inst.op = IrOp::BinImm;
+    inst.func = func;
+    inst.dst = dst;
+    inst.a = a;
+    inst.imm = imm;
+    append(inst);
+}
+
+void
+FunctionBuilder::movTo(VReg dst, VReg a)
+{
+    Inst inst;
+    inst.op = IrOp::Mov;
+    inst.dst = dst;
+    inst.a = a;
+    append(inst);
+}
+
+void
+FunctionBuilder::movImmTo(VReg dst, std::int32_t imm)
+{
+    Inst inst;
+    inst.op = IrOp::MovImm;
+    inst.dst = dst;
+    inst.imm = imm;
+    append(inst);
+}
+
+void
+FunctionBuilder::loadTo(VReg dst, VReg base, std::int32_t disp,
+                        isa::MemWidth width)
+{
+    Inst inst;
+    inst.op = IrOp::Load;
+    inst.dst = dst;
+    inst.a = base;
+    inst.imm = disp;
+    inst.width = width;
+    append(inst);
+}
+
+VReg
+FunctionBuilder::globalAddr(int sym)
+{
+    Inst inst;
+    inst.op = IrOp::GlobalAddr;
+    inst.dst = fresh();
+    inst.sym = sym;
+    append(inst);
+    return inst.dst;
+}
+
+VReg
+FunctionBuilder::load(VReg base, std::int32_t disp, isa::MemWidth width)
+{
+    Inst inst;
+    inst.op = IrOp::Load;
+    inst.dst = fresh();
+    inst.a = base;
+    inst.imm = disp;
+    inst.width = width;
+    append(inst);
+    return inst.dst;
+}
+
+void
+FunctionBuilder::store(VReg value, VReg base, std::int32_t disp,
+                       isa::MemWidth width)
+{
+    Inst inst;
+    inst.op = IrOp::Store;
+    inst.a = base;
+    inst.b = value;
+    inst.imm = disp;
+    inst.width = width;
+    append(inst);
+}
+
+void
+FunctionBuilder::br(int target)
+{
+    Inst inst;
+    inst.op = IrOp::Br;
+    inst.target0 = target;
+    append(inst);
+}
+
+void
+FunctionBuilder::condBr(isa::Cond cond, VReg a, VReg b, int then_block,
+                        int else_block)
+{
+    Inst inst;
+    inst.op = IrOp::CondBr;
+    inst.cond = cond;
+    inst.a = a;
+    inst.b = b;
+    inst.target0 = then_block;
+    inst.target1 = else_block;
+    append(inst);
+}
+
+void
+FunctionBuilder::condBrImm(isa::Cond cond, VReg a, std::int32_t imm,
+                           int then_block, int else_block)
+{
+    Inst inst;
+    inst.op = IrOp::CondBrImm;
+    inst.cond = cond;
+    inst.a = a;
+    inst.imm = imm;
+    inst.target0 = then_block;
+    inst.target1 = else_block;
+    append(inst);
+}
+
+VReg
+FunctionBuilder::call(int callee, std::vector<VReg> args)
+{
+    Inst inst;
+    inst.op = IrOp::Call;
+    inst.callee = callee;
+    inst.args = std::move(args);
+    inst.dst = fresh();
+    append(inst);
+    return inst.dst;
+}
+
+void
+FunctionBuilder::callVoid(int callee, std::vector<VReg> args)
+{
+    Inst inst;
+    inst.op = IrOp::Call;
+    inst.callee = callee;
+    inst.args = std::move(args);
+    inst.dst = kNoVReg;
+    append(inst);
+}
+
+void
+FunctionBuilder::ret(VReg value)
+{
+    Inst inst;
+    inst.op = IrOp::Ret;
+    inst.a = value;
+    append(inst);
+}
+
+VReg
+FunctionBuilder::syscall(std::int32_t num, VReg a, VReg b)
+{
+    Inst inst;
+    inst.op = IrOp::Syscall;
+    inst.imm = num;
+    inst.a = a;
+    inst.b = b;
+    inst.dst = fresh();
+    append(inst);
+    return inst.dst;
+}
+
+int
+ModuleBuilder::addGlobal(const std::string &name,
+                         std::vector<std::uint8_t> bytes,
+                         std::uint32_t align)
+{
+    Global g;
+    g.name = name;
+    g.bytes = std::move(bytes);
+    g.align = align;
+    module_.globals.push_back(std::move(g));
+    return static_cast<int>(module_.globals.size()) - 1;
+}
+
+int
+ModuleBuilder::addBss(const std::string &name, std::uint32_t size,
+                      std::uint32_t align)
+{
+    Global g;
+    g.name = name;
+    g.bssSize = size;
+    g.align = align;
+    module_.globals.push_back(std::move(g));
+    return static_cast<int>(module_.globals.size()) - 1;
+}
+
+int
+ModuleBuilder::declareFunction(const std::string &name, int num_params)
+{
+    if (module_.findFunc(name) >= 0)
+        panic("ir: duplicate function '%s'", name);
+    Function f;
+    f.name = name;
+    f.numParams = num_params;
+    module_.funcs.push_back(std::move(f));
+    return static_cast<int>(module_.funcs.size()) - 1;
+}
+
+FunctionBuilder
+ModuleBuilder::beginFunction(int func_index)
+{
+    const Function &f = module_.funcs.at(func_index);
+    return FunctionBuilder(module_, f.name, f.numParams);
+}
+
+FunctionBuilder
+ModuleBuilder::beginFunction(const std::string &name, int num_params)
+{
+    declareFunction(name, num_params);
+    return FunctionBuilder(module_, name, num_params);
+}
+
+void
+ModuleBuilder::endFunction(FunctionBuilder &builder)
+{
+    Function &body = builder.function();
+    const int index = module_.findFunc(body.name);
+    if (index < 0)
+        panic("ir: endFunction for unknown '%s'", body.name);
+    module_.funcs[index] = std::move(body);
+}
+
+Module
+ModuleBuilder::take()
+{
+    module_.verify();
+    return std::move(module_);
+}
+
+} // namespace dfi::ir

@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Portable three-address IR for the benchmark programs.
+ *
+ * The ten MiBench-like workloads are written once against this IR and
+ * compiled twice — by the DX86 and DARM backends — so the paper's
+ * ISA comparison (GeFIN-x86 vs GeFIN-ARM) runs the *same algorithms*
+ * with genuinely different instruction mixes, exactly like compiling
+ * the same C source for two targets.
+ *
+ * The IR is integer-only and 32-bit (MiBench-style workloads are
+ * integer/fixed-point), uses unlimited virtual registers, explicit
+ * basic blocks with terminators, and module-level global data.
+ */
+
+#ifndef DFI_ISA_IR_HH
+#define DFI_ISA_IR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/macroop.hh"
+#include "isa/types.hh"
+
+namespace dfi::ir
+{
+
+/** Virtual register id. */
+using VReg = std::uint32_t;
+constexpr VReg kNoVReg = ~0u;
+
+/** IR opcodes. */
+enum class IrOp : std::uint8_t
+{
+    Bin,       //!< dst = a <func> b
+    BinImm,    //!< dst = a <func> imm
+    Mov,       //!< dst = a
+    MovImm,    //!< dst = imm
+    GlobalAddr,//!< dst = &global[sym]
+    Load,      //!< dst = zext(mem[a + imm], width)
+    Store,     //!< mem[a + imm] = b (width)
+    Br,        //!< goto target0
+    CondBr,    //!< if (a <cond> b) goto target0 else target1
+    CondBrImm, //!< if (a <cond> imm) goto target0 else target1
+    Call,      //!< dst = callee(args...)   (dst optional)
+    Ret,       //!< return a (optional)
+    Syscall    //!< dst = syscall(imm, a, b)
+};
+
+/** One IR instruction. */
+struct Inst
+{
+    IrOp op = IrOp::Bin;
+    isa::AluFunc func = isa::AluFunc::Add;
+    isa::Cond cond = isa::Cond::Eq;
+    isa::MemWidth width = isa::MemWidth::Word;
+    VReg dst = kNoVReg;
+    VReg a = kNoVReg;
+    VReg b = kNoVReg;
+    std::int32_t imm = 0;
+    int sym = -1;     //!< GlobalAddr: global index
+    int callee = -1;  //!< Call: function index
+    std::vector<VReg> args; //!< Call arguments (max 4)
+    int target0 = -1; //!< Br/CondBr*: taken target block
+    int target1 = -1; //!< CondBr*: fall-through target block
+
+    /** True for instructions that must end a block. */
+    bool isTerminator() const
+    {
+        return op == IrOp::Br || op == IrOp::CondBr ||
+               op == IrOp::CondBrImm || op == IrOp::Ret;
+    }
+};
+
+/** A basic block: straight-line insts ending in one terminator. */
+struct Block
+{
+    std::vector<Inst> insts;
+};
+
+/** A function. */
+struct Function
+{
+    std::string name;
+    int numParams = 0;
+    VReg numVRegs = 0;
+    std::vector<Block> blocks;
+};
+
+/** Module-level data: initialized bytes or zeroed space. */
+struct Global
+{
+    std::string name;
+    std::vector<std::uint8_t> bytes; //!< empty for bss
+    std::uint32_t bssSize = 0;       //!< nonzero for bss globals
+    std::uint32_t align = 4;
+
+    std::uint32_t
+    size() const
+    {
+        return bytes.empty() ? bssSize
+                             : static_cast<std::uint32_t>(bytes.size());
+    }
+};
+
+/** A whole program. */
+struct Module
+{
+    std::vector<Function> funcs;
+    std::vector<Global> globals;
+
+    /** Index of a function by name; -1 if absent. */
+    int findFunc(const std::string &name) const;
+
+    /**
+     * Structural validation: every block non-empty and terminated,
+     * targets/callees/syms in range, arg counts <= 4, vreg ids within
+     * numVRegs.  fatal()s with a description on the first violation.
+     */
+    void verify() const;
+};
+
+/**
+ * Convenience builder for one function.  Typical use:
+ * @code
+ *   ModuleBuilder mb;
+ *   auto f = mb.beginFunction("main", 0);
+ *   VReg i = f.movImm(0);
+ *   ...
+ *   f.ret(f.movImm(0));
+ *   mb.endFunction(f);
+ * @endcode
+ */
+class FunctionBuilder
+{
+  public:
+    FunctionBuilder(Module &module, std::string name, int num_params);
+
+    /** The vreg holding the i-th parameter. */
+    VReg param(int i) const;
+
+    /** Allocate a fresh virtual register. */
+    VReg fresh();
+
+    /** Create a new (empty) block; returns its id. */
+    int newBlock();
+    /** Switch the insertion point. */
+    void setBlock(int block);
+    /** Current insertion block. */
+    int currentBlock() const { return current_; }
+
+    // --- data-processing ---------------------------------------------
+    VReg bin(isa::AluFunc func, VReg a, VReg b);
+    VReg binImm(isa::AluFunc func, VReg a, std::int32_t imm);
+    VReg add(VReg a, VReg b) { return bin(isa::AluFunc::Add, a, b); }
+    VReg sub(VReg a, VReg b) { return bin(isa::AluFunc::Sub, a, b); }
+    VReg mul(VReg a, VReg b) { return bin(isa::AluFunc::Mul, a, b); }
+    VReg addImm(VReg a, std::int32_t imm)
+    {
+        return binImm(isa::AluFunc::Add, a, imm);
+    }
+    VReg mov(VReg a);
+    VReg movImm(std::int32_t imm);
+    VReg globalAddr(int sym);
+
+    // --- in-place (non-SSA) variants for loop-carried variables -------
+    void binTo(VReg dst, isa::AluFunc func, VReg a, VReg b);
+    void binImmTo(VReg dst, isa::AluFunc func, VReg a, std::int32_t imm);
+    void movTo(VReg dst, VReg a);
+    void movImmTo(VReg dst, std::int32_t imm);
+    void loadTo(VReg dst, VReg base, std::int32_t disp,
+                isa::MemWidth width = isa::MemWidth::Word);
+    /** Fresh vreg initialized to a constant (mutable loop variable). */
+    VReg var(std::int32_t init) { return movImm(init); }
+
+    // --- memory ------------------------------------------------------
+    VReg load(VReg base, std::int32_t disp,
+              isa::MemWidth width = isa::MemWidth::Word);
+    void store(VReg value, VReg base, std::int32_t disp,
+               isa::MemWidth width = isa::MemWidth::Word);
+
+    // --- control -----------------------------------------------------
+    void br(int target);
+    void condBr(isa::Cond cond, VReg a, VReg b, int then_block,
+                int else_block);
+    void condBrImm(isa::Cond cond, VReg a, std::int32_t imm,
+                   int then_block, int else_block);
+    VReg call(int callee, std::vector<VReg> args);
+    void callVoid(int callee, std::vector<VReg> args);
+    void ret(VReg value = kNoVReg);
+    VReg syscall(std::int32_t num, VReg a, VReg b);
+
+    /** Finished function (moved out by ModuleBuilder::endFunction). */
+    Function &function() { return func_; }
+
+  private:
+    void append(Inst inst);
+
+    Module &module_;
+    Function func_;
+    int current_ = 0;
+    bool terminated_ = false;
+};
+
+/** Builder for a whole module. */
+class ModuleBuilder
+{
+  public:
+    /** Add an initialized global; returns its symbol index. */
+    int addGlobal(const std::string &name,
+                  std::vector<std::uint8_t> bytes,
+                  std::uint32_t align = 4);
+
+    /** Add a zero-initialized global of `size` bytes. */
+    int addBss(const std::string &name, std::uint32_t size,
+               std::uint32_t align = 4);
+
+    /**
+     * Pre-declare a function so forward/recursive calls can reference
+     * it; returns the function index used by FunctionBuilder::call().
+     */
+    int declareFunction(const std::string &name, int num_params);
+
+    /** Begin building the body of a previously declared function. */
+    FunctionBuilder beginFunction(int func_index);
+
+    /** Declare + begin in one step (for non-recursive helpers). */
+    FunctionBuilder beginFunction(const std::string &name,
+                                  int num_params);
+
+    /** Commit a finished function body. */
+    void endFunction(FunctionBuilder &builder);
+
+    /** Verify and take the module. */
+    Module take();
+
+    Module &module() { return module_; }
+
+  private:
+    Module module_;
+};
+
+} // namespace dfi::ir
+
+#endif // DFI_ISA_IR_HH

@@ -1,0 +1,221 @@
+#include "isa/liveness.hh"
+
+#include "common/logging.hh"
+
+namespace dfi::ir
+{
+
+void
+instUses(const Inst &inst, std::vector<VReg> &out)
+{
+    out.clear();
+    switch (inst.op) {
+      case IrOp::Bin:
+        out.push_back(inst.a);
+        out.push_back(inst.b);
+        break;
+      case IrOp::BinImm:
+      case IrOp::Mov:
+        out.push_back(inst.a);
+        break;
+      case IrOp::MovImm:
+      case IrOp::GlobalAddr:
+      case IrOp::Br:
+        break;
+      case IrOp::Load:
+        out.push_back(inst.a);
+        break;
+      case IrOp::Store:
+        out.push_back(inst.a);
+        out.push_back(inst.b);
+        break;
+      case IrOp::CondBr:
+        out.push_back(inst.a);
+        out.push_back(inst.b);
+        break;
+      case IrOp::CondBrImm:
+        out.push_back(inst.a);
+        break;
+      case IrOp::Call:
+        for (VReg arg : inst.args)
+            out.push_back(arg);
+        break;
+      case IrOp::Ret:
+        if (inst.a != kNoVReg)
+            out.push_back(inst.a);
+        break;
+      case IrOp::Syscall:
+        out.push_back(inst.a);
+        out.push_back(inst.b);
+        break;
+    }
+}
+
+VReg
+instDef(const Inst &inst)
+{
+    switch (inst.op) {
+      case IrOp::Bin:
+      case IrOp::BinImm:
+      case IrOp::Mov:
+      case IrOp::MovImm:
+      case IrOp::GlobalAddr:
+      case IrOp::Load:
+      case IrOp::Syscall:
+        return inst.dst;
+      case IrOp::Call:
+        return inst.dst; // may be kNoVReg for void calls
+      default:
+        return kNoVReg;
+    }
+}
+
+namespace
+{
+
+/** Successor blocks of a block's terminator. */
+void
+successors(const Inst &term, std::vector<int> &out)
+{
+    out.clear();
+    switch (term.op) {
+      case IrOp::Br:
+        out.push_back(term.target0);
+        break;
+      case IrOp::CondBr:
+      case IrOp::CondBrImm:
+        out.push_back(term.target0);
+        out.push_back(term.target1);
+        break;
+      default:
+        break; // Ret: no successors
+    }
+}
+
+} // namespace
+
+LivenessInfo
+computeLiveness(const Function &func)
+{
+    LivenessInfo info;
+    const std::size_t num_blocks = func.blocks.size();
+    const std::size_t num_vregs = func.numVRegs;
+
+    info.blockStart.resize(num_blocks);
+    int position = 0;
+    for (std::size_t b = 0; b < num_blocks; ++b) {
+        info.blockStart[b] = position;
+        position += static_cast<int>(func.blocks[b].insts.size());
+    }
+    const int total_insts = position;
+
+    // use[b] = vregs read before any write in b; def[b] = vregs written.
+    std::vector<std::vector<bool>> use(num_blocks), def(num_blocks);
+    std::vector<VReg> uses;
+    for (std::size_t b = 0; b < num_blocks; ++b) {
+        use[b].assign(num_vregs, false);
+        def[b].assign(num_vregs, false);
+        for (const Inst &inst : func.blocks[b].insts) {
+            instUses(inst, uses);
+            for (VReg u : uses) {
+                if (!def[b][u])
+                    use[b][u] = true;
+            }
+            const VReg d = instDef(inst);
+            if (d != kNoVReg)
+                def[b][d] = true;
+        }
+    }
+
+    info.liveIn.assign(num_blocks, std::vector<bool>(num_vregs, false));
+    info.liveOut.assign(num_blocks, std::vector<bool>(num_vregs, false));
+
+    // Iterate to a fixed point (backward dataflow).
+    bool changed = true;
+    std::vector<int> succs;
+    while (changed) {
+        changed = false;
+        for (std::size_t bi = num_blocks; bi-- > 0;) {
+            successors(func.blocks[bi].insts.back(), succs);
+            for (int s : succs) {
+                for (std::size_t v = 0; v < num_vregs; ++v) {
+                    if (info.liveIn[s][v] && !info.liveOut[bi][v]) {
+                        info.liveOut[bi][v] = true;
+                        changed = true;
+                    }
+                }
+            }
+            for (std::size_t v = 0; v < num_vregs; ++v) {
+                const bool in =
+                    use[bi][v] || (info.liveOut[bi][v] && !def[bi][v]);
+                if (in && !info.liveIn[bi][v]) {
+                    info.liveIn[bi][v] = true;
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    // Build conservative intervals.
+    info.intervals.resize(num_vregs);
+    for (std::size_t v = 0; v < num_vregs; ++v)
+        info.intervals[v].vreg = static_cast<VReg>(v);
+
+    auto touch = [&](VReg v, int pos) {
+        LiveInterval &iv = info.intervals[v];
+        if (iv.start < 0 || pos < iv.start)
+            iv.start = pos;
+        if (pos > iv.end)
+            iv.end = pos;
+    };
+
+    // Parameters are live from function entry (the prologue moves them
+    // into their homes at position 0).
+    for (int p = 0; p < func.numParams; ++p)
+        touch(static_cast<VReg>(p), 0);
+
+    for (std::size_t b = 0; b < num_blocks; ++b) {
+        const int first = info.blockStart[b];
+        const int last =
+            first + static_cast<int>(func.blocks[b].insts.size()) - 1;
+        for (std::size_t v = 0; v < num_vregs; ++v) {
+            if (info.liveIn[b][v])
+                touch(static_cast<VReg>(v), first);
+            if (info.liveOut[b][v])
+                touch(static_cast<VReg>(v), last);
+        }
+        int pos = first;
+        for (const Inst &inst : func.blocks[b].insts) {
+            instUses(inst, uses);
+            for (VReg u : uses) {
+                touch(u, pos);
+                ++info.intervals[u].useCount;
+            }
+            const VReg d = instDef(inst);
+            if (d != kNoVReg)
+                touch(d, pos);
+            if (inst.op == IrOp::Call || inst.op == IrOp::Syscall)
+                info.callPositions.push_back(pos);
+            ++pos;
+        }
+    }
+
+    // Mark call-crossing intervals: a call position strictly inside
+    // (start, end) means the value must survive the call.
+    for (LiveInterval &iv : info.intervals) {
+        if (iv.empty())
+            continue;
+        for (int cp : info.callPositions) {
+            if (cp > iv.start && cp < iv.end) {
+                iv.crossesCall = true;
+                break;
+            }
+        }
+    }
+
+    if (total_insts == 0)
+        panic("computeLiveness: empty function '%s'", func.name);
+    return info;
+}
+
+} // namespace dfi::ir

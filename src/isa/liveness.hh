@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Per-function liveness analysis and live intervals for the linear
+ * scan register allocator.
+ */
+
+#ifndef DFI_ISA_LIVENESS_HH
+#define DFI_ISA_LIVENESS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/ir.hh"
+
+namespace dfi::ir
+{
+
+/** Conservative (hole-free) live interval of one vreg. */
+struct LiveInterval
+{
+    VReg vreg = kNoVReg;
+    int start = -1;     //!< first position (global inst index)
+    int end = -1;       //!< last position
+    bool crossesCall = false;
+    int useCount = 0;   //!< number of reads
+
+    bool
+    empty() const
+    {
+        return start < 0;
+    }
+};
+
+/** Liveness + interval summary for one function. */
+struct LivenessInfo
+{
+    /** Positions: global index of the first inst of each block. */
+    std::vector<int> blockStart;
+    /** live-in / live-out vreg bitsets per block. */
+    std::vector<std::vector<bool>> liveIn, liveOut;
+    /** One interval per vreg (may be empty for dead vregs). */
+    std::vector<LiveInterval> intervals;
+    /** Global positions of call instructions. */
+    std::vector<int> callPositions;
+};
+
+/** Vregs read by an instruction (excludes dst). */
+void instUses(const Inst &inst, std::vector<VReg> &out);
+
+/** Vreg written by an instruction, or kNoVReg. */
+VReg instDef(const Inst &inst);
+
+/** Compute liveness and intervals for a function. */
+LivenessInfo computeLiveness(const Function &func);
+
+} // namespace dfi::ir
+
+#endif // DFI_ISA_LIVENESS_HH

@@ -1,0 +1,95 @@
+#include "isa/regalloc.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace dfi::ir
+{
+
+Allocation
+linearScan(const LivenessInfo &liveness, const RegPools &pools)
+{
+    Allocation alloc;
+    alloc.locs.resize(liveness.intervals.size());
+
+    // Sort live intervals by start position.
+    std::vector<const LiveInterval *> order;
+    order.reserve(liveness.intervals.size());
+    for (const LiveInterval &iv : liveness.intervals) {
+        if (iv.empty())
+            alloc.locs[iv.vreg].dead = true;
+        else
+            order.push_back(&iv);
+    }
+    std::sort(order.begin(), order.end(),
+              [](const LiveInterval *a, const LiveInterval *b) {
+                  if (a->start != b->start)
+                      return a->start < b->start;
+                  return a->vreg < b->vreg;
+              });
+
+    std::vector<bool> busy(32, false); // indexed by physical register
+    struct Active
+    {
+        int end;
+        std::uint8_t reg;
+    };
+    std::vector<Active> active;
+
+    std::vector<bool> callee_used(32, false);
+
+    for (const LiveInterval *iv : order) {
+        // Expire finished intervals.
+        for (std::size_t i = 0; i < active.size();) {
+            if (active[i].end < iv->start) {
+                busy[active[i].reg] = false;
+                active[i] = active.back();
+                active.pop_back();
+            } else {
+                ++i;
+            }
+        }
+
+        auto try_pool =
+            [&](const std::vector<std::uint8_t> &pool) -> int {
+            for (std::uint8_t r : pool) {
+                if (!busy[r])
+                    return r;
+            }
+            return -1;
+        };
+
+        int reg = -1;
+        if (iv->crossesCall) {
+            reg = try_pool(pools.calleeSaved);
+        } else {
+            reg = try_pool(pools.callerSaved);
+            if (reg < 0)
+                reg = try_pool(pools.calleeSaved);
+        }
+
+        Location &loc = alloc.locs[iv->vreg];
+        if (reg >= 0) {
+            loc.inReg = true;
+            loc.reg = static_cast<std::uint8_t>(reg);
+            busy[reg] = true;
+            active.push_back({iv->end, loc.reg});
+            for (std::uint8_t r : pools.calleeSaved) {
+                if (r == reg)
+                    callee_used[r] = true;
+            }
+        } else {
+            loc.inReg = false;
+            loc.slot = alloc.numSpillSlots++;
+        }
+    }
+
+    for (std::uint8_t r = 0; r < 32; ++r) {
+        if (callee_used[r])
+            alloc.usedCalleeSaved.push_back(r);
+    }
+    return alloc;
+}
+
+} // namespace dfi::ir

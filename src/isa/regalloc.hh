@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Linear-scan register allocation over live intervals.
+ *
+ * Values live across calls are only placed in callee-saved registers
+ * (or spilled); values with call-free intervals prefer caller-saved
+ * registers.  Spilled vregs get frame slots; the code generators load
+ * them into scratch registers at each use.
+ */
+
+#ifndef DFI_ISA_REGALLOC_HH
+#define DFI_ISA_REGALLOC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/liveness.hh"
+
+namespace dfi::ir
+{
+
+/** The allocatable register sets of a target. */
+struct RegPools
+{
+    std::vector<std::uint8_t> callerSaved;
+    std::vector<std::uint8_t> calleeSaved;
+};
+
+/** Where a vreg lives. */
+struct Location
+{
+    bool inReg = false;
+    std::uint8_t reg = 0; //!< physical register (if inReg)
+    int slot = -1;        //!< spill slot index (if !inReg)
+    bool dead = false;    //!< vreg never used
+};
+
+/** Allocation result for one function. */
+struct Allocation
+{
+    std::vector<Location> locs;                 //!< per vreg
+    std::vector<std::uint8_t> usedCalleeSaved;  //!< sorted
+    int numSpillSlots = 0;
+};
+
+/** Run linear scan for one function. */
+Allocation linearScan(const LivenessInfo &liveness,
+                      const RegPools &pools);
+
+} // namespace dfi::ir
+
+#endif // DFI_ISA_REGALLOC_HH

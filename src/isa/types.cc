@@ -1,0 +1,174 @@
+#include "isa/types.hh"
+
+#include "common/logging.hh"
+
+namespace dfi::isa
+{
+
+std::string
+isaName(IsaKind kind)
+{
+    return kind == IsaKind::X86 ? "x86" : "arm";
+}
+
+std::uint32_t
+Flags::pack() const
+{
+    return (z ? 1u : 0u) | (s ? 2u : 0u) | (c ? 4u : 0u) | (o ? 8u : 0u);
+}
+
+Flags
+Flags::unpack(std::uint32_t bits)
+{
+    Flags f;
+    f.z = bits & 1;
+    f.s = bits & 2;
+    f.c = bits & 4;
+    f.o = bits & 8;
+    return f;
+}
+
+std::string
+condName(Cond cond)
+{
+    static const char *names[] = {"eq", "ne", "ult", "ule", "ugt",
+                                  "uge", "slt", "sle", "sgt", "sge"};
+    const auto i = static_cast<std::size_t>(cond);
+    if (i >= kNumConds)
+        panic("condName: bad Cond %s", i);
+    return names[i];
+}
+
+std::string
+aluFuncName(AluFunc func)
+{
+    static const char *names[] = {"add",  "sub",  "and",  "or",  "xor",
+                                  "shl",  "shru", "shrs", "mul", "divu",
+                                  "divs", "remu", "rems"};
+    const auto i = static_cast<std::size_t>(func);
+    if (i >= kNumAluFuncs)
+        panic("aluFuncName: bad AluFunc %s", i);
+    return names[i];
+}
+
+AluResult
+evalAlu(AluFunc func, std::uint32_t a, std::uint32_t b)
+{
+    AluResult r;
+    switch (func) {
+      case AluFunc::Add:
+        r.value = a + b;
+        break;
+      case AluFunc::Sub:
+        r.value = a - b;
+        break;
+      case AluFunc::And:
+        r.value = a & b;
+        break;
+      case AluFunc::Or:
+        r.value = a | b;
+        break;
+      case AluFunc::Xor:
+        r.value = a ^ b;
+        break;
+      case AluFunc::Shl:
+        r.value = a << (b & 31);
+        break;
+      case AluFunc::ShrU:
+        r.value = a >> (b & 31);
+        break;
+      case AluFunc::ShrS:
+        r.value = static_cast<std::uint32_t>(
+            static_cast<std::int32_t>(a) >> (b & 31));
+        break;
+      case AluFunc::Mul:
+        r.value = a * b;
+        break;
+      case AluFunc::DivU:
+        if (b == 0) {
+            r.divByZero = true;
+            r.value = 0;
+        } else {
+            r.value = a / b;
+        }
+        break;
+      case AluFunc::DivS:
+        if (b == 0) {
+            r.divByZero = true;
+            r.value = 0;
+        } else if (a == 0x80000000u && b == 0xffffffffu) {
+            r.value = 0x80000000u; // INT_MIN / -1 wraps, no trap
+        } else {
+            r.value = static_cast<std::uint32_t>(
+                static_cast<std::int32_t>(a) /
+                static_cast<std::int32_t>(b));
+        }
+        break;
+      case AluFunc::RemU:
+        if (b == 0) {
+            r.divByZero = true;
+            r.value = 0;
+        } else {
+            r.value = a % b;
+        }
+        break;
+      case AluFunc::RemS:
+        if (b == 0) {
+            r.divByZero = true;
+            r.value = 0;
+        } else if (a == 0x80000000u && b == 0xffffffffu) {
+            r.value = 0;
+        } else {
+            r.value = static_cast<std::uint32_t>(
+                static_cast<std::int32_t>(a) %
+                static_cast<std::int32_t>(b));
+        }
+        break;
+    }
+    return r;
+}
+
+Flags
+evalCmp(std::uint32_t a, std::uint32_t b)
+{
+    Flags f;
+    const std::uint32_t diff = a - b;
+    f.z = diff == 0;
+    f.s = (diff >> 31) & 1;
+    f.c = a < b; // borrow
+    const bool sa = (a >> 31) & 1;
+    const bool sb = (b >> 31) & 1;
+    const bool sd = (diff >> 31) & 1;
+    f.o = (sa != sb) && (sd != sa);
+    return f;
+}
+
+bool
+evalCond(Cond cond, const Flags &f)
+{
+    switch (cond) {
+      case Cond::Eq:
+        return f.z;
+      case Cond::Ne:
+        return !f.z;
+      case Cond::Ult:
+        return f.c;
+      case Cond::Ule:
+        return f.c || f.z;
+      case Cond::Ugt:
+        return !f.c && !f.z;
+      case Cond::Uge:
+        return !f.c;
+      case Cond::Slt:
+        return f.s != f.o;
+      case Cond::Sle:
+        return f.z || (f.s != f.o);
+      case Cond::Sgt:
+        return !f.z && (f.s == f.o);
+      case Cond::Sge:
+        return f.s == f.o;
+    }
+    panic("evalCond: bad Cond %s", static_cast<int>(cond));
+}
+
+} // namespace dfi::isa

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Shared ISA-level types: registers, flags, conditions, ALU functions
+ * and their pure-functional semantics.
+ *
+ * The repository defines two synthetic ISAs modelled after the paper's
+ * targets:
+ *  - DX86: x86-flavoured — variable-length encoding, two-operand
+ *    destructive ALU ops, ALU ops with a folded memory operand,
+ *    PUSH/POP and stack-based CALL/RET.
+ *  - DARM: ARM-flavoured — fixed 4-byte encoding, three-operand ALU
+ *    ops, strict load/store architecture, link-register calls,
+ *    MOVW/MOVT immediate materialization.
+ *
+ * Both are 32-bit, little-endian, with 16 GPRs plus an architectural
+ * FLAGS register (renamed like a GPR by the out-of-order models).
+ * Deviation from real x86 (documented in DESIGN.md): ALU operations do
+ * not set FLAGS; only CMP does, as on our DARM.  This keeps every
+ * instruction single-destination (plus an optional implicit SP
+ * destination) without changing the memory behaviour the paper's
+ * analysis depends on.
+ */
+
+#ifndef DFI_ISA_TYPES_HH
+#define DFI_ISA_TYPES_HH
+
+#include <cstdint>
+#include <string>
+
+namespace dfi::isa
+{
+
+/** Which of the two synthetic ISAs an image/simulator speaks. */
+enum class IsaKind : std::uint8_t
+{
+    X86, //!< DX86, variable length CISC-flavoured
+    Arm  //!< DARM, fixed length RISC-flavoured
+};
+
+std::string isaName(IsaKind kind);
+
+/** Architectural register indices. */
+enum : std::uint8_t
+{
+    kNumGprs = 16,
+    kRegSp = 15,    //!< stack pointer (both ISAs)
+    kRegLr = 14,    //!< DARM link register (plain GPR on DX86)
+    kRegFlags = 16, //!< architectural FLAGS pseudo-register
+    kNumArchRegs = 17
+};
+
+/** Condition-code flags produced by CMP. */
+struct Flags
+{
+    bool z = false; //!< zero
+    bool s = false; //!< sign
+    bool c = false; //!< carry (unsigned borrow on compare)
+    bool o = false; //!< signed overflow
+
+    /** Pack into 4 bits (bit0=z, 1=s, 2=c, 3=o). */
+    std::uint32_t pack() const;
+    static Flags unpack(std::uint32_t bits);
+    bool operator==(const Flags &other) const = default;
+};
+
+/** Branch conditions (shared by both ISAs). */
+enum class Cond : std::uint8_t
+{
+    Eq,  //!< equal (z)
+    Ne,  //!< not equal
+    Ult, //!< unsigned <
+    Ule, //!< unsigned <=
+    Ugt, //!< unsigned >
+    Uge, //!< unsigned >=
+    Slt, //!< signed <
+    Sle, //!< signed <=
+    Sgt, //!< signed >
+    Sge  //!< signed >=
+};
+
+constexpr int kNumConds = 10;
+
+std::string condName(Cond cond);
+
+/** ALU operations (shared by IR, both ISAs and the pipelines). */
+enum class AluFunc : std::uint8_t
+{
+    Add,
+    Sub,
+    And,
+    Or,
+    Xor,
+    Shl,
+    ShrU,
+    ShrS,
+    Mul,
+    DivU,
+    DivS,
+    RemU,
+    RemS
+};
+
+constexpr int kNumAluFuncs = 13;
+
+std::string aluFuncName(AluFunc func);
+
+/** Result of an ALU evaluation. */
+struct AluResult
+{
+    std::uint32_t value = 0;
+    bool divByZero = false; //!< raised a divide-by-zero trap
+};
+
+/**
+ * Evaluate an ALU function on two 32-bit operands.  Shift amounts are
+ * taken modulo 32.  Division by zero reports a trap and produces 0.
+ */
+AluResult evalAlu(AluFunc func, std::uint32_t a, std::uint32_t b);
+
+/** Flags produced by comparing a against b (a - b). */
+Flags evalCmp(std::uint32_t a, std::uint32_t b);
+
+/** Evaluate a condition against flags. */
+bool evalCond(Cond cond, const Flags &flags);
+
+} // namespace dfi::isa
+
+#endif // DFI_ISA_TYPES_HH

@@ -1,0 +1,458 @@
+#include "isa/x86.hh"
+
+#include "common/logging.hh"
+
+namespace dfi::isa
+{
+
+namespace
+{
+
+constexpr std::uint8_t kOpNop = 0x00;
+constexpr std::uint8_t kOpRet = 0x01;
+constexpr std::uint8_t kOpHlt = 0x02;
+constexpr std::uint8_t kOpSyscall = 0x03;
+constexpr std::uint8_t kOpAluRR = 0x10;
+constexpr std::uint8_t kOpAluRI = 0x20;
+constexpr std::uint8_t kOpAluRM = 0x30;
+constexpr std::uint8_t kOpMovRR = 0x40;
+constexpr std::uint8_t kOpMovRI = 0x41;
+constexpr std::uint8_t kOpLoad32 = 0x42;
+constexpr std::uint8_t kOpLoad16 = 0x43;
+constexpr std::uint8_t kOpLoad8 = 0x44;
+constexpr std::uint8_t kOpStore32 = 0x45;
+constexpr std::uint8_t kOpStore16 = 0x46;
+constexpr std::uint8_t kOpStore8 = 0x47;
+constexpr std::uint8_t kOpPush = 0x48;
+constexpr std::uint8_t kOpPop = 0x49;
+constexpr std::uint8_t kOpCmpRR = 0x4A;
+constexpr std::uint8_t kOpCmpRI = 0x4B;
+constexpr std::uint8_t kOpAluRI8 = 0x60;
+constexpr std::uint8_t kOpCmpRI8 = 0x6E;
+constexpr std::uint8_t kOpMovRI8 = 0x6F;
+constexpr std::uint8_t kOpJcc = 0x50;
+
+bool
+fitsImm8(std::int32_t imm)
+{
+    return imm >= -128 && imm <= 127;
+}
+constexpr std::uint8_t kOpJmp = 0x5A;
+constexpr std::uint8_t kOpCall = 0x5B;
+constexpr std::uint8_t kOpJmpInd = 0x5C;
+constexpr std::uint8_t kOpCallInd = 0x5D;
+
+void
+put16(std::vector<std::uint8_t> &out, std::uint16_t v)
+{
+    out.push_back(static_cast<std::uint8_t>(v));
+    out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void
+put32(std::vector<std::uint8_t> &out, std::uint32_t v)
+{
+    out.push_back(static_cast<std::uint8_t>(v));
+    out.push_back(static_cast<std::uint8_t>(v >> 8));
+    out.push_back(static_cast<std::uint8_t>(v >> 16));
+    out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+std::uint16_t
+get16(const std::uint8_t *p)
+{
+    return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+std::uint32_t
+get32(const std::uint8_t *p)
+{
+    return static_cast<std::uint32_t>(p[0]) |
+           (static_cast<std::uint32_t>(p[1]) << 8) |
+           (static_cast<std::uint32_t>(p[2]) << 16) |
+           (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+MemWidth
+loadStoreWidth(std::uint8_t opcode, std::uint8_t base)
+{
+    switch (opcode - base) {
+      case 0:
+        return MemWidth::Word;
+      case 1:
+        return MemWidth::Half;
+      default:
+        return MemWidth::Byte;
+    }
+}
+
+std::uint8_t
+widthOffset(MemWidth w)
+{
+    switch (w) {
+      case MemWidth::Word:
+        return 0;
+      case MemWidth::Half:
+        return 1;
+      case MemWidth::Byte:
+        return 2;
+    }
+    panic("bad MemWidth");
+}
+
+} // namespace
+
+std::size_t
+x86Length(const MacroOp &op)
+{
+    switch (op.kind) {
+      case OpKind::Nop:
+      case OpKind::Ret:
+      case OpKind::Halt:
+      case OpKind::Syscall:
+        return 1;
+      case OpKind::AluRR:
+      case OpKind::MovRR:
+      case OpKind::Push:
+      case OpKind::Pop:
+      case OpKind::CmpRR:
+      case OpKind::JumpInd:
+      case OpKind::CallInd:
+        return 2;
+      case OpKind::BrCond:
+      case OpKind::Jump:
+      case OpKind::Call:
+        return 3;
+      case OpKind::AluRI:
+      case OpKind::MovRI:
+      case OpKind::CmpRI:
+        // Short sign-extended imm8 forms, as on real x86.
+        return fitsImm8(op.imm) ? 3 : 6;
+      case OpKind::LoadOp:
+      case OpKind::Load:
+      case OpKind::Store:
+        return 4;
+      case OpKind::MovTI:
+        panic("MOVT is not a DX86 instruction");
+      case OpKind::Illegal:
+        return 1;
+    }
+    panic("x86Length: bad OpKind %s", static_cast<int>(op.kind));
+}
+
+void
+x86Encode(const MacroOp &op, std::vector<std::uint8_t> &out)
+{
+    auto regs = [](std::uint8_t hi, std::uint8_t lo) {
+        return static_cast<std::uint8_t>((hi & 0xf) << 4 | (lo & 0xf));
+    };
+    switch (op.kind) {
+      case OpKind::Nop:
+        out.push_back(kOpNop);
+        break;
+      case OpKind::Ret:
+        out.push_back(kOpRet);
+        break;
+      case OpKind::Halt:
+        out.push_back(kOpHlt);
+        break;
+      case OpKind::Syscall:
+        out.push_back(kOpSyscall);
+        break;
+      case OpKind::AluRR:
+        if (op.rd != op.rn)
+            panic("DX86 ALU rr must be two-operand (rd == rn)");
+        out.push_back(kOpAluRR + static_cast<std::uint8_t>(op.func));
+        out.push_back(regs(op.rd, op.rm));
+        break;
+      case OpKind::AluRI:
+        if (op.rd != op.rn)
+            panic("DX86 ALU ri must be two-operand (rd == rn)");
+        if (fitsImm8(op.imm)) {
+            out.push_back(kOpAluRI8 +
+                          static_cast<std::uint8_t>(op.func));
+            out.push_back(regs(op.rd, 0));
+            out.push_back(static_cast<std::uint8_t>(op.imm));
+        } else {
+            out.push_back(kOpAluRI +
+                          static_cast<std::uint8_t>(op.func));
+            out.push_back(regs(op.rd, 0));
+            put32(out, static_cast<std::uint32_t>(op.imm));
+        }
+        break;
+      case OpKind::LoadOp:
+        out.push_back(kOpAluRM + static_cast<std::uint8_t>(op.func));
+        out.push_back(regs(op.rd, op.rn));
+        put16(out, static_cast<std::uint16_t>(op.imm));
+        break;
+      case OpKind::MovRR:
+        out.push_back(kOpMovRR);
+        out.push_back(regs(op.rd, op.rm));
+        break;
+      case OpKind::MovRI:
+        if (fitsImm8(op.imm)) {
+            out.push_back(kOpMovRI8);
+            out.push_back(regs(op.rd, 0));
+            out.push_back(static_cast<std::uint8_t>(op.imm));
+        } else {
+            out.push_back(kOpMovRI);
+            out.push_back(regs(op.rd, 0));
+            put32(out, static_cast<std::uint32_t>(op.imm));
+        }
+        break;
+      case OpKind::Load:
+        out.push_back(kOpLoad32 + widthOffset(op.width));
+        out.push_back(regs(op.rd, op.rn));
+        put16(out, static_cast<std::uint16_t>(op.imm));
+        break;
+      case OpKind::Store:
+        out.push_back(kOpStore32 + widthOffset(op.width));
+        out.push_back(regs(op.rm, op.rn));
+        put16(out, static_cast<std::uint16_t>(op.imm));
+        break;
+      case OpKind::Push:
+        out.push_back(kOpPush);
+        out.push_back(regs(op.rm, 0));
+        break;
+      case OpKind::Pop:
+        out.push_back(kOpPop);
+        out.push_back(regs(op.rd, 0));
+        break;
+      case OpKind::CmpRR:
+        out.push_back(kOpCmpRR);
+        out.push_back(regs(op.rn, op.rm));
+        break;
+      case OpKind::CmpRI:
+        if (fitsImm8(op.imm)) {
+            out.push_back(kOpCmpRI8);
+            out.push_back(regs(op.rn, 0));
+            out.push_back(static_cast<std::uint8_t>(op.imm));
+        } else {
+            out.push_back(kOpCmpRI);
+            out.push_back(regs(op.rn, 0));
+            put32(out, static_cast<std::uint32_t>(op.imm));
+        }
+        break;
+      case OpKind::BrCond:
+        out.push_back(kOpJcc + static_cast<std::uint8_t>(op.cond));
+        put16(out, static_cast<std::uint16_t>(op.imm));
+        break;
+      case OpKind::Jump:
+        out.push_back(kOpJmp);
+        put16(out, static_cast<std::uint16_t>(op.imm));
+        break;
+      case OpKind::Call:
+        out.push_back(kOpCall);
+        put16(out, static_cast<std::uint16_t>(op.imm));
+        break;
+      case OpKind::JumpInd:
+        out.push_back(kOpJmpInd);
+        out.push_back(regs(op.rm, 0));
+        break;
+      case OpKind::CallInd:
+        out.push_back(kOpCallInd);
+        out.push_back(regs(op.rm, 0));
+        break;
+      default:
+        panic("x86Encode: cannot encode %s", opKindName(op.kind));
+    }
+}
+
+MacroOp
+x86Decode(const std::uint8_t *bytes, std::size_t avail)
+{
+    MacroOp op;
+    op.kind = OpKind::Illegal;
+    op.length = 1;
+    if (avail == 0) {
+        op.length = 0;
+        return op;
+    }
+
+    const std::uint8_t opc = bytes[0];
+
+    auto need = [&](std::size_t n) {
+        if (avail < n)
+            return false;
+        op.length = static_cast<std::uint8_t>(n);
+        return true;
+    };
+    auto hi = [&](std::size_t i) {
+        return static_cast<std::uint8_t>(bytes[i] >> 4);
+    };
+    auto lo = [&](std::size_t i) {
+        return static_cast<std::uint8_t>(bytes[i] & 0xf);
+    };
+
+    switch (opc) {
+      case kOpNop:
+        op.kind = OpKind::Nop;
+        return op;
+      case kOpRet:
+        op.kind = OpKind::Ret;
+        return op;
+      case kOpHlt:
+        op.kind = OpKind::Halt;
+        return op;
+      case kOpSyscall:
+        op.kind = OpKind::Syscall;
+        return op;
+      default:
+        break;
+    }
+
+    if (opc >= kOpAluRR && opc < kOpAluRR + kNumAluFuncs) {
+        if (!need(2))
+            return op;
+        op.kind = OpKind::AluRR;
+        op.func = static_cast<AluFunc>(opc - kOpAluRR);
+        op.rd = op.rn = hi(1);
+        op.rm = lo(1);
+        return op;
+    }
+    if (opc >= kOpAluRI && opc < kOpAluRI + kNumAluFuncs) {
+        if (!need(6))
+            return op;
+        op.kind = OpKind::AluRI;
+        op.func = static_cast<AluFunc>(opc - kOpAluRI);
+        op.rd = op.rn = hi(1);
+        op.imm = static_cast<std::int32_t>(get32(bytes + 2));
+        return op;
+    }
+    if (opc >= kOpAluRM && opc < kOpAluRM + kNumAluFuncs) {
+        if (!need(4))
+            return op;
+        op.kind = OpKind::LoadOp;
+        op.func = static_cast<AluFunc>(opc - kOpAluRM);
+        op.rd = hi(1);
+        op.rn = lo(1);
+        op.imm = static_cast<std::int16_t>(get16(bytes + 2));
+        return op;
+    }
+    if (opc >= kOpAluRI8 && opc < kOpAluRI8 + kNumAluFuncs) {
+        if (!need(3))
+            return op;
+        op.kind = OpKind::AluRI;
+        op.func = static_cast<AluFunc>(opc - kOpAluRI8);
+        op.rd = op.rn = hi(1);
+        op.imm = static_cast<std::int8_t>(bytes[2]);
+        return op;
+    }
+    if (opc == kOpCmpRI8) {
+        if (!need(3))
+            return op;
+        op.kind = OpKind::CmpRI;
+        op.rn = hi(1);
+        op.imm = static_cast<std::int8_t>(bytes[2]);
+        return op;
+    }
+    if (opc == kOpMovRI8) {
+        if (!need(3))
+            return op;
+        op.kind = OpKind::MovRI;
+        op.rd = hi(1);
+        op.imm = static_cast<std::int8_t>(bytes[2]);
+        return op;
+    }
+    if (opc >= kOpJcc && opc < kOpJcc + kNumConds) {
+        if (!need(3))
+            return op;
+        op.kind = OpKind::BrCond;
+        op.cond = static_cast<Cond>(opc - kOpJcc);
+        op.imm = static_cast<std::int16_t>(get16(bytes + 1));
+        return op;
+    }
+
+    switch (opc) {
+      case kOpMovRR:
+        if (!need(2))
+            return op;
+        op.kind = OpKind::MovRR;
+        op.rd = hi(1);
+        op.rm = lo(1);
+        return op;
+      case kOpMovRI:
+        if (!need(6))
+            return op;
+        op.kind = OpKind::MovRI;
+        op.rd = hi(1);
+        op.imm = static_cast<std::int32_t>(get32(bytes + 2));
+        return op;
+      case kOpLoad32:
+      case kOpLoad16:
+      case kOpLoad8:
+        if (!need(4))
+            return op;
+        op.kind = OpKind::Load;
+        op.width = loadStoreWidth(opc, kOpLoad32);
+        op.rd = hi(1);
+        op.rn = lo(1);
+        op.imm = static_cast<std::int16_t>(get16(bytes + 2));
+        return op;
+      case kOpStore32:
+      case kOpStore16:
+      case kOpStore8:
+        if (!need(4))
+            return op;
+        op.kind = OpKind::Store;
+        op.width = loadStoreWidth(opc, kOpStore32);
+        op.rm = hi(1);
+        op.rn = lo(1);
+        op.imm = static_cast<std::int16_t>(get16(bytes + 2));
+        return op;
+      case kOpPush:
+        if (!need(2))
+            return op;
+        op.kind = OpKind::Push;
+        op.rm = hi(1);
+        return op;
+      case kOpPop:
+        if (!need(2))
+            return op;
+        op.kind = OpKind::Pop;
+        op.rd = hi(1);
+        return op;
+      case kOpCmpRR:
+        if (!need(2))
+            return op;
+        op.kind = OpKind::CmpRR;
+        op.rn = hi(1);
+        op.rm = lo(1);
+        return op;
+      case kOpCmpRI:
+        if (!need(6))
+            return op;
+        op.kind = OpKind::CmpRI;
+        op.rn = hi(1);
+        op.imm = static_cast<std::int32_t>(get32(bytes + 2));
+        return op;
+      case kOpJmp:
+        if (!need(3))
+            return op;
+        op.kind = OpKind::Jump;
+        op.imm = static_cast<std::int16_t>(get16(bytes + 1));
+        return op;
+      case kOpCall:
+        if (!need(3))
+            return op;
+        op.kind = OpKind::Call;
+        op.imm = static_cast<std::int16_t>(get16(bytes + 1));
+        return op;
+      case kOpJmpInd:
+        if (!need(2))
+            return op;
+        op.kind = OpKind::JumpInd;
+        op.rm = hi(1);
+        return op;
+      case kOpCallInd:
+        if (!need(2))
+            return op;
+        op.kind = OpKind::CallInd;
+        op.rm = hi(1);
+        return op;
+      default:
+        return op; // Illegal, length 1
+    }
+}
+
+} // namespace dfi::isa

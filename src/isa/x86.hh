@@ -1,0 +1,58 @@
+/**
+ * @file
+ * DX86 instruction encoding and decoding.
+ *
+ * DX86 is the x86-flavoured synthetic ISA: little-endian, variable
+ * instruction length (1 to 6 bytes), two-operand destructive ALU ops,
+ * ALU ops with a folded memory operand (load-op), PUSH/POP, and
+ * CALL/RET that push/pop the return address through the stack.
+ *
+ * Encoding map (first byte):
+ *   0x00 NOP   0x01 RET   0x02 HLT   0x03 SYSCALL            (1 byte)
+ *   0x10+f  ALU rr    [op][rd<<4|rm]                          (2 bytes)
+ *   0x20+f  ALU ri    [op][rd<<4]   imm32                     (6 bytes)
+ *   0x30+f  ALU rm    [op][rd<<4|rb] disp16                   (4 bytes)
+ *   0x40 MOV rr (2)   0x41 MOV ri (6)
+ *   0x42/43/44 LOAD32/16/8   [op][rd<<4|rb] disp16            (4 bytes)
+ *   0x45/46/47 STORE32/16/8  [op][rs<<4|rb] disp16            (4 bytes)
+ *   0x48 PUSH r (2)   0x49 POP r (2)
+ *   0x4A CMP rr (2)   0x4B CMP ri (6)
+ *   0x50+cc Jcc rel16 (3)
+ *   0x5A JMP rel16 (3)  0x5B CALL rel16 (3)
+ *   0x5C JMP r (2)      0x5D CALL r (2)
+ * Any other first byte decodes to an Illegal op of length 1 — which is
+ * exactly what makes I-cache bit flips re-frame the instruction stream
+ * like they do on real x86.
+ *
+ * Branch displacements are relative to the address of the *next*
+ * instruction.
+ */
+
+#ifndef DFI_ISA_X86_HH
+#define DFI_ISA_X86_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/macroop.hh"
+
+namespace dfi::isa
+{
+
+/** Encoded length of `op` in bytes (fixed per format). */
+std::size_t x86Length(const MacroOp &op);
+
+/** Append the encoding of `op` to `out`.  panic()s on unencodable ops. */
+void x86Encode(const MacroOp &op, std::vector<std::uint8_t> &out);
+
+/**
+ * Decode the bytes at `bytes` (with `avail` readable bytes).  Returns
+ * an Illegal MacroOp (length 1) for unknown opcodes and a truncated
+ * Illegal op when fewer than the needed bytes are available.  Never
+ * reads beyond `bytes + avail`.
+ */
+MacroOp x86Decode(const std::uint8_t *bytes, std::size_t avail);
+
+} // namespace dfi::isa
+
+#endif // DFI_ISA_X86_HH

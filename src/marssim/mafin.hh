@@ -1,0 +1,51 @@
+/**
+ * @file
+ * MaFIN — the MARSS-based Fault INjector.
+ *
+ * The thin, named façade of the paper's MaFIN tool: an injection
+ * campaign pinned to the MARSS-like simulator model (marss-x86
+ * CoreConfig), which carries all the MARSS-specific behaviours the
+ * study isolates — unified 32-entry LSQ holding load and store data,
+ * 64-entry ROB, aggressive load issue with replay-by-flush, the QEMU
+ * hypervisor analog (system operations bypass the caches against
+ * authoritative main memory), dense assertion checkpoints, the
+ * address-indexed tournament chooser, the split direct/indirect BTB,
+ * and the L1D/L1I next-line prefetchers MaFIN added to MARSS
+ * (Table IV "New").
+ */
+
+#ifndef DFI_MARSSIM_MAFIN_HH
+#define DFI_MARSSIM_MAFIN_HH
+
+#include "inject/campaign.hh"
+#include "uarch/core_config.hh"
+#include "uarch/ooo_core.hh"
+
+namespace dfi::mafin
+{
+
+/** The marss-x86 simulator model MaFIN instruments. */
+inline uarch::CoreConfig
+simulatorConfig()
+{
+    return uarch::marssX86Config();
+}
+
+/** Build a MaFIN campaign (coreName is forced to marss-x86). */
+inline inject::InjectionCampaign
+makeCampaign(inject::CampaignConfig config)
+{
+    config.coreName = "marss-x86";
+    return inject::InjectionCampaign(std::move(config));
+}
+
+/** Instantiate the bare simulator (for direct-driving studies). */
+inline uarch::OooCore
+makeSimulator(const isa::Image &image)
+{
+    return uarch::OooCore(simulatorConfig(), image);
+}
+
+} // namespace dfi::mafin
+
+#endif // DFI_MARSSIM_MAFIN_HH

@@ -1,0 +1,47 @@
+#include "prog/benchmark.hh"
+
+#include "common/logging.hh"
+
+namespace dfi::prog
+{
+
+const std::vector<std::string> &
+benchmarkNames()
+{
+    static const std::vector<std::string> names = {
+        "djpeg", "search", "smooth", "edge",  "corner",
+        "sha",   "fft",    "qsort",  "cjpeg", "caes"};
+    return names;
+}
+
+Benchmark
+buildBenchmark(const std::string &name, std::uint32_t scale)
+{
+    if (scale == 0)
+        fatal("benchmark scale must be >= 1");
+    if (name == "sha")
+        return buildSha(scale);
+    if (name == "caes")
+        return buildCaes(scale);
+    if (name == "fft")
+        return buildFft(scale);
+    if (name == "qsort")
+        return buildQsort(scale);
+    if (name == "search")
+        return buildSearch(scale);
+    if (name == "smooth")
+        return buildSmooth(scale);
+    if (name == "edge")
+        return buildEdge(scale);
+    if (name == "corner")
+        return buildCorner(scale);
+    if (name == "cjpeg")
+        return buildCjpeg(scale);
+    if (name == "djpeg")
+        return buildDjpeg(scale);
+    if (name == "micro")
+        return buildMicro(scale); // tiny test workload (not in the study)
+    fatal("unknown benchmark '%s'", name);
+}
+
+} // namespace dfi::prog

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The benchmark suite: ten MiBench-like workloads written in the
+ * portable IR, each paired with a host-side reference implementation
+ * that computes the expected guest output byte-for-byte.
+ *
+ * The ten workloads mirror the paper's MiBench selection (Section
+ * IV.B): djpeg, search, smooth, edge, corner, sha, fft, qsort, cjpeg,
+ * caes.  Inputs are synthetic but deterministic; each benchmark's
+ * `scale` parameter grows the input for longer runs (scale 1 targets
+ * golden runs of roughly 10-100k dynamic instructions, small enough
+ * for large injection campaigns).
+ */
+
+#ifndef DFI_PROG_BENCHMARK_HH
+#define DFI_PROG_BENCHMARK_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/ir.hh"
+
+namespace dfi::prog
+{
+
+/** A workload: IR module plus its expected output. */
+struct Benchmark
+{
+    std::string name;
+    ir::Module module;
+    std::vector<std::uint8_t> expectedOutput;
+    std::uint32_t expectedExit = 0;
+};
+
+/** The ten benchmark names in the paper's order. */
+const std::vector<std::string> &benchmarkNames();
+
+/** Build a benchmark by name; fatal() on unknown names. */
+Benchmark buildBenchmark(const std::string &name,
+                         std::uint32_t scale = 1);
+
+// Individual builders (exposed for targeted tests).
+Benchmark buildSha(std::uint32_t scale);
+Benchmark buildCaes(std::uint32_t scale);
+Benchmark buildFft(std::uint32_t scale);
+Benchmark buildQsort(std::uint32_t scale);
+Benchmark buildSearch(std::uint32_t scale);
+Benchmark buildSmooth(std::uint32_t scale);
+Benchmark buildEdge(std::uint32_t scale);
+Benchmark buildCorner(std::uint32_t scale);
+Benchmark buildCjpeg(std::uint32_t scale);
+Benchmark buildDjpeg(std::uint32_t scale);
+/** Tiny checksum kernel for tests/examples (not part of the study). */
+Benchmark buildMicro(std::uint32_t scale);
+
+} // namespace dfi::prog
+
+#endif // DFI_PROG_BENCHMARK_HH

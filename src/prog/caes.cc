@@ -1,0 +1,359 @@
+/**
+ * @file
+ * `caes` benchmark: AES-128 ECB encryption (MiBench/security
+ * "rijndael" analog).
+ *
+ * The S-box, the host-expanded round keys, the ShiftRows permutation
+ * map and the plaintext are initialized data; the guest performs the
+ * full 10-round encryption per block byte-by-byte (table lookups, GF
+ * xtime arithmetic) and writes the ciphertext.
+ */
+
+#include "prog/benchmark.hh"
+
+#include <array>
+
+#include "prog/util.hh"
+#include "syskit/os.hh"
+
+namespace dfi::prog
+{
+
+using namespace dfi::ir;
+using isa::AluFunc;
+using isa::MemWidth;
+
+namespace
+{
+
+const std::array<std::uint8_t, 256> kSbox = {
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67,
+    0x2b, 0xfe, 0xd7, 0xab, 0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59,
+    0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0, 0xb7,
+    0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1,
+    0x71, 0xd8, 0x31, 0x15, 0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05,
+    0x9a, 0x07, 0x12, 0x80, 0xe2, 0xeb, 0x27, 0xb2, 0x75, 0x09, 0x83,
+    0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6, 0xb3, 0x29,
+    0xe3, 0x2f, 0x84, 0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b,
+    0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf, 0xd0, 0xef, 0xaa,
+    0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f, 0x50, 0x3c,
+    0x9f, 0xa8, 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5, 0xbc,
+    0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2, 0xcd, 0x0c, 0x13, 0xec,
+    0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19,
+    0x73, 0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee,
+    0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb, 0xe0, 0x32, 0x3a, 0x0a, 0x49,
+    0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79,
+    0xe7, 0xc8, 0x37, 0x6d, 0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4,
+    0xea, 0x65, 0x7a, 0xae, 0x08, 0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6,
+    0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a, 0x70,
+    0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9,
+    0x86, 0xc1, 0x1d, 0x9e, 0xe1, 0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e,
+    0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf, 0x8c, 0xa1,
+    0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0,
+    0x54, 0xbb, 0x16};
+
+/** Column-major state layout: state[i] is byte i of the block. */
+const std::array<std::uint8_t, 16> kShiftRowsMap = {
+    0, 5, 10, 15, 4, 9, 14, 3, 8, 13, 2, 7, 12, 1, 6, 11};
+
+std::uint8_t
+xtime(std::uint8_t x)
+{
+    return static_cast<std::uint8_t>((x << 1) ^
+                                     (((x >> 7) & 1) * 0x1b));
+}
+
+/** Host key expansion (AES-128 -> 11 round keys). */
+std::array<std::uint8_t, 176>
+expandKey(const std::array<std::uint8_t, 16> &key)
+{
+    std::array<std::uint8_t, 176> rk{};
+    std::copy(key.begin(), key.end(), rk.begin());
+    std::uint8_t rcon = 1;
+    for (int i = 16; i < 176; i += 4) {
+        std::uint8_t t[4] = {rk[i - 4], rk[i - 3], rk[i - 2],
+                             rk[i - 1]};
+        if (i % 16 == 0) {
+            const std::uint8_t tmp = t[0];
+            t[0] = static_cast<std::uint8_t>(kSbox[t[1]] ^ rcon);
+            t[1] = kSbox[t[2]];
+            t[2] = kSbox[t[3]];
+            t[3] = kSbox[tmp];
+            rcon = xtime(rcon);
+        }
+        for (int j = 0; j < 4; ++j)
+            rk[i + j] = rk[i - 16 + j] ^ t[j];
+    }
+    return rk;
+}
+
+/** Host reference single-block encryption. */
+void
+refEncryptBlock(std::uint8_t *state,
+                const std::array<std::uint8_t, 176> &rk)
+{
+    auto add_round_key = [&](int round) {
+        for (int i = 0; i < 16; ++i)
+            state[i] ^= rk[16 * round + i];
+    };
+    auto sub_bytes = [&] {
+        for (int i = 0; i < 16; ++i)
+            state[i] = kSbox[state[i]];
+    };
+    auto shift_rows = [&] {
+        std::uint8_t tmp[16];
+        for (int i = 0; i < 16; ++i)
+            tmp[i] = state[kShiftRowsMap[i]];
+        std::copy(tmp, tmp + 16, state);
+    };
+    auto mix_columns = [&] {
+        for (int c = 0; c < 4; ++c) {
+            std::uint8_t *s = state + 4 * c;
+            const std::uint8_t t =
+                static_cast<std::uint8_t>(s[0] ^ s[1] ^ s[2] ^ s[3]);
+            const std::uint8_t u = s[0];
+            s[0] = static_cast<std::uint8_t>(
+                s[0] ^ t ^ xtime(static_cast<std::uint8_t>(s[0] ^ s[1])));
+            s[1] = static_cast<std::uint8_t>(
+                s[1] ^ t ^ xtime(static_cast<std::uint8_t>(s[1] ^ s[2])));
+            s[2] = static_cast<std::uint8_t>(
+                s[2] ^ t ^ xtime(static_cast<std::uint8_t>(s[2] ^ s[3])));
+            s[3] = static_cast<std::uint8_t>(
+                s[3] ^ t ^ xtime(static_cast<std::uint8_t>(s[3] ^ u)));
+        }
+    };
+
+    add_round_key(0);
+    for (int round = 1; round <= 9; ++round) {
+        sub_bytes();
+        shift_rows();
+        mix_columns();
+        add_round_key(round);
+    }
+    sub_bytes();
+    shift_rows();
+    add_round_key(10);
+}
+
+/** Guest xtime: ((x << 1) ^ (((x >> 7) & 1) * 0x1b)) & 0xff. */
+VReg
+emitXtime(FunctionBuilder &f, VReg x)
+{
+    VReg doubled = f.binImm(AluFunc::Shl, x, 1);
+    VReg high = f.binImm(AluFunc::ShrU, x, 7);
+    f.binImmTo(high, AluFunc::And, high, 1);
+    f.binImmTo(high, AluFunc::Mul, high, 0x1b);
+    VReg mixed = f.bin(AluFunc::Xor, doubled, high);
+    return f.binImm(AluFunc::And, mixed, 0xff);
+}
+
+} // namespace
+
+Benchmark
+buildCaes(std::uint32_t scale)
+{
+    Benchmark bench;
+    bench.name = "caes";
+
+    const std::array<std::uint8_t, 16> key = {
+        0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+        0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c};
+    const auto rk = expandKey(key);
+
+    const int num_blocks = static_cast<int>(12 * scale);
+    std::vector<std::uint8_t> plaintext(16 * num_blocks);
+    for (std::size_t i = 0; i < plaintext.size(); ++i)
+        plaintext[i] = static_cast<std::uint8_t>(i * 31 + 7);
+
+    // Reference ciphertext.
+    bench.expectedOutput = plaintext;
+    for (int b = 0; b < num_blocks; ++b)
+        refEncryptBlock(bench.expectedOutput.data() + 16 * b, rk);
+
+    ModuleBuilder mb;
+    const int sbox_sym = mb.addGlobal(
+        "sbox",
+        std::vector<std::uint8_t>(kSbox.begin(), kSbox.end()), 4);
+    const int rk_sym = mb.addGlobal(
+        "roundkeys", std::vector<std::uint8_t>(rk.begin(), rk.end()),
+        4);
+    const int map_sym = mb.addGlobal(
+        "shiftmap",
+        std::vector<std::uint8_t>(kShiftRowsMap.begin(),
+                                  kShiftRowsMap.end()),
+        4);
+    const int pt_sym = mb.addGlobal("plaintext", plaintext, 4);
+    const int state_sym = mb.addBss("state", 16);
+    const int tmp_sym = mb.addBss("tmpstate", 16);
+    const int ct_sym =
+        mb.addBss("ciphertext", static_cast<std::uint32_t>(
+                                    plaintext.size()));
+
+    ModuleBuilder &m = mb;
+
+    // --- helper functions ------------------------------------------------
+    // add_round_key(round): state[i] ^= rk[16*round + i]
+    const int fn_ark = m.declareFunction("add_round_key", 1);
+    {
+        auto f = m.beginFunction(fn_ark);
+        VReg st = f.globalAddr(state_sym);
+        VReg rkb = f.globalAddr(rk_sym);
+        VReg round_off = f.binImm(AluFunc::Shl, f.param(0), 4);
+        VReg rk_base = f.add(rkb, round_off);
+        LoopCtx i = loopBegin(f, 0, 16);
+        {
+            VReg sp = f.add(st, i.i);
+            VReg kp = f.add(rk_base, i.i);
+            VReg s = f.load(sp, 0, MemWidth::Byte);
+            VReg k = f.load(kp, 0, MemWidth::Byte);
+            f.store(f.bin(AluFunc::Xor, s, k), sp, 0, MemWidth::Byte);
+        }
+        loopEnd(f, i);
+        f.ret(f.movImm(0));
+        m.endFunction(f);
+    }
+
+    // sub_bytes(): state[i] = sbox[state[i]]
+    const int fn_sub = m.declareFunction("sub_bytes", 0);
+    {
+        auto f = m.beginFunction(fn_sub);
+        VReg st = f.globalAddr(state_sym);
+        VReg sb = f.globalAddr(sbox_sym);
+        LoopCtx i = loopBegin(f, 0, 16);
+        {
+            VReg sp = f.add(st, i.i);
+            VReg s = f.load(sp, 0, MemWidth::Byte);
+            VReg lookup = f.load(f.add(sb, s), 0, MemWidth::Byte);
+            f.store(lookup, sp, 0, MemWidth::Byte);
+        }
+        loopEnd(f, i);
+        f.ret(f.movImm(0));
+        m.endFunction(f);
+    }
+
+    // shift_rows(): tmp[i] = state[map[i]]; state = tmp
+    const int fn_shift = m.declareFunction("shift_rows", 0);
+    {
+        auto f = m.beginFunction(fn_shift);
+        VReg st = f.globalAddr(state_sym);
+        VReg tp = f.globalAddr(tmp_sym);
+        VReg mp = f.globalAddr(map_sym);
+        LoopCtx i = loopBegin(f, 0, 16);
+        {
+            VReg idx = f.load(f.add(mp, i.i), 0, MemWidth::Byte);
+            VReg val = f.load(f.add(st, idx), 0, MemWidth::Byte);
+            f.store(val, f.add(tp, i.i), 0, MemWidth::Byte);
+        }
+        loopEnd(f, i);
+        LoopCtx j = loopBegin(f, 0, 16);
+        {
+            VReg val = f.load(f.add(tp, j.i), 0, MemWidth::Byte);
+            f.store(val, f.add(st, j.i), 0, MemWidth::Byte);
+        }
+        loopEnd(f, j);
+        f.ret(f.movImm(0));
+        m.endFunction(f);
+    }
+
+    // mix_columns()
+    const int fn_mix = m.declareFunction("mix_columns", 0);
+    {
+        auto f = m.beginFunction(fn_mix);
+        LoopCtx c = loopBegin(f, 0, 4);
+        {
+            VReg st = f.globalAddr(state_sym);
+            VReg col_off = f.binImm(AluFunc::Shl, c.i, 2);
+            VReg s = f.add(st, col_off);
+            VReg s0 = f.load(s, 0, MemWidth::Byte);
+            VReg s1 = f.load(s, 1, MemWidth::Byte);
+            VReg s2 = f.load(s, 2, MemWidth::Byte);
+            VReg s3 = f.load(s, 3, MemWidth::Byte);
+            VReg t = f.bin(AluFunc::Xor, s0, s1);
+            f.binTo(t, AluFunc::Xor, t, s2);
+            f.binTo(t, AluFunc::Xor, t, s3);
+            VReg u = f.mov(s0);
+
+            VReg x01 = emitXtime(f, f.bin(AluFunc::Xor, s0, s1));
+            VReg n0 = f.bin(AluFunc::Xor, s0, t);
+            f.binTo(n0, AluFunc::Xor, n0, x01);
+            f.binImmTo(n0, AluFunc::And, n0, 0xff);
+            f.store(n0, s, 0, MemWidth::Byte);
+
+            VReg x12 = emitXtime(f, f.bin(AluFunc::Xor, s1, s2));
+            VReg n1 = f.bin(AluFunc::Xor, s1, t);
+            f.binTo(n1, AluFunc::Xor, n1, x12);
+            f.binImmTo(n1, AluFunc::And, n1, 0xff);
+            f.store(n1, s, 1, MemWidth::Byte);
+
+            VReg x23 = emitXtime(f, f.bin(AluFunc::Xor, s2, s3));
+            VReg n2 = f.bin(AluFunc::Xor, s2, t);
+            f.binTo(n2, AluFunc::Xor, n2, x23);
+            f.binImmTo(n2, AluFunc::And, n2, 0xff);
+            f.store(n2, s, 2, MemWidth::Byte);
+
+            VReg x3u = emitXtime(f, f.bin(AluFunc::Xor, s3, u));
+            VReg n3 = f.bin(AluFunc::Xor, s3, t);
+            f.binTo(n3, AluFunc::Xor, n3, x3u);
+            f.binImmTo(n3, AluFunc::And, n3, 0xff);
+            f.store(n3, s, 3, MemWidth::Byte);
+        }
+        loopEnd(f, c);
+        f.ret(f.movImm(0));
+        m.endFunction(f);
+    }
+
+    // --- main --------------------------------------------------------------
+    {
+        auto f = m.beginFunction("main", 0);
+        LoopCtx blk = loopBegin(f, 0, num_blocks);
+        {
+            VReg blk_off = f.binImm(AluFunc::Shl, blk.i, 4);
+            // state = plaintext block
+            VReg pt = f.add(f.globalAddr(pt_sym), blk_off);
+            VReg st = f.globalAddr(state_sym);
+            LoopCtx cp = loopBegin(f, 0, 16);
+            {
+                VReg v =
+                    f.load(f.add(pt, cp.i), 0, MemWidth::Byte);
+                f.store(v, f.add(st, cp.i), 0, MemWidth::Byte);
+            }
+            loopEnd(f, cp);
+
+            f.callVoid(fn_ark, {f.movImm(0)});
+            LoopCtx round = loopBegin(f, 1, 10);
+            {
+                f.callVoid(fn_sub, {});
+                f.callVoid(fn_shift, {});
+                f.callVoid(fn_mix, {});
+                f.callVoid(fn_ark, {round.i});
+            }
+            loopEnd(f, round);
+            f.callVoid(fn_sub, {});
+            f.callVoid(fn_shift, {});
+            f.callVoid(fn_ark, {f.movImm(10)});
+
+            // ciphertext block = state
+            VReg ct = f.add(f.globalAddr(ct_sym), blk_off);
+            VReg st2 = f.globalAddr(state_sym);
+            LoopCtx cp2 = loopBegin(f, 0, 16);
+            {
+                VReg v =
+                    f.load(f.add(st2, cp2.i), 0, MemWidth::Byte);
+                f.store(v, f.add(ct, cp2.i), 0, MemWidth::Byte);
+            }
+            loopEnd(f, cp2);
+        }
+        loopEnd(f, blk);
+
+        VReg out = f.globalAddr(ct_sym);
+        emitWrite(f, out,
+                  f.movImm(static_cast<std::int32_t>(plaintext.size())));
+        f.ret(f.movImm(0));
+        m.endFunction(f);
+    }
+
+    bench.module = mb.take();
+    return bench;
+}
+
+} // namespace dfi::prog

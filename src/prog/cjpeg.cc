@@ -1,0 +1,229 @@
+/**
+ * @file
+ * `cjpeg` benchmark: JPEG-style image encoder (MiBench/consumer
+ * "cjpeg" analog): 8x8 blocks, integer two-pass cosine transform,
+ * quantization, zigzag run-length entropy coding.
+ */
+
+#include "prog/benchmark.hh"
+
+#include "prog/image_common.hh"
+#include "prog/jpeg_common.hh"
+#include "prog/util.hh"
+#include "syskit/os.hh"
+
+namespace dfi::prog
+{
+
+using namespace dfi::ir;
+using isa::AluFunc;
+using isa::Cond;
+using isa::MemWidth;
+
+Benchmark
+buildCjpeg(std::uint32_t scale)
+{
+    Benchmark bench;
+    bench.name = "cjpeg";
+
+    const int width = 16 * static_cast<int>(scale);
+    const int height = 16;
+    const auto image = makeTestImage(width, height);
+
+    const auto stream = jpegRefEncode(image, width, height);
+    // Output: [stream length u32][stream bytes].
+    bench.expectedOutput = wordsToBytes(
+        {static_cast<std::uint32_t>(stream.size())});
+    bench.expectedOutput.insert(bench.expectedOutput.end(),
+                                stream.begin(), stream.end());
+
+    auto words = [](const std::array<std::int32_t, 64> &a) {
+        std::vector<std::uint32_t> w(a.begin(), a.end());
+        return wordsToBytes(w);
+    };
+
+    ModuleBuilder mb;
+    const int img_sym = mb.addGlobal("image", image, 4);
+    const int ct_sym = mb.addGlobal("costable", words(jpegCosTable()), 4);
+    const int quant_sym =
+        mb.addGlobal("quant", words(jpegQuantTable()), 4);
+    const int zz_sym = mb.addGlobal(
+        "zigzag",
+        wordsToBytes(std::vector<std::uint32_t>(jpegZigzag().begin(),
+                                                jpegZigzag().end())),
+        4);
+    const int s_sym = mb.addBss("blk_s", 64 * 4);
+    const int tmp_sym = mb.addBss("blk_tmp", 64 * 4);
+    const int coef_sym = mb.addBss("blk_coef", 64 * 4);
+    const int q_sym = mb.addBss("blk_q", 64 * 4);
+    const int len_sym = mb.addBss("stream_len", 4);
+    const int stream_sym = mb.addBss(
+        "stream", static_cast<std::uint32_t>(stream.size()) + 64);
+
+    auto f = mb.beginFunction("main", 0);
+    VReg cursor = f.globalAddr(stream_sym);
+
+    LoopCtx by = loopBegin(f, 0, height / 8);
+    {
+        LoopCtx bx = loopBegin(f, 0, width / 8);
+        {
+            // Load the block with level shift.
+            LoopCtx y = loopBegin(f, 0, 8);
+            {
+                // src row = (by*8 + y)*width + bx*8
+                VReg row = f.binImm(AluFunc::Shl, by.i, 3);
+                f.binTo(row, AluFunc::Add, row, y.i);
+                f.binImmTo(row, AluFunc::Mul, row, width);
+                VReg col = f.binImm(AluFunc::Shl, bx.i, 3);
+                f.binTo(row, AluFunc::Add, row, col);
+                VReg src = f.add(f.globalAddr(img_sym), row);
+                VReg drow = f.binImm(AluFunc::Shl, y.i, 5); // y*8*4
+                VReg dst = f.add(f.globalAddr(s_sym), drow);
+                LoopCtx x = loopBegin(f, 0, 8);
+                {
+                    VReg px =
+                        f.load(f.add(src, x.i), 0, MemWidth::Byte);
+                    f.binImmTo(px, AluFunc::Sub, px, 128);
+                    VReg xo = f.binImm(AluFunc::Shl, x.i, 2);
+                    f.store(px, f.add(dst, xo), 0);
+                }
+                loopEnd(f, x);
+            }
+            loopEnd(f, y);
+
+            // Pass 1: tmp[u][x] = (sum_y ct[u][y] * s[y][x]) >> k1
+            LoopCtx u = loopBegin(f, 0, 8);
+            {
+                VReg ct_row = f.binImm(AluFunc::Shl, u.i, 5);
+                VReg ct_base = f.add(f.globalAddr(ct_sym), ct_row);
+                LoopCtx x = loopBegin(f, 0, 8);
+                {
+                    VReg acc = f.var(0);
+                    LoopCtx yy = loopBegin(f, 0, 8);
+                    {
+                        VReg co = f.binImm(AluFunc::Shl, yy.i, 2);
+                        VReg c = f.load(f.add(ct_base, co), 0);
+                        VReg so = f.binImm(AluFunc::Shl, yy.i, 5);
+                        VReg xo = f.binImm(AluFunc::Shl, x.i, 2);
+                        f.binTo(so, AluFunc::Add, so, xo);
+                        VReg sv =
+                            f.load(f.add(f.globalAddr(s_sym), so), 0);
+                        VReg prod = f.bin(AluFunc::Mul, c, sv);
+                        f.binTo(acc, AluFunc::Add, acc, prod);
+                    }
+                    loopEnd(f, yy);
+                    f.binImmTo(acc, AluFunc::ShrS, acc, kFwdShift1);
+                    VReg to = f.binImm(AluFunc::Shl, u.i, 5);
+                    VReg xo2 = f.binImm(AluFunc::Shl, x.i, 2);
+                    f.binTo(to, AluFunc::Add, to, xo2);
+                    f.store(acc, f.add(f.globalAddr(tmp_sym), to), 0);
+                }
+                loopEnd(f, x);
+            }
+            loopEnd(f, u);
+
+            // Pass 2: coef[u][v] = (sum_x ct[v][x] * tmp[u][x]) >> k2
+            LoopCtx u2 = loopBegin(f, 0, 8);
+            {
+                LoopCtx v = loopBegin(f, 0, 8);
+                {
+                    VReg ct_row = f.binImm(AluFunc::Shl, v.i, 5);
+                    VReg ct_base = f.add(f.globalAddr(ct_sym), ct_row);
+                    VReg acc = f.var(0);
+                    LoopCtx x = loopBegin(f, 0, 8);
+                    {
+                        VReg co = f.binImm(AluFunc::Shl, x.i, 2);
+                        VReg c = f.load(f.add(ct_base, co), 0);
+                        VReg to = f.binImm(AluFunc::Shl, u2.i, 5);
+                        f.binTo(to, AluFunc::Add, to, co);
+                        VReg tv = f.load(
+                            f.add(f.globalAddr(tmp_sym), to), 0);
+                        VReg prod = f.bin(AluFunc::Mul, c, tv);
+                        f.binTo(acc, AluFunc::Add, acc, prod);
+                    }
+                    loopEnd(f, x);
+                    f.binImmTo(acc, AluFunc::ShrS, acc, kFwdShift2);
+                    VReg fo = f.binImm(AluFunc::Shl, u2.i, 5);
+                    VReg vo = f.binImm(AluFunc::Shl, v.i, 2);
+                    f.binTo(fo, AluFunc::Add, fo, vo);
+                    f.store(acc, f.add(f.globalAddr(coef_sym), fo), 0);
+                }
+                loopEnd(f, v);
+            }
+            loopEnd(f, u2);
+
+            // Quantize: q[i] = coef[i] / quant[i]
+            LoopCtx qi = loopBegin(f, 0, 64);
+            {
+                VReg off = f.binImm(AluFunc::Shl, qi.i, 2);
+                VReg cv =
+                    f.load(f.add(f.globalAddr(coef_sym), off), 0);
+                VReg qv =
+                    f.load(f.add(f.globalAddr(quant_sym), off), 0);
+                VReg d = f.bin(AluFunc::DivS, cv, qv);
+                f.store(d, f.add(f.globalAddr(q_sym), off), 0);
+            }
+            loopEnd(f, qi);
+
+            // Entropy coding: DC then AC run-length pairs.  16-bit
+            // values go out as two byte stores — the stream is
+            // byte-oriented and unaligned.
+            auto emit16 = [&](VReg v) {
+                f.store(v, cursor, 0, MemWidth::Byte);
+                VReg hi = f.binImm(AluFunc::ShrU, v, 8);
+                f.store(hi, cursor, 1, MemWidth::Byte);
+                f.binImmTo(cursor, AluFunc::Add, cursor, 2);
+            };
+            {
+                // DC = q[zz[0]] (zz[0] == 0)
+                VReg dc = f.load(f.globalAddr(q_sym), 0);
+                emit16(dc);
+
+                VReg run = f.var(0);
+                LoopCtx ac = loopBegin(f, 1, 64);
+                {
+                    VReg zo = f.binImm(AluFunc::Shl, ac.i, 2);
+                    VReg idx =
+                        f.load(f.add(f.globalAddr(zz_sym), zo), 0);
+                    VReg qo = f.binImm(AluFunc::Shl, idx, 2);
+                    VReg v =
+                        f.load(f.add(f.globalAddr(q_sym), qo), 0);
+                    const int zero = f.newBlock();
+                    const int nonzero = f.newBlock();
+                    const int next = f.newBlock();
+                    f.condBrImm(Cond::Eq, v, 0, zero, nonzero);
+                    f.setBlock(zero);
+                    f.binImmTo(run, AluFunc::Add, run, 1);
+                    f.br(next);
+                    f.setBlock(nonzero);
+                    f.store(run, cursor, 0, MemWidth::Byte);
+                    f.binImmTo(cursor, AluFunc::Add, cursor, 1);
+                    emit16(v);
+                    f.movImmTo(run, 0);
+                    f.br(next);
+                    f.setBlock(next);
+                }
+                loopEnd(f, ac);
+
+                f.store(f.movImm(0xff), cursor, 0, MemWidth::Byte);
+                f.binImmTo(cursor, AluFunc::Add, cursor, 1);
+            }
+        }
+        loopEnd(f, bx);
+    }
+    loopEnd(f, by);
+
+    // length = cursor - stream base; output [len][bytes]
+    VReg base = f.globalAddr(stream_sym);
+    VReg len = f.bin(AluFunc::Sub, cursor, base);
+    f.store(len, f.globalAddr(len_sym), 0);
+    emitWrite(f, f.globalAddr(len_sym), f.movImm(4));
+    emitWrite(f, base, len);
+    f.ret(f.movImm(0));
+    mb.endFunction(f);
+
+    bench.module = mb.take();
+    return bench;
+}
+
+} // namespace dfi::prog

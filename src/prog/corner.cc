@@ -1,0 +1,158 @@
+/**
+ * @file
+ * `corner` benchmark: USAN-area corner detection (MiBench/automotive
+ * "susan -c" analog).
+ *
+ * For every interior pixel the guest counts the 5x5 neighbours whose
+ * brightness is within a threshold of the nucleus (the USAN area) and
+ * marks a corner when the area is below the geometric threshold.
+ * Output: packed corner bitmap plus the corner count.
+ */
+
+#include "prog/benchmark.hh"
+
+#include <cstdlib>
+
+#include "prog/image_common.hh"
+#include "prog/util.hh"
+#include "syskit/os.hh"
+
+namespace dfi::prog
+{
+
+using namespace dfi::ir;
+using isa::AluFunc;
+using isa::Cond;
+using isa::MemWidth;
+
+Benchmark
+buildCorner(std::uint32_t scale)
+{
+    Benchmark bench;
+    bench.name = "corner";
+
+    const int width = 24 * static_cast<int>(scale);
+    const int height = 20;
+    const int bright_thresh = 27;
+    const int area_thresh = 12; // of 24 neighbours
+    const auto image = makeTestImage(width, height);
+
+    // --- host reference -----------------------------------------------------
+    std::vector<std::uint8_t> marks(image.size(), 0);
+    std::uint32_t corner_count = 0;
+    for (int y = 2; y < height - 2; ++y) {
+        for (int x = 2; x < width - 2; ++x) {
+            const int nucleus = image[y * width + x];
+            int usan = 0;
+            for (int dy = -2; dy <= 2; ++dy) {
+                for (int dx = -2; dx <= 2; ++dx) {
+                    if (dy == 0 && dx == 0)
+                        continue;
+                    const int v = image[(y + dy) * width + (x + dx)];
+                    if (std::abs(v - nucleus) <= bright_thresh)
+                        ++usan;
+                }
+            }
+            if (usan < area_thresh) {
+                marks[y * width + x] = 1;
+                ++corner_count;
+            }
+        }
+    }
+    bench.expectedOutput = marks;
+    for (int b = 0; b < 4; ++b) {
+        bench.expectedOutput.push_back(
+            static_cast<std::uint8_t>(corner_count >> (8 * b)));
+    }
+
+    // --- guest ---------------------------------------------------------------
+    // Precomputed neighbour byte offsets (the 24 non-nucleus cells of
+    // the 5x5 window).
+    std::vector<std::uint32_t> neighbour_offsets;
+    for (int dy = -2; dy <= 2; ++dy) {
+        for (int dx = -2; dx <= 2; ++dx) {
+            if (dy == 0 && dx == 0)
+                continue;
+            neighbour_offsets.push_back(
+                static_cast<std::uint32_t>(dy * width + dx));
+        }
+    }
+
+    ModuleBuilder mb;
+    const int in_sym = mb.addGlobal("image", image, 4);
+    const int offs_sym =
+        mb.addGlobal("window", wordsToBytes(neighbour_offsets), 4);
+    const int marks_sym =
+        mb.addBss("marks", static_cast<std::uint32_t>(image.size()));
+    const int count_sym = mb.addBss("corner_count", 4);
+
+    auto f = mb.beginFunction("main", 0);
+    VReg total = f.var(0);
+
+    LoopCtx y = loopBegin(f, 2, height - 2);
+    {
+        LoopCtx x = loopBegin(f, 2, width - 2);
+        {
+            VReg row = f.binImm(AluFunc::Mul, y.i, width);
+            VReg idx = f.add(row, x.i);
+            VReg c = f.add(f.globalAddr(in_sym), idx);
+            VReg nucleus = f.load(c, 0, MemWidth::Byte);
+
+            VReg usan = f.var(0);
+            LoopCtx w = loopBegin(f, 0, 24);
+            {
+                VReg ooff = f.binImm(AluFunc::Shl, w.i, 2);
+                VReg disp =
+                    f.load(f.add(f.globalAddr(offs_sym), ooff), 0);
+                VReg v = f.load(f.add(c, disp), 0, MemWidth::Byte);
+                VReg diff = f.bin(AluFunc::Sub, v, nucleus);
+                // |diff|
+                const int neg = f.newBlock();
+                const int absdone = f.newBlock();
+                f.condBrImm(Cond::Slt, diff, 0, neg, absdone);
+                f.setBlock(neg);
+                VReg zero = f.movImm(0);
+                f.binTo(diff, AluFunc::Sub, zero, diff);
+                f.br(absdone);
+                f.setBlock(absdone);
+
+                const int inc = f.newBlock();
+                const int noinc = f.newBlock();
+                f.condBrImm(Cond::Sle, diff, bright_thresh, inc,
+                            noinc);
+                f.setBlock(inc);
+                f.binImmTo(usan, AluFunc::Add, usan, 1);
+                f.br(noinc);
+                f.setBlock(noinc);
+            }
+            loopEnd(f, w);
+
+            const int corner = f.newBlock();
+            const int not_corner = f.newBlock();
+            f.condBrImm(Cond::Slt, usan, area_thresh, corner,
+                        not_corner);
+            f.setBlock(corner);
+            {
+                VReg one = f.movImm(1);
+                f.store(one, f.add(f.globalAddr(marks_sym), idx), 0,
+                        MemWidth::Byte);
+                f.binImmTo(total, AluFunc::Add, total, 1);
+                f.br(not_corner);
+            }
+            f.setBlock(not_corner);
+        }
+        loopEnd(f, x);
+    }
+    loopEnd(f, y);
+
+    f.store(total, f.globalAddr(count_sym), 0);
+    emitWrite(f, f.globalAddr(marks_sym), f.movImm(width * height));
+    emitWrite(f, f.globalAddr(count_sym), f.movImm(4));
+    f.ret(f.movImm(0));
+    mb.endFunction(f);
+
+    bench.module = mb.take();
+    return bench;
+}
+
+} // namespace dfi::prog

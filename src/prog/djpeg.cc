@@ -1,0 +1,235 @@
+/**
+ * @file
+ * `djpeg` benchmark: JPEG-style image decoder (MiBench/consumer
+ * "djpeg" analog): zigzag RLE parsing, dequantization, integer
+ * two-pass inverse transform, level shift + clamp.
+ *
+ * The encoded stream (produced by the host reference encoder) is
+ * embedded as initialized data.
+ */
+
+#include "prog/benchmark.hh"
+
+#include "prog/image_common.hh"
+#include "prog/jpeg_common.hh"
+#include "prog/util.hh"
+#include "syskit/os.hh"
+
+namespace dfi::prog
+{
+
+using namespace dfi::ir;
+using isa::AluFunc;
+using isa::Cond;
+using isa::MemWidth;
+
+Benchmark
+buildDjpeg(std::uint32_t scale)
+{
+    Benchmark bench;
+    bench.name = "djpeg";
+
+    const int width = 16 * static_cast<int>(scale);
+    const int height = 16;
+    const auto image = makeTestImage(width, height);
+    const auto stream = jpegRefEncode(image, width, height);
+    bench.expectedOutput = jpegRefDecode(stream, width, height);
+
+    auto words = [](const std::array<std::int32_t, 64> &a) {
+        std::vector<std::uint32_t> w(a.begin(), a.end());
+        return wordsToBytes(w);
+    };
+
+    ModuleBuilder mb;
+    const int stream_sym = mb.addGlobal("stream", stream, 4);
+    const int ct_sym = mb.addGlobal("costable", words(jpegCosTable()), 4);
+    const int quant_sym =
+        mb.addGlobal("quant", words(jpegQuantTable()), 4);
+    const int zz_sym = mb.addGlobal(
+        "zigzag",
+        wordsToBytes(std::vector<std::uint32_t>(jpegZigzag().begin(),
+                                                jpegZigzag().end())),
+        4);
+    const int q_sym = mb.addBss("blk_q", 64 * 4);
+    const int coef_sym = mb.addBss("blk_coef", 64 * 4);
+    const int tmp_sym = mb.addBss("blk_tmp", 64 * 4);
+    const int out_sym = mb.addBss(
+        "decoded", static_cast<std::uint32_t>(image.size()));
+
+    auto f = mb.beginFunction("main", 0);
+    VReg cursor = f.globalAddr(stream_sym);
+
+    /**
+     * Load a sign-extended 16-bit value at [cursor] (byte-oriented,
+     * unaligned stream), advance by 2.
+     */
+    auto read16 = [&]() {
+        VReg lo = f.load(cursor, 0, MemWidth::Byte);
+        VReg hi = f.load(cursor, 1, MemWidth::Byte);
+        f.binImmTo(hi, AluFunc::Shl, hi, 8);
+        VReg v = f.bin(AluFunc::Or, lo, hi);
+        f.binImmTo(v, AluFunc::Shl, v, 16);
+        f.binImmTo(v, AluFunc::ShrS, v, 16);
+        f.binImmTo(cursor, AluFunc::Add, cursor, 2);
+        return v;
+    };
+
+    LoopCtx by = loopBegin(f, 0, height / 8);
+    {
+        LoopCtx bx = loopBegin(f, 0, width / 8);
+        {
+            // Clear q[].
+            LoopCtx ci = loopBegin(f, 0, 64);
+            {
+                VReg off = f.binImm(AluFunc::Shl, ci.i, 2);
+                f.store(f.movImm(0),
+                        f.add(f.globalAddr(q_sym), off), 0);
+            }
+            loopEnd(f, ci);
+
+            // DC (zz[0] == 0).
+            VReg dc = read16();
+            f.store(dc, f.globalAddr(q_sym), 0);
+
+            // AC pairs until the 0xff end-of-block marker.
+            VReg i = f.var(1);
+            const int parse_head = f.newBlock();
+            const int parse_body = f.newBlock();
+            const int parse_done = f.newBlock();
+            f.br(parse_head);
+            f.setBlock(parse_head);
+            {
+                VReg marker = f.load(cursor, 0, MemWidth::Byte);
+                f.binImmTo(cursor, AluFunc::Add, cursor, 1);
+                f.condBrImm(Cond::Eq, marker, 0xff, parse_done,
+                            parse_body);
+                f.setBlock(parse_body);
+                f.binTo(i, AluFunc::Add, i, marker);
+                VReg v = read16();
+                // q[zz[i]] = v
+                VReg zo = f.binImm(AluFunc::Shl, i, 2);
+                VReg idx = f.load(f.add(f.globalAddr(zz_sym), zo), 0);
+                VReg qo = f.binImm(AluFunc::Shl, idx, 2);
+                f.store(v, f.add(f.globalAddr(q_sym), qo), 0);
+                f.binImmTo(i, AluFunc::Add, i, 1);
+                f.br(parse_head);
+            }
+            f.setBlock(parse_done);
+
+            // Dequantize: coef[k] = q[k] * quant[k]
+            LoopCtx k = loopBegin(f, 0, 64);
+            {
+                VReg off = f.binImm(AluFunc::Shl, k.i, 2);
+                VReg qv = f.load(f.add(f.globalAddr(q_sym), off), 0);
+                VReg quant =
+                    f.load(f.add(f.globalAddr(quant_sym), off), 0);
+                f.store(f.bin(AluFunc::Mul, qv, quant),
+                        f.add(f.globalAddr(coef_sym), off), 0);
+            }
+            loopEnd(f, k);
+
+            // Pass 1: tmp[u][x] = (sum_v ct[v][x] * coef[u][v]) >> k1
+            LoopCtx u = loopBegin(f, 0, 8);
+            {
+                LoopCtx x = loopBegin(f, 0, 8);
+                {
+                    VReg acc = f.var(0);
+                    LoopCtx v = loopBegin(f, 0, 8);
+                    {
+                        VReg cto = f.binImm(AluFunc::Shl, v.i, 5);
+                        VReg xo = f.binImm(AluFunc::Shl, x.i, 2);
+                        f.binTo(cto, AluFunc::Add, cto, xo);
+                        VReg c = f.load(
+                            f.add(f.globalAddr(ct_sym), cto), 0);
+                        VReg fo = f.binImm(AluFunc::Shl, u.i, 5);
+                        VReg vo = f.binImm(AluFunc::Shl, v.i, 2);
+                        f.binTo(fo, AluFunc::Add, fo, vo);
+                        VReg cf = f.load(
+                            f.add(f.globalAddr(coef_sym), fo), 0);
+                        f.binTo(acc, AluFunc::Add, acc,
+                                f.bin(AluFunc::Mul, c, cf));
+                    }
+                    loopEnd(f, v);
+                    f.binImmTo(acc, AluFunc::ShrS, acc, kInvShift1);
+                    VReg to = f.binImm(AluFunc::Shl, u.i, 5);
+                    VReg xo2 = f.binImm(AluFunc::Shl, x.i, 2);
+                    f.binTo(to, AluFunc::Add, to, xo2);
+                    f.store(acc, f.add(f.globalAddr(tmp_sym), to), 0);
+                }
+                loopEnd(f, x);
+            }
+            loopEnd(f, u);
+
+            // Pass 2 + level shift + clamp + store to image.
+            LoopCtx y = loopBegin(f, 0, 8);
+            {
+                LoopCtx x = loopBegin(f, 0, 8);
+                {
+                    VReg acc = f.var(0);
+                    LoopCtx uu = loopBegin(f, 0, 8);
+                    {
+                        VReg cto = f.binImm(AluFunc::Shl, uu.i, 5);
+                        VReg yo = f.binImm(AluFunc::Shl, y.i, 2);
+                        f.binTo(cto, AluFunc::Add, cto, yo);
+                        VReg c = f.load(
+                            f.add(f.globalAddr(ct_sym), cto), 0);
+                        VReg to = f.binImm(AluFunc::Shl, uu.i, 5);
+                        VReg xo = f.binImm(AluFunc::Shl, x.i, 2);
+                        f.binTo(to, AluFunc::Add, to, xo);
+                        VReg tv = f.load(
+                            f.add(f.globalAddr(tmp_sym), to), 0);
+                        f.binTo(acc, AluFunc::Add, acc,
+                                f.bin(AluFunc::Mul, c, tv));
+                    }
+                    loopEnd(f, uu);
+                    f.binImmTo(acc, AluFunc::ShrS, acc, kInvShift2);
+                    f.binImmTo(acc, AluFunc::Add, acc, 128);
+
+                    // clamp to [0, 255]
+                    const int lo_ok = f.newBlock();
+                    const int clamp_done = f.newBlock();
+                    const int too_low = f.newBlock();
+                    const int hi_check = f.newBlock();
+                    const int too_high = f.newBlock();
+                    f.condBrImm(Cond::Slt, acc, 0, too_low, lo_ok);
+                    f.setBlock(too_low);
+                    f.movImmTo(acc, 0);
+                    f.br(clamp_done);
+                    f.setBlock(lo_ok);
+                    f.condBrImm(Cond::Sgt, acc, 255, too_high,
+                                hi_check);
+                    f.setBlock(too_high);
+                    f.movImmTo(acc, 255);
+                    f.br(clamp_done);
+                    f.setBlock(hi_check);
+                    f.br(clamp_done);
+                    f.setBlock(clamp_done);
+
+                    // image[(by*8+y)*width + bx*8 + x] = acc
+                    VReg row = f.binImm(AluFunc::Shl, by.i, 3);
+                    f.binTo(row, AluFunc::Add, row, y.i);
+                    f.binImmTo(row, AluFunc::Mul, row, width);
+                    VReg col = f.binImm(AluFunc::Shl, bx.i, 3);
+                    f.binTo(row, AluFunc::Add, row, col);
+                    f.binTo(row, AluFunc::Add, row, x.i);
+                    f.store(acc,
+                            f.add(f.globalAddr(out_sym), row), 0,
+                            MemWidth::Byte);
+                }
+                loopEnd(f, x);
+            }
+            loopEnd(f, y);
+        }
+        loopEnd(f, bx);
+    }
+    loopEnd(f, by);
+
+    emitWrite(f, f.globalAddr(out_sym), f.movImm(width * height));
+    f.ret(f.movImm(0));
+    mb.endFunction(f);
+
+    bench.module = mb.take();
+    return bench;
+}
+
+} // namespace dfi::prog

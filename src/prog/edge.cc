@@ -1,0 +1,143 @@
+/**
+ * @file
+ * `edge` benchmark: Sobel gradient-magnitude edge detection with
+ * thresholding (MiBench/automotive "susan -e" analog).
+ */
+
+#include "prog/benchmark.hh"
+
+#include <cstdlib>
+
+#include "prog/image_common.hh"
+#include "prog/util.hh"
+#include "syskit/os.hh"
+
+namespace dfi::prog
+{
+
+using namespace dfi::ir;
+using isa::AluFunc;
+using isa::Cond;
+using isa::MemWidth;
+
+Benchmark
+buildEdge(std::uint32_t scale)
+{
+    Benchmark bench;
+    bench.name = "edge";
+
+    const int width = 48 * static_cast<int>(scale);
+    const int height = 48;
+    const int threshold = 96;
+    const auto image = makeTestImage(width, height);
+
+    // --- host reference -----------------------------------------------------
+    std::vector<std::uint8_t> out(image.size(), 0);
+    for (int y = 1; y < height - 1; ++y) {
+        for (int x = 1; x < width - 1; ++x) {
+            auto px = [&](int dy, int dx) {
+                return static_cast<int>(
+                    image[(y + dy) * width + (x + dx)]);
+            };
+            const int gx = px(-1, 1) + 2 * px(0, 1) + px(1, 1) -
+                           px(-1, -1) - 2 * px(0, -1) - px(1, -1);
+            const int gy = px(1, -1) + 2 * px(1, 0) + px(1, 1) -
+                           px(-1, -1) - 2 * px(-1, 0) - px(-1, 1);
+            const int mag = std::abs(gx) + std::abs(gy);
+            out[y * width + x] =
+                mag > threshold ? 255 : static_cast<std::uint8_t>(
+                                            mag >> 1);
+        }
+    }
+    bench.expectedOutput = out;
+
+    // --- guest ---------------------------------------------------------------
+    ModuleBuilder mb;
+    const int in_sym = mb.addGlobal("image", image, 4);
+    const int out_sym =
+        mb.addBss("edges", static_cast<std::uint32_t>(image.size()));
+
+    auto f = mb.beginFunction("main", 0);
+
+    /** |v| via branch. */
+    auto emit_abs = [&](VReg v) {
+        const int neg = f.newBlock();
+        const int done = f.newBlock();
+        f.condBrImm(Cond::Slt, v, 0, neg, done);
+        f.setBlock(neg);
+        VReg zero = f.movImm(0);
+        f.binTo(v, AluFunc::Sub, zero, v);
+        f.br(done);
+        f.setBlock(done);
+    };
+
+    LoopCtx y = loopBegin(f, 1, height - 1);
+    {
+        LoopCtx x = loopBegin(f, 1, width - 1);
+        {
+            VReg row = f.binImm(AluFunc::Mul, y.i, width);
+            VReg idx = f.add(row, x.i);
+            VReg c = f.add(f.globalAddr(in_sym), idx);
+
+            auto px = [&](std::int32_t disp) {
+                return f.load(c, disp, MemWidth::Byte);
+            };
+
+            // gx = (ne + 2e + se) - (nw + 2w + sw)
+            VReg gx = px(-width + 1);
+            VReg e2 = px(1);
+            f.binImmTo(e2, AluFunc::Shl, e2, 1);
+            f.binTo(gx, AluFunc::Add, gx, e2);
+            f.binTo(gx, AluFunc::Add, gx, px(width + 1));
+            f.binTo(gx, AluFunc::Sub, gx, px(-width - 1));
+            VReg w2 = px(-1);
+            f.binImmTo(w2, AluFunc::Shl, w2, 1);
+            f.binTo(gx, AluFunc::Sub, gx, w2);
+            f.binTo(gx, AluFunc::Sub, gx, px(width - 1));
+
+            // gy = (sw + 2s + se) - (nw + 2n + ne)
+            VReg gy = px(width - 1);
+            VReg s2 = px(width);
+            f.binImmTo(s2, AluFunc::Shl, s2, 1);
+            f.binTo(gy, AluFunc::Add, gy, s2);
+            f.binTo(gy, AluFunc::Add, gy, px(width + 1));
+            f.binTo(gy, AluFunc::Sub, gy, px(-width - 1));
+            VReg n2 = px(-width);
+            f.binImmTo(n2, AluFunc::Shl, n2, 1);
+            f.binTo(gy, AluFunc::Sub, gy, n2);
+            f.binTo(gy, AluFunc::Sub, gy, px(-width + 1));
+
+            emit_abs(gx);
+            emit_abs(gy);
+            VReg mag = f.add(gx, gy);
+
+            VReg result = f.var(0);
+            const int strong = f.newBlock();
+            const int weak = f.newBlock();
+            const int done = f.newBlock();
+            f.condBrImm(Cond::Sgt, mag, threshold, strong, weak);
+            f.setBlock(strong);
+            f.movImmTo(result, 255);
+            f.br(done);
+            f.setBlock(weak);
+            VReg half = f.binImm(AluFunc::ShrU, mag, 1);
+            f.movTo(result, half);
+            f.br(done);
+            f.setBlock(done);
+
+            f.store(result, f.add(f.globalAddr(out_sym), idx), 0,
+                    MemWidth::Byte);
+        }
+        loopEnd(f, x);
+    }
+    loopEnd(f, y);
+
+    emitWrite(f, f.globalAddr(out_sym), f.movImm(width * height));
+    f.ret(f.movImm(0));
+    mb.endFunction(f);
+
+    bench.module = mb.take();
+    return bench;
+}
+
+} // namespace dfi::prog

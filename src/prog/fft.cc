@@ -1,0 +1,225 @@
+/**
+ * @file
+ * `fft` benchmark: fixed-point (Q15 twiddles) radix-2 iterative FFT
+ * (MiBench/telecomm "fft" analog).
+ *
+ * The bit-reversal table and twiddle tables are host-precomputed
+ * globals; the guest performs the full butterfly network in 32-bit
+ * integer arithmetic and writes the transformed arrays.
+ */
+
+#include "prog/benchmark.hh"
+
+#include <cmath>
+
+#include "prog/util.hh"
+#include "syskit/os.hh"
+
+namespace dfi::prog
+{
+
+using namespace dfi::ir;
+using isa::AluFunc;
+using isa::Cond;
+
+namespace
+{
+
+/** Mirror of the guest's wrapping signed arithmetic. */
+std::int32_t
+mulWrap(std::int32_t a, std::int32_t b)
+{
+    return static_cast<std::int32_t>(static_cast<std::uint32_t>(a) *
+                                     static_cast<std::uint32_t>(b));
+}
+
+} // namespace
+
+Benchmark
+buildFft(std::uint32_t scale)
+{
+    Benchmark bench;
+    bench.name = "fft";
+
+    const int n = 256 << (scale > 1 ? scale - 1 : 0);
+    const int log_n = [&] {
+        int l = 0;
+        while ((1 << l) < n)
+            ++l;
+        return l;
+    }();
+
+    // Input signal (Q-ish small integers).
+    std::vector<std::int32_t> re(n), im(n, 0);
+    for (int i = 0; i < n; ++i)
+        re[i] = ((i * 37) % 200 - 100) << 3;
+
+    // Twiddle tables (Q15), one entry per k in [0, n/2).
+    std::vector<std::int32_t> wr(n / 2), wi(n / 2);
+    for (int k = 0; k < n / 2; ++k) {
+        const double angle = -2.0 * M_PI * k / n;
+        wr[k] = static_cast<std::int32_t>(
+            std::lround(32767.0 * std::cos(angle)));
+        wi[k] = static_cast<std::int32_t>(
+            std::lround(32767.0 * std::sin(angle)));
+    }
+
+    // Bit-reversal table.
+    std::vector<std::uint32_t> rev(n);
+    for (int i = 0; i < n; ++i) {
+        std::uint32_t r = 0;
+        for (int b = 0; b < log_n; ++b) {
+            if (i & (1 << b))
+                r |= 1u << (log_n - 1 - b);
+        }
+        rev[i] = r;
+    }
+
+    // --- host reference (identical arithmetic) ---------------------------
+    {
+        std::vector<std::int32_t> a(n), b(n);
+        for (int i = 0; i < n; ++i) {
+            a[i] = re[rev[i]];
+            b[i] = im[rev[i]];
+        }
+        for (int len = 2; len <= n; len <<= 1) {
+            const int half = len >> 1;
+            const int step = n / len;
+            for (int base = 0; base < n; base += len) {
+                for (int k = 0; k < half; ++k) {
+                    const int widx = k * step;
+                    const int i = base + k;
+                    const int j = i + half;
+                    const std::int32_t tr =
+                        (mulWrap(wr[widx], a[j]) -
+                         mulWrap(wi[widx], b[j])) >>
+                        15;
+                    const std::int32_t ti =
+                        (mulWrap(wr[widx], b[j]) +
+                         mulWrap(wi[widx], a[j])) >>
+                        15;
+                    a[j] = a[i] - tr;
+                    b[j] = b[i] - ti;
+                    a[i] = a[i] + tr;
+                    b[i] = b[i] + ti;
+                }
+            }
+        }
+        std::vector<std::uint32_t> out;
+        out.reserve(2 * n);
+        for (int i = 0; i < n; ++i)
+            out.push_back(static_cast<std::uint32_t>(a[i]));
+        for (int i = 0; i < n; ++i)
+            out.push_back(static_cast<std::uint32_t>(b[i]));
+        bench.expectedOutput = wordsToBytes(out);
+    }
+
+    // --- guest program ----------------------------------------------------
+    auto to_bytes = [](const std::vector<std::int32_t> &v) {
+        std::vector<std::uint32_t> u(v.begin(), v.end());
+        return wordsToBytes(u);
+    };
+
+    ModuleBuilder mb;
+    const int re_sym = mb.addGlobal("in_re", to_bytes(re), 4);
+    const int im_sym = mb.addGlobal("in_im", to_bytes(im), 4);
+    const int wr_sym = mb.addGlobal("tw_re", to_bytes(wr), 4);
+    const int wi_sym = mb.addGlobal("tw_im", to_bytes(wi), 4);
+    const int rev_sym = mb.addGlobal("bitrev", wordsToBytes(rev), 4);
+    const int a_sym = mb.addBss("work_re", 4 * n);
+    const int b_sym = mb.addBss("work_im", 4 * n);
+
+    auto f = mb.beginFunction("main", 0);
+
+    // Bit-reverse copy.
+    {
+        LoopCtx i = loopBegin(f, 0, n);
+        VReg off = f.binImm(AluFunc::Shl, i.i, 2);
+        VReg j = f.load(f.add(f.globalAddr(rev_sym), off), 0);
+        VReg joff = f.binImm(AluFunc::Shl, j, 2);
+        VReg sre = f.load(f.add(f.globalAddr(re_sym), joff), 0);
+        VReg sim = f.load(f.add(f.globalAddr(im_sym), joff), 0);
+        f.store(sre, f.add(f.globalAddr(a_sym), off), 0);
+        f.store(sim, f.add(f.globalAddr(b_sym), off), 0);
+        loopEnd(f, i);
+    }
+
+    // Butterfly stages: for (len = 2; len <= n; len <<= 1)
+    {
+        VReg len = f.var(2);
+        const int stage_head = f.newBlock();
+        const int stage_body = f.newBlock();
+        const int stage_exit = f.newBlock();
+        f.br(stage_head);
+        f.setBlock(stage_head);
+        f.condBrImm(Cond::Sle, len, n, stage_body, stage_exit);
+        f.setBlock(stage_body);
+        {
+            VReg half = f.binImm(AluFunc::ShrU, len, 1);
+            VReg step = f.movImm(n);
+            f.binTo(step, AluFunc::DivU, step, len);
+
+            VReg nreg = f.movImm(n);
+            LoopCtx base = loopBeginR(f, 0, nreg);
+            {
+                LoopCtx k = loopBeginR(f, 0, half);
+                {
+                    VReg widx = f.bin(AluFunc::Mul, k.i, step);
+                    VReg woff = f.binImm(AluFunc::Shl, widx, 2);
+                    VReg wrv =
+                        f.load(f.add(f.globalAddr(wr_sym), woff), 0);
+                    VReg wiv =
+                        f.load(f.add(f.globalAddr(wi_sym), woff), 0);
+
+                    VReg i = f.add(base.i, k.i);
+                    VReg j = f.add(i, half);
+                    VReg ioff = f.binImm(AluFunc::Shl, i, 2);
+                    VReg joff = f.binImm(AluFunc::Shl, j, 2);
+                    VReg apij = f.add(f.globalAddr(a_sym), ioff);
+                    VReg apjj = f.add(f.globalAddr(a_sym), joff);
+                    VReg bpij = f.add(f.globalAddr(b_sym), ioff);
+                    VReg bpjj = f.add(f.globalAddr(b_sym), joff);
+
+                    VReg aj = f.load(apjj, 0);
+                    VReg bj = f.load(bpjj, 0);
+
+                    VReg tr = f.bin(AluFunc::Mul, wrv, aj);
+                    VReg t2 = f.bin(AluFunc::Mul, wiv, bj);
+                    f.binTo(tr, AluFunc::Sub, tr, t2);
+                    f.binImmTo(tr, AluFunc::ShrS, tr, 15);
+
+                    VReg ti = f.bin(AluFunc::Mul, wrv, bj);
+                    VReg t3 = f.bin(AluFunc::Mul, wiv, aj);
+                    f.binTo(ti, AluFunc::Add, ti, t3);
+                    f.binImmTo(ti, AluFunc::ShrS, ti, 15);
+
+                    VReg ai = f.load(apij, 0);
+                    VReg bi = f.load(bpij, 0);
+                    f.store(f.bin(AluFunc::Sub, ai, tr), apjj, 0);
+                    f.store(f.bin(AluFunc::Sub, bi, ti), bpjj, 0);
+                    f.store(f.bin(AluFunc::Add, ai, tr), apij, 0);
+                    f.store(f.bin(AluFunc::Add, bi, ti), bpij, 0);
+                }
+                loopEnd(f, k);
+            }
+            // base += len (variable step: emit manually)
+            f.binTo(base.i, AluFunc::Add, base.i, len);
+            f.br(base.head);
+            f.setBlock(base.exit);
+        }
+        f.binImmTo(len, AluFunc::Shl, len, 1);
+        f.br(stage_head);
+        f.setBlock(stage_exit);
+    }
+
+    // Output work_re then work_im.
+    emitWrite(f, f.globalAddr(a_sym), f.movImm(4 * n));
+    emitWrite(f, f.globalAddr(b_sym), f.movImm(4 * n));
+    f.ret(f.movImm(0));
+    mb.endFunction(f);
+
+    bench.module = mb.take();
+    return bench;
+}
+
+} // namespace dfi::prog

@@ -1,0 +1,32 @@
+#include "prog/image_common.hh"
+
+namespace dfi::prog
+{
+
+std::vector<std::uint8_t>
+makeTestImage(int width, int height)
+{
+    std::vector<std::uint8_t> image(
+        static_cast<std::size_t>(width) * height);
+    for (int y = 0; y < height; ++y) {
+        for (int x = 0; x < width; ++x) {
+            int v = (x * 255) / width; // horizontal gradient
+            // A bright square blob.
+            if (x >= width / 4 && x < width / 2 && y >= height / 4 &&
+                y < height / 2) {
+                v = 230;
+            }
+            // A dark diagonal band.
+            if (((x + y) % 16) < 3)
+                v = v / 3;
+            // A vertical bar edge.
+            if (x == (3 * width) / 4)
+                v = 250;
+            image[static_cast<std::size_t>(y) * width + x] =
+                static_cast<std::uint8_t>(v);
+        }
+    }
+    return image;
+}
+
+} // namespace dfi::prog

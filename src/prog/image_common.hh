@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Shared synthetic-image generation for the SUSAN-style benchmarks
+ * (smooth, edge, corner) and the JPEG pair (cjpeg, djpeg).
+ */
+
+#ifndef DFI_PROG_IMAGE_COMMON_HH
+#define DFI_PROG_IMAGE_COMMON_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace dfi::prog
+{
+
+/**
+ * Deterministic grayscale test image with structure (gradients,
+ * blobs, edges) so the vision kernels have meaningful work.
+ */
+std::vector<std::uint8_t> makeTestImage(int width, int height);
+
+} // namespace dfi::prog
+
+#endif // DFI_PROG_IMAGE_COMMON_HH

@@ -1,0 +1,228 @@
+#include "prog/jpeg_common.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace dfi::prog
+{
+
+const std::array<std::int32_t, 64> &
+jpegCosTable()
+{
+    static const std::array<std::int32_t, 64> table = [] {
+        std::array<std::int32_t, 64> t{};
+        for (int k = 0; k < 8; ++k) {
+            const double ck = k == 0 ? 1.0 / std::sqrt(2.0) : 1.0;
+            for (int i = 0; i < 8; ++i) {
+                t[k * 8 + i] = static_cast<std::int32_t>(std::lround(
+                    ck * std::cos((2 * i + 1) * k * M_PI / 16.0) *
+                    1024.0));
+            }
+        }
+        return t;
+    }();
+    return table;
+}
+
+const std::array<std::int32_t, 64> &
+jpegQuantTable()
+{
+    static const std::array<std::int32_t, 64> table = {
+        16, 11, 10, 16, 24,  40,  51,  61,
+        12, 12, 14, 19, 26,  58,  60,  55,
+        14, 13, 16, 24, 40,  57,  69,  56,
+        14, 17, 22, 29, 51,  87,  80,  62,
+        18, 22, 37, 56, 68,  109, 103, 77,
+        24, 35, 55, 64, 81,  104, 113, 92,
+        49, 64, 78, 87, 103, 121, 120, 101,
+        72, 92, 95, 98, 112, 100, 103, 99};
+    return table;
+}
+
+const std::array<std::uint32_t, 64> &
+jpegZigzag()
+{
+    static const std::array<std::uint32_t, 64> order = [] {
+        std::array<std::uint32_t, 64> zz{};
+        int index = 0;
+        for (int s = 0; s < 15; ++s) {
+            if (s % 2 == 0) { // up-right
+                for (int y = std::min(s, 7); y >= 0 && s - y <= 7; --y)
+                    zz[index++] = static_cast<std::uint32_t>(
+                        y * 8 + (s - y));
+            } else { // down-left
+                for (int x = std::min(s, 7); x >= 0 && s - x <= 7; --x)
+                    zz[index++] = static_cast<std::uint32_t>(
+                        (s - x) * 8 + x);
+            }
+        }
+        return zz;
+    }();
+    return order;
+}
+
+namespace
+{
+
+/** Forward transform of one 8x8 block of level-shifted samples. */
+void
+forwardTransform(const std::int32_t *s, std::int32_t *coef)
+{
+    const auto &ct = jpegCosTable();
+    std::int32_t tmp[64];
+    // pass 1 (over rows y): tmp[u][x] = (sum_y ct[u][y] s[y][x]) >> k1
+    for (int u = 0; u < 8; ++u) {
+        for (int x = 0; x < 8; ++x) {
+            std::int32_t acc = 0;
+            for (int y = 0; y < 8; ++y)
+                acc += ct[u * 8 + y] * s[y * 8 + x];
+            tmp[u * 8 + x] = acc >> kFwdShift1;
+        }
+    }
+    // pass 2 (over columns x): F[u][v] = (sum_x ct[v][x] tmp[u][x]) >> k2
+    for (int u = 0; u < 8; ++u) {
+        for (int v = 0; v < 8; ++v) {
+            std::int32_t acc = 0;
+            for (int x = 0; x < 8; ++x)
+                acc += ct[v * 8 + x] * tmp[u * 8 + x];
+            coef[u * 8 + v] = acc >> kFwdShift2;
+        }
+    }
+}
+
+/** Inverse transform producing level-shifted samples. */
+void
+inverseTransform(const std::int32_t *coef, std::int32_t *s)
+{
+    const auto &ct = jpegCosTable();
+    std::int32_t tmp[64];
+    // pass 1: tmp[u][x] = (sum_v ct[v][x] F[u][v]) >> k1
+    for (int u = 0; u < 8; ++u) {
+        for (int x = 0; x < 8; ++x) {
+            std::int32_t acc = 0;
+            for (int v = 0; v < 8; ++v)
+                acc += ct[v * 8 + x] * coef[u * 8 + v];
+            tmp[u * 8 + x] = acc >> kInvShift1;
+        }
+    }
+    // pass 2: s[y][x] = (sum_u ct[u][y] tmp[u][x]) >> k2
+    for (int y = 0; y < 8; ++y) {
+        for (int x = 0; x < 8; ++x) {
+            std::int32_t acc = 0;
+            for (int u = 0; u < 8; ++u)
+                acc += ct[u * 8 + y] * tmp[u * 8 + x];
+            s[y * 8 + x] = acc >> kInvShift2;
+        }
+    }
+}
+
+void
+emit16(std::vector<std::uint8_t> &out, std::int32_t v)
+{
+    out.push_back(static_cast<std::uint8_t>(v & 0xff));
+    out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xff));
+}
+
+std::int32_t
+read16(const std::vector<std::uint8_t> &in, std::size_t &pos)
+{
+    const std::int32_t lo = in.at(pos);
+    const std::int32_t hi = in.at(pos + 1);
+    pos += 2;
+    const std::int32_t v = lo | (hi << 8);
+    return (v << 16) >> 16; // sign extend
+}
+
+} // namespace
+
+std::vector<std::uint8_t>
+jpegRefEncode(const std::vector<std::uint8_t> &image, int width,
+              int height)
+{
+    if (width % 8 != 0 || height % 8 != 0)
+        panic("jpegRefEncode: dimensions must be multiples of 8");
+    const auto &quant = jpegQuantTable();
+    const auto &zz = jpegZigzag();
+    std::vector<std::uint8_t> stream;
+
+    for (int by = 0; by < height / 8; ++by) {
+        for (int bx = 0; bx < width / 8; ++bx) {
+            std::int32_t s[64], coef[64];
+            for (int y = 0; y < 8; ++y) {
+                for (int x = 0; x < 8; ++x) {
+                    s[y * 8 + x] =
+                        static_cast<std::int32_t>(
+                            image[(by * 8 + y) * width + bx * 8 + x]) -
+                        128;
+                }
+            }
+            forwardTransform(s, coef);
+            std::int32_t q[64];
+            for (int i = 0; i < 64; ++i)
+                q[i] = coef[i] / quant[i]; // trunc division, like DivS
+
+            // DC
+            emit16(stream, q[zz[0]]);
+            // AC run-length pairs.
+            int run = 0;
+            for (int i = 1; i < 64; ++i) {
+                const std::int32_t v = q[zz[i]];
+                if (v == 0) {
+                    ++run;
+                } else {
+                    stream.push_back(static_cast<std::uint8_t>(run));
+                    emit16(stream, v);
+                    run = 0;
+                }
+            }
+            stream.push_back(0xff); // end of block
+        }
+    }
+    return stream;
+}
+
+std::vector<std::uint8_t>
+jpegRefDecode(const std::vector<std::uint8_t> &stream, int width,
+              int height)
+{
+    const auto &quant = jpegQuantTable();
+    const auto &zz = jpegZigzag();
+    std::vector<std::uint8_t> image(
+        static_cast<std::size_t>(width) * height, 0);
+    std::size_t pos = 0;
+
+    for (int by = 0; by < height / 8; ++by) {
+        for (int bx = 0; bx < width / 8; ++bx) {
+            std::int32_t q[64] = {};
+            q[zz[0]] = read16(stream, pos);
+            int i = 1;
+            while (true) {
+                const std::uint8_t marker = stream.at(pos++);
+                if (marker == 0xff)
+                    break;
+                i += marker;
+                q[zz[i]] = read16(stream, pos);
+                ++i;
+            }
+            std::int32_t coef[64], s[64];
+            for (int k = 0; k < 64; ++k)
+                coef[k] = q[k] * quant[k];
+            inverseTransform(coef, s);
+            for (int y = 0; y < 8; ++y) {
+                for (int x = 0; x < 8; ++x) {
+                    std::int32_t v = s[y * 8 + x] + 128;
+                    if (v < 0)
+                        v = 0;
+                    if (v > 255)
+                        v = 255;
+                    image[(by * 8 + y) * width + bx * 8 + x] =
+                        static_cast<std::uint8_t>(v);
+                }
+            }
+        }
+    }
+    return image;
+}
+
+} // namespace dfi::prog

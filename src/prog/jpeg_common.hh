@@ -1,0 +1,47 @@
+/**
+ * @file
+ * The integer JPEG-style codec shared by the cjpeg/djpeg benchmarks.
+ *
+ * This is a self-contained, exactly-specified integer transform codec
+ * (8x8 blocks, two-pass scaled-cosine transform, quantization, zigzag
+ * RLE entropy coding).  The host reference and the guest IR implement
+ * the identical arithmetic, so guest output can be checked
+ * byte-for-byte.
+ */
+
+#ifndef DFI_PROG_JPEG_COMMON_HH
+#define DFI_PROG_JPEG_COMMON_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace dfi::prog
+{
+
+/** Scaled cosine table: ct[k][i] = round(c(k) cos((2i+1)k pi/16) * 1024). */
+const std::array<std::int32_t, 64> &jpegCosTable();
+
+/** Luminance-style quantization table (row-major u,v). */
+const std::array<std::int32_t, 64> &jpegQuantTable();
+
+/** Zigzag scan order (index into row-major 8x8). */
+const std::array<std::uint32_t, 64> &jpegZigzag();
+
+/** Shift amounts of the two transform passes (forward / inverse). */
+constexpr int kFwdShift1 = 8;
+constexpr int kFwdShift2 = 13;
+constexpr int kInvShift1 = 10;
+constexpr int kInvShift2 = 10;
+
+/** Host-side reference encoder (width/height multiples of 8). */
+std::vector<std::uint8_t> jpegRefEncode(
+    const std::vector<std::uint8_t> &image, int width, int height);
+
+/** Host-side reference decoder (must match the encoder's stream). */
+std::vector<std::uint8_t> jpegRefDecode(
+    const std::vector<std::uint8_t> &stream, int width, int height);
+
+} // namespace dfi::prog
+
+#endif // DFI_PROG_JPEG_COMMON_HH

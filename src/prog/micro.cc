@@ -1,0 +1,68 @@
+/**
+ * @file
+ * `micro` workload: a tiny checksum kernel used by the test suite and
+ * the quickstart example.  Not part of the paper's ten-benchmark
+ * study (it is deliberately small so campaigns finish in
+ * milliseconds).
+ */
+
+#include "prog/benchmark.hh"
+
+#include "prog/util.hh"
+#include "syskit/os.hh"
+
+namespace dfi::prog
+{
+
+using namespace dfi::ir;
+using isa::AluFunc;
+
+Benchmark
+buildMicro(std::uint32_t scale)
+{
+    Benchmark bench;
+    bench.name = "micro";
+
+    const int n = 64 * static_cast<int>(scale);
+    std::vector<std::uint32_t> data(n);
+    for (int i = 0; i < n; ++i)
+        data[i] = static_cast<std::uint32_t>(i * 2654435761u + 12345);
+
+    // Reference: rolling checksum written as 16 words.
+    std::vector<std::uint32_t> expected(16, 0);
+    for (int i = 0; i < n; ++i) {
+        expected[i % 16] =
+            (expected[i % 16] ^ data[i]) * 31 + (data[i] >> 7);
+    }
+    bench.expectedOutput = wordsToBytes(expected);
+
+    ModuleBuilder mb;
+    const int in_sym = mb.addGlobal("data", wordsToBytes(data), 4);
+    const int out_sym = mb.addBss("sums", 16 * 4);
+
+    auto f = mb.beginFunction("main", 0);
+    LoopCtx i = loopBegin(f, 0, n);
+    {
+        VReg off = f.binImm(AluFunc::Shl, i.i, 2);
+        VReg v = f.load(f.add(f.globalAddr(in_sym), off), 0);
+        VReg slot = f.binImm(AluFunc::And, i.i, 15);
+        VReg soff = f.binImm(AluFunc::Shl, slot, 2);
+        VReg sptr = f.add(f.globalAddr(out_sym), soff);
+        VReg acc = f.load(sptr, 0);
+        f.binTo(acc, AluFunc::Xor, acc, v);
+        f.binImmTo(acc, AluFunc::Mul, acc, 31);
+        VReg shifted = f.binImm(AluFunc::ShrU, v, 7);
+        f.binTo(acc, AluFunc::Add, acc, shifted);
+        f.store(acc, sptr, 0);
+    }
+    loopEnd(f, i);
+
+    emitWrite(f, f.globalAddr(out_sym), f.movImm(64));
+    f.ret(f.movImm(0));
+    mb.endFunction(f);
+
+    bench.module = mb.take();
+    return bench;
+}
+
+} // namespace dfi::prog

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * `qsort` benchmark: recursive quicksort of a pseudo-random array
+ * (MiBench/auto "qsort" analog).
+ *
+ * The guest implements Lomuto-partition quicksort with real recursion
+ * (deep call stacks, data-dependent branches); the sorted array is the
+ * output.
+ */
+
+#include "prog/benchmark.hh"
+
+#include <algorithm>
+
+#include "common/rng.hh"
+#include "prog/util.hh"
+#include "syskit/os.hh"
+
+namespace dfi::prog
+{
+
+using namespace dfi::ir;
+using isa::AluFunc;
+using isa::Cond;
+
+Benchmark
+buildQsort(std::uint32_t scale)
+{
+    Benchmark bench;
+    bench.name = "qsort";
+
+    const int n = static_cast<int>(320 * scale);
+    dfi::Rng rng(0x9507cafe);
+    std::vector<std::uint32_t> values(n);
+    for (auto &v : values)
+        v = static_cast<std::uint32_t>(rng.next64());
+
+    std::vector<std::uint32_t> sorted = values;
+    std::sort(sorted.begin(), sorted.end());
+    bench.expectedOutput = wordsToBytes(sorted);
+
+    ModuleBuilder mb;
+    const int arr_sym = mb.addGlobal("array", wordsToBytes(values), 4);
+
+    // qsort(lo, hi): sorts array[lo..hi] inclusive (indices).
+    const int fn_qsort = mb.declareFunction("quicksort", 2);
+    {
+        auto f = mb.beginFunction(fn_qsort);
+        const VReg lo = f.param(0);
+        const VReg hi = f.param(1);
+
+        const int body = f.newBlock();
+        const int done = f.newBlock();
+        f.condBr(Cond::Sge, lo, hi, done, body);
+
+        f.setBlock(body);
+        {
+            VReg base = f.globalAddr(arr_sym);
+            // pivot = array[hi]
+            VReg hoff = f.binImm(AluFunc::Shl, hi, 2);
+            VReg pivot = f.load(f.add(base, hoff), 0);
+
+            // Lomuto partition.
+            VReg store_idx = f.mov(lo);
+            VReg jv = f.mov(lo);
+            const int head = f.newBlock();
+            const int loop_body = f.newBlock();
+            const int loop_exit = f.newBlock();
+            f.br(head);
+            f.setBlock(head);
+            f.condBr(Cond::Slt, jv, hi, loop_body, loop_exit);
+            f.setBlock(loop_body);
+            {
+                VReg joff = f.binImm(AluFunc::Shl, jv, 2);
+                VReg jptr = f.add(base, joff);
+                VReg value = f.load(jptr, 0);
+                const int swap = f.newBlock();
+                const int next = f.newBlock();
+                f.condBr(Cond::Ult, value, pivot, swap, next);
+                f.setBlock(swap);
+                {
+                    VReg soff = f.binImm(AluFunc::Shl, store_idx, 2);
+                    VReg sptr = f.add(base, soff);
+                    VReg other = f.load(sptr, 0);
+                    f.store(value, sptr, 0);
+                    f.store(other, jptr, 0);
+                    f.binImmTo(store_idx, AluFunc::Add, store_idx, 1);
+                    f.br(next);
+                }
+                f.setBlock(next);
+                f.binImmTo(jv, AluFunc::Add, jv, 1);
+                f.br(head);
+            }
+            f.setBlock(loop_exit);
+
+            // swap array[store_idx] <-> array[hi]
+            VReg soff = f.binImm(AluFunc::Shl, store_idx, 2);
+            VReg sptr = f.add(base, soff);
+            VReg tmp = f.load(sptr, 0);
+            f.store(pivot, sptr, 0);
+            f.store(tmp, f.add(base, hoff), 0);
+
+            // Recurse on both halves.
+            VReg left_hi = f.binImm(AluFunc::Sub, store_idx, 1);
+            f.callVoid(fn_qsort, {lo, left_hi});
+            VReg right_lo = f.binImm(AluFunc::Add, store_idx, 1);
+            f.callVoid(fn_qsort, {right_lo, hi});
+            f.br(done);
+        }
+
+        f.setBlock(done);
+        f.ret(f.movImm(0));
+        mb.endFunction(f);
+    }
+
+    {
+        auto f = mb.beginFunction("main", 0);
+        f.callVoid(fn_qsort, {f.movImm(0), f.movImm(n - 1)});
+        emitWrite(f, f.globalAddr(arr_sym), f.movImm(4 * n));
+        f.ret(f.movImm(0));
+        mb.endFunction(f);
+    }
+
+    bench.module = mb.take();
+    return bench;
+}
+
+} // namespace dfi::prog

@@ -1,0 +1,241 @@
+/**
+ * @file
+ * `search` benchmark: Boyer-Moore-Horspool multi-pattern string search
+ * (MiBench/office "stringsearch" analog).
+ *
+ * A synthetic text and a set of patterns are initialized data; for
+ * each pattern the guest builds the 256-entry skip table (in bss) and
+ * scans the text, reporting the first match offset and the total
+ * match count.
+ */
+
+#include "prog/benchmark.hh"
+
+#include <string>
+
+#include "prog/util.hh"
+#include "syskit/os.hh"
+
+namespace dfi::prog
+{
+
+using namespace dfi::ir;
+using isa::AluFunc;
+using isa::Cond;
+using isa::MemWidth;
+
+namespace
+{
+
+std::string
+makeText(std::size_t length)
+{
+    static const char *words[] = {
+        "fault",  "inject", "cache",   "branch", "queue", "retire",
+        "fetch",  "decode", "rename",  "issue",  "load",  "store",
+        "commit", "replay", "predict", "squash", "tag",   "valid",
+    };
+    std::string text;
+    std::size_t w = 0;
+    while (text.size() < length) {
+        text += words[(w * 7 + w * w) % 18];
+        text += (w % 9 == 8) ? ". " : " ";
+        ++w;
+    }
+    text.resize(length);
+    return text;
+}
+
+} // namespace
+
+Benchmark
+buildSearch(std::uint32_t scale)
+{
+    Benchmark bench;
+    bench.name = "search";
+
+    const std::string text = makeText(2400 * scale);
+    const std::vector<std::string> patterns = {
+        "cache",    "rename fetch", "commit",      "squash replay",
+        "predict",  "valid tag",    "notpresent",  "load store",
+    };
+
+    // --- host reference ----------------------------------------------------
+    std::vector<std::uint32_t> expected;
+    for (const std::string &pattern : patterns) {
+        std::uint32_t first = 0xffffffffu;
+        std::uint32_t count = 0;
+        // Horspool.
+        std::size_t skip[256];
+        const std::size_t m = pattern.size();
+        for (std::size_t c = 0; c < 256; ++c)
+            skip[c] = m;
+        for (std::size_t i = 0; i + 1 < m; ++i)
+            skip[static_cast<std::uint8_t>(pattern[i])] = m - 1 - i;
+        std::size_t pos = 0;
+        while (pos + m <= text.size()) {
+            std::size_t k = m;
+            while (k > 0 && text[pos + k - 1] == pattern[k - 1])
+                --k;
+            if (k == 0) {
+                if (first == 0xffffffffu)
+                    first = static_cast<std::uint32_t>(pos);
+                ++count;
+                pos += 1;
+            } else {
+                pos += skip[static_cast<std::uint8_t>(
+                    text[pos + m - 1])];
+            }
+        }
+        expected.push_back(first);
+        expected.push_back(count);
+    }
+    bench.expectedOutput = wordsToBytes(expected);
+
+    // --- guest -------------------------------------------------------------
+    ModuleBuilder mb;
+    std::vector<std::uint8_t> text_bytes(text.begin(), text.end());
+    const int text_sym = mb.addGlobal("text", text_bytes, 4);
+
+    // Pattern blob: each pattern stored as [len][bytes...] concatenated;
+    // offsets table for indexing.
+    std::vector<std::uint8_t> pattern_blob;
+    std::vector<std::uint32_t> pattern_offsets;
+    for (const std::string &pattern : patterns) {
+        pattern_offsets.push_back(
+            static_cast<std::uint32_t>(pattern_blob.size()));
+        pattern_blob.push_back(
+            static_cast<std::uint8_t>(pattern.size()));
+        pattern_blob.insert(pattern_blob.end(), pattern.begin(),
+                            pattern.end());
+    }
+    const int blob_sym = mb.addGlobal("patterns", pattern_blob, 4);
+    const int offs_sym =
+        mb.addGlobal("pattern_offsets", wordsToBytes(pattern_offsets), 4);
+    const int skip_sym = mb.addBss("skip_table", 256 * 4);
+    const int out_sym = mb.addBss(
+        "results", static_cast<std::uint32_t>(patterns.size()) * 8);
+
+    auto f = mb.beginFunction("main", 0);
+    const int num_patterns = static_cast<int>(patterns.size());
+    const int text_len = static_cast<int>(text.size());
+
+    LoopCtx p = loopBegin(f, 0, num_patterns);
+    {
+        VReg poff4 = f.binImm(AluFunc::Shl, p.i, 2);
+        VReg off = f.load(f.add(f.globalAddr(offs_sym), poff4), 0);
+        VReg pat = f.add(f.globalAddr(blob_sym), off);
+        VReg m = f.load(pat, 0, MemWidth::Byte); // pattern length
+        f.binImmTo(pat, AluFunc::Add, pat, 1);   // first byte
+
+        // skip[c] = m for all c
+        VReg skip = f.globalAddr(skip_sym);
+        LoopCtx c = loopBegin(f, 0, 256);
+        {
+            VReg coff = f.binImm(AluFunc::Shl, c.i, 2);
+            f.store(m, f.add(skip, coff), 0);
+        }
+        loopEnd(f, c);
+
+        // for i in 0..m-2: skip[pat[i]] = m-1-i
+        VReg m1 = f.binImm(AluFunc::Sub, m, 1);
+        LoopCtx si = loopBeginR(f, 0, m1);
+        {
+            VReg ch = f.load(f.add(pat, si.i), 0, MemWidth::Byte);
+            VReg choff = f.binImm(AluFunc::Shl, ch, 2);
+            VReg val = f.bin(AluFunc::Sub, m1, si.i);
+            f.store(val, f.add(skip, choff), 0);
+        }
+        loopEnd(f, si);
+
+        // scan
+        VReg first = f.var(-1);
+        VReg count = f.var(0);
+        VReg pos = f.var(0);
+        VReg limit = f.movImm(text_len);
+        f.binTo(limit, AluFunc::Sub, limit, m); // pos <= text_len - m
+
+        const int scan_head = f.newBlock();
+        const int scan_body = f.newBlock();
+        const int scan_exit = f.newBlock();
+        f.br(scan_head);
+        f.setBlock(scan_head);
+        f.condBr(Cond::Sle, pos, limit, scan_body, scan_exit);
+        f.setBlock(scan_body);
+        {
+            VReg txt = f.globalAddr(text_sym);
+            VReg window = f.add(txt, pos);
+
+            // compare from the tail: k = m; while k>0 && match: --k
+            VReg k = f.mov(m);
+            const int cmp_head = f.newBlock();
+            const int cmp_body = f.newBlock();
+            const int cmp_done = f.newBlock();
+            f.br(cmp_head);
+            f.setBlock(cmp_head);
+            f.condBrImm(Cond::Sgt, k, 0, cmp_body, cmp_done);
+            f.setBlock(cmp_body);
+            {
+                VReg k1 = f.binImm(AluFunc::Sub, k, 1);
+                VReg tch =
+                    f.load(f.add(window, k1), 0, MemWidth::Byte);
+                VReg pch = f.load(f.add(pat, k1), 0, MemWidth::Byte);
+                const int matched = f.newBlock();
+                f.condBr(Cond::Ne, tch, pch, cmp_done, matched);
+                f.setBlock(matched);
+                f.movTo(k, k1);
+                f.br(cmp_head);
+            }
+            f.setBlock(cmp_done);
+
+            const int hit = f.newBlock();
+            const int miss = f.newBlock();
+            const int cont = f.newBlock();
+            f.condBrImm(Cond::Eq, k, 0, hit, miss);
+
+            f.setBlock(hit);
+            {
+                const int set_first = f.newBlock();
+                const int after = f.newBlock();
+                f.condBrImm(Cond::Eq, first, -1, set_first, after);
+                f.setBlock(set_first);
+                f.movTo(first, pos);
+                f.br(after);
+                f.setBlock(after);
+                f.binImmTo(count, AluFunc::Add, count, 1);
+                f.binImmTo(pos, AluFunc::Add, pos, 1);
+                f.br(cont);
+            }
+            f.setBlock(miss);
+            {
+                // pos += skip[text[pos + m - 1]]
+                VReg last = f.add(window, m);
+                VReg ch = f.load(last, -1, MemWidth::Byte);
+                VReg choff = f.binImm(AluFunc::Shl, ch, 2);
+                VReg s = f.load(f.add(f.globalAddr(skip_sym), choff), 0);
+                f.binTo(pos, AluFunc::Add, pos, s);
+                f.br(cont);
+            }
+            f.setBlock(cont);
+            f.br(scan_head);
+        }
+        f.setBlock(scan_exit);
+
+        // results[p] = {first, count}
+        VReg out = f.globalAddr(out_sym);
+        VReg roff = f.binImm(AluFunc::Shl, p.i, 3);
+        VReg rptr = f.add(out, roff);
+        f.store(first, rptr, 0);
+        f.store(count, rptr, 4);
+    }
+    loopEnd(f, p);
+
+    emitWrite(f, f.globalAddr(out_sym), f.movImm(num_patterns * 8));
+    f.ret(f.movImm(0));
+    mb.endFunction(f);
+
+    bench.module = mb.take();
+    return bench;
+}
+
+} // namespace dfi::prog

@@ -1,0 +1,268 @@
+/**
+ * @file
+ * `sha` benchmark: SHA-1 digest of a deterministic message
+ * (MiBench/security "sha" analog).
+ *
+ * The padded message (big-endian words, ready for the block loop) is
+ * embedded as initialized data; the guest runs the full 80-round
+ * compression for every block and writes the 20-byte digest.
+ */
+
+#include "prog/benchmark.hh"
+
+#include <array>
+
+#include "prog/util.hh"
+#include "syskit/os.hh"
+
+namespace dfi::prog
+{
+
+using namespace dfi::ir;
+using isa::AluFunc;
+using isa::Cond;
+
+namespace
+{
+
+/** Host-side reference SHA-1 over raw bytes. */
+std::array<std::uint32_t, 5>
+refSha1(const std::vector<std::uint8_t> &message,
+        std::vector<std::uint32_t> *padded_words_out)
+{
+    std::vector<std::uint8_t> padded = message;
+    const std::uint64_t bit_len =
+        static_cast<std::uint64_t>(message.size()) * 8;
+    padded.push_back(0x80);
+    while (padded.size() % 64 != 56)
+        padded.push_back(0);
+    for (int i = 7; i >= 0; --i)
+        padded.push_back(static_cast<std::uint8_t>(bit_len >> (8 * i)));
+
+    // Big-endian word view (what both the reference and guest use).
+    std::vector<std::uint32_t> words(padded.size() / 4);
+    for (std::size_t i = 0; i < words.size(); ++i) {
+        words[i] = (static_cast<std::uint32_t>(padded[4 * i]) << 24) |
+                   (static_cast<std::uint32_t>(padded[4 * i + 1]) << 16) |
+                   (static_cast<std::uint32_t>(padded[4 * i + 2]) << 8) |
+                   static_cast<std::uint32_t>(padded[4 * i + 3]);
+    }
+    if (padded_words_out != nullptr)
+        *padded_words_out = words;
+
+    std::uint32_t h0 = 0x67452301, h1 = 0xEFCDAB89, h2 = 0x98BADCFE,
+                  h3 = 0x10325476, h4 = 0xC3D2E1F0;
+    auto rotl = [](std::uint32_t x, int n) {
+        return (x << n) | (x >> (32 - n));
+    };
+    for (std::size_t block = 0; block < words.size() / 16; ++block) {
+        std::uint32_t w[80];
+        for (int t = 0; t < 16; ++t)
+            w[t] = words[block * 16 + t];
+        for (int t = 16; t < 80; ++t)
+            w[t] = rotl(w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16], 1);
+        std::uint32_t a = h0, b = h1, c = h2, d = h3, e = h4;
+        for (int t = 0; t < 80; ++t) {
+            std::uint32_t f, k;
+            if (t < 20) {
+                f = (b & c) | (~b & d);
+                k = 0x5A827999;
+            } else if (t < 40) {
+                f = b ^ c ^ d;
+                k = 0x6ED9EBA1;
+            } else if (t < 60) {
+                f = (b & c) | (b & d) | (c & d);
+                k = 0x8F1BBCDC;
+            } else {
+                f = b ^ c ^ d;
+                k = 0xCA62C1D6;
+            }
+            const std::uint32_t temp = rotl(a, 5) + f + e + k + w[t];
+            e = d;
+            d = c;
+            c = rotl(b, 30);
+            b = a;
+            a = temp;
+        }
+        h0 += a;
+        h1 += b;
+        h2 += c;
+        h3 += d;
+        h4 += e;
+    }
+    return {h0, h1, h2, h3, h4};
+}
+
+/** rotl via shl/shr/or. */
+VReg
+emitRotl(FunctionBuilder &f, VReg x, int n)
+{
+    VReg left = f.binImm(AluFunc::Shl, x, n);
+    VReg right = f.binImm(AluFunc::ShrU, x, 32 - n);
+    return f.bin(AluFunc::Or, left, right);
+}
+
+} // namespace
+
+Benchmark
+buildSha(std::uint32_t scale)
+{
+    Benchmark bench;
+    bench.name = "sha";
+
+    // Deterministic message.
+    std::vector<std::uint8_t> message(512 * scale);
+    for (std::size_t i = 0; i < message.size(); ++i)
+        message[i] = static_cast<std::uint8_t>((i * 7 + 13) ^ (i >> 3));
+
+    std::vector<std::uint32_t> padded_words;
+    const auto digest = refSha1(message, &padded_words);
+    bench.expectedOutput = wordsToBytes(
+        {digest[0], digest[1], digest[2], digest[3], digest[4]});
+    const int num_blocks = static_cast<int>(padded_words.size() / 16);
+
+    ModuleBuilder mb;
+    const int msg_sym =
+        mb.addGlobal("message", wordsToBytes(padded_words), 4);
+    const int w_sym = mb.addBss("wsched", 80 * 4);
+    const int h_sym = mb.addBss("hstate", 5 * 4);
+
+    auto f = mb.beginFunction("main", 0);
+    {
+        VReg h = f.globalAddr(h_sym);
+        f.store(f.movImm(0x67452301), h, 0);
+        f.store(f.movImm(static_cast<std::int32_t>(0xEFCDAB89)), h, 4);
+        f.store(f.movImm(static_cast<std::int32_t>(0x98BADCFE)), h, 8);
+        f.store(f.movImm(0x10325476), h, 12);
+        f.store(f.movImm(static_cast<std::int32_t>(0xC3D2E1F0)), h, 16);
+    }
+
+    LoopCtx blocks = loopBegin(f, 0, num_blocks);
+    {
+        // msg_base = &message[block * 64]
+        VReg off = f.binImm(AluFunc::Shl, blocks.i, 6);
+        VReg msg_base = f.add(f.globalAddr(msg_sym), off);
+        VReg w_base = f.globalAddr(w_sym);
+
+        // W[0..15] = message words
+        LoopCtx init = loopBegin(f, 0, 16);
+        {
+            VReg byte_off = f.binImm(AluFunc::Shl, init.i, 2);
+            VReg src = f.add(msg_base, byte_off);
+            VReg dst = f.add(w_base, byte_off);
+            f.store(f.load(src, 0), dst, 0);
+        }
+        loopEnd(f, init);
+
+        // W[16..79] = rotl1(W[t-3]^W[t-8]^W[t-14]^W[t-16])
+        LoopCtx sched = loopBegin(f, 16, 80);
+        {
+            VReg byte_off = f.binImm(AluFunc::Shl, sched.i, 2);
+            VReg dst = f.add(w_base, byte_off);
+            VReg x = f.load(dst, -3 * 4);
+            VReg y = f.load(dst, -8 * 4);
+            VReg z = f.load(dst, -14 * 4);
+            VReg u = f.load(dst, -16 * 4);
+            VReg xo = f.bin(AluFunc::Xor, x, y);
+            f.binTo(xo, AluFunc::Xor, xo, z);
+            f.binTo(xo, AluFunc::Xor, xo, u);
+            f.store(emitRotl(f, xo, 1), dst, 0);
+        }
+        loopEnd(f, sched);
+
+        // Working variables.
+        VReg h = f.globalAddr(h_sym);
+        VReg a = f.load(h, 0);
+        VReg b = f.load(h, 4);
+        VReg c = f.load(h, 8);
+        VReg d = f.load(h, 12);
+        VReg e = f.load(h, 16);
+
+        LoopCtx round = loopBegin(f, 0, 80);
+        {
+            // Select (f, k) by round range.
+            VReg fval = f.var(0);
+            VReg kval = f.var(0);
+            const int r0 = f.newBlock(), r1 = f.newBlock(),
+                      r2 = f.newBlock(), r3 = f.newBlock(),
+                      sel1 = f.newBlock(), sel2 = f.newBlock(),
+                      join = f.newBlock();
+            f.condBrImm(Cond::Slt, round.i, 20, r0, sel1);
+            f.setBlock(sel1);
+            f.condBrImm(Cond::Slt, round.i, 40, r1, sel2);
+            f.setBlock(sel2);
+            f.condBrImm(Cond::Slt, round.i, 60, r2, r3);
+
+            f.setBlock(r0); // (b&c) | (~b & d)
+            {
+                VReg bc = f.bin(AluFunc::And, b, c);
+                VReg nb = f.binImm(AluFunc::Xor, b, -1);
+                VReg nbd = f.bin(AluFunc::And, nb, d);
+                f.binTo(fval, AluFunc::Or, bc, nbd);
+                f.movImmTo(kval, 0x5A827999);
+                f.br(join);
+            }
+            f.setBlock(r1); // b^c^d
+            {
+                VReg x = f.bin(AluFunc::Xor, b, c);
+                f.binTo(fval, AluFunc::Xor, x, d);
+                f.movImmTo(kval, 0x6ED9EBA1);
+                f.br(join);
+            }
+            f.setBlock(r2); // majority
+            {
+                VReg bc = f.bin(AluFunc::And, b, c);
+                VReg bd = f.bin(AluFunc::And, b, d);
+                VReg cd = f.bin(AluFunc::And, c, d);
+                VReg m = f.bin(AluFunc::Or, bc, bd);
+                f.binTo(fval, AluFunc::Or, m, cd);
+                f.movImmTo(kval, static_cast<std::int32_t>(0x8F1BBCDC));
+                f.br(join);
+            }
+            f.setBlock(r3); // b^c^d
+            {
+                VReg x = f.bin(AluFunc::Xor, b, c);
+                f.binTo(fval, AluFunc::Xor, x, d);
+                f.movImmTo(kval, static_cast<std::int32_t>(0xCA62C1D6));
+                f.br(join);
+            }
+            f.setBlock(join);
+
+            VReg w_base2 = f.globalAddr(w_sym);
+            VReg byte_off = f.binImm(AluFunc::Shl, round.i, 2);
+            VReg wt = f.load(f.add(w_base2, byte_off), 0);
+
+            VReg temp = emitRotl(f, a, 5);
+            f.binTo(temp, AluFunc::Add, temp, fval);
+            f.binTo(temp, AluFunc::Add, temp, e);
+            f.binTo(temp, AluFunc::Add, temp, kval);
+            f.binTo(temp, AluFunc::Add, temp, wt);
+
+            f.movTo(e, d);
+            f.movTo(d, c);
+            VReg c30 = emitRotl(f, b, 30);
+            f.movTo(c, c30);
+            f.movTo(b, a);
+            f.movTo(a, temp);
+        }
+        loopEnd(f, round);
+
+        VReg h2 = f.globalAddr(h_sym);
+        f.store(f.add(f.load(h2, 0), a), h2, 0);
+        f.store(f.add(f.load(h2, 4), b), h2, 4);
+        f.store(f.add(f.load(h2, 8), c), h2, 8);
+        f.store(f.add(f.load(h2, 12), d), h2, 12);
+        f.store(f.add(f.load(h2, 16), e), h2, 16);
+    }
+    loopEnd(f, blocks);
+
+    VReg out = f.globalAddr(h_sym);
+    emitWrite(f, out, f.movImm(20));
+    f.ret(f.movImm(0));
+    mb.endFunction(f);
+
+    bench.module = mb.take();
+    return bench;
+}
+
+} // namespace dfi::prog

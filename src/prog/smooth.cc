@@ -1,0 +1,109 @@
+/**
+ * @file
+ * `smooth` benchmark: 3x3 weighted smoothing filter over a grayscale
+ * image (MiBench/automotive "susan -s" analog).
+ *
+ * Kernel: center weight 4, edge neighbours 2, corners 1 (sum 16),
+ * interior pixels only; the border is copied through.
+ */
+
+#include "prog/benchmark.hh"
+
+#include "prog/image_common.hh"
+#include "prog/util.hh"
+#include "syskit/os.hh"
+
+namespace dfi::prog
+{
+
+using namespace dfi::ir;
+using isa::AluFunc;
+using isa::MemWidth;
+
+Benchmark
+buildSmooth(std::uint32_t scale)
+{
+    Benchmark bench;
+    bench.name = "smooth";
+
+    const int width = 48 * static_cast<int>(scale);
+    const int height = 48;
+    const auto image = makeTestImage(width, height);
+
+    // --- host reference -----------------------------------------------------
+    std::vector<std::uint8_t> out = image;
+    static const int kw[3][3] = {{1, 2, 1}, {2, 4, 2}, {1, 2, 1}};
+    for (int y = 1; y < height - 1; ++y) {
+        for (int x = 1; x < width - 1; ++x) {
+            int acc = 0;
+            for (int dy = -1; dy <= 1; ++dy)
+                for (int dx = -1; dx <= 1; ++dx)
+                    acc += kw[dy + 1][dx + 1] *
+                           image[(y + dy) * width + (x + dx)];
+            out[y * width + x] = static_cast<std::uint8_t>(acc >> 4);
+        }
+    }
+    bench.expectedOutput = out;
+
+    // --- guest ---------------------------------------------------------------
+    ModuleBuilder mb;
+    const int in_sym = mb.addGlobal("image", image, 4);
+    const int out_sym = mb.addBss(
+        "smoothed", static_cast<std::uint32_t>(image.size()));
+
+    auto f = mb.beginFunction("main", 0);
+
+    // Copy input to output (border handling).
+    {
+        LoopCtx i = loopBegin(f, 0, width * height);
+        VReg v = f.load(f.add(f.globalAddr(in_sym), i.i), 0,
+                        MemWidth::Byte);
+        f.store(v, f.add(f.globalAddr(out_sym), i.i), 0,
+                MemWidth::Byte);
+        loopEnd(f, i);
+    }
+
+    LoopCtx y = loopBegin(f, 1, height - 1);
+    {
+        LoopCtx x = loopBegin(f, 1, width - 1);
+        {
+            VReg row = f.binImm(AluFunc::Mul, y.i, width);
+            VReg idx = f.add(row, x.i);
+            VReg center = f.add(f.globalAddr(in_sym), idx);
+
+            // acc = 4*c + 2*(n,s,w,e) + (nw,ne,sw,se)
+            VReg acc = f.load(center, 0, MemWidth::Byte);
+            f.binImmTo(acc, AluFunc::Shl, acc, 2);
+
+            auto tap = [&](std::int32_t disp, int weight) {
+                VReg v = f.load(center, disp, MemWidth::Byte);
+                if (weight == 2)
+                    f.binImmTo(v, AluFunc::Shl, v, 1);
+                f.binTo(acc, AluFunc::Add, acc, v);
+            };
+            tap(-width, 2);
+            tap(width, 2);
+            tap(-1, 2);
+            tap(1, 2);
+            tap(-width - 1, 1);
+            tap(-width + 1, 1);
+            tap(width - 1, 1);
+            tap(width + 1, 1);
+
+            f.binImmTo(acc, AluFunc::ShrU, acc, 4);
+            f.store(acc, f.add(f.globalAddr(out_sym), idx), 0,
+                    MemWidth::Byte);
+        }
+        loopEnd(f, x);
+    }
+    loopEnd(f, y);
+
+    emitWrite(f, f.globalAddr(out_sym), f.movImm(width * height));
+    f.ret(f.movImm(0));
+    mb.endFunction(f);
+
+    bench.module = mb.take();
+    return bench;
+}
+
+} // namespace dfi::prog

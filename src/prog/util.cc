@@ -1,0 +1,70 @@
+#include "prog/util.hh"
+
+#include "syskit/os.hh"
+
+namespace dfi::prog
+{
+
+using namespace dfi::ir;
+
+LoopCtx
+loopBegin(FunctionBuilder &f, std::int32_t start, std::int32_t limit,
+          isa::Cond cond)
+{
+    LoopCtx loop;
+    loop.i = f.var(start);
+    loop.head = f.newBlock();
+    loop.body = f.newBlock();
+    loop.exit = f.newBlock();
+    f.br(loop.head);
+    f.setBlock(loop.head);
+    f.condBrImm(cond, loop.i, limit, loop.body, loop.exit);
+    f.setBlock(loop.body);
+    return loop;
+}
+
+LoopCtx
+loopBeginR(FunctionBuilder &f, std::int32_t start, VReg limit,
+           isa::Cond cond)
+{
+    LoopCtx loop;
+    loop.i = f.var(start);
+    loop.head = f.newBlock();
+    loop.body = f.newBlock();
+    loop.exit = f.newBlock();
+    f.br(loop.head);
+    f.setBlock(loop.head);
+    f.condBr(cond, loop.i, limit, loop.body, loop.exit);
+    f.setBlock(loop.body);
+    return loop;
+}
+
+void
+loopEnd(FunctionBuilder &f, const LoopCtx &loop, std::int32_t step)
+{
+    f.binImmTo(loop.i, isa::AluFunc::Add, loop.i, step);
+    f.br(loop.head);
+    f.setBlock(loop.exit);
+}
+
+std::vector<std::uint8_t>
+wordsToBytes(const std::vector<std::uint32_t> &words)
+{
+    std::vector<std::uint8_t> bytes;
+    bytes.reserve(words.size() * 4);
+    for (std::uint32_t w : words) {
+        bytes.push_back(static_cast<std::uint8_t>(w));
+        bytes.push_back(static_cast<std::uint8_t>(w >> 8));
+        bytes.push_back(static_cast<std::uint8_t>(w >> 16));
+        bytes.push_back(static_cast<std::uint8_t>(w >> 24));
+    }
+    return bytes;
+}
+
+void
+emitWrite(FunctionBuilder &f, VReg buf, VReg len)
+{
+    f.syscall(syskit::kSysWrite, buf, len);
+}
+
+} // namespace dfi::prog

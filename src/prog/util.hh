@@ -1,0 +1,51 @@
+/**
+ * @file
+ * IR-building helpers shared by the benchmark programs.
+ */
+
+#ifndef DFI_PROG_UTIL_HH
+#define DFI_PROG_UTIL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/ir.hh"
+
+namespace dfi::prog
+{
+
+/** An open counted loop (body block is the insertion point). */
+struct LoopCtx
+{
+    int head = -1;
+    int body = -1;
+    int exit = -1;
+    ir::VReg i = ir::kNoVReg;
+};
+
+/**
+ * Open `for (i = start; i <cond> limit; i += step)`.
+ * Leaves the builder inside the body block.
+ */
+LoopCtx loopBegin(ir::FunctionBuilder &f, std::int32_t start,
+                  std::int32_t limit,
+                  isa::Cond cond = isa::Cond::Slt);
+
+/** Variant with a register bound. */
+LoopCtx loopBeginR(ir::FunctionBuilder &f, std::int32_t start,
+                   ir::VReg limit, isa::Cond cond = isa::Cond::Slt);
+
+/** Close the loop opened by loopBegin (increments i by `step`). */
+void loopEnd(ir::FunctionBuilder &f, const LoopCtx &loop,
+             std::int32_t step = 1);
+
+/** Serialize 32-bit little-endian words into bytes. */
+std::vector<std::uint8_t> wordsToBytes(
+    const std::vector<std::uint32_t> &words);
+
+/** Emit `write(buf, len)` followed by nothing (helper). */
+void emitWrite(ir::FunctionBuilder &f, ir::VReg buf, ir::VReg len);
+
+} // namespace dfi::prog
+
+#endif // DFI_PROG_UTIL_HH

@@ -1,0 +1,61 @@
+#include "storage/fault.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace dfi
+{
+
+std::string
+faultTypeName(FaultType type)
+{
+    switch (type) {
+      case FaultType::Transient:
+        return "transient";
+      case FaultType::Intermittent:
+        return "intermittent";
+      case FaultType::Permanent:
+        return "permanent";
+    }
+    panic("faultTypeName: bad FaultType %s", static_cast<int>(type));
+}
+
+std::string
+FaultMask::toLine() const
+{
+    std::ostringstream os;
+    os << runId << ' ' << static_cast<unsigned>(core) << ' '
+       << structureName(structure) << ' ' << entry << ' ' << bit << ' '
+       << faultTypeName(type) << ' ' << cycle << ' ' << duration << ' '
+       << (stuckValue ? 1 : 0);
+    return os.str();
+}
+
+FaultMask
+FaultMask::fromLine(const std::string &line)
+{
+    std::istringstream is(line);
+    FaultMask mask;
+    unsigned core = 0;
+    std::string structure, type;
+    unsigned stuck = 0;
+    is >> mask.runId >> core >> structure >> mask.entry >> mask.bit >>
+        type >> mask.cycle >> mask.duration >> stuck;
+    if (!is)
+        fatal("malformed fault mask line: '%s'", line);
+    mask.core = static_cast<std::uint8_t>(core);
+    mask.structure = structureFromName(structure);
+    if (type == "transient")
+        mask.type = FaultType::Transient;
+    else if (type == "intermittent")
+        mask.type = FaultType::Intermittent;
+    else if (type == "permanent")
+        mask.type = FaultType::Permanent;
+    else
+        fatal("unknown fault type '%s' in mask line", type);
+    mask.stuckValue = stuck != 0;
+    return mask;
+}
+
+} // namespace dfi

@@ -1,0 +1,82 @@
+#include "storage/fault_domain.hh"
+
+#include "common/logging.hh"
+
+namespace dfi
+{
+
+void
+FaultDomain::arm(const FaultMask &mask)
+{
+    faults_.push_back(mask);
+    transientDone_.push_back(false);
+}
+
+void
+FaultDomain::reset()
+{
+    faults_.clear();
+    transientDone_.clear();
+}
+
+FaultableArray *
+FaultDomain::resolve(StructureId id) const
+{
+    if (!resolver_)
+        panic("FaultDomain::tick with no array resolver installed");
+    return resolver_(id);
+}
+
+bool
+FaultDomain::tick(std::uint64_t cycle)
+{
+    bool active = false;
+    for (std::size_t i = 0; i < faults_.size(); ++i) {
+        const FaultMask &mask = faults_[i];
+        FaultableArray *array = resolve(mask.structure);
+        if (array == nullptr) {
+            // The target structure does not exist on this simulator
+            // (e.g. unified LSQ on gemsim); the dispatcher should have
+            // remapped it, so reaching here is a framework bug.
+            panic("fault targets structure '%s' missing on this sim",
+                  structureName(mask.structure));
+        }
+        switch (mask.type) {
+          case FaultType::Transient:
+            if (!transientDone_[i]) {
+                if (cycle >= mask.cycle) {
+                    array->flipBit(mask.entry, mask.bit);
+                    transientDone_[i] = true;
+                }
+                active = true;
+            }
+            break;
+          case FaultType::Intermittent:
+            if (cycle >= mask.cycle &&
+                cycle < mask.cycle + mask.duration) {
+                array->forceBit(mask.entry, mask.bit, mask.stuckValue);
+                active = true;
+            } else if (cycle < mask.cycle) {
+                active = true; // still pending
+            }
+            break;
+          case FaultType::Permanent:
+            array->forceBit(mask.entry, mask.bit, mask.stuckValue);
+            active = true;
+            break;
+        }
+    }
+    return active;
+}
+
+bool
+FaultDomain::allTransientsApplied() const
+{
+    for (std::size_t i = 0; i < faults_.size(); ++i) {
+        if (faults_[i].type == FaultType::Transient && !transientDone_[i])
+            return false;
+    }
+    return true;
+}
+
+} // namespace dfi

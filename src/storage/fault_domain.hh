@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Per-run fault application engine.
+ *
+ * The FaultDomain holds the set of FaultMasks armed for the current
+ * run and applies them to the simulator's storage arrays as simulated
+ * time advances.  It is deliberately decoupled from the simulators:
+ * arrays are resolved through a caller-supplied resolver function, so
+ * the same engine drives both MaFIN (marssim) and GeFIN (gemsim).
+ *
+ * Semantics per fault model:
+ *  - Transient:    at mask.cycle the bit is flipped once.
+ *  - Intermittent: during [cycle, cycle+duration) the bit is re-forced
+ *                  to stuckValue every cycle (so intervening writes
+ *                  cannot clear it while the fault is active).
+ *  - Permanent:    as intermittent but active for the whole run.
+ */
+
+#ifndef DFI_STORAGE_FAULT_DOMAIN_HH
+#define DFI_STORAGE_FAULT_DOMAIN_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "storage/fault.hh"
+#include "storage/faultable_array.hh"
+
+namespace dfi
+{
+
+/** Applies armed faults to resolver-provided arrays each cycle. */
+class FaultDomain
+{
+  public:
+    using ArrayResolver = std::function<FaultableArray *(StructureId)>;
+
+    FaultDomain() = default;
+
+    /** Install the structure-to-array resolver (owned by the sim). */
+    void setResolver(ArrayResolver resolver)
+    {
+        resolver_ = std::move(resolver);
+    }
+
+    /** Arm one fault for this run.  May be called multiple times. */
+    void arm(const FaultMask &mask);
+
+    /** Drop all armed faults and bookkeeping. */
+    void reset();
+
+    /**
+     * Advance to simulation cycle `cycle`: inject due transients,
+     * re-force active stuck-at faults.
+     * @return true if any fault was applied or is still pending/active
+     *         (callers may use this to skip work on fault-free runs).
+     */
+    bool tick(std::uint64_t cycle);
+
+    /** True once every transient fired (stuck faults never finish). */
+    bool allTransientsApplied() const;
+
+    /** Number of armed faults. */
+    std::size_t numArmed() const { return faults_.size(); }
+
+    /** Armed masks (for dispatcher bookkeeping, e.g. watch arming). */
+    const std::vector<FaultMask> &armed() const { return faults_; }
+
+  private:
+    FaultableArray *resolve(StructureId id) const;
+
+    ArrayResolver resolver_;
+    std::vector<FaultMask> faults_;
+    std::vector<bool> transientDone_;
+};
+
+} // namespace dfi
+
+#endif // DFI_STORAGE_FAULT_DOMAIN_HH

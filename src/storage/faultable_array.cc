@@ -1,0 +1,207 @@
+#include "storage/faultable_array.hh"
+
+#include "common/logging.hh"
+
+namespace dfi
+{
+
+FaultableArray::FaultableArray(std::string name, std::size_t entries,
+                               std::size_t bits_per_entry)
+    : name_(std::move(name)), entries_(entries),
+      bitsPerEntry_(bits_per_entry),
+      wordsPerEntry_((bits_per_entry + 63) / 64),
+      words_(entries * wordsPerEntry_, 0)
+{
+    if (entries == 0 || bits_per_entry == 0)
+        panic("FaultableArray %s: zero geometry", name_);
+}
+
+void
+FaultableArray::checkBounds(std::size_t entry, std::size_t bit,
+                            std::size_t width) const
+{
+    if (entry >= entries_ || width > 64 || bit + width > bitsPerEntry_) {
+        panic("FaultableArray %s: access out of bounds "
+              "(entry %s, bit %s, width %s)",
+              name_, entry, bit, width);
+    }
+}
+
+void
+FaultableArray::noteRead(std::size_t entry, std::size_t bit,
+                         std::size_t width) const
+{
+    if (watchState_ != WatchState::Armed)
+        return;
+    if (entry == watchEntry_ && watchBit_ >= bit &&
+        watchBit_ < bit + width) {
+        watchState_ = WatchState::ReadFirst;
+    }
+}
+
+void
+FaultableArray::noteWrite(std::size_t entry, std::size_t bit,
+                          std::size_t width)
+{
+    if (watchState_ != WatchState::Armed)
+        return;
+    if (entry == watchEntry_ && watchBit_ >= bit &&
+        watchBit_ < bit + width) {
+        watchState_ = WatchState::WrittenFirst;
+    }
+}
+
+std::uint64_t
+FaultableArray::readBits(std::size_t entry, std::size_t bit,
+                         std::size_t width) const
+{
+    checkBounds(entry, bit, width);
+    noteRead(entry, bit, width);
+
+    const std::size_t base = entry * wordsPerEntry_;
+    const std::size_t word = bit / 64;
+    const std::size_t shift = bit % 64;
+
+    std::uint64_t value = words_[base + word] >> shift;
+    if (shift != 0 && shift + width > 64)
+        value |= words_[base + word + 1] << (64 - shift);
+    if (width < 64)
+        value &= (1ull << width) - 1;
+    return value;
+}
+
+void
+FaultableArray::writeBits(std::size_t entry, std::size_t bit,
+                          std::size_t width, std::uint64_t value)
+{
+    checkBounds(entry, bit, width);
+    noteWrite(entry, bit, width);
+
+    const std::size_t base = entry * wordsPerEntry_;
+    const std::size_t word = bit / 64;
+    const std::size_t shift = bit % 64;
+    const std::uint64_t mask =
+        width == 64 ? ~0ull : ((1ull << width) - 1);
+
+    words_[base + word] &= ~(mask << shift);
+    words_[base + word] |= (value & mask) << shift;
+    if (shift != 0 && shift + width > 64) {
+        const std::size_t spill = shift + width - 64;
+        const std::uint64_t spill_mask = (1ull << spill) - 1;
+        words_[base + word + 1] &= ~spill_mask;
+        words_[base + word + 1] |= (value & mask) >> (64 - shift);
+    }
+}
+
+void
+FaultableArray::readBytes(std::size_t entry, std::size_t byte_offset,
+                          std::size_t count, std::uint8_t *out) const
+{
+    // Hot path (cache lines, fetch groups): one bounds/watch check for
+    // the whole span, then word-wise extraction.
+    const std::size_t bit = byte_offset * 8;
+    const std::size_t width = count * 8;
+    if (entry >= entries_ || bit + width > bitsPerEntry_) {
+        panic("FaultableArray %s: readBytes out of bounds "
+              "(entry %s, byte %s, count %s)",
+              name_, entry, byte_offset, count);
+    }
+    noteRead(entry, bit, width);
+    const std::size_t base = entry * wordsPerEntry_;
+    for (std::size_t i = 0; i < count; ++i) {
+        const std::size_t b = bit + i * 8;
+        out[i] = static_cast<std::uint8_t>(
+            words_[base + b / 64] >> (b % 64));
+    }
+}
+
+void
+FaultableArray::writeBytes(std::size_t entry, std::size_t byte_offset,
+                           std::size_t count, const std::uint8_t *in)
+{
+    const std::size_t bit = byte_offset * 8;
+    const std::size_t width = count * 8;
+    if (entry >= entries_ || bit + width > bitsPerEntry_) {
+        panic("FaultableArray %s: writeBytes out of bounds "
+              "(entry %s, byte %s, count %s)",
+              name_, entry, byte_offset, count);
+    }
+    noteWrite(entry, bit, width);
+    const std::size_t base = entry * wordsPerEntry_;
+    for (std::size_t i = 0; i < count; ++i) {
+        const std::size_t b = bit + i * 8;
+        std::uint64_t &word = words_[base + b / 64];
+        word &= ~(0xffull << (b % 64));
+        word |= static_cast<std::uint64_t>(in[i]) << (b % 64);
+    }
+}
+
+bool
+FaultableArray::readBit(std::size_t entry, std::size_t bit) const
+{
+    return readBits(entry, bit, 1) != 0;
+}
+
+void
+FaultableArray::writeBit(std::size_t entry, std::size_t bit, bool value)
+{
+    writeBits(entry, bit, 1, value ? 1 : 0);
+}
+
+void
+FaultableArray::clearEntry(std::size_t entry)
+{
+    if (entry >= entries_)
+        panic("FaultableArray %s: clearEntry out of bounds (%s)", name_,
+              entry);
+    if (watchState_ == WatchState::Armed && entry == watchEntry_)
+        watchState_ = WatchState::WrittenFirst;
+    const std::size_t base = entry * wordsPerEntry_;
+    for (std::size_t w = 0; w < wordsPerEntry_; ++w)
+        words_[base + w] = 0;
+}
+
+void
+FaultableArray::flipBit(std::size_t entry, std::size_t bit)
+{
+    checkBounds(entry, bit, 1);
+    const std::size_t base = entry * wordsPerEntry_;
+    words_[base + bit / 64] ^= 1ull << (bit % 64);
+}
+
+void
+FaultableArray::forceBit(std::size_t entry, std::size_t bit, bool value)
+{
+    checkBounds(entry, bit, 1);
+    const std::size_t base = entry * wordsPerEntry_;
+    const std::uint64_t mask = 1ull << (bit % 64);
+    if (value)
+        words_[base + bit / 64] |= mask;
+    else
+        words_[base + bit / 64] &= ~mask;
+}
+
+bool
+FaultableArray::peekBit(std::size_t entry, std::size_t bit) const
+{
+    checkBounds(entry, bit, 1);
+    const std::size_t base = entry * wordsPerEntry_;
+    return (words_[base + bit / 64] >> (bit % 64)) & 1;
+}
+
+void
+FaultableArray::armWatch(std::size_t entry, std::size_t bit)
+{
+    checkBounds(entry, bit, 1);
+    watchEntry_ = entry;
+    watchBit_ = bit;
+    watchState_ = WatchState::Armed;
+}
+
+void
+FaultableArray::clearWatch()
+{
+    watchState_ = WatchState::Idle;
+}
+
+} // namespace dfi

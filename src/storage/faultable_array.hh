@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Bit-accurate storage array with fault-injection and access-tracking
+ * hooks.
+ *
+ * Every injectable microarchitectural structure (register files, cache
+ * tag/data/valid arrays, queues, TLBs, BTBs, prefetcher state) is
+ * backed by a FaultableArray of `entries x bitsPerEntry` real bits.
+ * Faults are realized by mutating these bits — a transient flip, or a
+ * stuck-at value reasserted each cycle by the FaultDomain — and then
+ * propagate through the simulator only via ordinary reads of the
+ * array.  No fault outcome is ever scripted.
+ *
+ * The array additionally supports a single *watch* on one bit, used by
+ * the campaign controller's early-stop optimization (paper §III.B):
+ * after injecting, the controller watches the faulted bit and stops
+ * the run as soon as the first access is a full overwrite (fault
+ * guaranteed masked) instead of a read.
+ *
+ * The class is value-semantic; simulator checkpointing copies it
+ * wholesale.
+ */
+
+#ifndef DFI_STORAGE_FAULTABLE_ARRAY_HH
+#define DFI_STORAGE_FAULTABLE_ARRAY_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dfi
+{
+
+/** What happened first to a watched bit after fault injection. */
+enum class WatchState : std::uint8_t
+{
+    Idle,        //!< no watch armed
+    Armed,       //!< armed, no access seen yet
+    ReadFirst,   //!< the faulted bit was read before being overwritten
+    WrittenFirst //!< the faulted bit was overwritten before any read
+};
+
+/** Fixed-geometry array of raw bits with fault and watch hooks. */
+class FaultableArray
+{
+  public:
+    FaultableArray() = default;
+
+    /**
+     * Build an array.
+     * @param name debugging name, e.g. "l1d.data"
+     * @param entries number of rows
+     * @param bits_per_entry bits in each row (may exceed 64)
+     */
+    FaultableArray(std::string name, std::size_t entries,
+                   std::size_t bits_per_entry);
+
+    const std::string &name() const { return name_; }
+    std::size_t numEntries() const { return entries_; }
+    std::size_t bitsPerEntry() const { return bitsPerEntry_; }
+    /** Total bit count, the `N` of the statistical-sampling formula. */
+    std::uint64_t totalBits() const
+    {
+        return static_cast<std::uint64_t>(entries_) * bitsPerEntry_;
+    }
+
+    /**
+     * Read up to 64 bits starting at bit offset `bit` of row `entry`.
+     * Counts as an access for watch purposes.
+     */
+    std::uint64_t readBits(std::size_t entry, std::size_t bit,
+                           std::size_t width) const;
+
+    /** Write up to 64 bits; counts as an overwrite of covered bits. */
+    void writeBits(std::size_t entry, std::size_t bit, std::size_t width,
+                   std::uint64_t value);
+
+    /** Read a whole byte-aligned span of a row into `out`. */
+    void readBytes(std::size_t entry, std::size_t byte_offset,
+                   std::size_t count, std::uint8_t *out) const;
+
+    /** Write a whole byte-aligned span of a row. */
+    void writeBytes(std::size_t entry, std::size_t byte_offset,
+                    std::size_t count, const std::uint8_t *in);
+
+    /** Single-bit accessors (watch-visible). */
+    bool readBit(std::size_t entry, std::size_t bit) const;
+    void writeBit(std::size_t entry, std::size_t bit, bool value);
+
+    /** Zero an entire row (counts as overwrite of all its bits). */
+    void clearEntry(std::size_t entry);
+
+    /**
+     * Fault-application primitives.  These mutate backing bits without
+     * touching the watch (the injection itself is not an "access").
+     */
+    void flipBit(std::size_t entry, std::size_t bit);
+    void forceBit(std::size_t entry, std::size_t bit, bool value);
+    bool peekBit(std::size_t entry, std::size_t bit) const;
+
+    /** Arm the early-stop watch on one bit (replaces any previous). */
+    void armWatch(std::size_t entry, std::size_t bit);
+    /** Disarm the watch. */
+    void clearWatch();
+    /** Current watch verdict. */
+    WatchState watchState() const { return watchState_; }
+
+  private:
+    void checkBounds(std::size_t entry, std::size_t bit,
+                     std::size_t width) const;
+    void noteRead(std::size_t entry, std::size_t bit,
+                  std::size_t width) const;
+    void noteWrite(std::size_t entry, std::size_t bit, std::size_t width);
+
+    std::string name_;
+    std::size_t entries_ = 0;
+    std::size_t bitsPerEntry_ = 0;
+    std::size_t wordsPerEntry_ = 0;
+    std::vector<std::uint64_t> words_;
+
+    std::size_t watchEntry_ = 0;
+    std::size_t watchBit_ = 0;
+    // Mutable: reads are logically const for callers but advance the
+    // watch automaton.
+    mutable WatchState watchState_ = WatchState::Idle;
+};
+
+} // namespace dfi
+
+#endif // DFI_STORAGE_FAULTABLE_ARRAY_HH

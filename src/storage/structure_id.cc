@@ -1,0 +1,48 @@
+#include "storage/structure_id.hh"
+
+#include <array>
+
+#include "common/logging.hh"
+
+namespace dfi
+{
+
+namespace
+{
+
+constexpr std::size_t kNumStructures =
+    static_cast<std::size_t>(StructureId::NumStructures);
+
+const std::array<const char *, kNumStructures> kNames = {
+    "int_regfile",  "fp_regfile", "issue_queue", "lsq",
+    "load_queue",   "store_queue",
+    "l1d_data",     "l1d_tag",    "l1d_valid",
+    "l1i_data",     "l1i_tag",    "l1i_valid",
+    "l2_data",      "l2_tag",     "l2_valid",
+    "dtlb",         "itlb",
+    "btb",          "btb_indirect", "ras",
+    "prefetch_l1d", "prefetch_l1i",
+};
+
+} // namespace
+
+std::string
+structureName(StructureId id)
+{
+    const auto index = static_cast<std::size_t>(id);
+    if (index >= kNumStructures)
+        panic("structureName: bad StructureId %s", index);
+    return kNames[index];
+}
+
+StructureId
+structureFromName(const std::string &name)
+{
+    for (std::size_t i = 0; i < kNumStructures; ++i) {
+        if (name == kNames[i])
+            return static_cast<StructureId>(i);
+    }
+    fatal("unknown structure name '%s'", name);
+}
+
+} // namespace dfi

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Identifiers for every injectable microarchitectural storage array.
+ *
+ * This is the shared vocabulary between the simulators (which own the
+ * arrays) and the injection framework (which addresses faults at
+ * them).  The list covers every component of Table IV of the paper:
+ * the structures that exist in both tools, the structures MaFIN had to
+ * add to MARSS (cache data/valid arrays, direct-branch BTB,
+ * prefetchers) and the structures GeFIN reuses from gem5.
+ */
+
+#ifndef DFI_STORAGE_STRUCTURE_ID_HH
+#define DFI_STORAGE_STRUCTURE_ID_HH
+
+#include <cstdint>
+#include <string>
+
+namespace dfi
+{
+
+/** Physical storage arrays a fault can be injected into. */
+enum class StructureId : std::uint8_t
+{
+    IntRegFile,     //!< integer physical register file
+    FpRegFile,      //!< floating-point physical register file
+    IssueQueue,     //!< issue queue payload (packed instruction fields)
+    LoadStoreQueue, //!< unified LSQ data field (MARSS-style)
+    LoadQueue,      //!< split load queue (gem5-style; holds no data)
+    StoreQueue,     //!< split store queue data field (gem5-style)
+    L1DData,        //!< L1 data cache: data arrays
+    L1DTag,         //!< L1 data cache: tag arrays
+    L1DValid,       //!< L1 data cache: valid bits
+    L1IData,        //!< L1 instruction cache: instruction arrays
+    L1ITag,         //!< L1 instruction cache: tag arrays
+    L1IValid,       //!< L1 instruction cache: valid bits
+    L2Data,         //!< L2 cache: data arrays
+    L2Tag,          //!< L2 cache: tag arrays
+    L2Valid,        //!< L2 cache: valid bits
+    DTlb,           //!< data TLB (valid + tag + frame)
+    ITlb,           //!< instruction TLB (valid + tag + frame)
+    Btb,            //!< branch target buffer (direct branches)
+    BtbIndirect,    //!< indirect-branch BTB (MARSS-style split BTB)
+    Ras,            //!< return address stack
+    PrefetchL1D,    //!< L1D next-line prefetcher state (MaFIN "New")
+    PrefetchL1I,    //!< L1I next-line prefetcher state (MaFIN "New")
+
+    NumStructures
+};
+
+/** Short lower-case name used in masks, logs and reports. */
+std::string structureName(StructureId id);
+
+/** Inverse of structureName(); fatal() on unknown names. */
+StructureId structureFromName(const std::string &name);
+
+} // namespace dfi
+
+#endif // DFI_STORAGE_STRUCTURE_ID_HH

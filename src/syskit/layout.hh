@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Guest virtual address-space layout.
+ *
+ * Both ISAs use the same simple flat layout.  The first page is never
+ * mapped (null-pointer traps), code is read-only/executable, data+bss
+ * read-write, and the stack grows down from just below the top of the
+ * guest memory.
+ */
+
+#ifndef DFI_SYSKIT_LAYOUT_HH
+#define DFI_SYSKIT_LAYOUT_HH
+
+#include <cstdint>
+
+namespace dfi::syskit
+{
+
+/** Base of the code segment (first mapped address). */
+constexpr std::uint32_t kCodeBase = 0x1000;
+
+/** Default guest memory size (4 MiB). */
+constexpr std::uint32_t kDefaultMemSize = 0x400000;
+
+/** Page size used by the TLB model. */
+constexpr std::uint32_t kPageSize = 0x1000;
+
+/** Alignment between segments. */
+constexpr std::uint32_t kSegmentAlign = 0x1000;
+
+} // namespace dfi::syskit
+
+#endif // DFI_SYSKIT_LAYOUT_HH

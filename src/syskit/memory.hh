@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Guest physical memory and access-fault taxonomy.
+ *
+ * GuestMemory is the authoritative flat byte store of the simulated
+ * machine.  Accesses report faults instead of throwing: corrupted
+ * state routinely produces wild addresses, and the machines must stay
+ * UB-free while converting them into the guest-visible fault taxonomy.
+ */
+
+#ifndef DFI_SYSKIT_MEMORY_HH
+#define DFI_SYSKIT_MEMORY_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "syskit/layout.hh"
+
+namespace dfi::syskit
+{
+
+/** Faults a memory access can raise. */
+enum class MemFault : std::uint8_t
+{
+    None,
+    Unmapped,    //!< below kCodeBase or beyond memory size
+    WriteToCode, //!< store into the read-only code segment
+};
+
+/** Flat guest memory with segment protection. */
+class GuestMemory
+{
+  public:
+    GuestMemory() = default;
+
+    /**
+     * @param size total bytes of guest memory
+     * @param code_limit first address above the read-only code segment
+     */
+    GuestMemory(std::uint32_t size, std::uint32_t code_limit);
+
+    std::uint32_t size() const
+    {
+        return static_cast<std::uint32_t>(bytes_.size());
+    }
+
+    /** True if [addr, addr+len) is fully inside mapped memory. */
+    bool mapped(std::uint32_t addr, std::uint32_t len) const;
+
+    /** Check an access; returns the fault it would raise. */
+    MemFault checkAccess(std::uint32_t addr, std::uint32_t len,
+                         bool is_write) const;
+
+    /**
+     * Read `len` bytes (little-endian value for len <= 4).
+     * @return MemFault::None and sets *value on success.
+     */
+    MemFault read(std::uint32_t addr, std::uint32_t len,
+                  std::uint32_t *value) const;
+
+    /** Write `len` low-order bytes of value (little-endian). */
+    MemFault write(std::uint32_t addr, std::uint32_t len,
+                   std::uint32_t value);
+
+    /** Bulk reads/writes for loaders and the system layer. */
+    MemFault readBlock(std::uint32_t addr, std::uint32_t len,
+                       std::uint8_t *out) const;
+    MemFault writeBlock(std::uint32_t addr, std::uint32_t len,
+                        const std::uint8_t *in);
+
+    /**
+     * Privileged access that ignores write protection (used by the
+     * loader and by cache writebacks, which act on physical memory).
+     */
+    void pokeBytes(std::uint32_t addr, std::uint32_t len,
+                   const std::uint8_t *in);
+    void peekBytes(std::uint32_t addr, std::uint32_t len,
+                   std::uint8_t *out) const;
+
+    /** Raw backing store (for checkpoint copies). */
+    const std::vector<std::uint8_t> &raw() const { return bytes_; }
+
+  private:
+    std::vector<std::uint8_t> bytes_;
+    std::uint32_t codeLimit_ = kCodeBase;
+};
+
+} // namespace dfi::syskit
+
+#endif // DFI_SYSKIT_MEMORY_HH

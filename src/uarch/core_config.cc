@@ -1,0 +1,156 @@
+#include "uarch/core_config.hh"
+
+#include "common/logging.hh"
+
+namespace dfi::uarch
+{
+
+CoreConfig
+marssX86Config()
+{
+    CoreConfig cfg;
+    cfg.name = "marss-x86";
+    cfg.isa = isa::IsaKind::X86;
+    cfg.assertPolicy = AssertPolicy::Dense;
+
+    cfg.numPhysInt = 256;
+    cfg.numPhysFp = 256;
+    cfg.iqEntries = 32;
+    cfg.unifiedLsq = true;
+    cfg.lsqEntries = 32;
+    cfg.robEntries = 64;
+
+    cfg.intAlus = 2;
+    cfg.complexAlus = 2;
+    cfg.agus = 4;
+
+    cfg.aggressiveLoadIssue = true;
+    cfg.lsqHoldsLoadData = true;
+    cfg.hypervisor = true;
+    cfg.syscallCost = 150; // QEMU world switch is expensive
+    cfg.kernelTickCost = 60;
+    cfg.kernelTouchLines = 0; // QEMU bypasses the simulated caches
+
+    cfg.chooserIndex = ChooserIndex::ByAddress;
+    cfg.splitBtb = true;
+    cfg.btb = BtbConfig{"btb", 1024, 4};
+    cfg.btbIndirect = BtbConfig{"btb_indirect", 512, 4};
+
+    cfg.hier.mode = HierMode::Shadow;
+    cfg.hier.prefetchL1D = true; // MaFIN "New" components
+    cfg.hier.prefetchL1I = true;
+    return cfg;
+}
+
+namespace
+{
+
+CoreConfig
+gem5Common()
+{
+    CoreConfig cfg;
+    cfg.assertPolicy = AssertPolicy::Sparse;
+
+    cfg.numPhysInt = 256;
+    cfg.numPhysFp = 128;
+    cfg.iqEntries = 32;
+    cfg.unifiedLsq = false;
+    cfg.lqEntries = 16;
+    cfg.sqEntries = 16;
+    cfg.robEntries = 40;
+
+    cfg.aggressiveLoadIssue = false;
+    cfg.lsqHoldsLoadData = false;
+    cfg.hypervisor = false;
+    cfg.syscallCost = 80; // handled internally
+    cfg.kernelTickCost = 50;
+    cfg.kernelTouchLines = 24; // kernel code occupies a large L1I share
+
+    cfg.chooserIndex = ChooserIndex::ByHistory;
+    cfg.splitBtb = false;
+    cfg.btb = BtbConfig{"btb", 2048, 1};
+
+    cfg.hier.mode = HierMode::WriteBack;
+    cfg.hier.prefetchL1D = false;
+    cfg.hier.prefetchL1I = false;
+    return cfg;
+}
+
+} // namespace
+
+CoreConfig
+gem5X86Config()
+{
+    CoreConfig cfg = gem5Common();
+    cfg.name = "gem5-x86";
+    cfg.isa = isa::IsaKind::X86;
+    cfg.intAlus = 6;
+    cfg.complexAlus = 2;
+    cfg.agus = 4;
+    return cfg;
+}
+
+CoreConfig
+gem5ArmConfig()
+{
+    CoreConfig cfg = gem5Common();
+    cfg.name = "gem5-arm";
+    cfg.isa = isa::IsaKind::Arm;
+    cfg.intAlus = 2;
+    cfg.complexAlus = 1;
+    cfg.agus = 2;
+    return cfg;
+}
+
+
+CoreConfig
+coreConfigByName(const std::string &name)
+{
+    if (name == "marss-x86")
+        return marssX86Config();
+    if (name == "gem5-x86")
+        return gem5X86Config();
+    if (name == "gem5-arm")
+        return gem5ArmConfig();
+    fatal("unknown core configuration '%s'", name);
+}
+
+void
+scaleCaches(CoreConfig &config, double scale)
+{
+    if (scale <= 0.0 || scale > 1.0)
+        fatal("cache scale %s out of (0, 1]", scale);
+    auto shrink = [&](CacheConfig &cache, std::uint32_t floor_bytes) {
+        auto size = static_cast<std::uint32_t>(
+            static_cast<double>(cache.sizeBytes) * scale);
+        // Round down to a power-of-two multiple of line*ways.
+        const std::uint32_t quantum = cache.lineBytes * cache.ways;
+        std::uint32_t sets = 1;
+        while (quantum * sets * 2 <= std::max(size, floor_bytes))
+            sets *= 2;
+        cache.sizeBytes = quantum * sets;
+    };
+    shrink(config.hier.l1i, 2048);
+    shrink(config.hier.l1d, 2048);
+    // The L2 shrinks quadratically (scale^2, floored at 8 KiB): at
+    // this repository's workload footprints a same-ratio L2 would
+    // never see refills, unlike the paper's testbed where MiBench
+    // working sets overflow the L1s regularly.
+    if (scale < 1.0) {
+        CacheConfig &l2 = config.hier.l2;
+        l2.sizeBytes = static_cast<std::uint32_t>(
+            static_cast<double>(l2.sizeBytes) * scale);
+        shrink(l2, 8192);
+    }
+}
+
+const std::vector<std::string> &
+coreConfigNames()
+{
+    static const std::vector<std::string> names = {"marss-x86",
+                                                   "gem5-x86",
+                                                   "gem5-arm"};
+    return names;
+}
+
+} // namespace dfi::uarch

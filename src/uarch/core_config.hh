@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Out-of-order core configuration.
+ *
+ * The three configurations of the paper's Table II (MARSS/x86,
+ * gem5/x86, gem5/ARM) are factory functions here; every parameter the
+ * table lists is a field, and the behavioural divergences the paper
+ * identifies (aggressive load issue, unified LSQ holding load data,
+ * QEMU hypervisor, assertion density, predictor indexing, split BTB,
+ * prefetchers) are explicit policy fields.
+ */
+
+#ifndef DFI_UARCH_CORE_CONFIG_HH
+#define DFI_UARCH_CORE_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/types.hh"
+#include "uarch/branch.hh"
+#include "uarch/hier.hh"
+#include "uarch/sim_error.hh"
+
+namespace dfi::uarch
+{
+
+/** Full configuration of one simulated core. */
+struct CoreConfig
+{
+    std::string name;
+    isa::IsaKind isa = isa::IsaKind::X86;
+    AssertPolicy assertPolicy = AssertPolicy::Sparse;
+
+    // --- Table II sizes -------------------------------------------------
+    std::uint32_t numPhysInt = 256;
+    std::uint32_t numPhysFp = 128;
+    std::uint32_t iqEntries = 32;
+    bool unifiedLsq = false;       //!< MARSS: one 32-entry queue
+    std::uint32_t lsqEntries = 32; //!< unified size
+    std::uint32_t lqEntries = 16;  //!< split sizes (gem5)
+    std::uint32_t sqEntries = 16;
+    std::uint32_t robEntries = 40;
+
+    // --- pipeline widths --------------------------------------------------
+    std::uint32_t fetchWidth = 4;
+    std::uint32_t renameWidth = 4;
+    std::uint32_t issueWidth = 4;
+    std::uint32_t commitWidth = 4;
+
+    // --- functional units ---------------------------------------------------
+    std::uint32_t intAlus = 2;
+    std::uint32_t complexAlus = 1; //!< mul/div capable
+    std::uint32_t agus = 2;        //!< memory ports
+
+    // --- latencies ---------------------------------------------------------
+    std::uint32_t aluLatency = 1;
+    std::uint32_t mulLatency = 3;
+    std::uint32_t divLatency = 12;
+
+    // --- policies (paper-identified divergences) ------------------------
+    bool aggressiveLoadIssue = false; //!< MARSS: issue before aliasing known
+    bool lsqHoldsLoadData = false;    //!< MARSS: loads buffer data in LSQ
+    bool hypervisor = false;          //!< MARSS: QEMU handles system ops
+    std::uint32_t syscallCost = 80;   //!< cycles to enter/leave the kernel
+    std::uint32_t kernelTickInterval = 5000;
+    std::uint32_t kernelTickCost = 50;
+    std::uint32_t kernelTouchLines = 4; //!< L1I lines a kernel tick touches
+
+    // --- front end ----------------------------------------------------------
+    ChooserIndex chooserIndex = ChooserIndex::ByHistory;
+    bool splitBtb = false;
+    BtbConfig btb{"btb", 2048, 1};
+    BtbConfig btbIndirect{"btb_indirect", 512, 4};
+    std::uint32_t rasEntries = 16;
+    std::uint32_t tlbEntries = 64;
+
+    // --- memory --------------------------------------------------------------
+    HierConfig hier;
+};
+
+/** MARSS/x86 configuration (Table II column 1). */
+CoreConfig marssX86Config();
+/** gem5/x86 configuration (Table II column 2). */
+CoreConfig gem5X86Config();
+/** gem5/ARM configuration (Table II column 3). */
+CoreConfig gem5ArmConfig();
+
+/**
+ * Lookup by name: "marss-x86", "gem5-x86", "gem5-arm".
+ * fatal() on unknown names.
+ */
+CoreConfig coreConfigByName(const std::string &name);
+
+/**
+ * Proportionally shrink the cache capacities (associativity and line
+ * size preserved).  The evaluation campaigns run with scale 1/8 —
+ * cache capacity and workload footprints are scaled *together*
+ * relative to the paper's testbed (Table II sizes, MiBench inputs) so
+ * occupancy, replacement behaviour and therefore masking rates stay
+ * representative while campaigns fit a single machine.  See
+ * DESIGN.md, "Substitutions".
+ */
+void scaleCaches(CoreConfig &config, double scale);
+
+/** The three setup names of the paper's study, in figure order. */
+const std::vector<std::string> &coreConfigNames();
+
+} // namespace dfi::uarch
+
+#endif // DFI_UARCH_CORE_CONFIG_HH

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Simulator-level failure modes raised by microarchitectural
+ * invariant checkpoints.
+ *
+ * These model the paper's Assert and Simulator-Crash outcome classes
+ * (Section III.A): injected faults can corrupt microarchitectural
+ * state to the point where the *simulator* — not the simulated
+ * program — fails.  MARSS contains many assertion checkpoints (dense
+ * checking, Remark 8), so corrupted state usually trips an assert;
+ * gem5's checking is compact, so corruption flows further and
+ * manifests as a simulator crash (or not at all).
+ *
+ * Every checkpoint in the core names a severity:
+ *  - Hard: continuing would corrupt the host process (out-of-range
+ *    index about to be used).  Dense policy -> SimAssert; sparse
+ *    policy -> SimCrash.
+ *  - Soft: an invariant is broken but execution can continue.
+ *    Dense policy -> SimAssert; sparse policy -> tolerated.
+ */
+
+#ifndef DFI_UARCH_SIM_ERROR_HH
+#define DFI_UARCH_SIM_ERROR_HH
+
+#include <stdexcept>
+#include <string>
+
+namespace dfi::uarch
+{
+
+/** An assertion checkpoint fired (paper class: Assert). */
+class SimAssertError : public std::runtime_error
+{
+  public:
+    explicit SimAssertError(const std::string &what)
+        : std::runtime_error(what)
+    {}
+};
+
+/** The simulator itself would have crashed (paper class: Crash). */
+class SimCrashError : public std::runtime_error
+{
+  public:
+    explicit SimCrashError(const std::string &what)
+        : std::runtime_error(what)
+    {}
+};
+
+/** Assertion-checkpoint density of a simulator model. */
+enum class AssertPolicy
+{
+    Dense, //!< MARSS-like: every checkpoint raises SimAssert
+    Sparse //!< gem5-like: hard checkpoints raise SimCrash, soft pass
+};
+
+/** Severity of one checkpoint site. */
+enum class CheckSeverity
+{
+    Hard, //!< continuing would corrupt the host simulator
+    Soft  //!< invariant violated but execution can limp on
+};
+
+/**
+ * Evaluate a checkpoint.  Returns normally when ok, or when a sparse
+ * policy tolerates a soft violation.
+ */
+inline void
+checkInvariant(bool ok, AssertPolicy policy, CheckSeverity severity,
+               const char *what)
+{
+    if (ok)
+        return;
+    if (policy == AssertPolicy::Dense)
+        throw SimAssertError(what);
+    if (severity == CheckSeverity::Hard)
+        throw SimCrashError(what);
+    // Sparse policy tolerates soft violations.
+}
+
+} // namespace dfi::uarch
+
+#endif // DFI_UARCH_SIM_ERROR_HH

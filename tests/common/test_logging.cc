@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Tests for the logging/error machinery.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+namespace
+{
+
+TEST(Logging, FatalThrowsFatalError)
+{
+    EXPECT_THROW(dfi::fatal("bad user input: %s", 42), dfi::FatalError);
+}
+
+TEST(Logging, FatalMessageFormatted)
+{
+    try {
+        dfi::fatal("value %s out of range [%s, %s]", 7, 1, 5);
+        FAIL() << "fatal did not throw";
+    } catch (const dfi::FatalError &err) {
+        EXPECT_STREQ(err.what(), "value 7 out of range [1, 5]");
+    }
+}
+
+TEST(Logging, LevelRoundTrips)
+{
+    const auto before = dfi::logLevel();
+    dfi::setLogLevel(dfi::LogLevel::Debug);
+    EXPECT_EQ(dfi::logLevel(), dfi::LogLevel::Debug);
+    dfi::setLogLevel(before);
+}
+
+TEST(Logging, FormatHandlesMixedTypes)
+{
+    const std::string s =
+        dfi::detail::format("%s+%s=%s done", 1, 2.5, "three");
+    EXPECT_EQ(s, "1+2.5=three done");
+}
+
+TEST(Logging, FormatWithoutPlaceholders)
+{
+    EXPECT_EQ(dfi::detail::format("plain"), "plain");
+}
+
+TEST(Logging, WarnDoesNotThrow)
+{
+    EXPECT_NO_THROW(dfi::warn("warning %s", "text"));
+    EXPECT_NO_THROW(dfi::inform("info %s", 1));
+    EXPECT_NO_THROW(dfi::debugLog("debug %s", 2));
+}
+
+} // namespace

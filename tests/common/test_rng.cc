@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Unit and property tests for the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace
+{
+
+using dfi::Rng;
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next64(), b.next64());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next64() == b.next64();
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, BoundedStaysInBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.nextBounded(17), 17u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        const auto v = rng.nextRange(3, 6);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 6u);
+        saw_lo |= v == 3;
+        saw_hi |= v == 6;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng rng(11);
+    for (int i = 0; i < 10000; ++i) {
+        const double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, BoundedRoughlyUniform)
+{
+    Rng rng(13);
+    std::vector<int> buckets(8, 0);
+    const int n = 80000;
+    for (int i = 0; i < n; ++i)
+        ++buckets[rng.nextBounded(8)];
+    for (int count : buckets) {
+        EXPECT_GT(count, n / 8 - n / 80);
+        EXPECT_LT(count, n / 8 + n / 80);
+    }
+}
+
+TEST(Rng, ForkedStreamsIndependent)
+{
+    Rng parent(21);
+    Rng child = parent.fork();
+    // The parent advanced; both streams should still be deterministic
+    // and distinct.
+    Rng parent2(21);
+    Rng child2 = parent2.fork();
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(child.next64(), child2.next64());
+        EXPECT_EQ(parent.next64(), parent2.next64());
+    }
+}
+
+TEST(Rng, BernoulliProbability)
+{
+    Rng rng(33);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.nextBool(0.25);
+    EXPECT_NEAR(hits / static_cast<double>(n), 0.25, 0.01);
+}
+
+TEST(Rng, NoShortCycle)
+{
+    Rng rng(55);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 10000; ++i)
+        seen.insert(rng.next64());
+    EXPECT_EQ(seen.size(), 10000u);
+}
+
+} // namespace

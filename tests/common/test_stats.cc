@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Tests for the statistics package and table renderer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+
+namespace
+{
+
+using dfi::StatSet;
+using dfi::TextTable;
+
+TEST(StatSet, IncrementAndGet)
+{
+    StatSet s;
+    EXPECT_EQ(s.get("loads"), 0u);
+    s.inc("loads");
+    s.inc("loads", 4);
+    EXPECT_EQ(s.get("loads"), 5u);
+    EXPECT_TRUE(s.has("loads"));
+    EXPECT_FALSE(s.has("stores"));
+}
+
+TEST(StatSet, SetOverrides)
+{
+    StatSet s;
+    s.inc("x", 10);
+    s.set("x", 3);
+    EXPECT_EQ(s.get("x"), 3u);
+}
+
+TEST(StatSet, RatioHandlesZeroDenominator)
+{
+    StatSet s;
+    s.inc("hits", 30);
+    EXPECT_DOUBLE_EQ(s.ratio("hits", "accesses"), 0.0);
+    s.inc("accesses", 60);
+    EXPECT_DOUBLE_EQ(s.ratio("hits", "accesses"), 0.5);
+}
+
+TEST(StatSet, ClearZeroesButKeepsNames)
+{
+    StatSet s;
+    s.inc("a", 2);
+    s.clear();
+    EXPECT_TRUE(s.has("a"));
+    EXPECT_EQ(s.get("a"), 0u);
+}
+
+TEST(StatSet, DumpSortedWithPrefix)
+{
+    StatSet s;
+    s.inc("b", 2);
+    s.inc("a", 1);
+    EXPECT_EQ(s.dump("sim."), "sim.a = 1\nsim.b = 2\n");
+}
+
+TEST(StatSet, CopySemantics)
+{
+    StatSet s;
+    s.inc("cycles", 100);
+    StatSet t = s;
+    t.inc("cycles", 1);
+    EXPECT_EQ(s.get("cycles"), 100u);
+    EXPECT_EQ(t.get("cycles"), 101u);
+}
+
+TEST(TextTable, RendersAlignedColumns)
+{
+    TextTable t;
+    t.header({"name", "value"});
+    t.row({"a", "1"});
+    t.row({"long-name", "22"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("long-name"), std::string::npos);
+    // Every row has the same line length.
+    std::size_t first_nl = out.find('\n');
+    ASSERT_NE(first_nl, std::string::npos);
+}
+
+TEST(FormatFixed, Decimals)
+{
+    EXPECT_EQ(dfi::formatFixed(3.14159, 2), "3.14");
+    EXPECT_EQ(dfi::formatFixed(2.0, 1), "2.0");
+}
+
+} // namespace

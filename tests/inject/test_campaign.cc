@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Integration tests for the Injection Campaign Controller: golden
+ * runs, checkpointed faulty runs, early-stop rules, timeout bounds,
+ * determinism, and the MaFIN/GeFIN facades.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gemsim/gefin.hh"
+#include "inject/campaign.hh"
+#include "inject/report.hh"
+#include "marssim/mafin.hh"
+
+namespace
+{
+
+using namespace dfi;
+using namespace dfi::inject;
+
+CampaignConfig
+microConfig(const std::string &core, const std::string &component)
+{
+    CampaignConfig cfg;
+    cfg.benchmark = "micro";
+    cfg.coreName = core;
+    cfg.component = component;
+    cfg.numInjections = 40;
+    cfg.seed = 99;
+    return cfg;
+}
+
+TEST(Campaign, GoldenRunMatchesReference)
+{
+    InjectionCampaign campaign(
+        microConfig("marss-x86", "int_regfile"));
+    const auto &golden = campaign.golden();
+    EXPECT_EQ(golden.term, syskit::Termination::Exited);
+    EXPECT_GT(golden.cycles, 0u);
+    EXPECT_EQ(golden.output.size(), 64u);
+}
+
+TEST(Campaign, RunsProduceRecords)
+{
+    InjectionCampaign campaign(microConfig("marss-x86", "l1d"));
+    const auto result = campaign.run();
+    EXPECT_EQ(result.records.size(), 40u);
+    EXPECT_EQ(result.masks.size(), 40u);
+    Parser parser;
+    const auto counts = result.classify(parser);
+    EXPECT_EQ(counts.total(), 40u);
+}
+
+TEST(Campaign, DeterministicAcrossRuns)
+{
+    auto run_once = [] {
+        InjectionCampaign campaign(microConfig("gem5-x86", "l1d"));
+        Parser parser;
+        return campaign.run().classify(parser);
+    };
+    const auto a = run_once();
+    const auto b = run_once();
+    EXPECT_EQ(a.counts, b.counts);
+}
+
+TEST(Campaign, CheckpointsDoNotChangeOutcomes)
+{
+    auto cfg = microConfig("marss-x86", "l1d");
+    Parser parser;
+
+    cfg.useCheckpoints = true;
+    InjectionCampaign with(cfg);
+    const auto a = with.run().classify(parser);
+
+    cfg.useCheckpoints = false;
+    InjectionCampaign without(cfg);
+    const auto b = without.run().classify(parser);
+
+    EXPECT_EQ(a.counts, b.counts);
+}
+
+TEST(Campaign, EarlyStopsOnlyRelabelMaskedRuns)
+{
+    // Disabling both early-stop rules must yield the same
+    // vulnerability (the optimization may never change a non-masked
+    // outcome, only save time on masked ones).
+    auto cfg = microConfig("gem5-x86", "l1d");
+    Parser parser;
+
+    InjectionCampaign fast(cfg);
+    const auto quick = fast.run();
+    const auto a = quick.classify(parser);
+
+    cfg.earlyStopInvalidEntry = false;
+    cfg.earlyStopOverwrite = false;
+    InjectionCampaign slow(cfg);
+    const auto full = slow.run();
+    const auto b = full.classify(parser);
+
+    EXPECT_EQ(a.counts, b.counts);
+    // And it must actually save simulated cycles.
+    EXPECT_LT(quick.simulatedFaultyCycles, full.simulatedFaultyCycles);
+}
+
+TEST(Campaign, SamplingDerivesRunCount)
+{
+    auto cfg = microConfig("marss-x86", "int_regfile");
+    cfg.numInjections = 0; // derive from confidence/margin
+    cfg.confidence = 0.95;
+    cfg.margin = 0.2; // deliberately loose: few runs
+    InjectionCampaign campaign(cfg);
+    const auto result = campaign.run();
+    EXPECT_GT(result.records.size(), 10u);
+    EXPECT_LT(result.records.size(), 60u);
+}
+
+TEST(Campaign, DirectedSingleRun)
+{
+    InjectionCampaign campaign(microConfig("marss-x86", "l1d"));
+    (void)campaign.golden();
+
+    dfi::FaultMask mask;
+    mask.structure = StructureId::L1DData;
+    mask.entry = 0;
+    mask.bit = 0;
+    mask.type = FaultType::Transient;
+    mask.cycle = 100;
+    const auto record = campaign.runOne({mask});
+    // Deterministic single-fault record: either it terminated some
+    // way or it was early-stopped; both are valid records.
+    EXPECT_TRUE(record.earlyStopMasked ||
+                record.term == syskit::Termination::Exited ||
+                record.term != syskit::Termination::Exited);
+}
+
+TEST(Campaign, PermanentFaultCampaignRuns)
+{
+    auto cfg = microConfig("gem5-x86", "int_regfile");
+    cfg.faultType = FaultType::Permanent;
+    cfg.numInjections = 15;
+    InjectionCampaign campaign(cfg);
+    const auto result = campaign.run();
+    EXPECT_EQ(result.records.size(), 15u);
+    // Permanent faults are never early-stopped.
+    for (const auto &record : result.records)
+        EXPECT_FALSE(record.earlyStopMasked);
+}
+
+TEST(Campaign, IntermittentFaultCampaignRuns)
+{
+    auto cfg = microConfig("gem5-arm", "l1d");
+    cfg.faultType = FaultType::Intermittent;
+    cfg.numInjections = 15;
+    InjectionCampaign campaign(cfg);
+    const auto result = campaign.run();
+    EXPECT_EQ(result.records.size(), 15u);
+}
+
+TEST(Campaign, MultiBitCampaignRuns)
+{
+    auto cfg = microConfig("marss-x86", "l1d");
+    cfg.population = Population::DoubleRandom;
+    cfg.numInjections = 15;
+    InjectionCampaign campaign(cfg);
+    const auto result = campaign.run();
+    EXPECT_EQ(result.records.size(), 15u);
+    EXPECT_EQ(result.masks.size(), 30u);
+}
+
+TEST(Campaign, TimeoutBoundsRunLength)
+{
+    auto cfg = microConfig("marss-x86", "l1i");
+    cfg.numInjections = 60;
+    cfg.timeoutFactor = 3.0;
+    InjectionCampaign campaign(cfg);
+    const auto result = campaign.run();
+    const auto bound = static_cast<std::uint64_t>(
+        result.golden.cycles * 3.0);
+    for (const auto &record : result.records)
+        EXPECT_LE(record.cycles, bound + 2);
+}
+
+TEST(Facades, MaFinPinsMarss)
+{
+    auto campaign =
+        mafin::makeCampaign(microConfig("gem5-x86", "int_regfile"));
+    // The facade overrides whatever core was configured.
+    EXPECT_EQ(campaign.golden().term, syskit::Termination::Exited);
+    EXPECT_EQ(mafin::simulatorConfig().name, "marss-x86");
+    EXPECT_TRUE(mafin::simulatorConfig().unifiedLsq);
+}
+
+TEST(Facades, GeFinSupportsBothIsas)
+{
+    EXPECT_EQ(gefin::simulatorConfig(isa::IsaKind::X86).name,
+              "gem5-x86");
+    EXPECT_EQ(gefin::simulatorConfig(isa::IsaKind::Arm).name,
+              "gem5-arm");
+    EXPECT_FALSE(gefin::simulatorConfig(isa::IsaKind::X86).unifiedLsq);
+    auto campaign = gefin::makeCampaign(
+        microConfig("marss-x86", "int_regfile"), isa::IsaKind::Arm);
+    EXPECT_EQ(campaign.golden().term, syskit::Termination::Exited);
+}
+
+TEST(Report, FigureAggregation)
+{
+    FigureReport report("test figure", {"A", "B"});
+    ClassCounts mostly_masked;
+    for (int i = 0; i < 90; ++i)
+        mostly_masked.add(OutcomeClass::Masked);
+    for (int i = 0; i < 10; ++i)
+        mostly_masked.add(OutcomeClass::Sdc);
+    ClassCounts all_masked;
+    for (int i = 0; i < 100; ++i)
+        all_masked.add(OutcomeClass::Masked);
+
+    report.add("bench1", "A", mostly_masked);
+    report.add("bench1", "B", all_masked);
+    report.add("bench2", "A", all_masked);
+    report.add("bench2", "B", all_masked);
+
+    EXPECT_DOUBLE_EQ(report.vulnerability("bench1", "A"), 10.0);
+    EXPECT_DOUBLE_EQ(report.average("A").vulnerability(), 5.0);
+    EXPECT_DOUBLE_EQ(report.average("B").vulnerability(), 0.0);
+
+    const std::string table = report.renderTable();
+    EXPECT_NE(table.find("AVERAGE"), std::string::npos);
+    const std::string bars = report.renderBars();
+    EXPECT_NE(bars.find("vulnerable"), std::string::npos);
+    const std::string summary = report.renderSummary();
+    EXPECT_NE(summary.find("average vulnerability"),
+              std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Tests for the Parser's fault-effect classification, including the
+ * reconfigurable classification options of Section III.B.
+ */
+
+#include <gtest/gtest.h>
+
+#include "inject/parser.hh"
+
+namespace
+{
+
+using namespace dfi::inject;
+using dfi::syskit::DueEvent;
+using dfi::syskit::RunRecord;
+using dfi::syskit::Termination;
+
+RunRecord
+goldenRecord()
+{
+    RunRecord golden;
+    golden.term = Termination::Exited;
+    golden.exitCode = 0;
+    golden.output = {1, 2, 3, 4};
+    golden.cycles = 1000;
+    golden.instructions = 900;
+    return golden;
+}
+
+TEST(Parser, MaskedWhenIdentical)
+{
+    Parser parser;
+    const RunRecord golden = goldenRecord();
+    RunRecord faulty = golden;
+    EXPECT_EQ(parser.classify(golden, faulty).cls,
+              OutcomeClass::Masked);
+}
+
+TEST(Parser, SdcOnOutputDifference)
+{
+    Parser parser;
+    const RunRecord golden = goldenRecord();
+    RunRecord faulty = golden;
+    faulty.output = {1, 2, 3, 5};
+    EXPECT_EQ(parser.classify(golden, faulty).cls, OutcomeClass::Sdc);
+}
+
+TEST(Parser, SdcOnExitCodeDifference)
+{
+    Parser parser;
+    const RunRecord golden = goldenRecord();
+    RunRecord faulty = golden;
+    faulty.exitCode = 7;
+    EXPECT_EQ(parser.classify(golden, faulty).cls, OutcomeClass::Sdc);
+}
+
+TEST(Parser, DueTrueAndFalse)
+{
+    Parser parser;
+    const RunRecord golden = goldenRecord();
+
+    RunRecord false_due = golden;
+    false_due.dueEvents.push_back(DueEvent{"div-zero", 0x1234});
+    auto c1 = parser.classify(golden, false_due);
+    EXPECT_EQ(c1.cls, OutcomeClass::Due);
+    EXPECT_EQ(c1.subclass, "false-due");
+
+    RunRecord true_due = false_due;
+    true_due.output = {9};
+    auto c2 = parser.classify(golden, true_due);
+    EXPECT_EQ(c2.cls, OutcomeClass::Due);
+    EXPECT_EQ(c2.subclass, "true-due");
+}
+
+TEST(Parser, CrashLevels)
+{
+    Parser parser;
+    const RunRecord golden = goldenRecord();
+
+    RunRecord process = golden;
+    process.term = Termination::ProcessCrash;
+    EXPECT_EQ(parser.classify(golden, process).cls,
+              OutcomeClass::Crash);
+    EXPECT_EQ(parser.classify(golden, process).subclass,
+              "process-crash");
+
+    RunRecord kernel = golden;
+    kernel.term = Termination::KernelPanic;
+    EXPECT_EQ(parser.classify(golden, kernel).subclass,
+              "system-crash");
+
+    RunRecord simulator = golden;
+    simulator.term = Termination::SimCrash;
+    EXPECT_EQ(parser.classify(golden, simulator).cls,
+              OutcomeClass::Crash);
+    EXPECT_EQ(parser.classify(golden, simulator).subclass,
+              "simulator-crash");
+}
+
+TEST(Parser, AssertClass)
+{
+    Parser parser;
+    const RunRecord golden = goldenRecord();
+    RunRecord assert_rec = golden;
+    assert_rec.term = Termination::SimAssert;
+    EXPECT_EQ(parser.classify(golden, assert_rec).cls,
+              OutcomeClass::Assert);
+}
+
+TEST(Parser, TimeoutDeadlockVsLivelock)
+{
+    Parser parser;
+    const RunRecord golden = goldenRecord();
+
+    RunRecord dead = golden;
+    dead.term = Termination::CycleLimit;
+    dead.instructions = 10; // stopped committing
+    EXPECT_EQ(parser.classify(golden, dead).cls,
+              OutcomeClass::Timeout);
+    EXPECT_EQ(parser.classify(golden, dead).subclass, "deadlock");
+
+    RunRecord live = dead;
+    live.instructions = 5000; // ran wild
+    EXPECT_EQ(parser.classify(golden, live).subclass, "livelock");
+}
+
+TEST(Parser, EarlyStopAlwaysMasked)
+{
+    Parser parser;
+    const RunRecord golden = goldenRecord();
+    RunRecord early;
+    early.earlyStopMasked = true;
+    early.earlyStopReason = "overwritten-before-read";
+    // Even with a scary termination value, early-stop wins.
+    early.term = Termination::ProcessCrash;
+    auto c = parser.classify(golden, early);
+    EXPECT_EQ(c.cls, OutcomeClass::Masked);
+    EXPECT_EQ(c.subclass, "early-stop:overwritten-before-read");
+}
+
+TEST(Parser, ReclassifySimCrashAsAssert)
+{
+    // Section III.B: the user can regroup simulator crashes under
+    // Assert without re-running anything.
+    ParserConfig cfg;
+    cfg.simulatorCrashAsAssert = true;
+    Parser parser(cfg);
+    const RunRecord golden = goldenRecord();
+    RunRecord simulator = golden;
+    simulator.term = Termination::SimCrash;
+    EXPECT_EQ(parser.classify(golden, simulator).cls,
+              OutcomeClass::Assert);
+}
+
+TEST(ClassCounts, PercentagesAndVulnerability)
+{
+    ClassCounts counts;
+    for (int i = 0; i < 80; ++i)
+        counts.add(OutcomeClass::Masked);
+    for (int i = 0; i < 15; ++i)
+        counts.add(OutcomeClass::Sdc);
+    for (int i = 0; i < 5; ++i)
+        counts.add(OutcomeClass::Crash);
+    EXPECT_EQ(counts.total(), 100u);
+    EXPECT_DOUBLE_EQ(counts.percent(OutcomeClass::Masked), 80.0);
+    EXPECT_DOUBLE_EQ(counts.vulnerability(), 20.0);
+
+    ClassCounts more;
+    more.add(OutcomeClass::Masked);
+    more.add(counts);
+    EXPECT_EQ(more.total(), 101u);
+}
+
+} // namespace

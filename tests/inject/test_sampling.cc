@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Tests for the statistical fault-sampling module, pinned to the
+ * paper's quoted values (Section IV.A).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "inject/sampling.hh"
+
+namespace
+{
+
+using dfi::inject::achievedMargin;
+using dfi::inject::confidenceZScore;
+using dfi::inject::requiredInjections;
+
+TEST(Sampling, ZScores)
+{
+    EXPECT_NEAR(confidenceZScore(0.99), 2.5758, 1e-3);
+    EXPECT_NEAR(confidenceZScore(0.95), 1.9600, 1e-3);
+    EXPECT_NEAR(confidenceZScore(0.90), 1.6449, 1e-3);
+}
+
+TEST(Sampling, PaperValue1843)
+{
+    // 99% confidence, 3% margin, large population -> 1843 runs.
+    EXPECT_EQ(requiredInjections(0, 0.99, 0.03), 1843u);
+    // Finite-but-large populations converge to the same value.
+    EXPECT_NEAR(
+        static_cast<double>(requiredInjections(1u << 30, 0.99, 0.03)),
+        1843.0, 1.0);
+}
+
+TEST(Sampling, PaperValue663)
+{
+    // Margin relaxed to 5% at 99% confidence -> 663 runs
+    // ("approximately 3 times" fewer).
+    EXPECT_EQ(requiredInjections(0, 0.99, 0.05), 663u);
+    const double ratio = 1843.0 / 663.0;
+    EXPECT_NEAR(ratio, 2.78, 0.05);
+}
+
+TEST(Sampling, PaperValue2000Gives288Margin)
+{
+    // "2000 injections correspond to 2.88% error margin".
+    EXPECT_NEAR(achievedMargin(2000, 0, 0.99), 0.0288, 0.0002);
+}
+
+TEST(Sampling, SmallPopulationNeedsFewerRuns)
+{
+    const auto small = requiredInjections(1000, 0.99, 0.03);
+    EXPECT_LT(small, 1843u);
+    EXPECT_LE(small, 1000u);
+}
+
+TEST(Sampling, MarginMonotonicInRuns)
+{
+    const double loose = achievedMargin(100, 0, 0.99);
+    const double tight = achievedMargin(10000, 0, 0.99);
+    EXPECT_GT(loose, tight);
+}
+
+TEST(Sampling, InvalidArgumentsAreFatal)
+{
+    EXPECT_THROW(requiredInjections(0, 1.5, 0.03), dfi::FatalError);
+    EXPECT_THROW(requiredInjections(0, 0.99, 0.0), dfi::FatalError);
+    EXPECT_THROW(confidenceZScore(0.0), dfi::FatalError);
+    EXPECT_THROW(achievedMargin(0, 0, 0.99), dfi::FatalError);
+}
+
+} // namespace

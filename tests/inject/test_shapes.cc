@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Shape-claim integration tests: lock the qualitative findings of the
+ * paper's evaluation (DESIGN.md "Shape targets") on seeded —
+ * therefore deterministic — miniature campaigns.
+ *
+ * These intentionally use few injections (statistical error would be
+ * large for *estimating* vulnerability), but with a fixed seed every
+ * assertion is exact and reproducible; the orderings they check are
+ * confirmed at full scale by the bench suite (EXPERIMENTS.md).
+ */
+
+#include <gtest/gtest.h>
+
+#include "inject/campaign.hh"
+#include "inject/parser.hh"
+
+namespace
+{
+
+using namespace dfi;
+using namespace dfi::inject;
+
+double
+vuln(const std::string &core, const std::string &component,
+     const std::string &benchmark, std::uint64_t runs = 80)
+{
+    CampaignConfig cfg;
+    cfg.coreName = core;
+    cfg.component = component;
+    cfg.benchmark = benchmark;
+    cfg.numInjections = runs;
+    cfg.seed = 0xd1f;
+    InjectionCampaign campaign(cfg);
+    Parser parser;
+    return campaign.run().classify(parser).vulnerability();
+}
+
+ClassCounts
+counts(const std::string &core, const std::string &component,
+       const std::string &benchmark, std::uint64_t runs = 80)
+{
+    CampaignConfig cfg;
+    cfg.coreName = core;
+    cfg.component = component;
+    cfg.benchmark = benchmark;
+    cfg.numInjections = runs;
+    cfg.seed = 0xd1f;
+    InjectionCampaign campaign(cfg);
+    Parser parser;
+    return campaign.run().classify(parser);
+}
+
+TEST(Shapes, RegisterFileAndLsqLeastVulnerable)
+{
+    // Shape 1: int RF and LSQ vulnerability stay in the
+    // few-percent range on every tool (paper: almost always < 3%).
+    for (const char *core : {"marss-x86", "gem5-x86", "gem5-arm"}) {
+        EXPECT_LE(vuln(core, "int_regfile", "caes"), 6.0) << core;
+        EXPECT_LE(vuln(core, "lsq", "caes"), 6.0) << core;
+    }
+}
+
+TEST(Shapes, L1CachesMostVulnerable)
+{
+    // Shape 3: the first-level caches dominate the structure ranking
+    // on a memory-active workload.
+    const double l1d = vuln("gem5-x86", "l1d", "fft");
+    const double rf = vuln("gem5-x86", "int_regfile", "fft");
+    const double lsq = vuln("gem5-x86", "lsq", "fft");
+    EXPECT_GT(l1d, rf);
+    EXPECT_GT(l1d, lsq);
+    EXPECT_GT(l1d, 10.0);
+}
+
+TEST(Shapes, MafinL1dBelowGefinL1d)
+{
+    // Shape 4 (Remark 3): the MARSS model's shadow-memory hypervisor
+    // masks L1D faults that the gem5 model exposes.  Checked on the
+    // two most output-heavy workloads.
+    const double m =
+        vuln("marss-x86", "l1d", "fft") + vuln("marss-x86", "l1d",
+                                               "smooth");
+    const double g =
+        vuln("gem5-x86", "l1d", "fft") + vuln("gem5-x86", "l1d",
+                                              "smooth");
+    EXPECT_LT(m, g);
+}
+
+TEST(Shapes, SdcDominatesL1dOutcomes)
+{
+    // Shape 5 (Remark 4): in the L1D, SDC is the prevailing
+    // non-masked class by a wide margin.
+    for (const char *core : {"marss-x86", "gem5-x86"}) {
+        const auto c = counts(core, "l1d", "fft");
+        const double sdc = c.percent(OutcomeClass::Sdc);
+        const double rest = c.vulnerability() - sdc;
+        EXPECT_GT(sdc, 2.0 * rest) << core;
+    }
+}
+
+TEST(Shapes, AssertInMafinCrashInGefin)
+{
+    // Shape 7 (Remark 8): non-SDC abnormal endings classify as Assert
+    // on the dense-checking MARSS model and as Crash on the sparse
+    // gem5 model.  L1I faults produce plenty of both.
+    ClassCounts m, g;
+    for (const char *bench : {"caes", "cjpeg"}) {
+        m.add(counts("marss-x86", "l1i", bench));
+        g.add(counts("gem5-x86", "l1i", bench));
+    }
+    EXPECT_GT(m.get(OutcomeClass::Assert), 0u);
+    EXPECT_EQ(g.get(OutcomeClass::Assert), 0u);
+    EXPECT_GT(g.get(OutcomeClass::Crash), m.get(OutcomeClass::Crash));
+}
+
+TEST(Shapes, UnifiedLsqSlightlyMoreVulnerable)
+{
+    // Shape 2 (Remark 1): the unified MARSS LSQ (load+store data)
+    // reports at least the vulnerability of the split gem5 queues
+    // where only stores hold data.  LSQ vulnerability is ~1-2%, so
+    // aggregate over four workloads at a higher run count to make the
+    // deterministic comparison meaningful (LSQ campaigns are cheap:
+    // most injections early-stop on unused entries).
+    double m = 0, g = 0;
+    for (const char *bench : {"caes", "smooth", "fft", "qsort"}) {
+        m += vuln("marss-x86", "lsq", bench, 300);
+        g += vuln("gem5-x86", "lsq", bench, 300);
+    }
+    EXPECT_GE(m, g);
+}
+
+TEST(Shapes, L2BetweenRfAndL1)
+{
+    // Shape 8: the L2 sits between the small structures and the L1s.
+    const double l2 = vuln("gem5-x86", "l2", "fft");
+    const double rf = vuln("gem5-x86", "int_regfile", "fft");
+    const double l1d = vuln("gem5-x86", "l1d", "fft");
+    EXPECT_GE(l2, rf);
+    EXPECT_LT(l2, l1d);
+}
+
+TEST(Shapes, EarlyStopSavesSubstantialCycles)
+{
+    // Shape 10 (Section III.B): the early-stop optimizations save a
+    // large fraction of per-run simulation cycles.
+    CampaignConfig cfg;
+    cfg.coreName = "gem5-x86";
+    cfg.component = "l1d";
+    cfg.benchmark = "caes";
+    cfg.numInjections = 60;
+    cfg.seed = 0xd1f;
+    InjectionCampaign with(cfg);
+    const auto fast = with.run();
+
+    cfg.earlyStopInvalidEntry = false;
+    cfg.earlyStopOverwrite = false;
+    InjectionCampaign without(cfg);
+    const auto slow = without.run();
+
+    const double saving =
+        1.0 - static_cast<double>(fast.simulatedFaultyCycles) /
+                  static_cast<double>(slow.simulatedFaultyCycles);
+    EXPECT_GT(saving, 0.15);
+}
+
+} // namespace

@@ -1,0 +1,303 @@
+/**
+ * @file
+ * Encode/decode round-trip and robustness tests for both ISAs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "isa/arm.hh"
+#include "isa/x86.hh"
+
+namespace
+{
+
+using namespace dfi::isa;
+using dfi::Rng;
+
+MacroOp
+makeOp(OpKind kind)
+{
+    MacroOp op;
+    op.kind = kind;
+    return op;
+}
+
+void
+roundTripX86(const MacroOp &op)
+{
+    std::vector<std::uint8_t> bytes;
+    x86Encode(op, bytes);
+    ASSERT_EQ(bytes.size(), x86Length(op));
+    const MacroOp back = x86Decode(bytes.data(), bytes.size());
+    EXPECT_EQ(back.kind, op.kind) << op.toString();
+    EXPECT_EQ(back.length, bytes.size());
+    EXPECT_EQ(back.toString(), op.toString());
+}
+
+void
+roundTripArm(const MacroOp &op)
+{
+    std::vector<std::uint8_t> bytes;
+    armEncode(op, bytes);
+    ASSERT_EQ(bytes.size(), kArmInsnBytes);
+    const MacroOp back = armDecode(bytes.data(), bytes.size());
+    EXPECT_EQ(back.kind, op.kind) << op.toString();
+    EXPECT_EQ(back.toString(), op.toString());
+}
+
+TEST(X86Encoding, SimpleOps)
+{
+    for (auto kind :
+         {OpKind::Nop, OpKind::Ret, OpKind::Halt, OpKind::Syscall})
+        roundTripX86(makeOp(kind));
+}
+
+TEST(X86Encoding, AluForms)
+{
+    for (int f = 0; f < kNumAluFuncs; ++f) {
+        MacroOp rr = makeOp(OpKind::AluRR);
+        rr.func = static_cast<AluFunc>(f);
+        rr.rd = rr.rn = 3;
+        rr.rm = 12;
+        roundTripX86(rr);
+
+        MacroOp ri = makeOp(OpKind::AluRI);
+        ri.func = static_cast<AluFunc>(f);
+        ri.rd = ri.rn = 7;
+        ri.imm = -123456;
+        roundTripX86(ri);
+
+        MacroOp rm = makeOp(OpKind::LoadOp);
+        rm.func = static_cast<AluFunc>(f);
+        rm.rd = 2;
+        rm.rn = 9;
+        rm.imm = -32768;
+        roundTripX86(rm);
+    }
+}
+
+TEST(X86Encoding, MovLoadStore)
+{
+    MacroOp mov = makeOp(OpKind::MovRR);
+    mov.rd = 1;
+    mov.rm = 15;
+    roundTripX86(mov);
+
+    MacroOp movi = makeOp(OpKind::MovRI);
+    movi.rd = 4;
+    movi.imm = static_cast<std::int32_t>(0xdeadbeef);
+    roundTripX86(movi);
+
+    for (auto w : {MemWidth::Word, MemWidth::Half, MemWidth::Byte}) {
+        MacroOp load = makeOp(OpKind::Load);
+        load.width = w;
+        load.rd = 5;
+        load.rn = 15;
+        load.imm = 32767;
+        roundTripX86(load);
+
+        MacroOp store = makeOp(OpKind::Store);
+        store.width = w;
+        store.rm = 6;
+        store.rn = 14;
+        store.imm = -4;
+        roundTripX86(store);
+    }
+}
+
+TEST(X86Encoding, StackAndControl)
+{
+    MacroOp push = makeOp(OpKind::Push);
+    push.rm = 9;
+    roundTripX86(push);
+    MacroOp pop = makeOp(OpKind::Pop);
+    pop.rd = 10;
+    roundTripX86(pop);
+
+    for (int c = 0; c < kNumConds; ++c) {
+        MacroOp br = makeOp(OpKind::BrCond);
+        br.cond = static_cast<Cond>(c);
+        br.imm = -2;
+        roundTripX86(br);
+    }
+    MacroOp jmp = makeOp(OpKind::Jump);
+    jmp.imm = 1000;
+    roundTripX86(jmp);
+    MacroOp call = makeOp(OpKind::Call);
+    call.imm = -1000;
+    roundTripX86(call);
+    MacroOp ji = makeOp(OpKind::JumpInd);
+    ji.rm = 8;
+    roundTripX86(ji);
+    MacroOp ci = makeOp(OpKind::CallInd);
+    ci.rm = 2;
+    roundTripX86(ci);
+
+    MacroOp cmp = makeOp(OpKind::CmpRR);
+    cmp.rn = 1;
+    cmp.rm = 2;
+    roundTripX86(cmp);
+    MacroOp cmpi = makeOp(OpKind::CmpRI);
+    cmpi.rn = 3;
+    cmpi.imm = 77;
+    roundTripX86(cmpi);
+}
+
+TEST(X86Encoding, UnknownOpcodeIsIllegalLengthOne)
+{
+    for (unsigned opc : {0x04u, 0x0fu, 0x3du, 0x4eu, 0x5eu, 0x80u,
+                         0xffu}) {
+        const std::uint8_t bytes[6] = {static_cast<std::uint8_t>(opc)};
+        const MacroOp op = x86Decode(bytes, sizeof(bytes));
+        EXPECT_EQ(op.kind, OpKind::Illegal) << opc;
+        EXPECT_EQ(op.length, 1);
+    }
+}
+
+TEST(X86Encoding, TruncatedDecodeIsIllegal)
+{
+    // MOV ri needs 6 bytes; give it 3.
+    const std::uint8_t bytes[3] = {0x41, 0x20, 0xff};
+    const MacroOp op = x86Decode(bytes, sizeof(bytes));
+    EXPECT_EQ(op.kind, OpKind::Illegal);
+}
+
+TEST(X86Encoding, DecodeNeverReadsPastAvail)
+{
+    // Fuzz: decode at every offset of a random buffer with small
+    // avail values; must never crash and must report plausible
+    // lengths.
+    Rng rng(77);
+    std::vector<std::uint8_t> buffer(256);
+    for (auto &byte : buffer)
+        byte = static_cast<std::uint8_t>(rng.next64());
+    for (std::size_t off = 0; off < buffer.size(); ++off) {
+        const std::size_t avail =
+            std::min<std::size_t>(buffer.size() - off, 6);
+        const MacroOp op = x86Decode(buffer.data() + off, avail);
+        EXPECT_LE(op.length, 6);
+    }
+}
+
+TEST(ArmEncoding, SimpleOps)
+{
+    for (auto kind :
+         {OpKind::Nop, OpKind::Ret, OpKind::Halt, OpKind::Syscall})
+        roundTripArm(makeOp(kind));
+}
+
+TEST(ArmEncoding, AluForms)
+{
+    for (int f = 0; f < kNumAluFuncs; ++f) {
+        MacroOp rrr = makeOp(OpKind::AluRR);
+        rrr.func = static_cast<AluFunc>(f);
+        rrr.rd = 1;
+        rrr.rn = 2;
+        rrr.rm = 3;
+        roundTripArm(rrr);
+
+        MacroOp rri = makeOp(OpKind::AluRI);
+        rri.func = static_cast<AluFunc>(f);
+        rri.rd = 4;
+        rri.rn = 5;
+        rri.imm = 0xfff;
+        roundTripArm(rri);
+    }
+}
+
+TEST(ArmEncoding, MovForms)
+{
+    MacroOp mov = makeOp(OpKind::MovRR);
+    mov.rd = 11;
+    mov.rm = 14;
+    roundTripArm(mov);
+
+    MacroOp movw = makeOp(OpKind::MovRI);
+    movw.rd = 3;
+    movw.imm = 0xbeef;
+    roundTripArm(movw);
+
+    MacroOp movt = makeOp(OpKind::MovTI);
+    movt.rd = 3;
+    movt.imm = 0xdead;
+    roundTripArm(movt);
+}
+
+TEST(ArmEncoding, LoadStore)
+{
+    for (auto w : {MemWidth::Word, MemWidth::Half, MemWidth::Byte}) {
+        MacroOp load = makeOp(OpKind::Load);
+        load.width = w;
+        load.rd = 7;
+        load.rn = 15;
+        load.imm = 4095;
+        roundTripArm(load);
+
+        MacroOp store = makeOp(OpKind::Store);
+        store.width = w;
+        store.rm = 8;
+        store.rn = 13;
+        store.imm = 0;
+        roundTripArm(store);
+    }
+}
+
+TEST(ArmEncoding, Branches)
+{
+    for (int c = 0; c < kNumConds; ++c) {
+        MacroOp br = makeOp(OpKind::BrCond);
+        br.cond = static_cast<Cond>(c);
+        br.imm = -524288; // minimum rel20 (in bytes: -2^19 words)
+        br.imm = -4 * 100;
+        roundTripArm(br);
+    }
+    MacroOp b = makeOp(OpKind::Jump);
+    b.imm = 4 * 1000;
+    roundTripArm(b);
+    MacroOp bl = makeOp(OpKind::Call);
+    bl.imm = -4 * 1000;
+    roundTripArm(bl);
+    MacroOp bx = makeOp(OpKind::JumpInd);
+    bx.rm = 14;
+    roundTripArm(bx);
+}
+
+TEST(ArmEncoding, UnknownOpcodeIsIllegal)
+{
+    for (unsigned opc : {0x04u, 0x3eu, 0x4bu, 0x5du, 0xc0u, 0xffu}) {
+        const std::uint8_t bytes[4] = {0, 0, 0,
+                                       static_cast<std::uint8_t>(opc)};
+        const MacroOp op = armDecode(bytes, 4);
+        EXPECT_EQ(op.kind, OpKind::Illegal) << opc;
+        EXPECT_EQ(op.length, 4);
+    }
+}
+
+TEST(ArmEncoding, ShortBufferIsIllegal)
+{
+    const std::uint8_t bytes[2] = {0x10, 0x20};
+    EXPECT_EQ(armDecode(bytes, 2).kind, OpKind::Illegal);
+}
+
+TEST(ArmEncoding, BitFlipNeverPanics)
+{
+    // Property: flipping any bit of a valid encoding still decodes
+    // (possibly to Illegal) without crashing.
+    MacroOp op = makeOp(OpKind::AluRR);
+    op.func = AluFunc::Add;
+    op.rd = 1;
+    op.rn = 2;
+    op.rm = 3;
+    std::vector<std::uint8_t> bytes;
+    armEncode(op, bytes);
+    for (int bit = 0; bit < 32; ++bit) {
+        auto mutated = bytes;
+        mutated[bit / 8] ^= static_cast<std::uint8_t>(1 << (bit % 8));
+        (void)armDecode(mutated.data(), mutated.size());
+    }
+}
+
+} // namespace

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Tests for the functional interpreter's exception and system
+ * semantics (the DUE/crash taxonomy at the architectural level).
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/codegen.hh"
+#include "isa/interp.hh"
+#include "isa/ir.hh"
+#include "syskit/os.hh"
+
+namespace
+{
+
+using namespace dfi;
+using namespace dfi::ir;
+using isa::AluFunc;
+using isa::MemWidth;
+
+isa::Image
+buildImage(const std::function<void(ModuleBuilder &,
+                                    FunctionBuilder &)> &body,
+           isa::IsaKind kind = isa::IsaKind::X86)
+{
+    ModuleBuilder mb;
+    auto f = mb.beginFunction("main", 0);
+    body(mb, f);
+    mb.endFunction(f);
+    return compileModule(mb.module(), kind);
+}
+
+TEST(Interp, DivZeroIsSurvivableDue)
+{
+    const auto image = buildImage([](ModuleBuilder &, FunctionBuilder &f) {
+        VReg zero = f.movImm(0);
+        VReg x = f.movImm(10);
+        VReg q = f.bin(AluFunc::DivU, x, zero);
+        f.ret(q);
+    });
+    isa::Interpreter interp(image);
+    const auto record = interp.run();
+    EXPECT_EQ(record.term, syskit::Termination::Exited);
+    EXPECT_EQ(record.exitCode, 0u); // div-by-zero yields 0
+    ASSERT_EQ(record.dueEvents.size(), 1u);
+    EXPECT_EQ(record.dueEvents[0].kind, "div-zero");
+}
+
+TEST(Interp, MisalignedAccessIsSurvivableDue)
+{
+    const auto image = buildImage([](ModuleBuilder &mb,
+                                     FunctionBuilder &f) {
+        const int sym = mb.addBss("buf", 64);
+        VReg base = f.globalAddr(sym);
+        VReg odd = f.binImm(AluFunc::Add, base, 1);
+        f.store(f.movImm(0x11223344), odd, 0, MemWidth::Word);
+        VReg v = f.load(odd, 0, MemWidth::Word);
+        f.ret(f.binImm(AluFunc::And, v, 0xff));
+    });
+    isa::Interpreter interp(image);
+    const auto record = interp.run();
+    EXPECT_EQ(record.term, syskit::Termination::Exited);
+    EXPECT_EQ(record.exitCode, 0x44u); // the access still worked
+    EXPECT_GE(record.dueEvents.size(), 2u);
+    EXPECT_EQ(record.dueEvents[0].kind, "alignment-fixup");
+}
+
+TEST(Interp, NullLoadIsProcessCrash)
+{
+    const auto image = buildImage([](ModuleBuilder &,
+                                     FunctionBuilder &f) {
+        VReg null = f.movImm(0);
+        VReg v = f.load(null, 0);
+        f.ret(v);
+    });
+    isa::Interpreter interp(image);
+    const auto record = interp.run();
+    EXPECT_EQ(record.term, syskit::Termination::ProcessCrash);
+}
+
+TEST(Interp, WildStoreIsProcessCrash)
+{
+    const auto image = buildImage([](ModuleBuilder &,
+                                     FunctionBuilder &f) {
+        VReg wild = f.movImm(static_cast<std::int32_t>(0x7fffff00));
+        f.store(f.movImm(1), wild, 0);
+        f.ret(f.movImm(0));
+    });
+    isa::Interpreter interp(image);
+    EXPECT_EQ(interp.run().term, syskit::Termination::ProcessCrash);
+}
+
+TEST(Interp, StoreToCodeIsProcessCrash)
+{
+    const auto image = buildImage([](ModuleBuilder &,
+                                     FunctionBuilder &f) {
+        VReg code = f.movImm(0x1000); // code base
+        f.store(f.movImm(0), code, 0);
+        f.ret(f.movImm(0));
+    });
+    isa::Interpreter interp(image);
+    EXPECT_EQ(interp.run().term, syskit::Termination::ProcessCrash);
+}
+
+TEST(Interp, BadSyscallIsKernelPanic)
+{
+    const auto image = buildImage([](ModuleBuilder &,
+                                     FunctionBuilder &f) {
+        VReg a = f.movImm(0);
+        f.syscall(0x7777, a, a); // no such syscall
+        f.ret(f.movImm(0));
+    });
+    isa::Interpreter interp(image);
+    EXPECT_EQ(interp.run().term, syskit::Termination::KernelPanic);
+}
+
+TEST(Interp, RunawayLoopHitsCycleLimit)
+{
+    const auto image = buildImage([](ModuleBuilder &,
+                                     FunctionBuilder &f) {
+        const int loop = f.newBlock();
+        f.br(loop);
+        f.setBlock(loop);
+        f.br(loop);
+    });
+    isa::Interpreter interp(image);
+    const auto record = interp.run(10'000);
+    EXPECT_EQ(record.term, syskit::Termination::CycleLimit);
+}
+
+TEST(Interp, BrkSyscallGrowsMonotonically)
+{
+    const auto image = buildImage([](ModuleBuilder &,
+                                     FunctionBuilder &f) {
+        VReg top = f.movImm(0x80000);
+        VReg zero = f.movImm(0);
+        VReg r1 = f.syscall(syskit::kSysBrk, top, zero);
+        VReg lower = f.movImm(0x40000);
+        VReg r2 = f.syscall(syskit::kSysBrk, lower, zero);
+        f.ret(f.bin(AluFunc::Sub, r1, r2)); // same top twice -> 0
+    });
+    isa::Interpreter interp(image);
+    const auto record = interp.run();
+    EXPECT_EQ(record.term, syskit::Termination::Exited);
+    EXPECT_EQ(record.exitCode, 0u);
+}
+
+TEST(Interp, X86AndArmStackDisciplinesAgree)
+{
+    // Nested calls: DX86 links through the stack, DARM through LR
+    // (+ frame save).  Both must compute the same result.
+    ModuleBuilder mb;
+    const int leaf = mb.declareFunction("leaf", 1);
+    {
+        auto f = mb.beginFunction(leaf);
+        f.ret(f.binImm(AluFunc::Mul, f.param(0), 3));
+        mb.endFunction(f);
+    }
+    const int mid = mb.declareFunction("mid", 1);
+    {
+        auto f = mb.beginFunction(mid);
+        VReg a = f.call(leaf, {f.param(0)});
+        VReg b = f.call(leaf, {a});
+        f.ret(f.add(a, b));
+        mb.endFunction(f);
+    }
+    {
+        auto f = mb.beginFunction("main", 0);
+        VReg r = f.call(mid, {f.movImm(4)});
+        f.ret(r); // 12 + 36 = 48
+        mb.endFunction(f);
+    }
+    for (auto kind : {isa::IsaKind::X86, isa::IsaKind::Arm}) {
+        isa::Interpreter interp(compileModule(mb.module(), kind));
+        const auto record = interp.run();
+        EXPECT_EQ(record.term, syskit::Termination::Exited);
+        EXPECT_EQ(record.exitCode, 48u) << isa::isaName(kind);
+    }
+}
+
+} // namespace

@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Unit tests for the compiler internals: liveness analysis and the
+ * linear-scan register allocator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "isa/ir.hh"
+#include "isa/liveness.hh"
+#include "isa/regalloc.hh"
+
+namespace
+{
+
+using namespace dfi::ir;
+using dfi::isa::AluFunc;
+using dfi::isa::Cond;
+
+Function
+straightLine()
+{
+    ModuleBuilder mb;
+    auto f = mb.beginFunction("f", 0);
+    VReg a = f.movImm(1);
+    VReg b = f.movImm(2);
+    VReg c = f.add(a, b);
+    f.ret(c);
+    mb.endFunction(f);
+    return mb.module().funcs[0];
+}
+
+TEST(Liveness, StraightLineIntervals)
+{
+    const Function func = straightLine();
+    const LivenessInfo info = computeLiveness(func);
+    // a: defined at 0, used at 2.
+    EXPECT_EQ(info.intervals[0].start, 0);
+    EXPECT_EQ(info.intervals[0].end, 2);
+    // b: defined at 1, used at 2.
+    EXPECT_EQ(info.intervals[1].start, 1);
+    EXPECT_EQ(info.intervals[1].end, 2);
+    // c: defined at 2, used by ret at 3.
+    EXPECT_EQ(info.intervals[2].start, 2);
+    EXPECT_EQ(info.intervals[2].end, 3);
+    EXPECT_TRUE(info.callPositions.empty());
+}
+
+TEST(Liveness, LoopExtendsIntervals)
+{
+    ModuleBuilder mb;
+    auto f = mb.beginFunction("f", 0);
+    VReg acc = f.movImm(0); // live across the loop
+    VReg i = f.movImm(0);
+    const int head = f.newBlock();
+    const int body = f.newBlock();
+    const int exit = f.newBlock();
+    f.br(head);
+    f.setBlock(head);
+    f.condBrImm(Cond::Slt, i, 10, body, exit);
+    f.setBlock(body);
+    f.binTo(acc, AluFunc::Add, acc, i);
+    f.binImmTo(i, AluFunc::Add, i, 1);
+    f.br(head);
+    f.setBlock(exit);
+    f.ret(acc);
+    mb.endFunction(f);
+    const Function &func = mb.module().funcs[0];
+
+    const LivenessInfo info = computeLiveness(func);
+    // Both loop-carried vregs must be live through the whole loop
+    // region (the back edge forces the extension).
+    const int last_body_pos =
+        info.blockStart[2] +
+        static_cast<int>(func.blocks[2].insts.size()) - 1;
+    EXPECT_LE(info.intervals[0].start, 0);
+    EXPECT_GE(info.intervals[0].end, last_body_pos);
+    EXPECT_GE(info.intervals[1].end, last_body_pos);
+}
+
+TEST(Liveness, CallCrossingMarked)
+{
+    ModuleBuilder mb;
+    const int callee = mb.declareFunction("callee", 0);
+    {
+        auto f = mb.beginFunction(callee);
+        f.ret(f.movImm(0));
+        mb.endFunction(f);
+    }
+    auto f = mb.beginFunction("f", 0);
+    VReg keep = f.movImm(7);   // live across the call
+    VReg r = f.call(callee, {});
+    VReg sum = f.add(keep, r); // uses both
+    f.ret(sum);
+    mb.endFunction(f);
+    const Function &func = mb.module().funcs[1];
+
+    const LivenessInfo info = computeLiveness(func);
+    EXPECT_TRUE(info.intervals[0].crossesCall);  // keep
+    EXPECT_FALSE(info.intervals[1].crossesCall); // call result
+    EXPECT_EQ(info.callPositions.size(), 1u);
+}
+
+TEST(Liveness, DeadVregHasEmptyInterval)
+{
+    ModuleBuilder mb;
+    auto f = mb.beginFunction("f", 0);
+    f.movImm(99); // dead
+    f.ret(f.movImm(0));
+    mb.endFunction(f);
+    const LivenessInfo info =
+        computeLiveness(mb.module().funcs[0]);
+    // vreg 0 is defined but never used: interval collapses to the def.
+    EXPECT_EQ(info.intervals[0].useCount, 0);
+}
+
+TEST(RegAlloc, NoOverlapNoSpill)
+{
+    const Function func = straightLine();
+    const LivenessInfo info = computeLiveness(func);
+    const Allocation alloc =
+        linearScan(info, RegPools{{0, 1, 2}, {6, 7}});
+    EXPECT_EQ(alloc.numSpillSlots, 0);
+    for (const auto &loc : alloc.locs)
+        EXPECT_TRUE(loc.inReg || loc.dead);
+}
+
+TEST(RegAlloc, SpillsWhenPressureExceedsRegisters)
+{
+    ModuleBuilder mb;
+    auto f = mb.beginFunction("f", 0);
+    std::vector<VReg> vals;
+    for (int i = 0; i < 6; ++i)
+        vals.push_back(f.movImm(i));
+    VReg sum = f.movImm(0);
+    for (int i = 0; i < 6; ++i)
+        f.binTo(sum, AluFunc::Add, sum, vals[i]);
+    f.ret(sum);
+    mb.endFunction(f);
+    const LivenessInfo info =
+        computeLiveness(mb.module().funcs[0]);
+    // Only 3 registers for 7 simultaneously-live values.
+    const Allocation alloc =
+        linearScan(info, RegPools{{0, 1}, {6}});
+    EXPECT_GT(alloc.numSpillSlots, 0);
+}
+
+TEST(RegAlloc, CallCrossersGetCalleeSavedOnly)
+{
+    ModuleBuilder mb;
+    const int callee = mb.declareFunction("callee", 0);
+    {
+        auto cf = mb.beginFunction(callee);
+        cf.ret(cf.movImm(0));
+        mb.endFunction(cf);
+    }
+    auto f = mb.beginFunction("f", 0);
+    VReg keep1 = f.movImm(1);
+    VReg keep2 = f.movImm(2);
+    f.callVoid(callee, {});
+    f.ret(f.add(keep1, keep2));
+    mb.endFunction(f);
+    const LivenessInfo info =
+        computeLiveness(mb.module().funcs[1]);
+    const Allocation alloc =
+        linearScan(info, RegPools{{0, 1, 2, 3}, {6}});
+    // Two call-crossers but one callee-saved register: one must
+    // spill, and neither may land in a caller-saved register.
+    int in_callee = 0, spilled = 0;
+    for (VReg v : {keep1, keep2}) {
+        const Location &loc = alloc.locs[v];
+        if (loc.inReg) {
+            EXPECT_EQ(loc.reg, 6);
+            ++in_callee;
+        } else if (!loc.dead) {
+            ++spilled;
+        }
+    }
+    EXPECT_EQ(in_callee, 1);
+    EXPECT_EQ(spilled, 1);
+    EXPECT_EQ(alloc.usedCalleeSaved.size(), 1u);
+}
+
+TEST(RegAlloc, NonOverlappingIntervalsShareRegisters)
+{
+    ModuleBuilder mb;
+    auto f = mb.beginFunction("f", 0);
+    VReg sink = f.movImm(0);
+    for (int i = 0; i < 10; ++i) {
+        VReg t = f.movImm(i);
+        f.binTo(sink, AluFunc::Add, sink, t);
+    }
+    f.ret(sink);
+    mb.endFunction(f);
+    const LivenessInfo info =
+        computeLiveness(mb.module().funcs[0]);
+    const Allocation alloc =
+        linearScan(info, RegPools{{0, 1}, {}});
+    // 11 vregs but only ever 2 live at once: no spills.
+    EXPECT_EQ(alloc.numSpillSlots, 0);
+}
+
+TEST(RegAlloc, AssignmentsNeverOverlapInTime)
+{
+    // Property: two vregs sharing a register must have disjoint
+    // intervals.
+    ModuleBuilder mb;
+    auto f = mb.beginFunction("f", 0);
+    std::vector<VReg> vs;
+    for (int i = 0; i < 12; ++i)
+        vs.push_back(f.movImm(i));
+    VReg acc = f.movImm(0);
+    for (int round = 0; round < 2; ++round) {
+        for (int i = 0; i < 12; ++i)
+            f.binTo(acc, AluFunc::Xor, acc, vs[i]);
+    }
+    f.ret(acc);
+    mb.endFunction(f);
+    const LivenessInfo info =
+        computeLiveness(mb.module().funcs[0]);
+    const Allocation alloc =
+        linearScan(info, RegPools{{0, 1, 2, 3, 4}, {6, 7, 8}});
+    for (std::size_t a = 0; a < alloc.locs.size(); ++a) {
+        for (std::size_t b = a + 1; b < alloc.locs.size(); ++b) {
+            const Location &la = alloc.locs[a];
+            const Location &lb = alloc.locs[b];
+            if (!la.inReg || !lb.inReg || la.reg != lb.reg)
+                continue;
+            const LiveInterval &ia = info.intervals[a];
+            const LiveInterval &ib = info.intervals[b];
+            const bool disjoint =
+                ia.end < ib.start || ib.end < ia.start;
+            EXPECT_TRUE(disjoint)
+                << "vregs " << a << " and " << b << " share r"
+                << int(la.reg) << " with overlapping intervals";
+        }
+    }
+}
+
+} // namespace

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Tests for ALU semantics, flags and conditions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/types.hh"
+
+namespace
+{
+
+using namespace dfi::isa;
+
+TEST(Alu, Basics)
+{
+    EXPECT_EQ(evalAlu(AluFunc::Add, 2, 3).value, 5u);
+    EXPECT_EQ(evalAlu(AluFunc::Sub, 2, 3).value, 0xffffffffu);
+    EXPECT_EQ(evalAlu(AluFunc::And, 0xf0f0, 0xff00).value, 0xf000u);
+    EXPECT_EQ(evalAlu(AluFunc::Or, 0xf0f0, 0x0f0f).value, 0xffffu);
+    EXPECT_EQ(evalAlu(AluFunc::Xor, 0xff, 0x0f).value, 0xf0u);
+    EXPECT_EQ(evalAlu(AluFunc::Mul, 7, 6).value, 42u);
+}
+
+TEST(Alu, Shifts)
+{
+    EXPECT_EQ(evalAlu(AluFunc::Shl, 1, 4).value, 16u);
+    EXPECT_EQ(evalAlu(AluFunc::ShrU, 0x80000000u, 31).value, 1u);
+    EXPECT_EQ(evalAlu(AluFunc::ShrS, 0x80000000u, 31).value,
+              0xffffffffu);
+    // Shift amounts are taken mod 32.
+    EXPECT_EQ(evalAlu(AluFunc::Shl, 1, 33).value, 2u);
+}
+
+TEST(Alu, DivisionAndRemainder)
+{
+    EXPECT_EQ(evalAlu(AluFunc::DivU, 42, 5).value, 8u);
+    EXPECT_EQ(evalAlu(AluFunc::RemU, 42, 5).value, 2u);
+    EXPECT_EQ(evalAlu(AluFunc::DivS, static_cast<std::uint32_t>(-42), 5)
+                  .value,
+              static_cast<std::uint32_t>(-8));
+    EXPECT_EQ(evalAlu(AluFunc::RemS, static_cast<std::uint32_t>(-42), 5)
+                  .value,
+              static_cast<std::uint32_t>(-2));
+}
+
+TEST(Alu, DivideByZeroTraps)
+{
+    for (auto f : {AluFunc::DivU, AluFunc::DivS, AluFunc::RemU,
+                   AluFunc::RemS}) {
+        const AluResult r = evalAlu(f, 11, 0);
+        EXPECT_TRUE(r.divByZero);
+        EXPECT_EQ(r.value, 0u);
+    }
+    EXPECT_FALSE(evalAlu(AluFunc::DivU, 11, 2).divByZero);
+}
+
+TEST(Alu, IntMinOverMinusOneDoesNotTrap)
+{
+    const AluResult r = evalAlu(AluFunc::DivS, 0x80000000u, 0xffffffffu);
+    EXPECT_FALSE(r.divByZero);
+    EXPECT_EQ(r.value, 0x80000000u);
+    EXPECT_EQ(evalAlu(AluFunc::RemS, 0x80000000u, 0xffffffffu).value,
+              0u);
+}
+
+TEST(Flags, PackUnpackRoundTrip)
+{
+    for (std::uint32_t bits = 0; bits < 16; ++bits)
+        EXPECT_EQ(Flags::unpack(bits).pack(), bits);
+}
+
+TEST(Cmp, SignedUnsignedConditions)
+{
+    struct Case
+    {
+        std::uint32_t a, b;
+    };
+    const Case cases[] = {
+        {0, 0},          {1, 2},         {2, 1},
+        {0xffffffff, 1}, {1, 0xffffffff}, {0x80000000, 0x7fffffff},
+        {0x7fffffff, 0x80000000},         {5, 5},
+    };
+    for (const Case &c : cases) {
+        const Flags f = evalCmp(c.a, c.b);
+        const auto sa = static_cast<std::int32_t>(c.a);
+        const auto sb = static_cast<std::int32_t>(c.b);
+        EXPECT_EQ(evalCond(Cond::Eq, f), c.a == c.b);
+        EXPECT_EQ(evalCond(Cond::Ne, f), c.a != c.b);
+        EXPECT_EQ(evalCond(Cond::Ult, f), c.a < c.b);
+        EXPECT_EQ(evalCond(Cond::Ule, f), c.a <= c.b);
+        EXPECT_EQ(evalCond(Cond::Ugt, f), c.a > c.b);
+        EXPECT_EQ(evalCond(Cond::Uge, f), c.a >= c.b);
+        EXPECT_EQ(evalCond(Cond::Slt, f), sa < sb);
+        EXPECT_EQ(evalCond(Cond::Sle, f), sa <= sb);
+        EXPECT_EQ(evalCond(Cond::Sgt, f), sa > sb);
+        EXPECT_EQ(evalCond(Cond::Sge, f), sa >= sb);
+    }
+}
+
+} // namespace

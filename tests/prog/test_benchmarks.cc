@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Benchmark-suite validation: every workload, compiled for both ISAs,
+ * must run to completion on the functional interpreter and produce
+ * exactly the host-reference output.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "isa/codegen.hh"
+#include "isa/interp.hh"
+#include "prog/benchmark.hh"
+
+namespace
+{
+
+using namespace dfi;
+
+class BenchmarkRun
+    : public ::testing::TestWithParam<
+          std::tuple<std::string, isa::IsaKind>>
+{
+};
+
+TEST_P(BenchmarkRun, MatchesReferenceOutput)
+{
+    const auto &[name, kind] = GetParam();
+    const prog::Benchmark bench = prog::buildBenchmark(name);
+    const isa::Image image = ir::compileModule(bench.module, kind);
+    isa::Interpreter interp(image);
+    const auto record = interp.run(50'000'000);
+
+    ASSERT_EQ(record.term, syskit::Termination::Exited)
+        << record.detail;
+    EXPECT_EQ(record.exitCode, bench.expectedExit);
+    EXPECT_TRUE(record.dueEvents.empty())
+        << "fault-free run raised " << record.dueEvents.size()
+        << " exception indications (first: "
+        << record.dueEvents.front().kind << ")";
+    ASSERT_EQ(record.output.size(), bench.expectedOutput.size());
+    EXPECT_EQ(record.output, bench.expectedOutput);
+    // Sanity: the workload does a nontrivial amount of work.
+    EXPECT_GT(record.instructions, 4000u) << name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, BenchmarkRun,
+    ::testing::Combine(::testing::ValuesIn(prog::benchmarkNames()),
+                       ::testing::Values(isa::IsaKind::X86,
+                                         isa::IsaKind::Arm)),
+    [](const auto &info) {
+        return std::get<0>(info.param) + "_" +
+               isa::isaName(std::get<1>(info.param));
+    });
+
+TEST(BenchmarkSuite, TenNames)
+{
+    EXPECT_EQ(prog::benchmarkNames().size(), 10u);
+}
+
+TEST(BenchmarkSuite, UnknownNameIsFatal)
+{
+    EXPECT_THROW(prog::buildBenchmark("bogus"), dfi::FatalError);
+    EXPECT_THROW(prog::buildBenchmark("sha", 0), dfi::FatalError);
+}
+
+TEST(BenchmarkSuite, ScaleGrowsWork)
+{
+    const auto small = prog::buildBenchmark("sha", 1);
+    const auto big = prog::buildBenchmark("sha", 4);
+    const auto img_small =
+        ir::compileModule(small.module, isa::IsaKind::X86);
+    const auto img_big = ir::compileModule(big.module, isa::IsaKind::X86);
+    isa::Interpreter is(img_small), ib(img_big);
+    const auto rs = is.run(), rb = ib.run();
+    ASSERT_EQ(rs.term, syskit::Termination::Exited);
+    ASSERT_EQ(rb.term, syskit::Termination::Exited);
+    EXPECT_GT(rb.instructions, 2 * rs.instructions);
+}
+
+TEST(BenchmarkSuite, IsaMixesDiffer)
+{
+    // The ARM build of the same workload executes more instructions
+    // (load/store ISA, MOVW/MOVT pairs) and has larger code.
+    for (const auto &name : prog::benchmarkNames()) {
+        const auto bench = prog::buildBenchmark(name);
+        const auto x86 =
+            ir::compileModule(bench.module, isa::IsaKind::X86);
+        const auto arm =
+            ir::compileModule(bench.module, isa::IsaKind::Arm);
+        EXPECT_LT(x86.code.size(), arm.code.size()) << name;
+    }
+}
+
+} // namespace

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Tests for the FaultDomain fault-application engine: Table III
+ * semantics for transient, intermittent and permanent faults, plus
+ * multi-fault runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "storage/fault_domain.hh"
+
+namespace
+{
+
+using dfi::FaultableArray;
+using dfi::FaultDomain;
+using dfi::FaultMask;
+using dfi::FaultType;
+using dfi::StructureId;
+
+class FaultDomainTest : public ::testing::Test
+{
+  protected:
+    FaultDomainTest()
+        : rf_("rf", 16, 32), sq_("sq", 8, 32)
+    {
+        domain_.setResolver([this](StructureId id) -> FaultableArray * {
+            switch (id) {
+              case StructureId::IntRegFile:
+                return &rf_;
+              case StructureId::StoreQueue:
+                return &sq_;
+              default:
+                return nullptr;
+            }
+        });
+    }
+
+    FaultMask
+    mask(StructureId s, std::uint32_t entry, std::uint32_t bit,
+         FaultType t, std::uint64_t cycle, std::uint64_t dur = 0,
+         bool stuck = false)
+    {
+        FaultMask m;
+        m.structure = s;
+        m.entry = entry;
+        m.bit = bit;
+        m.type = t;
+        m.cycle = cycle;
+        m.duration = dur;
+        m.stuckValue = stuck;
+        return m;
+    }
+
+    FaultableArray rf_, sq_;
+    FaultDomain domain_;
+};
+
+TEST_F(FaultDomainTest, TransientFlipsOnceAtCycle)
+{
+    domain_.arm(mask(StructureId::IntRegFile, 3, 7,
+                     FaultType::Transient, 100));
+    for (std::uint64_t c = 0; c < 100; ++c) {
+        domain_.tick(c);
+        EXPECT_FALSE(rf_.peekBit(3, 7)) << "cycle " << c;
+    }
+    domain_.tick(100);
+    EXPECT_TRUE(rf_.peekBit(3, 7));
+    EXPECT_TRUE(domain_.allTransientsApplied());
+    // Does not flip again.
+    domain_.tick(101);
+    EXPECT_TRUE(rf_.peekBit(3, 7));
+}
+
+TEST_F(FaultDomainTest, TransientAppliesOnSkippedCycle)
+{
+    // If the simulator's tick granularity skips the exact cycle the
+    // flip still happens at the first tick past it.
+    domain_.arm(mask(StructureId::IntRegFile, 0, 0,
+                     FaultType::Transient, 50));
+    domain_.tick(49);
+    EXPECT_FALSE(rf_.peekBit(0, 0));
+    domain_.tick(52);
+    EXPECT_TRUE(rf_.peekBit(0, 0));
+}
+
+TEST_F(FaultDomainTest, IntermittentStuckWindow)
+{
+    domain_.arm(mask(StructureId::IntRegFile, 1, 4,
+                     FaultType::Intermittent, 10, 5, true));
+    domain_.tick(9);
+    EXPECT_FALSE(rf_.peekBit(1, 4));
+    for (std::uint64_t c = 10; c < 15; ++c) {
+        rf_.writeBit(1, 4, false); // writes cannot clear an active fault
+        domain_.tick(c);
+        EXPECT_TRUE(rf_.peekBit(1, 4)) << "cycle " << c;
+    }
+    // After the window a write sticks.
+    rf_.writeBit(1, 4, false);
+    domain_.tick(15);
+    EXPECT_FALSE(rf_.peekBit(1, 4));
+}
+
+TEST_F(FaultDomainTest, PermanentStuckForever)
+{
+    domain_.arm(mask(StructureId::IntRegFile, 2, 31,
+                     FaultType::Permanent, 0, 0, true));
+    for (std::uint64_t c = 0; c < 1000; c += 97) {
+        rf_.writeBit(2, 31, false);
+        EXPECT_TRUE(domain_.tick(c));
+        EXPECT_TRUE(rf_.peekBit(2, 31));
+    }
+    EXPECT_TRUE(domain_.allTransientsApplied()); // vacuously true
+}
+
+TEST_F(FaultDomainTest, PermanentStuckAtZeroHoldsAgainstWrites)
+{
+    rf_.writeBit(5, 3, true);
+    domain_.arm(mask(StructureId::IntRegFile, 5, 3,
+                     FaultType::Permanent, 0, 0, false));
+    domain_.tick(0);
+    EXPECT_FALSE(rf_.peekBit(5, 3));
+    rf_.writeBit(5, 3, true);
+    domain_.tick(1);
+    EXPECT_FALSE(rf_.peekBit(5, 3));
+}
+
+TEST_F(FaultDomainTest, MultipleFaultsDifferentStructures)
+{
+    domain_.arm(mask(StructureId::IntRegFile, 0, 1,
+                     FaultType::Transient, 5));
+    domain_.arm(mask(StructureId::StoreQueue, 7, 30,
+                     FaultType::Transient, 9));
+    domain_.tick(5);
+    EXPECT_TRUE(rf_.peekBit(0, 1));
+    EXPECT_FALSE(sq_.peekBit(7, 30));
+    EXPECT_FALSE(domain_.allTransientsApplied());
+    domain_.tick(9);
+    EXPECT_TRUE(sq_.peekBit(7, 30));
+    EXPECT_TRUE(domain_.allTransientsApplied());
+}
+
+TEST_F(FaultDomainTest, MultiBitSameEntry)
+{
+    domain_.arm(mask(StructureId::IntRegFile, 4, 0,
+                     FaultType::Transient, 2));
+    domain_.arm(mask(StructureId::IntRegFile, 4, 1,
+                     FaultType::Transient, 2));
+    domain_.tick(2);
+    EXPECT_EQ(rf_.readBits(4, 0, 2), 0b11u);
+}
+
+TEST_F(FaultDomainTest, TickReportsInactivityWhenDone)
+{
+    domain_.arm(mask(StructureId::IntRegFile, 0, 0,
+                     FaultType::Transient, 3));
+    EXPECT_TRUE(domain_.tick(0));
+    EXPECT_TRUE(domain_.tick(3));
+    EXPECT_FALSE(domain_.tick(4)); // nothing pending or active
+}
+
+TEST_F(FaultDomainTest, ResetDropsFaults)
+{
+    domain_.arm(mask(StructureId::IntRegFile, 0, 0,
+                     FaultType::Permanent, 0, 0, true));
+    domain_.reset();
+    EXPECT_EQ(domain_.numArmed(), 0u);
+    EXPECT_FALSE(domain_.tick(0));
+    EXPECT_FALSE(rf_.peekBit(0, 0));
+}
+
+} // namespace

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Unit and property tests for FaultableArray, including the watch
+ * automaton used by the early-stop optimization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "storage/faultable_array.hh"
+
+namespace
+{
+
+using dfi::FaultableArray;
+using dfi::Rng;
+using dfi::WatchState;
+
+TEST(FaultableArray, GeometryAndTotalBits)
+{
+    FaultableArray a("rf", 256, 32);
+    EXPECT_EQ(a.numEntries(), 256u);
+    EXPECT_EQ(a.bitsPerEntry(), 32u);
+    EXPECT_EQ(a.totalBits(), 256u * 32u);
+}
+
+TEST(FaultableArray, StartsZeroed)
+{
+    FaultableArray a("z", 8, 64);
+    for (std::size_t e = 0; e < 8; ++e)
+        EXPECT_EQ(a.readBits(e, 0, 64), 0u);
+}
+
+TEST(FaultableArray, BitsRoundTrip)
+{
+    FaultableArray a("rt", 4, 48);
+    a.writeBits(2, 5, 31, 0x5a5a5a5aull & 0x7fffffffull);
+    EXPECT_EQ(a.readBits(2, 5, 31), 0x5a5a5a5aull & 0x7fffffffull);
+    // neighbours untouched
+    EXPECT_EQ(a.readBits(2, 0, 5), 0u);
+    EXPECT_EQ(a.readBits(2, 36, 12), 0u);
+}
+
+TEST(FaultableArray, CrossWordAccess)
+{
+    FaultableArray a("cw", 2, 128);
+    a.writeBits(1, 60, 16, 0xabcd);
+    EXPECT_EQ(a.readBits(1, 60, 16), 0xabcdu);
+    EXPECT_EQ(a.readBits(1, 60, 8), 0xcdu);
+    EXPECT_EQ(a.readBits(1, 68, 8), 0xabu);
+}
+
+TEST(FaultableArray, FullWordWrite)
+{
+    FaultableArray a("fw", 2, 64);
+    a.writeBits(0, 0, 64, ~0ull);
+    EXPECT_EQ(a.readBits(0, 0, 64), ~0ull);
+    a.writeBits(0, 0, 64, 0x0123456789abcdefull);
+    EXPECT_EQ(a.readBits(0, 0, 64), 0x0123456789abcdefull);
+}
+
+TEST(FaultableArray, BytesRoundTrip)
+{
+    FaultableArray a("by", 4, 512); // cache-line-like rows
+    std::vector<std::uint8_t> in(64), out(64);
+    for (int i = 0; i < 64; ++i)
+        in[i] = static_cast<std::uint8_t>(i * 7 + 3);
+    a.writeBytes(3, 0, 64, in.data());
+    a.readBytes(3, 0, 64, out.data());
+    EXPECT_EQ(in, out);
+}
+
+TEST(FaultableArray, FlipBitTogglesExactlyOneBit)
+{
+    FaultableArray a("fl", 4, 32);
+    a.writeBits(1, 0, 32, 0xffff0000u);
+    a.flipBit(1, 16);
+    EXPECT_EQ(a.readBits(1, 0, 32), 0xfffe0000u);
+    a.flipBit(1, 16);
+    EXPECT_EQ(a.readBits(1, 0, 32), 0xffff0000u);
+}
+
+TEST(FaultableArray, ForceBitSetsValue)
+{
+    FaultableArray a("fo", 2, 8);
+    a.forceBit(0, 3, true);
+    EXPECT_TRUE(a.peekBit(0, 3));
+    a.forceBit(0, 3, false);
+    EXPECT_FALSE(a.peekBit(0, 3));
+}
+
+TEST(FaultableArray, ClearEntryZeroesRow)
+{
+    FaultableArray a("ce", 2, 96);
+    a.writeBits(1, 0, 64, ~0ull);
+    a.writeBits(1, 64, 32, 0xffffffffull);
+    a.clearEntry(1);
+    EXPECT_EQ(a.readBits(1, 0, 64), 0u);
+    EXPECT_EQ(a.readBits(1, 64, 32), 0u);
+}
+
+// --- watch automaton ----------------------------------------------------
+
+TEST(FaultableArrayWatch, ReadFirstDetected)
+{
+    FaultableArray a("w1", 8, 32);
+    a.armWatch(3, 17);
+    EXPECT_EQ(a.watchState(), WatchState::Armed);
+    (void)a.readBits(3, 0, 32); // covers bit 17
+    EXPECT_EQ(a.watchState(), WatchState::ReadFirst);
+    // Later overwrites don't change the verdict.
+    a.writeBits(3, 0, 32, 0);
+    EXPECT_EQ(a.watchState(), WatchState::ReadFirst);
+}
+
+TEST(FaultableArrayWatch, WrittenFirstDetected)
+{
+    FaultableArray a("w2", 8, 32);
+    a.armWatch(2, 5);
+    a.writeBits(2, 0, 32, 0x1234);
+    EXPECT_EQ(a.watchState(), WatchState::WrittenFirst);
+    (void)a.readBits(2, 0, 32);
+    EXPECT_EQ(a.watchState(), WatchState::WrittenFirst);
+}
+
+TEST(FaultableArrayWatch, UncoveredAccessesIgnored)
+{
+    FaultableArray a("w3", 8, 32);
+    a.armWatch(2, 20);
+    (void)a.readBits(2, 0, 16);   // does not cover bit 20
+    a.writeBits(2, 0, 16, 0xff);  // does not cover bit 20
+    (void)a.readBits(3, 0, 32);   // other entry
+    EXPECT_EQ(a.watchState(), WatchState::Armed);
+    (void)a.readBits(2, 16, 8); // covers 16..23
+    EXPECT_EQ(a.watchState(), WatchState::ReadFirst);
+}
+
+TEST(FaultableArrayWatch, ClearEntryCountsAsOverwrite)
+{
+    FaultableArray a("w4", 8, 32);
+    a.armWatch(5, 1);
+    a.clearEntry(5);
+    EXPECT_EQ(a.watchState(), WatchState::WrittenFirst);
+}
+
+TEST(FaultableArrayWatch, FaultPrimitivesAreNotAccesses)
+{
+    FaultableArray a("w5", 8, 32);
+    a.armWatch(1, 4);
+    a.flipBit(1, 4);
+    a.forceBit(1, 4, true);
+    (void)a.peekBit(1, 4);
+    EXPECT_EQ(a.watchState(), WatchState::Armed);
+}
+
+TEST(FaultableArrayWatch, ClearWatchDisarms)
+{
+    FaultableArray a("w6", 4, 16);
+    a.armWatch(0, 0);
+    a.clearWatch();
+    (void)a.readBits(0, 0, 16);
+    EXPECT_EQ(a.watchState(), WatchState::Idle);
+}
+
+// --- property test: random ops against a reference model ----------------
+
+TEST(FaultableArrayProperty, MatchesReferenceModel)
+{
+    const std::size_t entries = 16, bits = 96;
+    FaultableArray a("prop", entries, bits);
+    std::vector<std::vector<bool>> model(entries,
+                                         std::vector<bool>(bits, false));
+    Rng rng(2026);
+
+    for (int step = 0; step < 20000; ++step) {
+        const auto entry = rng.nextBounded(entries);
+        const auto op = rng.nextBounded(4);
+        if (op == 0) { // write
+            const auto width = 1 + rng.nextBounded(64);
+            const auto bit = rng.nextBounded(bits - width + 1);
+            const auto value = rng.next64();
+            a.writeBits(entry, bit, width, value);
+            for (std::size_t i = 0; i < width; ++i)
+                model[entry][bit + i] = (value >> i) & 1;
+        } else if (op == 1) { // read & compare
+            const auto width = 1 + rng.nextBounded(64);
+            const auto bit = rng.nextBounded(bits - width + 1);
+            const auto got = a.readBits(entry, bit, width);
+            std::uint64_t want = 0;
+            for (std::size_t i = 0; i < width; ++i)
+                want |= static_cast<std::uint64_t>(model[entry][bit + i])
+                        << i;
+            ASSERT_EQ(got, want) << "step " << step;
+        } else if (op == 2) { // flip
+            const auto bit = rng.nextBounded(bits);
+            a.flipBit(entry, bit);
+            model[entry][bit] = !model[entry][bit];
+        } else { // force
+            const auto bit = rng.nextBounded(bits);
+            const bool v = rng.nextBool();
+            a.forceBit(entry, bit, v);
+            model[entry][bit] = v;
+        }
+    }
+}
+
+} // namespace

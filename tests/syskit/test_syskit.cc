@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Tests for the mini system layer: guest memory protection, syscall
+ * semantics, the DUE log, and the crash taxonomy plumbing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "syskit/memory.hh"
+#include "syskit/os.hh"
+#include "syskit/run_record.hh"
+
+namespace
+{
+
+using namespace dfi::syskit;
+
+TEST(GuestMemory, NullPageUnmapped)
+{
+    GuestMemory memory(0x10000, 0x2000);
+    std::uint32_t value = 0;
+    EXPECT_EQ(memory.read(0x0, 4, &value), MemFault::Unmapped);
+    EXPECT_EQ(memory.read(0xfff, 1, &value), MemFault::Unmapped);
+    EXPECT_EQ(memory.read(0x1000, 4, &value), MemFault::None);
+}
+
+TEST(GuestMemory, OutOfRangeUnmapped)
+{
+    GuestMemory memory(0x10000, 0x2000);
+    std::uint32_t value = 0;
+    EXPECT_EQ(memory.read(0x10000, 1, &value), MemFault::Unmapped);
+    EXPECT_EQ(memory.read(0xfffe, 4, &value), MemFault::Unmapped);
+    EXPECT_EQ(memory.read(0xfffc, 4, &value), MemFault::None);
+    // Wrap-around must not fool the bounds check.
+    EXPECT_EQ(memory.read(0xfffffffc, 4, &value), MemFault::Unmapped);
+}
+
+TEST(GuestMemory, CodeIsWriteProtected)
+{
+    GuestMemory memory(0x10000, 0x2000);
+    EXPECT_EQ(memory.write(0x1800, 4, 0xdead), MemFault::WriteToCode);
+    EXPECT_EQ(memory.write(0x2000, 4, 0xdead), MemFault::None);
+    std::uint32_t value = 0;
+    EXPECT_EQ(memory.read(0x2000, 4, &value), MemFault::None);
+    EXPECT_EQ(value, 0xdeadu);
+}
+
+TEST(GuestMemory, LittleEndianAccess)
+{
+    GuestMemory memory(0x10000, 0x1000);
+    ASSERT_EQ(memory.write(0x3000, 4, 0x04030201), MemFault::None);
+    std::uint32_t value = 0;
+    ASSERT_EQ(memory.read(0x3001, 2, &value), MemFault::None);
+    EXPECT_EQ(value, 0x0302u);
+    ASSERT_EQ(memory.read(0x3003, 1, &value), MemFault::None);
+    EXPECT_EQ(value, 0x04u);
+}
+
+TEST(GuestMemory, PokePeekBypassProtection)
+{
+    GuestMemory memory(0x10000, 0x2000);
+    const std::uint8_t code[4] = {1, 2, 3, 4};
+    memory.pokeBytes(0x1000, 4, code); // loader writes code
+    std::uint8_t out[4] = {};
+    memory.peekBytes(0x1000, 4, out);
+    EXPECT_EQ(out[3], 4);
+}
+
+class CountingPort : public SysMemPort
+{
+  public:
+    bool
+    readByte(std::uint32_t addr, std::uint8_t *out) override
+    {
+        if (addr >= 0x8000)
+            return false;
+        *out = static_cast<std::uint8_t>(addr & 0xff);
+        ++reads;
+        return true;
+    }
+    int reads = 0;
+};
+
+TEST(MiniOs, WriteCopiesThroughPort)
+{
+    MiniOs os;
+    CountingPort port;
+    const auto result = os.syscall(kSysWrite, 0x4000, 8, port, 0x1);
+    EXPECT_EQ(result.retval, 8u);
+    EXPECT_EQ(port.reads, 8);
+    EXPECT_EQ(os.output().size(), 8u);
+    EXPECT_EQ(os.output()[3], 0x03);
+}
+
+TEST(MiniOs, WriteFaultRaisesDue)
+{
+    MiniOs os;
+    CountingPort port;
+    const auto result = os.syscall(kSysWrite, 0x7ffc, 16, port, 0x2);
+    EXPECT_EQ(result.retval, 4u); // stopped at the fault
+    ASSERT_EQ(os.dueEvents().size(), 1u);
+    EXPECT_EQ(os.dueEvents()[0].kind, "efault");
+}
+
+TEST(MiniOs, WriteIntoKernelPageIsPanic)
+{
+    MiniOs os;
+    CountingPort port;
+    const auto result = os.syscall(kSysWrite, 0x10, 4, port, 0x3);
+    EXPECT_TRUE(result.kernelPanic);
+}
+
+TEST(MiniOs, UnknownSyscallIsPanic)
+{
+    MiniOs os;
+    CountingPort port;
+    const auto result = os.syscall(0xdeadbeef, 0, 0, port, 0x4);
+    EXPECT_TRUE(result.kernelPanic);
+}
+
+TEST(MiniOs, ExitCarriesCode)
+{
+    MiniOs os;
+    CountingPort port;
+    const auto result = os.syscall(kSysExit, 42, 0, port, 0x5);
+    EXPECT_TRUE(result.exited);
+    EXPECT_EQ(result.exitCode, 42u);
+}
+
+TEST(MiniOs, OutputGrowthIsBounded)
+{
+    // A corrupted length argument must not eat host memory.
+    MiniOs os;
+    CountingPort port;
+    const auto result =
+        os.syscall(kSysWrite, 0x1000, 0xffffffff, port, 0x6);
+    EXPECT_LE(os.output().size(), MiniOs::kMaxOutputBytes);
+    EXPECT_FALSE(os.dueEvents().empty());
+    (void)result;
+}
+
+TEST(MiniOs, FinishMovesStateIntoRecord)
+{
+    MiniOs os;
+    CountingPort port;
+    (void)os.syscall(kSysWrite, 0x4000, 4, port, 0x7);
+    os.raiseDue("div-zero", 0x8);
+    RunRecord record;
+    os.finishInto(record);
+    EXPECT_EQ(record.output.size(), 4u);
+    EXPECT_EQ(record.dueEvents.size(), 1u);
+    EXPECT_TRUE(os.output().empty());
+}
+
+TEST(Termination, Names)
+{
+    EXPECT_EQ(terminationName(Termination::Exited), "exited");
+    EXPECT_EQ(terminationName(Termination::KernelPanic),
+              "kernel-panic");
+    EXPECT_EQ(terminationName(Termination::SimAssert), "sim-assert");
+    EXPECT_EQ(terminationName(Termination::SimCrash), "sim-crash");
+    EXPECT_EQ(terminationName(Termination::CycleLimit), "cycle-limit");
+    EXPECT_EQ(terminationName(Termination::ProcessCrash),
+              "process-crash");
+}
+
+} // namespace

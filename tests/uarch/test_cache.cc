@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Unit tests for the injectable cache model: geometry, hit/miss/LRU
+ * behaviour, write-back semantics, and the fault channels through the
+ * tag/data/valid arrays.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+#include "uarch/cache.hh"
+
+namespace
+{
+
+using namespace dfi;
+using namespace dfi::uarch;
+
+CacheConfig
+smallConfig()
+{
+    // 2KB, 64B lines, 2-way -> 16 sets, 32 lines.
+    return CacheConfig{"c", 2048, 64, 2, 1};
+}
+
+TEST(Cache, Geometry)
+{
+    Cache cache(smallConfig());
+    EXPECT_EQ(cache.numSets(), 16u);
+    EXPECT_EQ(cache.numLines(), 32u);
+    EXPECT_EQ(cache.dataArray().totalBits(), 32u * 512u);
+    EXPECT_EQ(cache.validArray().totalBits(), 32u);
+    // 32-bit address, 16 sets, 64B lines -> 32-4-6 = 22 tag bits.
+    EXPECT_EQ(cache.tagArray().bitsPerEntry(), 22u);
+}
+
+TEST(Cache, MissThenHit)
+{
+    Cache cache(smallConfig());
+    StatSet stats;
+    EXPECT_FALSE(cache.access(0x1000, false, stats).hit);
+    std::uint8_t line[64] = {};
+    line[5] = 0xaa;
+    cache.fill(0x1000, line, stats);
+    const auto hit = cache.access(0x1000, false, stats);
+    ASSERT_TRUE(hit.hit);
+    std::uint8_t byte = 0;
+    cache.readLine(hit.line, 5, 1, &byte);
+    EXPECT_EQ(byte, 0xaa);
+    EXPECT_EQ(stats.get("c.read_misses"), 1u);
+    EXPECT_EQ(stats.get("c.read_hits"), 1u);
+}
+
+TEST(Cache, SameSetDifferentTagsMiss)
+{
+    Cache cache(smallConfig());
+    StatSet stats;
+    std::uint8_t line[64] = {};
+    cache.fill(0x1000, line, stats);
+    // Same set (16 sets x 64B = 1KB stride), different tag.
+    EXPECT_FALSE(cache.access(0x1000 + 16 * 64, false, stats).hit);
+}
+
+TEST(Cache, LruEviction)
+{
+    Cache cache(smallConfig());
+    StatSet stats;
+    std::uint8_t line[64] = {};
+    const std::uint32_t stride = 16 * 64; // same-set stride
+    cache.fill(0x0000, line, stats);
+    cache.fill(0x0000 + stride, line, stats);
+    // Touch the first line so the second becomes LRU.
+    (void)cache.access(0x0000, false, stats);
+    const auto evicted = cache.fill(0x0000 + 2 * stride, line, stats);
+    EXPECT_TRUE(evicted.valid);
+    EXPECT_EQ(evicted.addr, 0x0000u + stride);
+    EXPECT_FALSE(evicted.dirty);
+    EXPECT_EQ(stats.get("c.replacements"), 1u);
+}
+
+TEST(Cache, DirtyEvictionCarriesData)
+{
+    Cache cache(smallConfig());
+    StatSet stats;
+    std::uint8_t line[64] = {};
+    const std::uint32_t stride = 16 * 64;
+    cache.fill(0x2000, line, stats);
+    const auto hit = cache.access(0x2000, true, stats);
+    std::uint8_t dirty_byte = 0x77;
+    cache.writeLine(hit.line, 3, 1, &dirty_byte);
+    cache.fill(0x2000 + stride, line, stats);
+    const auto evicted = cache.fill(0x2000 + 2 * stride, line, stats);
+    ASSERT_TRUE(evicted.valid);
+    ASSERT_TRUE(evicted.dirty);
+    ASSERT_EQ(evicted.bytes.size(), 64u);
+    EXPECT_EQ(evicted.bytes[3], 0x77);
+    EXPECT_EQ(stats.get("c.writebacks"), 1u);
+}
+
+TEST(Cache, TagFaultMakesLineUnreachable)
+{
+    Cache cache(smallConfig());
+    StatSet stats;
+    std::uint8_t line[64] = {};
+    cache.fill(0x3000, line, stats);
+    const auto before = cache.access(0x3000, false, stats);
+    ASSERT_TRUE(before.hit);
+    cache.tagArray().flipBit(before.line, 0);
+    EXPECT_FALSE(cache.access(0x3000, false, stats).hit);
+}
+
+TEST(Cache, TagFaultCorruptsWritebackAddress)
+{
+    Cache cache(smallConfig());
+    StatSet stats;
+    std::uint8_t line[64] = {};
+    const std::uint32_t stride = 16 * 64;
+    cache.fill(0x4000, line, stats);
+    const auto hit = cache.access(0x4000, true, stats);
+    std::uint8_t b = 1;
+    cache.writeLine(hit.line, 0, 1, &b);
+    // Flip a tag bit: the dirty victim's reconstructed address moves.
+    cache.tagArray().flipBit(hit.line, 2);
+    cache.fill(0x4000 + stride, line, stats);
+    const auto evicted = cache.fill(0x4000 + 2 * stride, line, stats);
+    ASSERT_TRUE(evicted.valid);
+    EXPECT_NE(evicted.addr, 0x4000u);
+}
+
+TEST(Cache, ValidBitFaultDropsLine)
+{
+    Cache cache(smallConfig());
+    StatSet stats;
+    std::uint8_t line[64] = {};
+    cache.fill(0x5000, line, stats);
+    const auto hit = cache.access(0x5000, false, stats);
+    cache.validArray().forceBit(hit.line, 0, false);
+    EXPECT_FALSE(cache.access(0x5000, false, stats).hit);
+    EXPECT_FALSE(cache.lineValid(hit.line));
+}
+
+TEST(Cache, DataFaultVisibleOnRead)
+{
+    Cache cache(smallConfig());
+    StatSet stats;
+    std::uint8_t line[64] = {};
+    cache.fill(0x6000, line, stats);
+    const auto hit = cache.access(0x6000, false, stats);
+    cache.dataArray().flipBit(hit.line, 8 * 10 + 3); // byte 10, bit 3
+    std::uint8_t byte = 0;
+    cache.readLine(hit.line, 10, 1, &byte);
+    EXPECT_EQ(byte, 1u << 3);
+}
+
+TEST(Cache, ProbeHasNoSideEffects)
+{
+    Cache cache(smallConfig());
+    StatSet stats;
+    std::uint8_t line[64] = {};
+    cache.fill(0x7000, line, stats);
+    const auto misses = stats.get("c.read_misses");
+    EXPECT_TRUE(cache.probe(0x7000));
+    EXPECT_FALSE(cache.probe(0x8000));
+    EXPECT_EQ(stats.get("c.read_misses"), misses);
+}
+
+TEST(Cache, FillPrefersInvalidWays)
+{
+    Cache cache(smallConfig());
+    StatSet stats;
+    std::uint8_t line[64] = {};
+    const std::uint32_t stride = 16 * 64;
+    const auto first = cache.fill(0x1000, line, stats);
+    const auto second = cache.fill(0x1000 + stride, line, stats);
+    EXPECT_FALSE(first.valid);
+    EXPECT_FALSE(second.valid); // went to the empty way
+    EXPECT_EQ(stats.get("c.replacements"), 0u);
+}
+
+} // namespace

@@ -1,0 +1,245 @@
+/**
+ * @file
+ * dfi-campaign: command-line front end for the injection framework.
+ *
+ * Runs a full campaign (golden run, mask generation, injections,
+ * classification) from flags, mirroring how the paper's tools were
+ * driven in batch across workstations.  Masks can be exported and
+ * replayed so campaigns are shardable and reproducible.
+ *
+ * Examples:
+ *   dfi-campaign --core marss-x86 --benchmark fft --component l1d \
+ *                --injections 500
+ *   dfi-campaign --core gem5-arm --benchmark sha --component lsq \
+ *                --confidence 0.99 --margin 0.05
+ *   dfi-campaign --list
+ *   dfi-campaign --core gem5-x86 --benchmark qsort --component l1i \
+ *                --fault-type permanent --injections 200 \
+ *                --save-masks masks.txt --crash-as-assert
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "inject/campaign.hh"
+#include "inject/mask_gen.hh"
+#include "inject/parser.hh"
+#include "inject/target.hh"
+#include "prog/benchmark.hh"
+#include "uarch/core_config.hh"
+
+using namespace dfi;
+using namespace dfi::inject;
+
+namespace
+{
+
+void
+usage()
+{
+    std::puts(
+        "usage: dfi-campaign [options]\n"
+        "\n"
+        "campaign selection:\n"
+        "  --core NAME          marss-x86 | gem5-x86 | gem5-arm\n"
+        "  --benchmark NAME     one of the ten workloads (or 'micro')\n"
+        "  --component NAME     injection target (see --list)\n"
+        "  --scale N            workload input scale (default 1)\n"
+        "\n"
+        "fault selection:\n"
+        "  --injections N       number of runs (default: derive from\n"
+        "                       --confidence/--margin)\n"
+        "  --confidence P       sampling confidence (default 0.99)\n"
+        "  --margin E           sampling error margin (default 0.03)\n"
+        "  --fault-type T       transient | intermittent | permanent\n"
+        "  --population P       single | double-adjacent |\n"
+        "                       double-random | multi-structure\n"
+        "  --seed N             campaign seed\n"
+        "\n"
+        "execution:\n"
+        "  --timeout-factor F   run bound vs golden cycles (default 3)\n"
+        "  --cache-scale F      cache capacity scale (default 0.0625)\n"
+        "  --no-early-stop      disable both early-stop optimizations\n"
+        "  --no-checkpoints     always start runs from reset\n"
+        "\n"
+        "output:\n"
+        "  --save-masks FILE    write the generated masks repository\n"
+        "  --crash-as-assert    regroup simulator crashes under Assert\n"
+        "  --no-due-split       do not annotate true/false DUE\n"
+        "  --verbose            per-run progress\n"
+        "  --list               list cores, benchmarks, components\n");
+}
+
+[[noreturn]] void
+die(const std::string &message)
+{
+    std::fprintf(stderr, "dfi-campaign: %s\n", message.c_str());
+    std::exit(2);
+}
+
+const char *
+need(int argc, char **argv, int &i)
+{
+    if (i + 1 >= argc)
+        die(std::string("missing value for ") + argv[i]);
+    return argv[++i];
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CampaignConfig cfg;
+    cfg.numInjections = 0;
+    ParserConfig parser_cfg;
+    std::string save_masks;
+    bool verbose = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (arg == "--list") {
+            std::puts("cores:");
+            for (const auto &name : uarch::coreConfigNames())
+                std::printf("  %s\n", name.c_str());
+            std::puts("benchmarks:");
+            for (const auto &name : prog::benchmarkNames())
+                std::printf("  %s\n", name.c_str());
+            std::puts("  micro (test workload)");
+            std::puts("components:");
+            for (const auto &name : componentNames())
+                std::printf("  %s\n", name.c_str());
+            return 0;
+        } else if (arg == "--core") {
+            cfg.coreName = need(argc, argv, i);
+        } else if (arg == "--benchmark") {
+            cfg.benchmark = need(argc, argv, i);
+        } else if (arg == "--component") {
+            cfg.component = need(argc, argv, i);
+        } else if (arg == "--scale") {
+            cfg.scale = static_cast<std::uint32_t>(
+                std::strtoul(need(argc, argv, i), nullptr, 10));
+        } else if (arg == "--injections") {
+            cfg.numInjections =
+                std::strtoull(need(argc, argv, i), nullptr, 10);
+        } else if (arg == "--confidence") {
+            cfg.confidence = std::strtod(need(argc, argv, i), nullptr);
+        } else if (arg == "--margin") {
+            cfg.margin = std::strtod(need(argc, argv, i), nullptr);
+        } else if (arg == "--fault-type") {
+            const std::string type = need(argc, argv, i);
+            if (type == "transient")
+                cfg.faultType = FaultType::Transient;
+            else if (type == "intermittent")
+                cfg.faultType = FaultType::Intermittent;
+            else if (type == "permanent")
+                cfg.faultType = FaultType::Permanent;
+            else
+                die("unknown fault type '" + type + "'");
+        } else if (arg == "--population") {
+            const std::string pop = need(argc, argv, i);
+            if (pop == "single")
+                cfg.population = Population::SingleBit;
+            else if (pop == "double-adjacent")
+                cfg.population = Population::DoubleAdjacent;
+            else if (pop == "double-random")
+                cfg.population = Population::DoubleRandom;
+            else if (pop == "multi-structure")
+                cfg.population = Population::MultiStructure;
+            else
+                die("unknown population '" + pop + "'");
+        } else if (arg == "--seed") {
+            cfg.seed = std::strtoull(need(argc, argv, i), nullptr, 10);
+        } else if (arg == "--timeout-factor") {
+            cfg.timeoutFactor =
+                std::strtod(need(argc, argv, i), nullptr);
+        } else if (arg == "--cache-scale") {
+            cfg.cacheScale = std::strtod(need(argc, argv, i), nullptr);
+        } else if (arg == "--no-early-stop") {
+            cfg.earlyStopInvalidEntry = false;
+            cfg.earlyStopOverwrite = false;
+        } else if (arg == "--no-checkpoints") {
+            cfg.useCheckpoints = false;
+        } else if (arg == "--save-masks") {
+            save_masks = need(argc, argv, i);
+        } else if (arg == "--crash-as-assert") {
+            parser_cfg.simulatorCrashAsAssert = true;
+        } else if (arg == "--no-due-split") {
+            parser_cfg.splitDue = false;
+        } else if (arg == "--verbose") {
+            verbose = true;
+        } else {
+            die("unknown option '" + arg + "' (try --help)");
+        }
+    }
+
+    try {
+        InjectionCampaign campaign(cfg);
+        const auto &golden = campaign.golden();
+        std::fprintf(stderr,
+                     "golden: %llu cycles, %llu instructions, %zu "
+                     "output bytes\n",
+                     static_cast<unsigned long long>(golden.cycles),
+                     static_cast<unsigned long long>(
+                         golden.instructions),
+                     golden.output.size());
+
+        InjectionCampaign::Progress progress;
+        if (verbose) {
+            progress = [](std::uint64_t done, std::uint64_t total) {
+                if (done % 50 == 0 || done == total) {
+                    std::fprintf(stderr, "  %llu/%llu runs\n",
+                                 static_cast<unsigned long long>(done),
+                                 static_cast<unsigned long long>(
+                                     total));
+                }
+            };
+        }
+        const CampaignResult result = campaign.run(progress);
+
+        if (!save_masks.empty()) {
+            saveMasks(save_masks, result.masks);
+            std::fprintf(stderr, "masks written to %s\n",
+                         save_masks.c_str());
+        }
+
+        Parser parser(parser_cfg);
+        const ClassCounts counts = result.classify(parser);
+
+        TextTable table;
+        table.header({"class", "runs", "percent"});
+        for (std::size_t c = 0; c < kNumOutcomeClasses; ++c) {
+            const auto cls = static_cast<OutcomeClass>(c);
+            table.row({outcomeClassName(cls),
+                       std::to_string(counts.get(cls)),
+                       formatFixed(counts.percent(cls), 2) + "%"});
+        }
+        std::printf("campaign: %s / %s / %s / %s\n", cfg.coreName.c_str(),
+                    cfg.benchmark.c_str(), cfg.component.c_str(),
+                    faultTypeName(cfg.faultType).c_str());
+        std::printf("%s", table.render().c_str());
+        std::printf("vulnerability (non-masked): %.2f%%\n",
+                    counts.vulnerability());
+        std::printf("campaign cycles: %llu simulated (%.1f%% of the "
+                    "unoptimized equivalent)\n",
+                    static_cast<unsigned long long>(
+                        result.simulatedFaultyCycles),
+                    result.fullRunEquivalentCycles > 0
+                        ? 100.0 *
+                              static_cast<double>(
+                                  result.simulatedFaultyCycles) /
+                              static_cast<double>(
+                                  result.fullRunEquivalentCycles)
+                        : 0.0);
+        return 0;
+    } catch (const dfi::FatalError &err) {
+        die(err.what());
+    }
+}
