@@ -49,6 +49,8 @@ runFigure(const std::string &figure_title, const std::string &component)
 {
     const std::uint64_t injections = envUint("DFI_INJECTIONS", 150);
     const std::uint64_t seed = envUint("DFI_SEED", 0x5eed);
+    const auto jobs =
+        static_cast<std::uint32_t>(envUint("DFI_JOBS", 0));
     const auto benchmarks = selectedBenchmarks();
 
     inject::FigureReport report(figure_title, setupNames());
@@ -63,6 +65,7 @@ runFigure(const std::string &figure_title, const std::string &component)
             cfg.coreName = setupToCore(setup);
             cfg.numInjections = injections;
             cfg.seed = seed;
+            cfg.jobs = jobs; // 0 = hardware concurrency
             inject::InjectionCampaign campaign(cfg);
             const auto result = campaign.run();
             report.add(bench, setup, result.classify(parser));

@@ -12,6 +12,9 @@
  *                    the paper used 2000)
  *   DFI_BENCHMARKS   comma-separated subset of benchmark names
  *   DFI_SEED         campaign seed (default 0x5eed)
+ *   DFI_JOBS         worker threads per campaign (default 0 =
+ *                    hardware concurrency; any value reproduces the
+ *                    same figures bit-for-bit)
  */
 
 #ifndef DFI_BENCH_FIGURE_COMMON_HH

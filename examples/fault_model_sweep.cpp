@@ -50,6 +50,7 @@ main()
     base.coreName = "marss-x86";
     base.component = "l1d";
     base.numInjections = injections;
+    base.jobs = 0; // all hardware threads; the sweep is deterministic
 
     std::printf("fault-model sweep: %s / %s / %lu runs each\n\n",
                 base.component.c_str(), base.benchmark.c_str(),

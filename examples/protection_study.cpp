@@ -50,6 +50,7 @@ main()
         cfg.coreName = "gem5-x86";
         cfg.component = component;
         cfg.numInjections = injections;
+        cfg.jobs = 0; // all hardware threads; same ranking either way
         InjectionCampaign campaign(cfg);
         const auto result = campaign.run();
         const auto counts = result.classify(parser);

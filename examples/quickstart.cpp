@@ -26,6 +26,7 @@ main()
     config.benchmark = "sha"; // any of the ten MiBench-like workloads
     config.component = "l1d"; // L1 data cache, data arrays
     config.numInjections = 100;
+    config.jobs = 0;          // parallel runs on every hardware thread
 
     Parser parser; // default six-class classification
 

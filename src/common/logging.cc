@@ -1,26 +1,49 @@
 #include "common/logging.hh"
 
+#include <atomic>
 #include <cstdlib>
 #include <iostream>
+#include <mutex>
 
 namespace dfi
 {
 
 namespace
 {
-LogLevel g_level = LogLevel::Warn;
+
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+
+/**
+ * Serialises log emission across campaign worker threads: each line
+ * is rendered into one string and written under the mutex as a single
+ * stream insertion, so concurrent `--verbose` output is never torn.
+ */
+std::mutex g_emit_mutex;
+
+void
+emitLine(const char *prefix, const std::string &msg)
+{
+    std::string line;
+    line.reserve(msg.size() + 16);
+    line += prefix;
+    line += msg;
+    line += '\n';
+    std::lock_guard<std::mutex> lock(g_emit_mutex);
+    std::cerr << line << std::flush;
+}
+
 } // namespace
 
 void
 setLogLevel(LogLevel level)
 {
-    g_level = level;
+    g_level.store(level, std::memory_order_relaxed);
 }
 
 LogLevel
 logLevel()
 {
-    return g_level;
+    return g_level.load(std::memory_order_relaxed);
 }
 
 namespace detail
@@ -29,7 +52,7 @@ namespace detail
 void
 panicImpl(const char *, int, const std::string &msg)
 {
-    std::cerr << "panic: " << msg << std::endl;
+    emitLine("panic: ", msg);
     std::abort();
 }
 
@@ -42,22 +65,22 @@ fatalImpl(const std::string &msg)
 void
 warnImpl(const std::string &msg)
 {
-    if (g_level >= LogLevel::Warn)
-        std::cerr << "warn: " << msg << std::endl;
+    if (logLevel() >= LogLevel::Warn)
+        emitLine("warn: ", msg);
 }
 
 void
 informImpl(const std::string &msg)
 {
-    if (g_level >= LogLevel::Info)
-        std::cerr << "info: " << msg << std::endl;
+    if (logLevel() >= LogLevel::Info)
+        emitLine("info: ", msg);
 }
 
 void
 debugImpl(const std::string &msg)
 {
-    if (g_level >= LogLevel::Debug)
-        std::cerr << "debug: " << msg << std::endl;
+    if (logLevel() >= LogLevel::Debug)
+        emitLine("debug: ", msg);
 }
 
 } // namespace detail

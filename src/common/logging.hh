@@ -16,6 +16,10 @@
  * assertion checkpoints raised by injected faults) deliberately do NOT
  * use these functions: they are modelled outcomes, reported through
  * syskit::RunOutcome, never host-process errors.
+ *
+ * Every emitter is thread-safe: a log line is rendered into one
+ * string and written under a per-line mutex, so output from parallel
+ * campaign workers is never torn mid-line.
  */
 
 #ifndef DFI_COMMON_LOGGING_HH

@@ -13,6 +13,13 @@ StatSet::get(const std::string &name) const
     return it == counters_.end() ? 0 : it->second;
 }
 
+void
+StatSet::merge(const StatSet &other)
+{
+    for (const auto &entry : other.counters_)
+        counters_[entry.first] += entry.second;
+}
+
 bool
 StatSet::has(const std::string &name) const
 {

@@ -45,6 +45,13 @@ class StatSet
     /** Value of counter `name`; zero if never touched. */
     std::uint64_t get(const std::string &name) const;
 
+    /**
+     * Add every counter of `other` into this set (campaign-wide
+     * aggregation across runs).  Addition is commutative, so merging
+     * per-run sets in any order yields the same aggregate.
+     */
+    void merge(const StatSet &other);
+
     /** True if the counter was ever touched. */
     bool has(const std::string &name) const;
 

@@ -3,8 +3,9 @@
 #include <algorithm>
 
 #include "common/logging.hh"
-#include "inject/sampling.hh"
-#include "inject/target.hh"
+#include "inject/executor.hh"
+#include "inject/plan.hh"
+#include "inject/reporting.hh"
 #include "isa/codegen.hh"
 #include "prog/benchmark.hh"
 #include "uarch/core_config.hh"
@@ -96,14 +97,19 @@ InjectionCampaign::golden()
     return golden_;
 }
 
-uarch::OooCore &
-InjectionCampaign::checkpointFor(std::uint64_t cycle)
+const uarch::OooCore &
+InjectionCampaign::checkpointFor(std::uint64_t cycle) const
 {
-    std::size_t best = 0;
-    for (std::size_t i = 0; i < checkpointCycles_.size(); ++i) {
-        if (checkpointCycles_[i] < cycle)
-            best = i;
-    }
+    // Latest snapshot strictly before `cycle`: the first checkpoint
+    // is always cycle 0, so the element preceding the lower bound is
+    // the answer (or that first checkpoint when none is earlier).
+    const auto it = std::lower_bound(checkpointCycles_.begin(),
+                                     checkpointCycles_.end(), cycle);
+    const std::size_t best =
+        it == checkpointCycles_.begin()
+            ? 0
+            : static_cast<std::size_t>(it - checkpointCycles_.begin()) -
+                  1;
     return *checkpoints_[best];
 }
 
@@ -115,11 +121,30 @@ InjectionCampaign::runOne(const std::vector<FaultMask> &masks,
     if (masks.empty())
         fatal("runOne: empty mask group");
 
-    std::uint64_t first_cycle = ~0ull;
+    RunTask task;
+    task.masks = masks;
+    task.firstCycle = ~0ull;
     for (const FaultMask &mask : masks)
-        first_cycle = std::min(first_cycle, mask.cycle);
+        task.firstCycle = std::min(task.firstCycle, mask.cycle);
 
-    // Dispatch: restore the nearest checkpoint before the injection.
+    const TaskResult result = runTask(task);
+    if (simulated_cycles != nullptr)
+        *simulated_cycles = result.simulatedCycles;
+    return result.record;
+}
+
+TaskResult
+InjectionCampaign::runTask(const RunTask &task) const
+{
+    if (!prepared_)
+        panic("runTask before prepare(): run golden() first");
+    const std::vector<FaultMask> &masks = task.masks;
+    if (masks.empty())
+        fatal("runTask: empty mask group");
+    const std::uint64_t first_cycle = task.firstCycle;
+
+    // Dispatch: copy the nearest read-only checkpoint before the
+    // injection into this worker's private core.
     uarch::OooCore core = checkpointFor(first_cycle);
     const std::uint64_t restored_cycle = core.cycle();
 
@@ -199,20 +224,19 @@ InjectionCampaign::runOne(const std::vector<FaultMask> &masks,
     if (watch_armed && watch_array != nullptr)
         watch_array->clearWatch();
 
-    syskit::RunRecord record;
+    TaskResult result;
     if (early_masked) {
-        record.earlyStopMasked = true;
-        record.earlyStopReason = early_reason;
-        record.cycles = core.cycle();
-        record.instructions = core.committedInstructions();
+        result.record.earlyStopMasked = true;
+        result.record.earlyStopReason = early_reason;
+        result.record.cycles = core.cycle();
+        result.record.instructions = core.committedInstructions();
     } else {
         if (!core.finished())
             core.forceTimeout();
-        record = core.record();
+        result.record = core.record();
     }
-    if (simulated_cycles != nullptr)
-        *simulated_cycles = core.cycle() - restored_cycle;
-    return record;
+    result.simulatedCycles = core.cycle() - restored_cycle;
+    return result;
 }
 
 CampaignResult
@@ -220,60 +244,41 @@ InjectionCampaign::run(const Progress &progress)
 {
     prepare();
 
+    // Plan: resolve sampling size and the mask repository.  The probe
+    // core only supplies structure geometries; it never ticks.
+    uarch::CoreConfig core_cfg = uarch::coreConfigByName(cfg_.coreName);
+    uarch::scaleCaches(core_cfg, cfg_.cacheScale);
+    if (cfg_.configTweak)
+        cfg_.configTweak(core_cfg);
+    uarch::OooCore probe(core_cfg, image_);
+    const CampaignPlan plan = planCampaign(cfg_, golden_, probe);
+
+    // Execute: serial or thread pool per cfg_.jobs; either way the
+    // results come back in runId order.
+    CampaignReporter reporter(progress, plan.numRuns());
+    const std::unique_ptr<Executor> executor =
+        makeExecutor({cfg_.jobs});
+    std::vector<TaskResult> task_results = executor->run(
+        plan, [this](const RunTask &task) { return runTask(task); },
+        reporter);
+
+    // Report: fold the ordered results into the campaign record.
     CampaignResult result;
     result.config = cfg_;
     result.golden = golden_;
-
-    // Resolve the injection count through the sampling module.
-    std::uint64_t runs = cfg_.numInjections;
-    {
-        uarch::CoreConfig core_cfg =
-            uarch::coreConfigByName(cfg_.coreName);
-        uarch::scaleCaches(core_cfg, cfg_.cacheScale);
-        if (cfg_.configTweak)
-            cfg_.configTweak(core_cfg);
-        uarch::OooCore probe(core_cfg, image_);
-        if (runs == 0) {
-            const std::uint64_t population =
-                componentBits(cfg_.component, probe) * golden_.cycles;
-            runs = requiredInjections(population, cfg_.confidence,
-                                      cfg_.margin);
-        }
-
-        MaskGenConfig gen;
-        gen.component = cfg_.component;
-        gen.type = cfg_.faultType;
-        gen.population = cfg_.population;
-        gen.numRuns = runs;
-        gen.maxCycle = golden_.cycles;
-        gen.intermittentMin = cfg_.intermittentMin;
-        gen.intermittentMax = cfg_.intermittentMax;
-        gen.seed = cfg_.seed;
-        result.masks = generateMasks(gen, probe);
-    }
-
-    // Drive the runs.
-    std::vector<FaultMask> group;
-    std::size_t index = 0;
-    for (std::uint64_t run_id = 0; run_id < runs; ++run_id) {
-        group.clear();
-        while (index < result.masks.size() &&
-               result.masks[index].runId == run_id) {
-            group.push_back(result.masks[index]);
-            ++index;
-        }
-        std::uint64_t simulated = 0;
-        result.records.push_back(runOne(group, &simulated));
-        result.simulatedFaultyCycles += simulated;
+    result.masks = plan.masks();
+    result.records.reserve(task_results.size());
+    result.aggregateStats = reporter.aggregateStats();
+    for (TaskResult &task_result : task_results) {
+        result.simulatedFaultyCycles += task_result.simulatedCycles;
         // Without checkpoints and early stops the run would have
         // simulated from reset to wherever it ended (or to the end of
         // the program for masked runs).
-        const syskit::RunRecord &rec = result.records.back();
+        const syskit::RunRecord &rec = task_result.record;
         result.fullRunEquivalentCycles +=
             rec.earlyStopMasked ? golden_.cycles
                                 : std::max(rec.cycles, golden_.cycles);
-        if (progress)
-            progress(run_id + 1, runs);
+        result.records.push_back(std::move(task_result.record));
     }
     return result;
 }

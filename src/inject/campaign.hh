@@ -18,6 +18,16 @@
  *
  * Every faulty run is bounded by `timeoutFactor x golden cycles`
  * (3x in the paper's experiments).
+ *
+ * Execution is layered (the paper parallelized its campaigns across
+ * ~10 workstations; we parallelize across threads):
+ *  - planning  (inject/plan.hh)      resolves config + golden run +
+ *    sampling + masks into an immutable CampaignPlan of RunTasks;
+ *  - executor  (inject/executor.hh)  schedules the tasks serially or
+ *    on a thread pool (CampaignConfig::jobs), committing results in
+ *    runId order so the output is bit-identical either way;
+ *  - reporting (inject/reporting.hh) serialises progress callbacks
+ *    and stats aggregation from the workers.
  */
 
 #ifndef DFI_INJECT_CAMPAIGN_HH
@@ -29,6 +39,7 @@
 #include <string>
 #include <vector>
 
+#include "common/stats.hh"
 #include "inject/mask_gen.hh"
 #include "uarch/core_config.hh"
 #include "inject/parser.hh"
@@ -76,6 +87,13 @@ struct CampaignConfig
     std::uint64_t seed = 0x5eed;
 
     /**
+     * Worker threads driving the faulty runs: 1 = serial (the
+     * default), 0 = hardware concurrency, N = that many threads.
+     * The campaign outcome is bit-identical for every value.
+     */
+    std::uint32_t jobs = 1;
+
+    /**
      * Optional hook applied to the resolved CoreConfig (after cache
      * scaling).  Used by ablation studies to toggle individual model
      * policies (aggressive load issue, hypervisor, assert density,
@@ -94,10 +112,14 @@ struct CampaignResult
     std::uint64_t simulatedFaultyCycles = 0;    //!< post-restore cycles
     std::uint64_t fullRunEquivalentCycles = 0;  //!< without the
                                                 //!< optimizations
+    dfi::StatSet aggregateStats;                //!< sum over all runs
 
     /** Classify every record with the given parser. */
     ClassCounts classify(const Parser &parser) const;
 };
+
+struct RunTask;
+struct TaskResult;
 
 /** The campaign controller. */
 class InjectionCampaign
@@ -122,16 +144,31 @@ class InjectionCampaign
     syskit::RunRecord runOne(const std::vector<dfi::FaultMask> &masks,
                              std::uint64_t *simulated_cycles = nullptr);
 
+    /**
+     * Execute one planned task (the executor layer's TaskRunner).
+     * Requires golden() to have run; after that it only reads shared
+     * immutable state (config, image, const checkpoints), so any
+     * number of threads may call it concurrently.
+     */
+    TaskResult runTask(const RunTask &task) const;
+
   private:
     void prepare();
-    uarch::OooCore &checkpointFor(std::uint64_t cycle);
+
+    /**
+     * Latest checkpoint strictly before `cycle` (binary search over
+     * the sorted snapshot cycles).  The cores are const once taken:
+     * workers copy-construct their private core from the shared
+     * snapshot and never mutate it.
+     */
+    const uarch::OooCore &checkpointFor(std::uint64_t cycle) const;
 
     CampaignConfig cfg_;
     bool prepared_ = false;
     isa::Image image_;
     std::vector<std::uint8_t> expectedOutput_;
     syskit::RunRecord golden_;
-    std::vector<std::unique_ptr<uarch::OooCore>> checkpoints_;
+    std::vector<std::unique_ptr<const uarch::OooCore>> checkpoints_;
     std::vector<std::uint64_t> checkpointCycles_;
 };
 

@@ -1,0 +1,90 @@
+#include "inject/executor.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <thread>
+
+namespace dfi::inject
+{
+
+std::uint32_t
+resolveJobs(std::uint32_t requested)
+{
+    if (requested != 0)
+        return requested;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+std::vector<TaskResult>
+SerialExecutor::run(const CampaignPlan &plan, const TaskRunner &runner,
+                    CampaignReporter &reporter)
+{
+    std::vector<TaskResult> results;
+    results.reserve(plan.tasks().size());
+    for (const RunTask &task : plan.tasks()) {
+        results.push_back(runner(task));
+        reporter.addStats(results.back().record.stats);
+        reporter.taskDone();
+    }
+    return results;
+}
+
+std::vector<TaskResult>
+ThreadPoolExecutor::run(const CampaignPlan &plan,
+                        const TaskRunner &runner,
+                        CampaignReporter &reporter)
+{
+    const std::vector<RunTask> &tasks = plan.tasks();
+    std::vector<TaskResult> results(tasks.size());
+    // One error slot per task: after the join, the lowest-runId error
+    // is rethrown, so failures are as deterministic as the runs.
+    std::vector<std::exception_ptr> errors(tasks.size());
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> aborted{false};
+
+    auto work = [&] {
+        while (!aborted.load(std::memory_order_relaxed)) {
+            const std::size_t index =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (index >= tasks.size())
+                return;
+            try {
+                results[index] = runner(tasks[index]);
+                reporter.addStats(results[index].record.stats);
+                reporter.taskDone();
+            } catch (...) {
+                errors[index] = std::current_exception();
+                aborted.store(true, std::memory_order_relaxed);
+                return;
+            }
+        }
+    };
+
+    const std::size_t workers = std::min<std::size_t>(
+        jobs_, tasks.empty() ? 1 : tasks.size());
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i)
+        pool.emplace_back(work);
+    for (std::thread &worker : pool)
+        worker.join();
+
+    for (const std::exception_ptr &error : errors) {
+        if (error)
+            std::rethrow_exception(error);
+    }
+    return results;
+}
+
+std::unique_ptr<Executor>
+makeExecutor(const ExecutorConfig &config)
+{
+    const std::uint32_t jobs = resolveJobs(config.jobs);
+    if (jobs <= 1)
+        return std::make_unique<SerialExecutor>();
+    return std::make_unique<ThreadPoolExecutor>(jobs);
+}
+
+} // namespace dfi::inject

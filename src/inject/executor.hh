@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Campaign executor layer (layer 2 of the execution engine).
+ *
+ * An Executor schedules the independent RunTasks of a CampaignPlan
+ * onto workers and returns the TaskResults **in runId order**,
+ * regardless of the order in which tasks actually completed.  That
+ * ordering guarantee, plus the immutability of the plan and of the
+ * shared simulator checkpoints, is the determinism contract: for a
+ * fixed (config, program, seed) every executor — serial or any
+ * thread count — produces byte-identical records, masks, and
+ * classification counts.
+ *
+ * Two implementations:
+ *  - SerialExecutor      runs tasks in runId order on the caller's
+ *                        thread (the historical campaign loop);
+ *  - ThreadPoolExecutor  runs tasks on N std::thread workers, each
+ *                        claiming the next unclaimed task and
+ *                        committing its result into the task's slot.
+ */
+
+#ifndef DFI_INJECT_EXECUTOR_HH
+#define DFI_INJECT_EXECUTOR_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "inject/plan.hh"
+#include "inject/reporting.hh"
+
+namespace dfi::inject
+{
+
+/**
+ * Executes one task.  Must be safe to call concurrently from several
+ * threads (InjectionCampaign::runTask is, once prepared).
+ */
+using TaskRunner = std::function<TaskResult(const RunTask &)>;
+
+/** Executor scheduling parameters. */
+struct ExecutorConfig
+{
+    /** Worker threads; 1 = serial, 0 = hardware concurrency. */
+    std::uint32_t jobs = 1;
+};
+
+/**
+ * Resolve a requested job count: 0 becomes the hardware concurrency
+ * (at least 1).
+ */
+std::uint32_t resolveJobs(std::uint32_t requested);
+
+/** Common executor interface. */
+class Executor
+{
+  public:
+    virtual ~Executor() = default;
+
+    virtual const char *name() const = 0;
+
+    /** Worker threads this executor will use. */
+    virtual std::uint32_t jobs() const = 0;
+
+    /**
+     * Run every task of `plan` through `runner`; report each finished
+     * task (and its record's counters) to `reporter`.
+     * @return one TaskResult per task, indexed by runId.
+     */
+    virtual std::vector<TaskResult> run(const CampaignPlan &plan,
+                                        const TaskRunner &runner,
+                                        CampaignReporter &reporter) = 0;
+};
+
+/** Runs tasks one after another on the calling thread. */
+class SerialExecutor : public Executor
+{
+  public:
+    const char *name() const override { return "serial"; }
+    std::uint32_t jobs() const override { return 1; }
+    std::vector<TaskResult> run(const CampaignPlan &plan,
+                                const TaskRunner &runner,
+                                CampaignReporter &reporter) override;
+};
+
+/**
+ * Runs tasks on a pool of std::thread workers.  Results are committed
+ * into per-runId slots, so the returned vector is bit-identical to
+ * SerialExecutor's for the same plan and runner.
+ */
+class ThreadPoolExecutor : public Executor
+{
+  public:
+    /** @param jobs worker count; 0 = hardware concurrency. */
+    explicit ThreadPoolExecutor(std::uint32_t jobs)
+        : jobs_(resolveJobs(jobs))
+    {}
+
+    const char *name() const override { return "thread-pool"; }
+    std::uint32_t jobs() const override { return jobs_; }
+    std::vector<TaskResult> run(const CampaignPlan &plan,
+                                const TaskRunner &runner,
+                                CampaignReporter &reporter) override;
+
+  private:
+    std::uint32_t jobs_;
+};
+
+/**
+ * Pick an executor for the requested job count: SerialExecutor for an
+ * effective single job, ThreadPoolExecutor otherwise.
+ */
+std::unique_ptr<Executor> makeExecutor(const ExecutorConfig &config);
+
+} // namespace dfi::inject
+
+#endif // DFI_INJECT_EXECUTOR_HH

@@ -1,0 +1,61 @@
+#include "inject/plan.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "inject/mask_gen.hh"
+#include "inject/sampling.hh"
+#include "inject/target.hh"
+#include "uarch/ooo_core.hh"
+
+namespace dfi::inject
+{
+
+CampaignPlan::CampaignPlan(CampaignConfig config,
+                           syskit::RunRecord golden,
+                           std::vector<dfi::FaultMask> masks,
+                           std::uint64_t num_runs)
+    : config_(std::move(config)), golden_(std::move(golden)),
+      masks_(std::move(masks))
+{
+    tasks_.resize(num_runs);
+    for (std::uint64_t run_id = 0; run_id < num_runs; ++run_id)
+        tasks_[run_id].runId = run_id;
+    for (const dfi::FaultMask &mask : masks_) {
+        if (mask.runId >= num_runs)
+            panic("plan: mask runId %s out of range (%s runs)",
+                  mask.runId, num_runs);
+        RunTask &task = tasks_[mask.runId];
+        task.masks.push_back(mask);
+        if (task.masks.size() == 1 || mask.cycle < task.firstCycle)
+            task.firstCycle = mask.cycle;
+    }
+}
+
+CampaignPlan
+planCampaign(const CampaignConfig &config,
+             const syskit::RunRecord &golden, uarch::OooCore &probe)
+{
+    std::uint64_t runs = config.numInjections;
+    if (runs == 0) {
+        const std::uint64_t population =
+            componentBits(config.component, probe) * golden.cycles;
+        runs = requiredInjections(population, config.confidence,
+                                  config.margin);
+    }
+
+    MaskGenConfig gen;
+    gen.component = config.component;
+    gen.type = config.faultType;
+    gen.population = config.population;
+    gen.numRuns = runs;
+    gen.maxCycle = golden.cycles;
+    gen.intermittentMin = config.intermittentMin;
+    gen.intermittentMax = config.intermittentMax;
+    gen.seed = config.seed;
+
+    return CampaignPlan(config, golden, generateMasks(gen, probe),
+                        runs);
+}
+
+} // namespace dfi::inject

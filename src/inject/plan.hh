@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Campaign planning layer (layer 1 of the execution engine).
+ *
+ * Planning resolves everything a campaign needs *before* any faulty
+ * simulation happens — the configuration, the golden run, the
+ * statistical sampling size, and the fault-mask repository — into an
+ * immutable CampaignPlan: a flat list of independent RunTasks, one
+ * per fault group (runId).  A plan is pure data; executors
+ * (inject/executor.hh) may schedule its tasks in any order and on any
+ * number of workers, and because every task is self-contained the
+ * campaign outcome is bit-identical no matter how the tasks are
+ * scheduled.
+ */
+
+#ifndef DFI_INJECT_PLAN_HH
+#define DFI_INJECT_PLAN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "inject/campaign.hh"
+#include "storage/fault.hh"
+#include "syskit/run_record.hh"
+
+namespace dfi::uarch
+{
+class OooCore;
+} // namespace dfi::uarch
+
+namespace dfi::inject
+{
+
+/**
+ * One independent unit of campaign work: all masks of one fault group
+ * (they share a runId), simulated as a single faulty run.
+ */
+struct RunTask
+{
+    std::uint64_t runId = 0;
+    std::vector<dfi::FaultMask> masks;
+    std::uint64_t firstCycle = 0; //!< earliest injection cycle
+};
+
+/** What executing one RunTask produces. */
+struct TaskResult
+{
+    syskit::RunRecord record;
+    std::uint64_t simulatedCycles = 0; //!< post-restore cycles
+};
+
+/**
+ * Immutable, fully-resolved execution plan of one campaign.
+ *
+ * Construction groups the mask repository into per-runId tasks; after
+ * that the plan never changes, so concurrent readers need no locking.
+ */
+class CampaignPlan
+{
+  public:
+    /**
+     * Build a plan from an already-generated mask repository.
+     * `masks` must be grouped by runId with every runId < `num_runs`
+     * (the mask generator's output format).
+     */
+    CampaignPlan(CampaignConfig config, syskit::RunRecord golden,
+                 std::vector<dfi::FaultMask> masks,
+                 std::uint64_t num_runs);
+
+    const CampaignConfig &config() const { return config_; }
+    const syskit::RunRecord &golden() const { return golden_; }
+    const std::vector<dfi::FaultMask> &masks() const { return masks_; }
+    const std::vector<RunTask> &tasks() const { return tasks_; }
+    std::uint64_t numRuns() const { return tasks_.size(); }
+
+  private:
+    CampaignConfig config_;
+    syskit::RunRecord golden_;
+    std::vector<dfi::FaultMask> masks_;
+    std::vector<RunTask> tasks_;
+};
+
+/**
+ * Resolve a configuration into a plan: derive the injection count
+ * from the sampling parameters when `config.numInjections` is 0 (the
+ * `probe` core supplies the component population), generate the mask
+ * repository, and group it into tasks.
+ */
+CampaignPlan planCampaign(const CampaignConfig &config,
+                          const syskit::RunRecord &golden,
+                          uarch::OooCore &probe);
+
+} // namespace dfi::inject
+
+#endif // DFI_INJECT_PLAN_HH

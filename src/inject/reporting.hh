@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Campaign reporting layer (layer 3 of the execution engine).
+ *
+ * Executors run tasks on worker threads; everything those workers
+ * report — user progress callbacks, aggregated common/stats counters
+ * — funnels through a CampaignReporter, which serialises the calls
+ * behind one mutex.  The user-visible sequence of progress callbacks
+ * (done, total) is identical for every executor: `done` is the count
+ * of finished tasks, which advances 1..total regardless of the order
+ * in which the tasks actually finish.
+ *
+ * (Log lines from workers need no help from this layer: common/logging
+ * emits each line atomically; see logging.cc.)
+ */
+
+#ifndef DFI_INJECT_REPORTING_HH
+#define DFI_INJECT_REPORTING_HH
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+
+#include "common/stats.hh"
+
+namespace dfi::inject
+{
+
+/** Thread-safe funnel for worker-side campaign reporting. */
+class CampaignReporter
+{
+  public:
+    using Progress = std::function<void(std::uint64_t done,
+                                        std::uint64_t total)>;
+
+    CampaignReporter(Progress progress, std::uint64_t total)
+        : progress_(std::move(progress)), total_(total)
+    {}
+
+    /**
+     * Record one finished task: bumps the done counter and invokes
+     * the progress callback (if any) while holding the lock, so
+     * callbacks never interleave and `done` is strictly increasing.
+     */
+    void
+    taskDone()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++done_;
+        if (progress_)
+            progress_(done_, total_);
+    }
+
+    /** Merge a finished run's counters into the campaign aggregate. */
+    void
+    addStats(const dfi::StatSet &stats)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stats_.merge(stats);
+    }
+
+    /** Tasks finished so far. */
+    std::uint64_t
+    done() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return done_;
+    }
+
+    /**
+     * Campaign-wide counter aggregate.  Only read this after the
+     * executor returned (all workers joined); counter addition is
+     * commutative, so the aggregate is identical for any completion
+     * order.
+     */
+    const dfi::StatSet &aggregateStats() const { return stats_; }
+
+  private:
+    Progress progress_;
+    std::uint64_t total_;
+    std::uint64_t done_ = 0;
+    dfi::StatSet stats_;
+    mutable std::mutex mutex_;
+};
+
+} // namespace dfi::inject
+
+#endif // DFI_INJECT_REPORTING_HH

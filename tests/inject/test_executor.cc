@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Tests for the layered campaign execution engine: the planning
+ * layer's task grouping, the executors' runId-ordered result
+ * commitment, and the end-to-end determinism contract — a campaign's
+ * records, masks, counts, and aggregate statistics are byte-identical
+ * for SerialExecutor and ThreadPoolExecutor on every simulator setup,
+ * and reproducible across re-runs with the same seed.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <sstream>
+#include <thread>
+
+#include "common/logging.hh"
+#include "inject/campaign.hh"
+#include "inject/executor.hh"
+#include "inject/parser.hh"
+#include "inject/plan.hh"
+#include "inject/reporting.hh"
+
+namespace
+{
+
+using namespace dfi;
+using namespace dfi::inject;
+
+/** Serialize everything a RunRecord carries, byte for byte. */
+std::string
+serializeRecord(const syskit::RunRecord &record)
+{
+    std::ostringstream os;
+    os << static_cast<int>(record.term) << '|' << record.exitCode
+       << '|' << record.cycles << '|' << record.instructions << '|'
+       << record.earlyStopMasked << '|' << record.earlyStopReason
+       << '|' << record.detail << '|';
+    for (std::uint8_t byte : record.output)
+        os << static_cast<int>(byte) << ',';
+    os << '|';
+    for (const syskit::DueEvent &event : record.dueEvents)
+        os << event.kind << '@' << event.pc << ',';
+    os << '|' << record.stats.dump();
+    return os.str();
+}
+
+std::string
+serializeRecords(const std::vector<syskit::RunRecord> &records)
+{
+    std::string all;
+    for (const syskit::RunRecord &record : records) {
+        all += serializeRecord(record);
+        all += '\n';
+    }
+    return all;
+}
+
+std::string
+serializeMasks(const std::vector<FaultMask> &masks)
+{
+    std::string all;
+    for (const FaultMask &mask : masks) {
+        all += mask.toLine();
+        all += '\n';
+    }
+    return all;
+}
+
+CampaignConfig
+microConfig(const std::string &core, std::uint32_t jobs)
+{
+    CampaignConfig cfg;
+    cfg.benchmark = "micro";
+    cfg.coreName = core;
+    cfg.component = "l1d";
+    cfg.numInjections = 32;
+    cfg.seed = 7;
+    cfg.jobs = jobs;
+    return cfg;
+}
+
+TEST(Plan, GroupsMasksByRunId)
+{
+    std::vector<FaultMask> masks(6);
+    const std::uint64_t run_ids[] = {0, 0, 1, 2, 2, 2};
+    const std::uint64_t cycles[] = {30, 10, 5, 9, 2, 40};
+    for (std::size_t i = 0; i < masks.size(); ++i) {
+        masks[i].runId = run_ids[i];
+        masks[i].cycle = cycles[i];
+    }
+
+    const CampaignPlan plan(CampaignConfig{}, syskit::RunRecord{},
+                            masks, 4);
+    ASSERT_EQ(plan.numRuns(), 4u);
+    EXPECT_EQ(plan.tasks()[0].masks.size(), 2u);
+    EXPECT_EQ(plan.tasks()[0].firstCycle, 10u);
+    EXPECT_EQ(plan.tasks()[1].masks.size(), 1u);
+    EXPECT_EQ(plan.tasks()[1].firstCycle, 5u);
+    EXPECT_EQ(plan.tasks()[2].masks.size(), 3u);
+    EXPECT_EQ(plan.tasks()[2].firstCycle, 2u);
+    EXPECT_EQ(plan.tasks()[3].masks.size(), 0u);
+    EXPECT_EQ(plan.masks().size(), 6u);
+    for (std::uint64_t run_id = 0; run_id < 4; ++run_id)
+        EXPECT_EQ(plan.tasks()[run_id].runId, run_id);
+}
+
+TEST(Executor, ResolveJobs)
+{
+    EXPECT_GE(resolveJobs(0), 1u);
+    EXPECT_EQ(resolveJobs(1), 1u);
+    EXPECT_EQ(resolveJobs(7), 7u);
+    EXPECT_EQ(makeExecutor({1})->jobs(), 1u);
+    EXPECT_STREQ(makeExecutor({1})->name(), "serial");
+    EXPECT_EQ(makeExecutor({4})->jobs(), 4u);
+    EXPECT_STREQ(makeExecutor({4})->name(), "thread-pool");
+}
+
+TEST(Executor, ThreadPoolCommitsResultsInRunIdOrder)
+{
+    // 24 synthetic tasks finishing in roughly reverse order: the
+    // result vector must still come back indexed by runId.
+    constexpr std::uint64_t kTasks = 24;
+    std::vector<FaultMask> masks(kTasks);
+    for (std::uint64_t i = 0; i < kTasks; ++i)
+        masks[i].runId = i;
+    const CampaignPlan plan(CampaignConfig{}, syskit::RunRecord{},
+                            masks, kTasks);
+
+    const TaskRunner runner = [](const RunTask &task) {
+        std::this_thread::sleep_for(std::chrono::microseconds(
+            200 * (kTasks - task.runId)));
+        TaskResult result;
+        result.record.cycles = 1000 + task.runId;
+        result.record.stats.inc("runs");
+        result.simulatedCycles = task.runId;
+        return result;
+    };
+
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> progress;
+    CampaignReporter reporter(
+        [&progress](std::uint64_t done, std::uint64_t total) {
+            progress.emplace_back(done, total);
+        },
+        kTasks);
+
+    ThreadPoolExecutor executor(4);
+    const auto results = executor.run(plan, runner, reporter);
+
+    ASSERT_EQ(results.size(), kTasks);
+    for (std::uint64_t i = 0; i < kTasks; ++i) {
+        EXPECT_EQ(results[i].record.cycles, 1000 + i);
+        EXPECT_EQ(results[i].simulatedCycles, i);
+    }
+    // Progress callbacks are serialised and strictly increasing even
+    // though completions raced.
+    ASSERT_EQ(progress.size(), kTasks);
+    for (std::uint64_t i = 0; i < kTasks; ++i) {
+        EXPECT_EQ(progress[i].first, i + 1);
+        EXPECT_EQ(progress[i].second, kTasks);
+    }
+    EXPECT_EQ(reporter.aggregateStats().get("runs"), kTasks);
+}
+
+TEST(Executor, ThreadPoolPropagatesTaskErrors)
+{
+    std::vector<FaultMask> masks(8);
+    for (std::uint64_t i = 0; i < masks.size(); ++i)
+        masks[i].runId = i;
+    const CampaignPlan plan(CampaignConfig{}, syskit::RunRecord{},
+                            masks, masks.size());
+    const TaskRunner runner = [](const RunTask &task) -> TaskResult {
+        if (task.runId == 3)
+            fatal("task %s failed", task.runId);
+        return {};
+    };
+    CampaignReporter reporter({}, masks.size());
+    ThreadPoolExecutor executor(4);
+    EXPECT_THROW(executor.run(plan, runner, reporter), FatalError);
+}
+
+/**
+ * The acceptance contract: on every simulator setup, a >=32-run
+ * campaign yields byte-identical RunRecord sequences, masks, and
+ * ClassCounts for SerialExecutor vs ThreadPoolExecutor{jobs=4}, and
+ * re-running with the same seed reproduces both.
+ */
+class ExecutorDeterminism
+    : public ::testing::TestWithParam<const char *>
+{};
+
+TEST_P(ExecutorDeterminism, ParallelBitIdenticalToSerial)
+{
+    const std::string core = GetParam();
+    Parser parser;
+
+    auto run_with_jobs = [&core](std::uint32_t jobs) {
+        InjectionCampaign campaign(microConfig(core, jobs));
+        return campaign.run();
+    };
+
+    const CampaignResult serial = run_with_jobs(1);
+    const CampaignResult parallel = run_with_jobs(4);
+    const CampaignResult parallel_again = run_with_jobs(4);
+
+    ASSERT_EQ(serial.records.size(), 32u);
+    ASSERT_EQ(parallel.records.size(), 32u);
+
+    // Byte-identical record sequences and mask repositories.
+    EXPECT_EQ(serializeRecords(serial.records),
+              serializeRecords(parallel.records));
+    EXPECT_EQ(serializeMasks(serial.masks),
+              serializeMasks(parallel.masks));
+
+    // Identical classification, cycle accounting, and aggregates.
+    EXPECT_EQ(serial.classify(parser).counts,
+              parallel.classify(parser).counts);
+    EXPECT_EQ(serial.simulatedFaultyCycles,
+              parallel.simulatedFaultyCycles);
+    EXPECT_EQ(serial.fullRunEquivalentCycles,
+              parallel.fullRunEquivalentCycles);
+    EXPECT_EQ(serial.aggregateStats.dump(),
+              parallel.aggregateStats.dump());
+
+    // Same seed, same everything on a re-run.
+    EXPECT_EQ(serializeRecords(parallel.records),
+              serializeRecords(parallel_again.records));
+    EXPECT_EQ(serializeMasks(parallel.masks),
+              serializeMasks(parallel_again.masks));
+    EXPECT_EQ(parallel.classify(parser).counts,
+              parallel_again.classify(parser).counts);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSetups, ExecutorDeterminism,
+                         ::testing::Values("marss-x86", "gem5-x86",
+                                           "gem5-arm"),
+                         [](const auto &info) {
+                             std::string name = info.param;
+                             for (char &c : name) {
+                                 if (c == '-')
+                                     c = '_';
+                             }
+                             return name;
+                         });
+
+} // namespace

@@ -26,6 +26,7 @@
 #include "common/logging.hh"
 #include "common/stats.hh"
 #include "inject/campaign.hh"
+#include "inject/executor.hh"
 #include "inject/mask_gen.hh"
 #include "inject/parser.hh"
 #include "inject/target.hh"
@@ -61,6 +62,9 @@ usage()
         "  --seed N             campaign seed\n"
         "\n"
         "execution:\n"
+        "  --jobs N             worker threads (default: hardware\n"
+        "                       concurrency; results are bit-identical\n"
+        "                       for every N)\n"
         "  --timeout-factor F   run bound vs golden cycles (default 3)\n"
         "  --cache-scale F      cache capacity scale (default 0.0625)\n"
         "  --no-early-stop      disable both early-stop optimizations\n"
@@ -96,6 +100,7 @@ main(int argc, char **argv)
 {
     CampaignConfig cfg;
     cfg.numInjections = 0;
+    cfg.jobs = 0; // batch front end: all hardware threads by default
     ParserConfig parser_cfg;
     std::string save_masks;
     bool verbose = false;
@@ -157,6 +162,9 @@ main(int argc, char **argv)
                 die("unknown population '" + pop + "'");
         } else if (arg == "--seed") {
             cfg.seed = std::strtoull(need(argc, argv, i), nullptr, 10);
+        } else if (arg == "--jobs") {
+            cfg.jobs = static_cast<std::uint32_t>(
+                std::strtoul(need(argc, argv, i), nullptr, 10));
         } else if (arg == "--timeout-factor") {
             cfg.timeoutFactor =
                 std::strtod(need(argc, argv, i), nullptr);
@@ -190,6 +198,9 @@ main(int argc, char **argv)
                      static_cast<unsigned long long>(
                          golden.instructions),
                      golden.output.size());
+        std::fprintf(stderr, "executing on %u worker thread%s\n",
+                     resolveJobs(cfg.jobs),
+                     resolveJobs(cfg.jobs) == 1 ? "" : "s");
 
         InjectionCampaign::Progress progress;
         if (verbose) {
