@@ -12,6 +12,6 @@ main()
 {
     const auto report = dfi::bench::runFigure(
         "Figure 2: integer physical register file", "int_regfile");
-    dfi::bench::printFigure(report);
+    dfi::bench::printFigure(report, "bench_fig2_regfile");
     return 0;
 }

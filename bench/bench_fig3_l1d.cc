@@ -12,6 +12,6 @@ main()
 {
     const auto report = dfi::bench::runFigure(
         "Figure 3: L1D cache (data arrays)", "l1d");
-    dfi::bench::printFigure(report);
+    dfi::bench::printFigure(report, "bench_fig3_l1d");
     return 0;
 }

@@ -12,6 +12,6 @@ main()
 {
     const auto report = dfi::bench::runFigure(
         "Figure 4: L1I cache (instruction arrays)", "l1i");
-    dfi::bench::printFigure(report);
+    dfi::bench::printFigure(report, "bench_fig4_l1i");
     return 0;
 }

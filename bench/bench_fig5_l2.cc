@@ -12,6 +12,6 @@ main()
 {
     const auto report = dfi::bench::runFigure(
         "Figure 5: L2 cache (data arrays)", "l2");
-    dfi::bench::printFigure(report);
+    dfi::bench::printFigure(report, "bench_fig5_l2");
     return 0;
 }

@@ -12,6 +12,6 @@ main()
 {
     const auto report = dfi::bench::runFigure(
         "Figure 6: Load/Store Queue (data field)", "lsq");
-    dfi::bench::printFigure(report);
+    dfi::bench::printFigure(report, "bench_fig6_lsq");
     return 0;
 }

@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "common/stats.hh"
+#include "figure_common.hh"
 #include "inject/target.hh"
 #include "isa/codegen.hh"
 #include "prog/benchmark.hh"
@@ -94,5 +95,7 @@ main()
 
     std::printf("Table I: state-of-the-art vs this work\n\n%s\n",
                 table.render().c_str());
+    bench::writeBenchJson("bench_table1_capabilities",
+                          table.toJson());
     return 0;
 }

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "common/stats.hh"
+#include "figure_common.hh"
 #include "uarch/core_config.hh"
 
 using namespace dfi;
@@ -98,6 +99,7 @@ main()
     std::printf("Table II: simulator configurations "
                 "(live CoreConfig values)\n\n%s\n",
                 table.render().c_str());
+    bench::writeBenchJson("bench_table2_configs", table.toJson());
 
     std::printf(
         "Campaign note: the evaluation campaigns run these models at\n"

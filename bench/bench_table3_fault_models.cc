@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "common/stats.hh"
+#include "figure_common.hh"
 #include "inject/campaign.hh"
 #include "inject/parser.hh"
 #include "storage/fault_domain.hh"
@@ -72,6 +73,7 @@ main()
 
     // And a small live campaign per model on the real injector.
     Parser parser;
+    json::Value campaigns = json::Value::array();
     for (auto [name, type] :
          {std::pair{"transient", FaultType::Transient},
           std::pair{"intermittent", FaultType::Intermittent},
@@ -89,8 +91,23 @@ main()
                     "masked %.1f%%, vulnerable %.1f%%\n",
                     name, counts.percent(OutcomeClass::Masked),
                     counts.vulnerability());
+        json::Value entry = json::Value::object();
+        entry.set("fault_type", json::Value::string(name));
+        entry.set("runs",
+                  json::Value::unsignedInt(counts.total()));
+        entry.set("masked_percent",
+                  json::Value::number(
+                      counts.percent(OutcomeClass::Masked)));
+        entry.set("vulnerability_percent",
+                  json::Value::number(counts.vulnerability()));
+        campaigns.push(std::move(entry));
     }
     std::printf("\nexpectation: permanent >= intermittent >= transient "
                 "vulnerability (longer residency, larger effect)\n");
+
+    json::Value doc = json::Value::object();
+    doc.set("semantics", table.toJson());
+    doc.set("campaigns", std::move(campaigns));
+    bench::writeBenchJson("bench_table3_fault_models", std::move(doc));
     return 0;
 }

@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "common/stats.hh"
+#include "figure_common.hh"
 #include "inject/target.hh"
 #include "isa/codegen.hh"
 #include "prog/benchmark.hh"
@@ -49,6 +50,7 @@ main()
     std::printf("Table IV: injectable structures per tool "
                 "(live geometries, paper-scale caches)\n\n%s\n",
                 table.render().c_str());
+    bench::writeBenchJson("bench_table4_structures", table.toJson());
     std::printf(
         "MaFIN-only rows (prefetchers) are the Table IV \"New\"\n"
         "components; the unified lsq vs load_queue+store_queue split\n"

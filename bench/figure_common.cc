@@ -3,6 +3,8 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 
 #include "common/config.hh"
@@ -83,11 +85,33 @@ runFigure(const std::string &figure_title, const std::string &component)
 }
 
 void
-printFigure(const inject::FigureReport &report)
+printFigure(const inject::FigureReport &report,
+            const std::string &slug)
 {
     std::printf("%s\n", report.renderTable().c_str());
     std::printf("%s\n", report.renderBars().c_str());
     std::printf("%s\n", report.renderSummary().c_str());
+    writeBenchJson(slug, report.toJson());
+}
+
+void
+writeBenchJson(const std::string &slug, const json::Value &doc)
+{
+    const char *env = std::getenv("DFI_TELEMETRY_DIR");
+    const std::string dir = env != nullptr ? env : "results";
+    if (dir.empty())
+        return;
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    const std::string path = dir + "/" + slug + ".json";
+    std::ofstream out(path, std::ios::binary);
+    out << doc.dumpPretty();
+    if (!out) {
+        std::fprintf(stderr, "warning: cannot write %s\n",
+                     path.c_str());
+        return;
+    }
+    std::fprintf(stderr, "json data written to %s\n", path.c_str());
 }
 
 } // namespace dfi::bench

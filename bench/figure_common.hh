@@ -15,6 +15,8 @@
  *   DFI_JOBS         worker threads per campaign (default 0 =
  *                    hardware concurrency; any value reproduces the
  *                    same figures bit-for-bit)
+ *   DFI_TELEMETRY_DIR  directory for the JSON twins of the text
+ *                    output (default "results"; empty disables)
  */
 
 #ifndef DFI_BENCH_FIGURE_COMMON_HH
@@ -22,6 +24,7 @@
 
 #include <string>
 
+#include "common/json.hh"
 #include "inject/report.hh"
 
 namespace dfi::bench
@@ -40,8 +43,21 @@ setupNames()
 inject::FigureReport runFigure(const std::string &figure_title,
                                const std::string &component);
 
-/** Render table + bars + summary to stdout. */
-void printFigure(const inject::FigureReport &report);
+/**
+ * Render table + bars + summary to stdout and write the figure's
+ * data as JSON next to the text output (writeBenchJson(slug)).
+ */
+void printFigure(const inject::FigureReport &report,
+                 const std::string &slug);
+
+/**
+ * Write one bench's machine-readable data to
+ * `$DFI_TELEMETRY_DIR/<slug>.json` (default directory "results",
+ * created on demand; DFI_TELEMETRY_DIR= disables).  Every figure and
+ * table bench calls this with the same slug as its committed text
+ * transcript, so each `results/<slug>.txt` gains a JSON twin.
+ */
+void writeBenchJson(const std::string &slug, const json::Value &doc);
 
 } // namespace dfi::bench
 

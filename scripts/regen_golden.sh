@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Regenerate the golden telemetry baselines under results/golden/.
+#
+# The baselines are fixed-seed smoke campaigns (24 single-bit transient
+# injections into the integer register file of the `micro` benchmark)
+# on all three core models. With timing capture off (the default) the
+# artifacts are a pure function of (config, program, seed), so CI can
+# byte-compare fresh runs against the checked-in files with
+# `dfi-diff --exact`.
+#
+# Usage:
+#   scripts/regen_golden.sh [OUTDIR] [JOBS]
+#
+#   OUTDIR  destination directory (default: results/golden — i.e.
+#           rewrite the checked-in baselines)
+#   JOBS    --jobs value for the campaigns (default: 1). Telemetry is
+#           byte-identical for every value; CI runs this script with
+#           1 and 4 and diffs both against the same baselines.
+#
+# Run from the repository root after building:
+#   cmake -B build -S . && cmake --build build -j
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+OUTDIR="${1:-results/golden}"
+JOBS="${2:-1}"
+CAMPAIGN_BIN="${DFI_CAMPAIGN:-build/tools/dfi-campaign}"
+
+if [[ ! -x "$CAMPAIGN_BIN" ]]; then
+    echo "error: $CAMPAIGN_BIN not found or not executable." >&2
+    echo "build first: cmake -B build -S . && cmake --build build -j" >&2
+    exit 1
+fi
+
+mkdir -p "$OUTDIR"
+
+for core in marss-x86 gem5-x86 gem5-arm; do
+    echo "== smoke campaign: $core (jobs=$JOBS)" >&2
+    "$CAMPAIGN_BIN" \
+        --core "$core" \
+        --benchmark micro \
+        --component int_regfile \
+        --injections 24 \
+        --seed 7 \
+        --jobs "$JOBS" \
+        --telemetry-out "$OUTDIR/smoke_$core" \
+        > /dev/null
+done
+
+echo "golden baselines written to $OUTDIR/" >&2

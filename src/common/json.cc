@@ -1,0 +1,639 @@
+#include "common/json.hh"
+
+#include <cctype>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace dfi::json
+{
+
+Value
+Value::boolean(bool b)
+{
+    Value v;
+    v.kind_ = Kind::Bool;
+    v.bool_ = b;
+    return v;
+}
+
+Value
+Value::integer(std::int64_t i)
+{
+    Value v;
+    v.kind_ = Kind::Int;
+    v.negative_ = i < 0;
+    v.int_ = v.negative_
+                 ? ~static_cast<std::uint64_t>(i) + 1
+                 : static_cast<std::uint64_t>(i);
+    return v;
+}
+
+Value
+Value::unsignedInt(std::uint64_t u)
+{
+    Value v;
+    v.kind_ = Kind::Int;
+    v.int_ = u;
+    return v;
+}
+
+Value
+Value::number(double d)
+{
+    // Integral doubles collapse into the exact representation so that
+    // e.g. a percentage of exactly 25 always prints "25".
+    if (std::isfinite(d) && d == std::floor(d) &&
+        std::abs(d) < 9.0e15) {
+        return integer(static_cast<std::int64_t>(d));
+    }
+    Value v;
+    v.kind_ = Kind::Double;
+    v.double_ = d;
+    return v;
+}
+
+Value
+Value::string(std::string s)
+{
+    Value v;
+    v.kind_ = Kind::String;
+    v.string_ = std::move(s);
+    return v;
+}
+
+Value
+Value::array()
+{
+    Value v;
+    v.kind_ = Kind::Array;
+    return v;
+}
+
+Value
+Value::object()
+{
+    Value v;
+    v.kind_ = Kind::Object;
+    return v;
+}
+
+bool
+Value::asBool() const
+{
+    if (kind_ != Kind::Bool)
+        panic("json: asBool on kind %s", static_cast<int>(kind_));
+    return bool_;
+}
+
+std::uint64_t
+Value::asUint() const
+{
+    if (kind_ != Kind::Int || negative_)
+        panic("json: asUint on kind %s", static_cast<int>(kind_));
+    return int_;
+}
+
+std::int64_t
+Value::asInt() const
+{
+    if (kind_ != Kind::Int)
+        panic("json: asInt on kind %s", static_cast<int>(kind_));
+    return negative_ ? -static_cast<std::int64_t>(int_)
+                     : static_cast<std::int64_t>(int_);
+}
+
+double
+Value::asDouble() const
+{
+    if (kind_ == Kind::Double)
+        return double_;
+    if (kind_ == Kind::Int) {
+        const auto magnitude = static_cast<double>(int_);
+        return negative_ ? -magnitude : magnitude;
+    }
+    panic("json: asDouble on kind %s", static_cast<int>(kind_));
+}
+
+const std::string &
+Value::asString() const
+{
+    if (kind_ != Kind::String)
+        panic("json: asString on kind %s", static_cast<int>(kind_));
+    return string_;
+}
+
+void
+Value::push(Value v)
+{
+    if (kind_ != Kind::Array)
+        panic("json: push on kind %s", static_cast<int>(kind_));
+    array_.push_back(std::move(v));
+}
+
+std::size_t
+Value::size() const
+{
+    if (kind_ == Kind::Array)
+        return array_.size();
+    if (kind_ == Kind::Object)
+        return object_.size();
+    panic("json: size on kind %s", static_cast<int>(kind_));
+}
+
+const Value &
+Value::at(std::size_t index) const
+{
+    if (kind_ != Kind::Array || index >= array_.size())
+        panic("json: bad array access [%s]", index);
+    return array_[index];
+}
+
+void
+Value::set(const std::string &key, Value v)
+{
+    if (kind_ != Kind::Object)
+        panic("json: set on kind %s", static_cast<int>(kind_));
+    for (auto &member : object_) {
+        if (member.first == key) {
+            member.second = std::move(v);
+            return;
+        }
+    }
+    object_.emplace_back(key, std::move(v));
+}
+
+bool
+Value::has(const std::string &key) const
+{
+    return find(key) != nullptr;
+}
+
+const Value *
+Value::find(const std::string &key) const
+{
+    if (kind_ != Kind::Object)
+        return nullptr;
+    for (const auto &member : object_) {
+        if (member.first == key)
+            return &member.second;
+    }
+    return nullptr;
+}
+
+const Value &
+Value::get(const std::string &key) const
+{
+    const Value *v = find(key);
+    if (v == nullptr)
+        panic("json: missing member '%s'", key);
+    return *v;
+}
+
+const std::vector<std::pair<std::string, Value>> &
+Value::members() const
+{
+    if (kind_ != Kind::Object)
+        panic("json: members on kind %s", static_cast<int>(kind_));
+    return object_;
+}
+
+std::string
+formatNumber(double value)
+{
+    if (!std::isfinite(value))
+        panic("json: non-finite number");
+    // Shortest fixed-point with at most six fractional digits:
+    // deterministic across platforms for the magnitudes telemetry
+    // emits (counts, percentages, ratios).
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.6f", value);
+    std::string text = buffer;
+    while (text.size() > 1 && text.back() == '0')
+        text.pop_back();
+    if (!text.empty() && text.back() == '.')
+        text.pop_back();
+    return text;
+}
+
+std::string
+quote(const std::string &raw)
+{
+    std::string out = "\"";
+    for (const char c : raw) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buffer[8];
+                std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buffer;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+void
+Value::dumpTo(std::string &out, int indent, int depth) const
+{
+    const std::string pad =
+        indent > 0 ? std::string(
+                         static_cast<std::size_t>(indent * (depth + 1)),
+                         ' ')
+                   : "";
+    const std::string close_pad =
+        indent > 0
+            ? std::string(static_cast<std::size_t>(indent * depth), ' ')
+            : "";
+    const char *newline = indent > 0 ? "\n" : "";
+
+    switch (kind_) {
+      case Kind::Null:
+        out += "null";
+        return;
+      case Kind::Bool:
+        out += bool_ ? "true" : "false";
+        return;
+      case Kind::Int: {
+        char buffer[32];
+        std::snprintf(buffer, sizeof(buffer), "%s%" PRIu64,
+                      negative_ ? "-" : "", int_);
+        out += buffer;
+        return;
+      }
+      case Kind::Double:
+        out += formatNumber(double_);
+        return;
+      case Kind::String:
+        out += quote(string_);
+        return;
+      case Kind::Array: {
+        if (array_.empty()) {
+            out += "[]";
+            return;
+        }
+        out += '[';
+        out += newline;
+        for (std::size_t i = 0; i < array_.size(); ++i) {
+            out += pad;
+            array_[i].dumpTo(out, indent, depth + 1);
+            if (i + 1 < array_.size())
+                out += ',';
+            out += newline;
+        }
+        out += close_pad;
+        out += ']';
+        return;
+      }
+      case Kind::Object: {
+        if (object_.empty()) {
+            out += "{}";
+            return;
+        }
+        out += '{';
+        out += newline;
+        for (std::size_t i = 0; i < object_.size(); ++i) {
+            out += pad;
+            out += quote(object_[i].first);
+            out += ':';
+            if (indent > 0)
+                out += ' ';
+            object_[i].second.dumpTo(out, indent, depth + 1);
+            if (i + 1 < object_.size())
+                out += ',';
+            out += newline;
+        }
+        out += close_pad;
+        out += '}';
+        return;
+      }
+    }
+    panic("json: dump of bad kind %s", static_cast<int>(kind_));
+}
+
+std::string
+Value::dump() const
+{
+    std::string out;
+    dumpTo(out, 0, 0);
+    return out;
+}
+
+std::string
+Value::dumpPretty() const
+{
+    std::string out;
+    dumpTo(out, 2, 0);
+    out += '\n';
+    return out;
+}
+
+namespace
+{
+
+/** Recursive-descent parser over a byte string. */
+class ParseCursor
+{
+  public:
+    ParseCursor(const std::string &text, std::string &error)
+        : text_(text), error_(error)
+    {}
+
+    bool
+    parseDocument(Value &out)
+    {
+        skipSpace();
+        if (!parseValue(out, 0))
+            return false;
+        skipSpace();
+        if (pos_ != text_.size())
+            return fail("trailing characters after document");
+        return true;
+    }
+
+  private:
+    static constexpr int kMaxDepth = 64;
+
+    bool
+    fail(const std::string &reason)
+    {
+        error_ = "offset " + std::to_string(pos_) + ": " + reason;
+        return false;
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    bool
+    literal(const char *word, Value v, Value &out)
+    {
+        for (const char *c = word; *c != '\0'; ++c, ++pos_) {
+            if (pos_ >= text_.size() || text_[pos_] != *c)
+                return fail(std::string("bad literal, expected '") +
+                            word + "'");
+        }
+        out = std::move(v);
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        ++pos_; // opening quote
+        out.clear();
+        while (true) {
+            if (pos_ >= text_.size())
+                return fail("unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                return fail("unterminated escape");
+            const char esc = text_[pos_++];
+            switch (esc) {
+              case '"':
+                out += '"';
+                break;
+              case '\\':
+                out += '\\';
+                break;
+              case '/':
+                out += '/';
+                break;
+              case 'n':
+                out += '\n';
+                break;
+              case 't':
+                out += '\t';
+                break;
+              case 'r':
+                out += '\r';
+                break;
+              case 'b':
+                out += '\b';
+                break;
+              case 'f':
+                out += '\f';
+                break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    return fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char hex = text_[pos_++];
+                    code <<= 4;
+                    if (hex >= '0' && hex <= '9')
+                        code |= static_cast<unsigned>(hex - '0');
+                    else if (hex >= 'a' && hex <= 'f')
+                        code |= static_cast<unsigned>(hex - 'a' + 10);
+                    else if (hex >= 'A' && hex <= 'F')
+                        code |= static_cast<unsigned>(hex - 'A' + 10);
+                    else
+                        return fail("bad \\u escape digit");
+                }
+                // Telemetry only escapes control characters; encode
+                // anything in the BMP as UTF-8 for completeness.
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xc0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                } else {
+                    out += static_cast<char>(0xe0 | (code >> 12));
+                    out += static_cast<char>(0x80 |
+                                             ((code >> 6) & 0x3f));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                }
+                break;
+              }
+              default:
+                return fail("unknown escape");
+            }
+        }
+    }
+
+    bool
+    parseNumber(Value &out)
+    {
+        const std::size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        bool integral = true;
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (std::isdigit(static_cast<unsigned char>(c))) {
+                ++pos_;
+            } else if (c == '.' || c == 'e' || c == 'E' || c == '+' ||
+                       c == '-') {
+                integral = false;
+                ++pos_;
+            } else {
+                break;
+            }
+        }
+        const std::string token = text_.substr(start, pos_ - start);
+        if (token.empty() || token == "-")
+            return fail("bad number");
+        errno = 0;
+        if (integral) {
+            char *end = nullptr;
+            if (token[0] == '-') {
+                const std::int64_t v =
+                    std::strtoll(token.c_str(), &end, 10);
+                if (errno != 0 || end != token.c_str() + token.size())
+                    return fail("bad integer");
+                out = Value::integer(v);
+            } else {
+                const std::uint64_t v =
+                    std::strtoull(token.c_str(), &end, 10);
+                if (errno != 0 || end != token.c_str() + token.size())
+                    return fail("bad integer");
+                out = Value::unsignedInt(v);
+            }
+            return true;
+        }
+        char *end = nullptr;
+        const double v = std::strtod(token.c_str(), &end);
+        if (end != token.c_str() + token.size())
+            return fail("bad number");
+        out = Value::number(v);
+        return true;
+    }
+
+    bool
+    parseValue(Value &out, int depth)
+    {
+        if (depth > kMaxDepth)
+            return fail("nesting too deep");
+        skipSpace();
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        const char c = text_[pos_];
+        if (c == 'n')
+            return literal("null", Value::null(), out);
+        if (c == 't')
+            return literal("true", Value::boolean(true), out);
+        if (c == 'f')
+            return literal("false", Value::boolean(false), out);
+        if (c == '"') {
+            std::string s;
+            if (!parseString(s))
+                return false;
+            out = Value::string(std::move(s));
+            return true;
+        }
+        if (c == '[') {
+            ++pos_;
+            out = Value::array();
+            skipSpace();
+            if (pos_ < text_.size() && text_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            while (true) {
+                Value element;
+                if (!parseValue(element, depth + 1))
+                    return false;
+                out.push(std::move(element));
+                skipSpace();
+                if (pos_ >= text_.size())
+                    return fail("unterminated array");
+                if (text_[pos_] == ',') {
+                    ++pos_;
+                    continue;
+                }
+                if (text_[pos_] == ']') {
+                    ++pos_;
+                    return true;
+                }
+                return fail("expected ',' or ']'");
+            }
+        }
+        if (c == '{') {
+            ++pos_;
+            out = Value::object();
+            skipSpace();
+            if (pos_ < text_.size() && text_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            while (true) {
+                skipSpace();
+                if (pos_ >= text_.size() || text_[pos_] != '"')
+                    return fail("expected member key");
+                std::string key;
+                if (!parseString(key))
+                    return false;
+                skipSpace();
+                if (pos_ >= text_.size() || text_[pos_] != ':')
+                    return fail("expected ':'");
+                ++pos_;
+                Value member;
+                if (!parseValue(member, depth + 1))
+                    return false;
+                out.set(key, std::move(member));
+                skipSpace();
+                if (pos_ >= text_.size())
+                    return fail("unterminated object");
+                if (text_[pos_] == ',') {
+                    ++pos_;
+                    continue;
+                }
+                if (text_[pos_] == '}') {
+                    ++pos_;
+                    return true;
+                }
+                return fail("expected ',' or '}'");
+            }
+        }
+        if (c == '-' || std::isdigit(static_cast<unsigned char>(c)))
+            return parseNumber(out);
+        return fail("unexpected character");
+    }
+
+    const std::string &text_;
+    std::string &error_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+bool
+parse(const std::string &text, Value &out, std::string &error)
+{
+    ParseCursor cursor(text, error);
+    return cursor.parseDocument(out);
+}
+
+} // namespace dfi::json

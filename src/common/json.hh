@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Minimal deterministic JSON value: build, serialize, parse.
+ *
+ * The telemetry layer (inject/telemetry.hh) needs machine-readable
+ * artifacts whose bytes are reproducible across runs, job counts and
+ * hosts, so this implementation is deliberately strict about
+ * determinism:
+ *  - object members keep insertion order (no hashing, no re-sorting),
+ *    so a writer that emits fields in a fixed order produces a fixed
+ *    byte stream;
+ *  - numbers are stored as either an exact signed/unsigned integer or
+ *    a double formatted with a fixed "%.6g"-free scheme (shortest
+ *    fixed-point with up to six fractional digits, trailing zeros
+ *    trimmed), which round-trips every value the telemetry schema
+ *    emits identically on every platform;
+ *  - serialization inserts no locale-dependent characters.
+ *
+ * This is not a general-purpose JSON library: no comments, no
+ * surrogate-pair escapes beyond pass-through, inputs larger than the
+ * telemetry artifacts were never a design goal.
+ */
+
+#ifndef DFI_COMMON_JSON_HH
+#define DFI_COMMON_JSON_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dfi::json
+{
+
+/** Discriminator for Value. */
+enum class Kind : std::uint8_t
+{
+    Null,
+    Bool,
+    Int,    //!< exact 64-bit unsigned magnitude with sign flag
+    Double, //!< non-integral number
+    String,
+    Array,
+    Object
+};
+
+/** One JSON value (tree node). */
+class Value
+{
+  public:
+    Value() = default;
+
+    static Value null() { return Value(); }
+    static Value boolean(bool b);
+    static Value integer(std::int64_t v);
+    static Value unsignedInt(std::uint64_t v);
+    static Value number(double v);
+    static Value string(std::string s);
+    static Value array();
+    static Value object();
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isNumber() const
+    {
+        return kind_ == Kind::Int || kind_ == Kind::Double;
+    }
+
+    /** Typed accessors; fatal() on kind mismatch (caller bug). */
+    bool asBool() const;
+    std::uint64_t asUint() const;
+    std::int64_t asInt() const;
+    double asDouble() const;
+    const std::string &asString() const;
+
+    /** Array access. */
+    void push(Value v);
+    std::size_t size() const;
+    const Value &at(std::size_t index) const;
+
+    /** Object access: set appends or overwrites, keeping order. */
+    void set(const std::string &key, Value v);
+    bool has(const std::string &key) const;
+    /** Member lookup; nullptr when absent (or not an object). */
+    const Value *find(const std::string &key) const;
+    /** Member lookup; fatal() when absent. */
+    const Value &get(const std::string &key) const;
+    const std::vector<std::pair<std::string, Value>> &members() const;
+
+    /** Serialize on one line (no whitespace). */
+    std::string dump() const;
+    /** Serialize with 2-space indentation and a trailing newline. */
+    std::string dumpPretty() const;
+
+  private:
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    bool negative_ = false;
+    std::uint64_t int_ = 0;
+    double double_ = 0.0;
+    std::string string_;
+    std::vector<Value> array_;
+    std::vector<std::pair<std::string, Value>> object_;
+
+    void dumpTo(std::string &out, int indent, int depth) const;
+};
+
+/** Format a double the way Value::dump does (deterministic). */
+std::string formatNumber(double value);
+
+/** Quote + escape a string as a JSON string literal. */
+std::string quote(const std::string &raw);
+
+/**
+ * Parse one JSON document.  On success returns true and fills
+ * `out`; on malformed input returns false and fills `error` with a
+ * byte offset + reason (never fatal(): telemetry files are external
+ * input, and dfi-diff must turn bad files into an exit code).
+ */
+bool parse(const std::string &text, Value &out, std::string &error);
+
+} // namespace dfi::json
+
+#endif // DFI_COMMON_JSON_HH

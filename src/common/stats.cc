@@ -97,6 +97,24 @@ TextTable::render() const
     return os.str();
 }
 
+json::Value
+TextTable::toJson() const
+{
+    auto cells_json = [](const std::vector<std::string> &cells) {
+        json::Value row = json::Value::array();
+        for (const std::string &cell : cells)
+            row.push(json::Value::string(cell));
+        return row;
+    };
+    json::Value doc = json::Value::object();
+    doc.set("header", cells_json(header_));
+    json::Value rows = json::Value::array();
+    for (const auto &r : rows_)
+        rows.push(cells_json(r));
+    doc.set("rows", std::move(rows));
+    return doc;
+}
+
 std::string
 formatFixed(double value, int decimals)
 {

@@ -21,6 +21,8 @@
 #include <string>
 #include <vector>
 
+#include "common/json.hh"
+
 namespace dfi
 {
 
@@ -89,6 +91,13 @@ class TextTable
 
     /** Render with aligned columns. */
     std::string render() const;
+
+    /**
+     * The table as JSON ({"header": [...], "rows": [[...], ...]}),
+     * the machine-readable twin every table bench writes next to its
+     * text output.
+     */
+    json::Value toJson() const;
 
   private:
     std::vector<std::string> header_;

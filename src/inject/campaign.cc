@@ -1,11 +1,14 @@
 #include "inject/campaign.hh"
 
 #include <algorithm>
+#include <chrono>
+#include <memory>
 
 #include "common/logging.hh"
 #include "inject/executor.hh"
 #include "inject/plan.hh"
 #include "inject/reporting.hh"
+#include "inject/telemetry.hh"
 #include "isa/codegen.hh"
 #include "prog/benchmark.hh"
 #include "uarch/core_config.hh"
@@ -258,9 +261,36 @@ InjectionCampaign::run(const Progress &progress)
     CampaignReporter reporter(progress, plan.numRuns());
     const std::unique_ptr<Executor> executor =
         makeExecutor({cfg_.jobs});
+
+    // Telemetry attaches at the reporter's ordered-commit point, so
+    // the stream is identical for every executor and job count.
+    std::unique_ptr<TelemetryWriter> telemetry;
+    if (!cfg_.telemetryOut.empty()) {
+        telemetry = std::make_unique<TelemetryWriter>(
+            cfg_, golden_, executor->jobs(),
+            TelemetryOptions{cfg_.telemetryTiming});
+        reporter.setCommitSink(
+            [&telemetry](const RunTask &task,
+                         const TaskResult &task_result) {
+                telemetry->commit(task, task_result);
+            });
+    }
+
     std::vector<TaskResult> task_results = executor->run(
-        plan, [this](const RunTask &task) { return runTask(task); },
+        plan,
+        [this](const RunTask &task) {
+            const auto started = std::chrono::steady_clock::now();
+            TaskResult task_result = runTask(task);
+            task_result.wallMicros = static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::microseconds>(
+                    std::chrono::steady_clock::now() - started)
+                    .count());
+            return task_result;
+        },
         reporter);
+
+    if (telemetry != nullptr)
+        telemetry->writeFiles(cfg_.telemetryOut);
 
     // Report: fold the ordered results into the campaign record.
     CampaignResult result;

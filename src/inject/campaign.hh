@@ -100,6 +100,20 @@ struct CampaignConfig
      * ...) while keeping everything else fixed.
      */
     std::function<void(uarch::CoreConfig &)> configTweak;
+
+    /**
+     * Base path for the telemetry artifacts (inject/telemetry.hh):
+     * non-empty writes `<base>.jsonl` + `<base>.summary.json` at the
+     * end of run().  Empty (the default) disables telemetry.
+     */
+    std::string telemetryOut;
+
+    /**
+     * Record real wall-clock micros and the executor job count in
+     * the telemetry.  Off by default so the artifacts stay
+     * byte-identical across hosts and `--jobs` values.
+     */
+    bool telemetryTiming = false;
 };
 
 /** Everything a campaign leaves behind (the logs repository). */

@@ -25,8 +25,7 @@ SerialExecutor::run(const CampaignPlan &plan, const TaskRunner &runner,
     results.reserve(plan.tasks().size());
     for (const RunTask &task : plan.tasks()) {
         results.push_back(runner(task));
-        reporter.addStats(results.back().record.stats);
-        reporter.taskDone();
+        reporter.commit(task, results.back());
     }
     return results;
 }
@@ -52,8 +51,9 @@ ThreadPoolExecutor::run(const CampaignPlan &plan,
                 return;
             try {
                 results[index] = runner(tasks[index]);
-                reporter.addStats(results[index].record.stats);
-                reporter.taskDone();
+                // The slots are stable storage: the reporter's
+                // ordered-commit sink may read them until the join.
+                reporter.commit(tasks[index], results[index]);
             } catch (...) {
                 errors[index] = std::current_exception();
                 aborted.store(true, std::memory_order_relaxed);

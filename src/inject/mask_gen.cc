@@ -12,6 +12,23 @@ using dfi::FaultMask;
 using dfi::FaultType;
 using dfi::StructureId;
 
+std::string
+populationName(Population population)
+{
+    switch (population) {
+      case Population::SingleBit:
+        return "single";
+      case Population::DoubleAdjacent:
+        return "double-adjacent";
+      case Population::DoubleRandom:
+        return "double-random";
+      case Population::MultiStructure:
+        return "multi-structure";
+    }
+    panic("populationName: bad population %s",
+          static_cast<int>(population));
+}
+
 namespace
 {
 

@@ -32,6 +32,9 @@ enum class Population : std::uint8_t
     MultiStructure  //!< one bit in each of two structures
 };
 
+/** Short lower-case population name used in logs and telemetry. */
+std::string populationName(Population population);
+
 /** Mask-generation parameters. */
 struct MaskGenConfig
 {

@@ -91,6 +91,8 @@ ClassCounts::total() const
 double
 ClassCounts::percent(OutcomeClass cls) const
 {
+    // Zero-run campaigns must report 0.0, never NaN: telemetry
+    // percentages feed byte-compared artifacts.
     const std::uint64_t sum = total();
     if (sum == 0)
         return 0.0;
@@ -101,6 +103,10 @@ ClassCounts::percent(OutcomeClass cls) const
 double
 ClassCounts::vulnerability() const
 {
+    // Guard the zero-run campaign here too: with no runs there is no
+    // evidence of vulnerability, so report 0, not 100 - 0.
+    if (total() == 0)
+        return 0.0;
     return 100.0 - percent(OutcomeClass::Masked);
 }
 

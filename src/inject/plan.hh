@@ -47,6 +47,12 @@ struct TaskResult
 {
     syskit::RunRecord record;
     std::uint64_t simulatedCycles = 0; //!< post-restore cycles
+    /**
+     * Host wall-clock spent executing the task, in microseconds.
+     * The one nondeterministic output: telemetry treats it as a
+     * volatile field and zeroes it unless timing capture is on.
+     */
+    std::uint64_t wallMicros = 0;
 };
 
 /**

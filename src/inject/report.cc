@@ -148,6 +148,59 @@ FigureReport::renderBars(int width) const
     return os.str();
 }
 
+namespace
+{
+
+json::Value
+countsJson(const ClassCounts &counts)
+{
+    json::Value cell = json::Value::object();
+    json::Value classes = json::Value::object();
+    for (std::size_t c = 0; c < kNumOutcomeClasses; ++c) {
+        const auto cls = static_cast<OutcomeClass>(c);
+        json::Value entry = json::Value::object();
+        entry.set("count", json::Value::unsignedInt(counts.get(cls)));
+        entry.set("percent", json::Value::number(counts.percent(cls)));
+        classes.set(outcomeClassName(cls), std::move(entry));
+    }
+    cell.set("runs", json::Value::unsignedInt(counts.total()));
+    cell.set("classes", std::move(classes));
+    cell.set("vulnerability_percent",
+             json::Value::number(counts.vulnerability()));
+    return cell;
+}
+
+} // namespace
+
+json::Value
+FigureReport::toJson() const
+{
+    json::Value doc = json::Value::object();
+    doc.set("kind", json::Value::string("dfi-figure"));
+    doc.set("title", json::Value::string(title_));
+    json::Value cells = json::Value::array();
+    for (const std::string &bench : benchmarks_) {
+        for (const std::string &setup : setups_) {
+            const FigureCell *cell = find(bench, setup);
+            if (cell == nullptr)
+                continue;
+            json::Value entry = json::Value::object();
+            entry.set("benchmark", json::Value::string(bench));
+            entry.set("setup", json::Value::string(setup));
+            for (const auto &[key, value] :
+                 countsJson(cell->counts).members())
+                entry.set(key, value);
+            cells.push(std::move(entry));
+        }
+    }
+    doc.set("cells", std::move(cells));
+    json::Value averages = json::Value::object();
+    for (const std::string &setup : setups_)
+        averages.set(setup, countsJson(average(setup)));
+    doc.set("averages", std::move(averages));
+    return doc;
+}
+
 std::string
 FigureReport::renderSummary() const
 {

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "common/json.hh"
 #include "inject/parser.hh"
 
 namespace dfi::inject
@@ -53,6 +54,13 @@ class FigureReport
 
     /** Render the average-vulnerability comparison summary. */
     std::string renderSummary() const;
+
+    /**
+     * The figure's data as JSON: per-cell counts/percentages plus
+     * the per-setup averages (the machine-readable twin of
+     * renderTable(), written next to every bench's text output).
+     */
+    json::Value toJson() const;
 
     const std::vector<FigureCell> &cells() const { return cells_; }
     const std::vector<std::string> &benchmarks() const

@@ -1,0 +1,38 @@
+#include "inject/reporting.hh"
+
+#include "common/logging.hh"
+#include "inject/plan.hh"
+
+namespace dfi::inject
+{
+
+void
+CampaignReporter::taskDoneLocked()
+{
+    ++done_;
+    if (progress_)
+        progress_(done_, total_);
+}
+
+void
+CampaignReporter::commit(const RunTask &task, const TaskResult &result)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.merge(result.record.stats);
+    taskDoneLocked();
+
+    if (!sink_)
+        return;
+    if (task.runId < frontier_ || pending_.count(task.runId) != 0)
+        panic("reporter: task %s committed twice", task.runId);
+    pending_.emplace(task.runId, std::make_pair(&task, &result));
+    // Replay every consecutively-finished task at the frontier, so
+    // the sink observes runId order no matter how completions raced.
+    for (auto it = pending_.begin();
+         it != pending_.end() && it->first == frontier_;
+         it = pending_.erase(it), ++frontier_) {
+        sink_(*it->second.first, *it->second.second);
+    }
+}
+
+} // namespace dfi::inject

@@ -3,12 +3,20 @@
  * Campaign reporting layer (layer 3 of the execution engine).
  *
  * Executors run tasks on worker threads; everything those workers
- * report — user progress callbacks, aggregated common/stats counters
- * — funnels through a CampaignReporter, which serialises the calls
- * behind one mutex.  The user-visible sequence of progress callbacks
- * (done, total) is identical for every executor: `done` is the count
- * of finished tasks, which advances 1..total regardless of the order
- * in which the tasks actually finish.
+ * report — user progress callbacks, aggregated common/stats counters,
+ * the telemetry stream — funnels through a CampaignReporter, which
+ * serialises the calls behind one mutex.  The user-visible sequence of
+ * progress callbacks (done, total) is identical for every executor:
+ * `done` is the count of finished tasks, which advances 1..total
+ * regardless of the order in which the tasks actually finish.
+ *
+ * The reporter is also the engine's *ordered-commit point*: workers
+ * hand each finished (task, result) pair to commit(), which reorders
+ * racing completions behind the runId frontier and replays them to
+ * the commit sink strictly in runId order.  Consumers attached there
+ * (inject/telemetry.hh) therefore observe the exact same sequence for
+ * every executor and job count — that is what makes campaign
+ * artifacts byte-identical across `--jobs` values.
  *
  * (Log lines from workers need no help from this layer: common/logging
  * emits each line atomically; see logging.cc.)
@@ -19,12 +27,16 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <mutex>
 
 #include "common/stats.hh"
 
 namespace dfi::inject
 {
+
+struct RunTask;
+struct TaskResult;
 
 /** Thread-safe funnel for worker-side campaign reporting. */
 class CampaignReporter
@@ -33,9 +45,30 @@ class CampaignReporter
     using Progress = std::function<void(std::uint64_t done,
                                         std::uint64_t total)>;
 
+    /**
+     * Ordered-commit consumer: invoked once per task, strictly in
+     * runId order, under the reporter lock.  The references are only
+     * valid for the duration of the call.
+     */
+    using CommitSink = std::function<void(const RunTask &task,
+                                          const TaskResult &result)>;
+
     CampaignReporter(Progress progress, std::uint64_t total)
         : progress_(std::move(progress)), total_(total)
     {}
+
+    /** Attach the ordered-commit consumer (before the executor runs). */
+    void setCommitSink(CommitSink sink) { sink_ = std::move(sink); }
+
+    /**
+     * Record one finished task: merges its counters, bumps the done
+     * counter, invokes the progress callback, and replays every
+     * result at the runId frontier to the commit sink in order.  The
+     * caller must keep `task` and `result` alive and immutable until
+     * the executor returns (both executors commit into stable
+     * per-runId storage, so this holds by construction).
+     */
+    void commit(const RunTask &task, const TaskResult &result);
 
     /**
      * Record one finished task: bumps the done counter and invokes
@@ -46,9 +79,7 @@ class CampaignReporter
     taskDone()
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        ++done_;
-        if (progress_)
-            progress_(done_, total_);
+        taskDoneLocked();
     }
 
     /** Merge a finished run's counters into the campaign aggregate. */
@@ -76,10 +107,21 @@ class CampaignReporter
     const dfi::StatSet &aggregateStats() const { return stats_; }
 
   private:
+    void taskDoneLocked();
+
     Progress progress_;
+    CommitSink sink_;
     std::uint64_t total_;
     std::uint64_t done_ = 0;
     dfi::StatSet stats_;
+
+    /** Next runId the sink has not seen yet (the commit frontier). */
+    std::uint64_t frontier_ = 0;
+    /** Finished tasks still ahead of the frontier, keyed by runId. */
+    std::map<std::uint64_t,
+             std::pair<const RunTask *, const TaskResult *>>
+        pending_;
+
     mutable std::mutex mutex_;
 };
 

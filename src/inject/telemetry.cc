@@ -1,0 +1,609 @@
+#include "inject/telemetry.hh"
+
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "inject/mask_gen.hh"
+
+namespace dfi::inject
+{
+
+namespace
+{
+
+/** Append one drift line, eliding after a cap. */
+class DriftLog
+{
+  public:
+    explicit DriftLog(std::string &report) : report_(report) {}
+
+    void
+    add(const std::string &line)
+    {
+        ++drifts_;
+        if (drifts_ <= kMaxLines) {
+            report_ += line;
+            report_ += '\n';
+        } else if (drifts_ == kMaxLines + 1) {
+            report_ += "... (further drift elided)\n";
+        }
+    }
+
+    bool any() const { return drifts_ > 0; }
+
+  private:
+    static constexpr std::uint64_t kMaxLines = 20;
+    std::string &report_;
+    std::uint64_t drifts_ = 0;
+};
+
+/** Volatile members skipped by exact comparison at any nesting. */
+bool
+isVolatileKey(const std::string &key)
+{
+    return key == "wall_us" || key == "jobs" || key == "volatile" ||
+           key == "wall_total_us";
+}
+
+std::string
+kindName(json::Kind kind)
+{
+    switch (kind) {
+      case json::Kind::Null:
+        return "null";
+      case json::Kind::Bool:
+        return "bool";
+      case json::Kind::Int:
+      case json::Kind::Double:
+        return "number";
+      case json::Kind::String:
+        return "string";
+      case json::Kind::Array:
+        return "array";
+      case json::Kind::Object:
+        return "object";
+    }
+    return "?";
+}
+
+std::string
+scalarText(const json::Value &v)
+{
+    return v.dump();
+}
+
+/** Recursive exact comparison, skipping volatile members. */
+void
+compareValues(const json::Value &a, const json::Value &b,
+              const std::string &path, DriftLog &log)
+{
+    const bool numbers = a.isNumber() && b.isNumber();
+    if (!numbers && a.kind() != b.kind()) {
+        log.add(path + ": kind " + kindName(a.kind()) +
+                " != " + kindName(b.kind()));
+        return;
+    }
+    switch (a.kind()) {
+      case json::Kind::Object: {
+        for (const auto &[key, value] : a.members()) {
+            if (isVolatileKey(key))
+                continue;
+            const json::Value *other = b.find(key);
+            if (other == nullptr) {
+                log.add(path + "." + key + ": only in first file");
+                continue;
+            }
+            compareValues(value, *other, path + "." + key, log);
+        }
+        for (const auto &[key, value] : b.members()) {
+            if (!isVolatileKey(key) && !a.has(key))
+                log.add(path + "." + key + ": only in second file");
+        }
+        return;
+      }
+      case json::Kind::Array: {
+        if (a.size() != b.size()) {
+            log.add(path + ": length " + std::to_string(a.size()) +
+                    " != " + std::to_string(b.size()));
+            return;
+        }
+        for (std::size_t i = 0; i < a.size(); ++i) {
+            compareValues(a.at(i), b.at(i),
+                          path + "[" + std::to_string(i) + "]", log);
+        }
+        return;
+      }
+      default:
+        if (scalarText(a) != scalarText(b))
+            log.add(path + ": " + scalarText(a) +
+                    " != " + scalarText(b));
+        return;
+    }
+}
+
+/** Per-class percentage map of one artifact (tolerance mode). */
+std::map<std::string, double>
+classPercentages(const TelemetryFile &file)
+{
+    std::map<std::string, double> percents;
+    if (file.kind == kTelemetrySummaryKind) {
+        const json::Value *classes = file.header.find("classes");
+        if (classes == nullptr)
+            return percents;
+        for (const auto &[name, cell] : classes->members()) {
+            const json::Value *pct = cell.find("percent");
+            if (pct != nullptr)
+                percents[name] = pct->asDouble();
+        }
+        return percents;
+    }
+    std::map<std::string, std::uint64_t> counts;
+    for (const TelemetryRecord &record : file.records)
+        ++counts[record.outcome];
+    const auto total = static_cast<double>(file.records.size());
+    for (const auto &[name, count] : counts) {
+        percents[name] =
+            total > 0 ? 100.0 * static_cast<double>(count) / total
+                      : 0.0;
+    }
+    return percents;
+}
+
+bool
+decodeUint(const json::Value &line, const char *key,
+           std::uint64_t &out, std::string &error)
+{
+    const json::Value *v = line.find(key);
+    if (v == nullptr || v->kind() != json::Kind::Int) {
+        error = std::string("record missing numeric field '") + key +
+                "'";
+        return false;
+    }
+    out = v->asUint();
+    return true;
+}
+
+bool
+decodeString(const json::Value &line, const char *key,
+             std::string &out, std::string &error)
+{
+    const json::Value *v = line.find(key);
+    if (v == nullptr || v->kind() != json::Kind::String) {
+        error = std::string("record missing string field '") + key +
+                "'";
+        return false;
+    }
+    out = v->asString();
+    return true;
+}
+
+bool
+decodeRecord(const json::Value &line, TelemetryRecord &out,
+             std::string &error)
+{
+    return decodeUint(line, "run", out.runId, error) &&
+           decodeUint(line, "seed", out.seed, error) &&
+           decodeString(line, "component", out.component, error) &&
+           decodeString(line, "structure", out.structure, error) &&
+           decodeUint(line, "entry", out.entry, error) &&
+           decodeUint(line, "bit", out.bit, error) &&
+           decodeString(line, "fault_type", out.faultType, error) &&
+           decodeUint(line, "cycle", out.injectionCycle, error) &&
+           decodeUint(line, "masks", out.maskCount, error) &&
+           decodeString(line, "outcome", out.outcome, error) &&
+           decodeString(line, "subclass", out.subclass, error) &&
+           decodeUint(line, "instructions", out.instructions, error) &&
+           decodeUint(line, "cycles", out.cycles, error) &&
+           decodeUint(line, "sim_cycles", out.simCycles, error) &&
+           decodeUint(line, "wall_us", out.wallMicros, error) &&
+           decodeUint(line, "jobs", out.jobs, error);
+}
+
+} // namespace
+
+const std::vector<double> &
+telemetryHistogramEdges()
+{
+    // Multiples of the golden run length; early-stopped runs land in
+    // the small buckets, timeouts in the last bounded ones.
+    static const std::vector<double> edges = {0.125, 0.25, 0.5, 1.0,
+                                              2.0,   3.0};
+    return edges;
+}
+
+json::Value
+TelemetryRecord::toJson() const
+{
+    json::Value line = json::Value::object();
+    line.set("run", json::Value::unsignedInt(runId));
+    line.set("seed", json::Value::unsignedInt(seed));
+    line.set("component", json::Value::string(component));
+    line.set("structure", json::Value::string(structure));
+    line.set("entry", json::Value::unsignedInt(entry));
+    line.set("bit", json::Value::unsignedInt(bit));
+    line.set("fault_type", json::Value::string(faultType));
+    line.set("cycle", json::Value::unsignedInt(injectionCycle));
+    line.set("masks", json::Value::unsignedInt(maskCount));
+    line.set("outcome", json::Value::string(outcome));
+    line.set("subclass", json::Value::string(subclass));
+    line.set("instructions", json::Value::unsignedInt(instructions));
+    line.set("cycles", json::Value::unsignedInt(cycles));
+    line.set("sim_cycles", json::Value::unsignedInt(simCycles));
+    line.set("wall_us", json::Value::unsignedInt(wallMicros));
+    line.set("jobs", json::Value::unsignedInt(jobs));
+    return line;
+}
+
+TelemetryWriter::TelemetryWriter(const CampaignConfig &config,
+                                 const syskit::RunRecord &golden,
+                                 std::uint32_t jobs,
+                                 TelemetryOptions options)
+    : config_(config), golden_(golden), jobs_(jobs),
+      options_(options),
+      histogram_(telemetryHistogramEdges().size() + 1, 0)
+{
+    json::Value header = json::Value::object();
+    header.set("kind", json::Value::string(kTelemetryRunsKind));
+    header.set("schema",
+               json::Value::unsignedInt(kTelemetrySchemaVersion));
+    header.set("config", configEcho());
+    json::Value golden_echo = json::Value::object();
+    golden_echo.set("cycles",
+                    json::Value::unsignedInt(golden_.cycles));
+    golden_echo.set("instructions",
+                    json::Value::unsignedInt(golden_.instructions));
+    golden_echo.set(
+        "output_bytes",
+        json::Value::unsignedInt(golden_.output.size()));
+    header.set("golden", std::move(golden_echo));
+    lines_ = header.dump();
+    lines_ += '\n';
+}
+
+json::Value
+TelemetryWriter::configEcho() const
+{
+    json::Value echo = json::Value::object();
+    echo.set("component", json::Value::string(config_.component));
+    echo.set("benchmark", json::Value::string(config_.benchmark));
+    echo.set("scale", json::Value::unsignedInt(config_.scale));
+    echo.set("core", json::Value::string(config_.coreName));
+    echo.set("injections",
+             json::Value::unsignedInt(config_.numInjections));
+    echo.set("confidence", json::Value::number(config_.confidence));
+    echo.set("margin", json::Value::number(config_.margin));
+    echo.set("fault_type",
+             json::Value::string(faultTypeName(config_.faultType)));
+    echo.set("population",
+             json::Value::string(populationName(config_.population)));
+    echo.set("intermittent_min",
+             json::Value::unsignedInt(config_.intermittentMin));
+    echo.set("intermittent_max",
+             json::Value::unsignedInt(config_.intermittentMax));
+    echo.set("cache_scale", json::Value::number(config_.cacheScale));
+    echo.set("timeout_factor",
+             json::Value::number(config_.timeoutFactor));
+    echo.set("early_stop_invalid_entry",
+             json::Value::boolean(config_.earlyStopInvalidEntry));
+    echo.set("early_stop_overwrite",
+             json::Value::boolean(config_.earlyStopOverwrite));
+    echo.set("checkpoints",
+             json::Value::boolean(config_.useCheckpoints));
+    echo.set("checkpoint_count",
+             json::Value::unsignedInt(config_.checkpointCount));
+    echo.set("seed", json::Value::unsignedInt(config_.seed));
+    return echo;
+}
+
+void
+TelemetryWriter::commit(const RunTask &task, const TaskResult &result)
+{
+    if (task.runId != nextRunId_)
+        panic("telemetry: commit of run %s out of order (expected %s)",
+              task.runId, nextRunId_);
+    ++nextRunId_;
+
+    const Classification classification =
+        parser_.classify(golden_, result.record);
+
+    TelemetryRecord record;
+    record.runId = task.runId;
+    record.seed = config_.seed;
+    record.component = config_.component;
+    if (!task.masks.empty()) {
+        record.structure = structureName(task.masks[0].structure);
+        record.entry = task.masks[0].entry;
+        record.bit = task.masks[0].bit;
+        record.faultType = faultTypeName(task.masks[0].type);
+    }
+    record.injectionCycle = task.masks.empty() ? 0 : task.firstCycle;
+    record.maskCount = task.masks.size();
+    record.outcome = outcomeClassName(classification.cls);
+    record.subclass = classification.subclass;
+    record.instructions = result.record.instructions;
+    record.cycles = result.record.cycles;
+    record.simCycles = result.simulatedCycles;
+    if (options_.captureTiming) {
+        record.wallMicros = result.wallMicros;
+        record.jobs = jobs_;
+    }
+
+    lines_ += record.toJson().dump();
+    lines_ += '\n';
+
+    counts_.add(classification.cls);
+    totalSimCycles_ += result.simulatedCycles;
+    totalWallMicros_ += result.wallMicros;
+
+    const auto &edges = telemetryHistogramEdges();
+    const auto golden_cycles = static_cast<double>(golden_.cycles);
+    std::size_t bucket = edges.size();
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+        if (static_cast<double>(result.simulatedCycles) <=
+            edges[i] * golden_cycles) {
+            bucket = i;
+            break;
+        }
+    }
+    ++histogram_[bucket];
+}
+
+std::string
+TelemetryWriter::summaryJson() const
+{
+    json::Value doc = json::Value::object();
+    doc.set("kind", json::Value::string(kTelemetrySummaryKind));
+    doc.set("schema",
+            json::Value::unsignedInt(kTelemetrySchemaVersion));
+    doc.set("config", configEcho());
+    json::Value golden_echo = json::Value::object();
+    golden_echo.set("cycles",
+                    json::Value::unsignedInt(golden_.cycles));
+    golden_echo.set("instructions",
+                    json::Value::unsignedInt(golden_.instructions));
+    golden_echo.set(
+        "output_bytes",
+        json::Value::unsignedInt(golden_.output.size()));
+    doc.set("golden", std::move(golden_echo));
+    doc.set("runs", json::Value::unsignedInt(counts_.total()));
+
+    json::Value classes = json::Value::object();
+    for (std::size_t c = 0; c < kNumOutcomeClasses; ++c) {
+        const auto cls = static_cast<OutcomeClass>(c);
+        json::Value cell = json::Value::object();
+        cell.set("count", json::Value::unsignedInt(counts_.get(cls)));
+        cell.set("percent", json::Value::number(counts_.percent(cls)));
+        classes.set(outcomeClassName(cls), std::move(cell));
+    }
+    doc.set("classes", std::move(classes));
+    doc.set("vulnerability_percent",
+            json::Value::number(counts_.vulnerability()));
+
+    json::Value sim = json::Value::object();
+    sim.set("total", json::Value::unsignedInt(totalSimCycles_));
+    json::Value buckets = json::Value::array();
+    const auto &edges = telemetryHistogramEdges();
+    for (std::size_t i = 0; i < histogram_.size(); ++i) {
+        json::Value bucket = json::Value::object();
+        bucket.set("le_golden_x",
+                   i < edges.size() ? json::Value::number(edges[i])
+                                    : json::Value::null());
+        bucket.set("count", json::Value::unsignedInt(histogram_[i]));
+        buckets.push(std::move(bucket));
+    }
+    sim.set("histogram", std::move(buckets));
+    doc.set("sim_cycles", std::move(sim));
+
+    json::Value volatile_echo = json::Value::object();
+    volatile_echo.set(
+        "jobs", json::Value::unsignedInt(
+                    options_.captureTiming ? jobs_ : 0));
+    volatile_echo.set(
+        "wall_total_us",
+        json::Value::unsignedInt(
+            options_.captureTiming ? totalWallMicros_ : 0));
+    doc.set("volatile", std::move(volatile_echo));
+    return doc.dumpPretty();
+}
+
+void
+TelemetryWriter::writeFiles(const std::string &base) const
+{
+    const std::string runs_path = base + ".jsonl";
+    const std::string summary_path = base + ".summary.json";
+    std::ofstream runs(runs_path, std::ios::binary);
+    runs << lines_;
+    if (!runs)
+        fatal("telemetry: cannot write '%s'", runs_path);
+    runs.close();
+    std::ofstream summary(summary_path, std::ios::binary);
+    summary << summaryJson();
+    if (!summary)
+        fatal("telemetry: cannot write '%s'", summary_path);
+}
+
+bool
+parseTelemetry(const std::string &text, TelemetryFile &out,
+               std::string &error)
+{
+    out = TelemetryFile{};
+
+    // A run stream is JSONL: its first line is a complete header
+    // object.  A summary is one pretty-printed document, whose first
+    // line alone never parses.
+    std::istringstream stream(text);
+    std::string first_line;
+    std::getline(stream, first_line);
+    json::Value header;
+    std::string line_error;
+    if (json::parse(first_line, header, line_error) &&
+        header.kind() == json::Kind::Object) {
+        const json::Value *kind = header.find("kind");
+        if (kind == nullptr ||
+            kind->kind() != json::Kind::String) {
+            error = "header line has no 'kind'";
+            return false;
+        }
+        if (kind->asString() != kTelemetryRunsKind) {
+            error = "unexpected artifact kind '" + kind->asString() +
+                    "'";
+            return false;
+        }
+        const json::Value *schema = header.find("schema");
+        if (schema == nullptr ||
+            schema->kind() != json::Kind::Int) {
+            error = "header line has no 'schema'";
+            return false;
+        }
+        if (schema->asUint() > kTelemetrySchemaVersion) {
+            error = "unsupported schema version " +
+                    std::to_string(schema->asUint());
+            return false;
+        }
+        out.kind = kTelemetryRunsKind;
+        out.header = std::move(header);
+        std::string line;
+        std::uint64_t line_number = 1;
+        while (std::getline(stream, line)) {
+            ++line_number;
+            if (line.empty())
+                continue;
+            json::Value parsed;
+            if (!json::parse(line, parsed, line_error)) {
+                error = "line " + std::to_string(line_number) + ": " +
+                        line_error;
+                return false;
+            }
+            TelemetryRecord record;
+            if (!decodeRecord(parsed, record, line_error)) {
+                error = "line " + std::to_string(line_number) + ": " +
+                        line_error;
+                return false;
+            }
+            out.records.push_back(std::move(record));
+        }
+        return true;
+    }
+
+    json::Value doc;
+    if (!json::parse(text, doc, error))
+        return false;
+    if (doc.kind() != json::Kind::Object || !doc.has("kind") ||
+        doc.get("kind").kind() != json::Kind::String ||
+        doc.get("kind").asString() != kTelemetrySummaryKind) {
+        error = "not a telemetry artifact";
+        return false;
+    }
+    const json::Value *schema = doc.find("schema");
+    if (schema == nullptr || schema->kind() != json::Kind::Int) {
+        error = "summary has no 'schema'";
+        return false;
+    }
+    if (schema->asUint() > kTelemetrySchemaVersion) {
+        error = "unsupported schema version " +
+                std::to_string(schema->asUint());
+        return false;
+    }
+    out.kind = kTelemetrySummaryKind;
+    out.header = std::move(doc);
+    return true;
+}
+
+bool
+readTelemetryFile(const std::string &path, TelemetryFile &out,
+                  std::string &error)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        error = "cannot open '" + path + "'";
+        return false;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    if (!parseTelemetry(buffer.str(), out, error)) {
+        error = path + ": " + error;
+        return false;
+    }
+    return true;
+}
+
+DiffOutcome
+diffTelemetry(const TelemetryFile &a, const TelemetryFile &b,
+              const DiffOptions &options, std::string &report)
+{
+    if (a.kind != b.kind) {
+        report += "artifact kinds differ: " + a.kind + " vs " +
+                  b.kind + "\n";
+        return DiffOutcome::Malformed;
+    }
+
+    DriftLog log(report);
+    if (options.exact) {
+        compareValues(a.header, b.header,
+                      a.kind == kTelemetrySummaryKind ? "summary"
+                                                      : "header",
+                      log);
+        if (a.kind == kTelemetryRunsKind) {
+            if (a.records.size() != b.records.size()) {
+                log.add("run count " +
+                        std::to_string(a.records.size()) + " != " +
+                        std::to_string(b.records.size()));
+            } else {
+                for (std::size_t i = 0; i < a.records.size(); ++i) {
+                    compareValues(a.records[i].toJson(),
+                                  b.records[i].toJson(),
+                                  "run[" + std::to_string(i) + "]",
+                                  log);
+                }
+            }
+        }
+        return log.any() ? DiffOutcome::Drift : DiffOutcome::Equal;
+    }
+
+    const auto pa = classPercentages(a);
+    const auto pb = classPercentages(b);
+    auto percent_of = [](const std::map<std::string, double> &map,
+                         const std::string &key) {
+        const auto it = map.find(key);
+        return it == map.end() ? 0.0 : it->second;
+    };
+    std::map<std::string, bool> classes;
+    for (const auto &[name, value] : pa)
+        classes[name] = true;
+    for (const auto &[name, value] : pb)
+        classes[name] = true;
+    for (const auto &[name, present] : classes) {
+        const double va = percent_of(pa, name);
+        const double vb = percent_of(pb, name);
+        if (std::abs(va - vb) > options.tolerancePercent) {
+            log.add("class " + name + ": " + json::formatNumber(va) +
+                    "% vs " + json::formatNumber(vb) +
+                    "% (tolerance " +
+                    json::formatNumber(options.tolerancePercent) +
+                    ")");
+        }
+    }
+    return log.any() ? DiffOutcome::Drift : DiffOutcome::Equal;
+}
+
+DiffOutcome
+diffTelemetryFiles(const std::string &pathA, const std::string &pathB,
+                   const DiffOptions &options, std::string &report)
+{
+    TelemetryFile a, b;
+    std::string error;
+    if (!readTelemetryFile(pathA, a, error)) {
+        report += error + "\n";
+        return DiffOutcome::Malformed;
+    }
+    if (!readTelemetryFile(pathB, b, error)) {
+        report += error + "\n";
+        return DiffOutcome::Malformed;
+    }
+    return diffTelemetry(a, b, options, report);
+}
+
+} // namespace dfi::inject

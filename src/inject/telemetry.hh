@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Campaign telemetry: schema-versioned, machine-readable run
+ * artifacts, and the differential comparison over them.
+ *
+ * The paper's methodology is differential — MaFIN vs GeFIN results
+ * are only meaningful because every run is logged, parsed and
+ * *compared*.  This layer gives campaigns the machine-readable
+ * counterpart of that logs repository:
+ *
+ *  - a JSONL run stream: one header line (schema version + config
+ *    echo + golden reference), then one flat JSON record per RunTask,
+ *    emitted at the executor's ordered-commit point so the stream is
+ *    byte-identical for any `--jobs` value;
+ *  - a summary JSON document: config echo, per-class counts and
+ *    percentages, and a simulated-cycles histogram.
+ *
+ * Determinism contract: with timing capture off (the default) every
+ * byte of both artifacts is a pure function of (config, program,
+ * seed).  The only nondeterministic inputs — wall-clock micros and
+ * the executor job count — are "volatile" fields, written as zero
+ * unless timing capture is requested, and ignored by exact
+ * comparison either way.  See DESIGN.md §7 for the schema reference
+ * and the version-bump policy.
+ */
+
+#ifndef DFI_INJECT_TELEMETRY_HH
+#define DFI_INJECT_TELEMETRY_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "inject/campaign.hh"
+#include "inject/parser.hh"
+#include "inject/plan.hh"
+
+namespace dfi::inject
+{
+
+/**
+ * Telemetry schema version.  Bump policy (DESIGN.md §7): adding a
+ * field is a minor change and does NOT bump the version (readers
+ * ignore unknown fields); renaming, removing, or changing the
+ * meaning/unit of an existing field bumps it and requires
+ * regenerating `results/golden/`.
+ */
+constexpr std::uint64_t kTelemetrySchemaVersion = 1;
+
+/** Artifact kind tags (the "kind" member of the header/document). */
+inline constexpr const char *kTelemetryRunsKind = "dfi-telemetry";
+inline constexpr const char *kTelemetrySummaryKind = "dfi-summary";
+
+/** Telemetry capture options. */
+struct TelemetryOptions
+{
+    /**
+     * Record real wall-clock micros and the executor job count.
+     * Off by default: the volatile fields are written as zero so the
+     * artifacts are byte-identical across hosts and `--jobs` values.
+     */
+    bool captureTiming = false;
+};
+
+/** One JSONL run record, decoded. */
+struct TelemetryRecord
+{
+    std::uint64_t runId = 0;
+    std::uint64_t seed = 0;
+    std::string component;
+    std::string structure;     //!< first mask's target structure
+    std::uint64_t entry = 0;   //!< first mask's entry
+    std::uint64_t bit = 0;     //!< first mask's bit
+    std::string faultType;
+    std::uint64_t injectionCycle = 0; //!< earliest mask cycle
+    std::uint64_t maskCount = 0;      //!< masks in this fault group
+    std::string outcome;              //!< class name (default parser)
+    std::string subclass;
+    std::uint64_t instructions = 0;   //!< retired instructions
+    std::uint64_t cycles = 0;         //!< run length in sim cycles
+    std::uint64_t simCycles = 0;      //!< simulated (post-restore)
+    std::uint64_t wallMicros = 0;     //!< volatile
+    std::uint64_t jobs = 0;           //!< volatile
+
+    json::Value toJson() const;
+};
+
+/** A parsed telemetry artifact (run stream or summary). */
+struct TelemetryFile
+{
+    std::string kind;      //!< kTelemetryRunsKind or ...SummaryKind
+    json::Value header;    //!< header line / whole summary document
+    std::vector<TelemetryRecord> records; //!< run streams only
+};
+
+/**
+ * Builds both artifacts for one campaign.  commit() must be called
+ * once per task in runId order — the executors' ordered-commit point
+ * (CampaignReporter::setCommitSink) guarantees exactly that.
+ */
+class TelemetryWriter
+{
+  public:
+    TelemetryWriter(const CampaignConfig &config,
+                    const syskit::RunRecord &golden,
+                    std::uint32_t jobs, TelemetryOptions options);
+
+    /** Append one run record (call in runId order). */
+    void commit(const RunTask &task, const TaskResult &result);
+
+    /** The JSONL run stream (header line + one line per record). */
+    const std::string &runsJsonl() const { return lines_; }
+
+    /** The summary document (built from the commits so far). */
+    std::string summaryJson() const;
+
+    /**
+     * Write `<base>.jsonl` and `<base>.summary.json`.
+     * fatal() on I/O failure.
+     */
+    void writeFiles(const std::string &base) const;
+
+    const ClassCounts &counts() const { return counts_; }
+
+  private:
+    json::Value configEcho() const;
+
+    CampaignConfig config_;
+    syskit::RunRecord golden_;
+    std::uint32_t jobs_;
+    TelemetryOptions options_;
+    Parser parser_;
+
+    std::string lines_;
+    ClassCounts counts_;
+    std::uint64_t nextRunId_ = 0;
+    std::uint64_t totalSimCycles_ = 0;
+    std::uint64_t totalWallMicros_ = 0;
+    std::vector<std::uint64_t> histogram_; //!< simCycles buckets
+};
+
+/**
+ * Histogram bucket upper bounds, as multiples of the golden run
+ * length (the last bucket is unbounded).  Simulated cycles are
+ * deterministic, so the histogram participates in exact comparison.
+ */
+const std::vector<double> &telemetryHistogramEdges();
+
+/**
+ * Parse a telemetry artifact from memory.  Returns false (with
+ * `error` set) on malformed input — never throws: artifacts are
+ * external inputs.
+ */
+bool parseTelemetry(const std::string &text, TelemetryFile &out,
+                    std::string &error);
+
+/** Read + parse a telemetry artifact from disk. */
+bool readTelemetryFile(const std::string &path, TelemetryFile &out,
+                       std::string &error);
+
+/** Comparison outcome; values are the dfi-diff exit codes. */
+enum class DiffOutcome : int
+{
+    Equal = 0,     //!< no drift
+    Drift = 1,     //!< real divergence
+    Malformed = 2, //!< unreadable/mismatched inputs
+};
+
+struct DiffOptions
+{
+    /**
+     * Exact mode compares every non-volatile field of every record
+     * and every non-volatile member of the header/summary.
+     * Tolerance mode compares per-class outcome percentages within
+     * `tolerancePercent` percentage points (cross-environment
+     * statistical comparison).
+     */
+    bool exact = true;
+    double tolerancePercent = 1.0;
+};
+
+/**
+ * Compare two parsed artifacts of the same kind.  Appends
+ * human-readable drift lines to `report`.
+ */
+DiffOutcome diffTelemetry(const TelemetryFile &a,
+                          const TelemetryFile &b,
+                          const DiffOptions &options,
+                          std::string &report);
+
+/** Convenience: read both paths, then diffTelemetry(). */
+DiffOutcome diffTelemetryFiles(const std::string &pathA,
+                               const std::string &pathB,
+                               const DiffOptions &options,
+                               std::string &report);
+
+} // namespace dfi::inject
+
+#endif // DFI_INJECT_TELEMETRY_HH

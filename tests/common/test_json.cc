@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Tests for the deterministic JSON value: build/dump byte stability,
+ * parse round-trips, and rejection of malformed input (the telemetry
+ * layer's contract).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/json.hh"
+
+namespace
+{
+
+using dfi::json::Kind;
+using dfi::json::Value;
+
+TEST(Json, DumpIsDeterministicAndOrdered)
+{
+    Value doc = Value::object();
+    doc.set("b", Value::unsignedInt(2));
+    doc.set("a", Value::unsignedInt(1));
+    Value nested = Value::array();
+    nested.push(Value::boolean(true));
+    nested.push(Value::null());
+    nested.push(Value::string("x\"y\n"));
+    doc.set("list", std::move(nested));
+
+    // Insertion order is preserved (no sorting, no hashing).
+    EXPECT_EQ(doc.dump(), "{\"b\":2,\"a\":1,\"list\":[true,null,"
+                          "\"x\\\"y\\n\"]}");
+    EXPECT_EQ(doc.dump(), doc.dump());
+}
+
+TEST(Json, NumberFormattingIsStable)
+{
+    EXPECT_EQ(Value::number(0.0).dump(), "0");
+    EXPECT_EQ(Value::number(25.0).dump(), "25");
+    EXPECT_EQ(Value::number(-3.0).dump(), "-3");
+    EXPECT_EQ(Value::number(12.5).dump(), "12.5");
+    EXPECT_EQ(Value::number(33.333333333).dump(), "33.333333");
+    EXPECT_EQ(Value::integer(-42).dump(), "-42");
+    EXPECT_EQ(Value::unsignedInt(18446744073709551615ull).dump(),
+              "18446744073709551615");
+}
+
+TEST(Json, ParseRoundTrip)
+{
+    const std::string text =
+        "{\"a\":1,\"b\":-2,\"c\":12.5,\"d\":\"hi\\tthere\","
+        "\"e\":[true,false,null],\"f\":{\"nested\":3}}";
+    Value doc;
+    std::string error;
+    ASSERT_TRUE(dfi::json::parse(text, doc, error)) << error;
+    EXPECT_EQ(doc.get("a").asUint(), 1u);
+    EXPECT_EQ(doc.get("b").asInt(), -2);
+    EXPECT_DOUBLE_EQ(doc.get("c").asDouble(), 12.5);
+    EXPECT_EQ(doc.get("d").asString(), "hi\tthere");
+    EXPECT_EQ(doc.get("e").size(), 3u);
+    EXPECT_TRUE(doc.get("e").at(0).asBool());
+    EXPECT_TRUE(doc.get("e").at(2).isNull());
+    EXPECT_EQ(doc.get("f").get("nested").asUint(), 3u);
+
+    // Serialize → parse → serialize is a fixed point.
+    Value again;
+    ASSERT_TRUE(dfi::json::parse(doc.dump(), again, error)) << error;
+    EXPECT_EQ(again.dump(), doc.dump());
+}
+
+TEST(Json, PrettyOutputParsesBack)
+{
+    Value doc = Value::object();
+    doc.set("x", Value::unsignedInt(1));
+    Value arr = Value::array();
+    arr.push(Value::string("y"));
+    doc.set("arr", std::move(arr));
+    Value parsed;
+    std::string error;
+    ASSERT_TRUE(dfi::json::parse(doc.dumpPretty(), parsed, error))
+        << error;
+    EXPECT_EQ(parsed.dump(), doc.dump());
+}
+
+TEST(Json, RejectsMalformedInput)
+{
+    Value out;
+    std::string error;
+    EXPECT_FALSE(dfi::json::parse("", out, error));
+    EXPECT_FALSE(dfi::json::parse("{", out, error));
+    EXPECT_FALSE(dfi::json::parse("{\"a\":}", out, error));
+    EXPECT_FALSE(dfi::json::parse("[1,2", out, error));
+    EXPECT_FALSE(dfi::json::parse("\"unterminated", out, error));
+    EXPECT_FALSE(dfi::json::parse("{} trailing", out, error));
+    EXPECT_FALSE(dfi::json::parse("nul", out, error));
+    EXPECT_FALSE(error.empty());
+}
+
+} // namespace

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "inject/parser.hh"
 
 namespace
@@ -170,6 +172,23 @@ TEST(ClassCounts, PercentagesAndVulnerability)
     more.add(OutcomeClass::Masked);
     more.add(counts);
     EXPECT_EQ(more.total(), 101u);
+}
+
+TEST(ClassCounts, ZeroRunCampaignHasFinitePercentages)
+{
+    // A campaign with zero runs must report 0.0 everywhere — never
+    // NaN (division by total) and never a spurious 100% vulnerability
+    // (100 - 0): these numbers feed byte-compared telemetry.
+    const ClassCounts counts;
+    EXPECT_EQ(counts.total(), 0u);
+    for (std::size_t c = 0; c < kNumOutcomeClasses; ++c) {
+        const double pct =
+            counts.percent(static_cast<OutcomeClass>(c));
+        EXPECT_FALSE(std::isnan(pct));
+        EXPECT_DOUBLE_EQ(pct, 0.0);
+    }
+    EXPECT_FALSE(std::isnan(counts.vulnerability()));
+    EXPECT_DOUBLE_EQ(counts.vulnerability(), 0.0);
 }
 
 } // namespace

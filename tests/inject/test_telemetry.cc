@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Tests for the campaign telemetry layer: JSONL round-trips through
+ * the reader, serial vs multi-job byte-identity at the ordered-commit
+ * point, and the dfi-diff outcomes (equal / drift / malformed).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "inject/campaign.hh"
+#include "inject/telemetry.hh"
+
+namespace
+{
+
+using namespace dfi::inject;
+
+/** Small fixed-seed campaign config (same shape as the CI smoke). */
+CampaignConfig
+smokeConfig()
+{
+    CampaignConfig cfg;
+    cfg.coreName = "marss-x86";
+    cfg.benchmark = "micro";
+    cfg.component = "int_regfile";
+    cfg.numInjections = 12;
+    cfg.seed = 7;
+    return cfg;
+}
+
+std::string
+readFile(const std::filesystem::path &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << path;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+/** Temp dir per test, removed on destruction. */
+struct TempDir
+{
+    std::filesystem::path path;
+
+    TempDir()
+    {
+        path = std::filesystem::temp_directory_path() /
+               ("dfi_telemetry_test_" +
+                std::to_string(
+                    ::testing::UnitTest::GetInstance()->random_seed()) +
+                "_" + ::testing::UnitTest::GetInstance()
+                          ->current_test_info()
+                          ->name());
+        std::filesystem::create_directories(path);
+    }
+    ~TempDir() { std::filesystem::remove_all(path); }
+};
+
+TEST(Telemetry, JsonlRoundTripsThroughReader)
+{
+    TempDir dir;
+    CampaignConfig cfg = smokeConfig();
+    cfg.telemetryOut = (dir.path / "run").string();
+    InjectionCampaign campaign(cfg);
+    const auto result = campaign.run();
+
+    TelemetryFile runs;
+    std::string error;
+    ASSERT_TRUE(readTelemetryFile((dir.path / "run.jsonl").string(),
+                                  runs, error))
+        << error;
+    EXPECT_EQ(runs.kind, kTelemetryRunsKind);
+    EXPECT_EQ(runs.header.get("schema").asUint(),
+              kTelemetrySchemaVersion);
+    EXPECT_EQ(runs.header.get("config").get("benchmark").asString(),
+              "micro");
+    EXPECT_EQ(runs.header.get("golden").get("cycles").asUint(),
+              result.golden.cycles);
+
+    // One record per run, in runId order, fields wired from the plan.
+    ASSERT_EQ(runs.records.size(), result.records.size());
+    for (std::size_t i = 0; i < runs.records.size(); ++i) {
+        const TelemetryRecord &rec = runs.records[i];
+        EXPECT_EQ(rec.runId, i);
+        EXPECT_EQ(rec.seed, cfg.seed);
+        EXPECT_EQ(rec.component, "int_regfile");
+        EXPECT_EQ(rec.instructions, result.records[i].instructions);
+        EXPECT_EQ(rec.cycles, result.records[i].cycles);
+        EXPECT_FALSE(rec.outcome.empty());
+        // Volatile fields are zero unless timing capture is on.
+        EXPECT_EQ(rec.wallMicros, 0u);
+        EXPECT_EQ(rec.jobs, 0u);
+    }
+
+    // The summary parses too and its class totals match the stream.
+    TelemetryFile summary;
+    ASSERT_TRUE(
+        readTelemetryFile((dir.path / "run.summary.json").string(),
+                          summary, error))
+        << error;
+    EXPECT_EQ(summary.kind, kTelemetrySummaryKind);
+    EXPECT_EQ(summary.header.get("runs").asUint(),
+              result.records.size());
+    Parser parser;
+    const auto counts = result.classify(parser);
+    const auto &classes = summary.header.get("classes");
+    std::uint64_t summed = 0;
+    for (const auto &[name, cell] : classes.members())
+        summed += cell.get("count").asUint();
+    EXPECT_EQ(summed, counts.total());
+}
+
+TEST(Telemetry, SerialAndFourJobStreamsAreByteIdentical)
+{
+    TempDir dir;
+    CampaignConfig serial = smokeConfig();
+    serial.jobs = 1;
+    serial.telemetryOut = (dir.path / "serial").string();
+    InjectionCampaign(serial).run();
+
+    CampaignConfig threaded = smokeConfig();
+    threaded.jobs = 4;
+    threaded.telemetryOut = (dir.path / "jobs4").string();
+    InjectionCampaign(threaded).run();
+
+    EXPECT_EQ(readFile(dir.path / "serial.jsonl"),
+              readFile(dir.path / "jobs4.jsonl"));
+    EXPECT_EQ(readFile(dir.path / "serial.summary.json"),
+              readFile(dir.path / "jobs4.summary.json"));
+}
+
+TEST(Telemetry, ExactDiffIgnoresVolatileTimingFields)
+{
+    TempDir dir;
+    CampaignConfig plain = smokeConfig();
+    plain.telemetryOut = (dir.path / "plain").string();
+    InjectionCampaign(plain).run();
+
+    CampaignConfig timed = smokeConfig();
+    timed.jobs = 2;
+    timed.telemetryTiming = true;
+    timed.telemetryOut = (dir.path / "timed").string();
+    InjectionCampaign(timed).run();
+
+    // The bytes differ (real wall_us / jobs values)...
+    EXPECT_NE(readFile(dir.path / "plain.jsonl"),
+              readFile(dir.path / "timed.jsonl"));
+
+    // ...but exact diff treats them as volatile.
+    std::string report;
+    EXPECT_EQ(diffTelemetryFiles((dir.path / "plain.jsonl").string(),
+                                 (dir.path / "timed.jsonl").string(),
+                                 DiffOptions{}, report),
+              DiffOutcome::Equal)
+        << report;
+}
+
+TEST(Telemetry, DiffOutcomesEqualDriftMalformed)
+{
+    TempDir dir;
+    CampaignConfig cfg = smokeConfig();
+    cfg.telemetryOut = (dir.path / "a").string();
+    InjectionCampaign(cfg).run();
+
+    const std::string path_a = (dir.path / "a.jsonl").string();
+    std::string report;
+
+    // Equal: a file against itself.
+    EXPECT_EQ(diffTelemetryFiles(path_a, path_a, DiffOptions{},
+                                 report),
+              DiffOutcome::Equal)
+        << report;
+
+    // Drift: flip one record's outcome class.
+    std::string text = readFile(path_a);
+    const auto pos = text.find("\"outcome\":\"");
+    ASSERT_NE(pos, std::string::npos);
+    const auto value_begin = pos + std::string("\"outcome\":\"").size();
+    const auto value_end = text.find('"', value_begin);
+    text.replace(value_begin, value_end - value_begin, "Tampered");
+    const std::string path_b = (dir.path / "b.jsonl").string();
+    {
+        std::ofstream out(path_b, std::ios::binary);
+        out << text;
+    }
+    report.clear();
+    EXPECT_EQ(diffTelemetryFiles(path_a, path_b, DiffOptions{},
+                                 report),
+              DiffOutcome::Drift);
+    EXPECT_NE(report.find("outcome"), std::string::npos) << report;
+
+    // Malformed: not a telemetry artifact at all.
+    const std::string path_c = (dir.path / "c.jsonl").string();
+    {
+        std::ofstream out(path_c, std::ios::binary);
+        out << "this is not json\n";
+    }
+    report.clear();
+    EXPECT_EQ(diffTelemetryFiles(path_a, path_c, DiffOptions{},
+                                 report),
+              DiffOutcome::Malformed);
+
+    // Malformed: missing file.
+    report.clear();
+    EXPECT_EQ(
+        diffTelemetryFiles(path_a, (dir.path / "nope.jsonl").string(),
+                           DiffOptions{}, report),
+        DiffOutcome::Malformed);
+}
+
+TEST(Telemetry, ToleranceModeAcceptsSmallStatisticalDrift)
+{
+    TempDir dir;
+    CampaignConfig cfg_a = smokeConfig();
+    cfg_a.telemetryOut = (dir.path / "a").string();
+    InjectionCampaign(cfg_a).run();
+
+    // A different seed: same campaign statistically, different runs.
+    CampaignConfig cfg_b = smokeConfig();
+    cfg_b.seed = 8;
+    cfg_b.telemetryOut = (dir.path / "b").string();
+    InjectionCampaign(cfg_b).run();
+
+    const std::string path_a = (dir.path / "a.jsonl").string();
+    const std::string path_b = (dir.path / "b.jsonl").string();
+
+    // Exact mode must flag the divergence...
+    std::string report;
+    EXPECT_EQ(diffTelemetryFiles(path_a, path_b, DiffOptions{},
+                                 report),
+              DiffOutcome::Drift);
+
+    // ...while a wide tolerance accepts it.
+    DiffOptions loose;
+    loose.exact = false;
+    loose.tolerancePercent = 100.0;
+    report.clear();
+    EXPECT_EQ(diffTelemetryFiles(path_a, path_b, loose, report),
+              DiffOutcome::Equal)
+        << report;
+
+    // And a zero tolerance on different data reports drift.
+    DiffOptions strict;
+    strict.exact = false;
+    strict.tolerancePercent = 0.0;
+    report.clear();
+    const auto strict_outcome =
+        diffTelemetryFiles(path_a, path_b, strict, report);
+    EXPECT_TRUE(strict_outcome == DiffOutcome::Drift ||
+                strict_outcome == DiffOutcome::Equal);
+}
+
+} // namespace

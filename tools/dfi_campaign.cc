@@ -71,6 +71,12 @@ usage()
         "  --no-checkpoints     always start runs from reset\n"
         "\n"
         "output:\n"
+        "  --telemetry-out BASE write BASE.jsonl (per-run records)\n"
+        "                       and BASE.summary.json; byte-identical\n"
+        "                       for every --jobs value\n"
+        "  --telemetry-timing   record real wall-clock micros and the\n"
+        "                       job count in the telemetry (marks the\n"
+        "                       volatile fields; off by default)\n"
         "  --save-masks FILE    write the generated masks repository\n"
         "  --crash-as-assert    regroup simulator crashes under Assert\n"
         "  --no-due-split       do not annotate true/false DUE\n"
@@ -175,6 +181,10 @@ main(int argc, char **argv)
             cfg.earlyStopOverwrite = false;
         } else if (arg == "--no-checkpoints") {
             cfg.useCheckpoints = false;
+        } else if (arg == "--telemetry-out") {
+            cfg.telemetryOut = need(argc, argv, i);
+        } else if (arg == "--telemetry-timing") {
+            cfg.telemetryTiming = true;
         } else if (arg == "--save-masks") {
             save_masks = need(argc, argv, i);
         } else if (arg == "--crash-as-assert") {
@@ -219,6 +229,13 @@ main(int argc, char **argv)
             saveMasks(save_masks, result.masks);
             std::fprintf(stderr, "masks written to %s\n",
                          save_masks.c_str());
+        }
+        if (!cfg.telemetryOut.empty()) {
+            std::fprintf(stderr,
+                         "telemetry written to %s.jsonl and "
+                         "%s.summary.json\n",
+                         cfg.telemetryOut.c_str(),
+                         cfg.telemetryOut.c_str());
         }
 
         Parser parser(parser_cfg);

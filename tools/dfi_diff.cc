@@ -1,0 +1,116 @@
+/**
+ * @file
+ * dfi-diff: differential comparison of campaign telemetry artifacts.
+ *
+ * The paper's methodology lives or dies on comparing logged runs
+ * across injectors and environments; dfi-diff is the command-line
+ * face of that comparison for the machine-readable artifacts
+ * produced by `dfi-campaign --telemetry-out` (see
+ * inject/telemetry.hh).
+ *
+ * Modes:
+ *   --exact          field-by-field identity, ignoring the declared
+ *                    volatile fields (wall_us, jobs).  Use for
+ *                    same-seed reproducibility checks — this is what
+ *                    CI runs against results/golden/.
+ *   --tolerance P    per-class outcome percentages must agree within
+ *                    P percentage points.  Use for cross-environment
+ *                    or cross-seed statistical comparison.
+ *
+ * Exit codes: 0 = equal, 1 = drift, 2 = malformed input or usage.
+ *
+ * Examples:
+ *   dfi-diff --exact results/golden/smoke_marss-x86.jsonl run.jsonl
+ *   dfi-diff --tolerance 2.5 a.summary.json b.summary.json
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "inject/telemetry.hh"
+
+using namespace dfi::inject;
+
+namespace
+{
+
+void
+usage()
+{
+    std::puts(
+        "usage: dfi-diff [--exact | --tolerance PCT] FILE_A FILE_B\n"
+        "\n"
+        "Compares two telemetry artifacts of the same kind (JSONL run\n"
+        "streams or summary JSON documents).\n"
+        "\n"
+        "  --exact          require identity of every non-volatile\n"
+        "                   field (default)\n"
+        "  --tolerance PCT  require per-class outcome percentages to\n"
+        "                   agree within PCT percentage points\n"
+        "\n"
+        "exit codes: 0 equal, 1 drift, 2 malformed input / usage");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    DiffOptions options;
+    std::vector<std::string> paths;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (arg == "--exact") {
+            options.exact = true;
+        } else if (arg == "--tolerance") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "dfi-diff: missing value for "
+                             "--tolerance\n");
+                return 2;
+            }
+            options.exact = false;
+            options.tolerancePercent =
+                std::strtod(argv[++i], nullptr);
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr,
+                         "dfi-diff: unknown option '%s' (try "
+                         "--help)\n",
+                         arg.c_str());
+            return 2;
+        } else {
+            paths.push_back(arg);
+        }
+    }
+    if (paths.size() != 2) {
+        std::fprintf(stderr,
+                     "dfi-diff: expected exactly two files (try "
+                     "--help)\n");
+        return 2;
+    }
+
+    std::string report;
+    const DiffOutcome outcome =
+        diffTelemetryFiles(paths[0], paths[1], options, report);
+    if (!report.empty())
+        std::fputs(report.c_str(), stderr);
+    switch (outcome) {
+      case DiffOutcome::Equal:
+        std::printf("equal: %s %s\n", paths[0].c_str(),
+                    paths[1].c_str());
+        break;
+      case DiffOutcome::Drift:
+        std::fprintf(stderr, "drift: %s vs %s\n", paths[0].c_str(),
+                     paths[1].c_str());
+        break;
+      case DiffOutcome::Malformed:
+        break;
+    }
+    return static_cast<int>(outcome);
+}
