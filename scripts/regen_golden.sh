@@ -9,13 +9,16 @@
 # `dfi-diff --exact`.
 #
 # Usage:
-#   scripts/regen_golden.sh [OUTDIR] [JOBS]
+#   scripts/regen_golden.sh [OUTDIR] [JOBS] [EXTRA_FLAGS...]
 #
 #   OUTDIR  destination directory (default: results/golden — i.e.
 #           rewrite the checked-in baselines)
 #   JOBS    --jobs value for the campaigns (default: 1). Telemetry is
 #           byte-identical for every value; CI runs this script with
 #           1 and 4 and diffs both against the same baselines.
+#   EXTRA_FLAGS  passed through to dfi-campaign. CI uses
+#           `--no-checkpoints` for a leg proving the checkpoint fast
+#           path leaves the artifacts byte-identical.
 #
 # Run from the repository root after building:
 #   cmake -B build -S . && cmake --build build -j
@@ -25,6 +28,8 @@ cd "$(dirname "$0")/.."
 
 OUTDIR="${1:-results/golden}"
 JOBS="${2:-1}"
+shift $(( $# > 2 ? 2 : $# ))
+EXTRA=("$@")
 CAMPAIGN_BIN="${DFI_CAMPAIGN:-build/tools/dfi-campaign}"
 
 if [[ ! -x "$CAMPAIGN_BIN" ]]; then
@@ -45,6 +50,7 @@ for core in marss-x86 gem5-x86 gem5-arm; do
         --seed 7 \
         --jobs "$JOBS" \
         --telemetry-out "$OUTDIR/smoke_$core" \
+        ${EXTRA[@]+"${EXTRA[@]}"} \
         > /dev/null
 done
 

@@ -1,0 +1,57 @@
+#include "common/parse_num.hh"
+
+#include <cctype>
+#include <cerrno>
+#include <charconv>
+#include <cmath>
+#include <cstdlib>
+
+namespace dfi
+{
+
+bool
+parseUnsigned(const std::string &text, std::uint64_t &out)
+{
+    if (text.empty())
+        return false;
+    const char *begin = text.data();
+    const char *end = begin + text.size();
+    std::uint64_t value = 0;
+    // from_chars is strict by construction: no whitespace or sign
+    // skipping, and overflow reports result_out_of_range.
+    const auto [ptr, ec] = std::from_chars(begin, end, value, 10);
+    if (ec != std::errc() || ptr != end)
+        return false;
+    out = value;
+    return true;
+}
+
+bool
+parseUnsigned(const std::string &text, std::uint64_t &out,
+              std::uint64_t max)
+{
+    std::uint64_t value = 0;
+    if (!parseUnsigned(text, value) || value > max)
+        return false;
+    out = value;
+    return true;
+}
+
+bool
+parseDouble(const std::string &text, double &out)
+{
+    if (text.empty() || std::isspace(static_cast<unsigned char>(
+                            text.front())))
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    const double value = std::strtod(text.c_str(), &end);
+    if (end != text.c_str() + text.size() || errno == ERANGE ||
+        !std::isfinite(value)) {
+        return false;
+    }
+    out = value;
+    return true;
+}
+
+} // namespace dfi

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Strict numeric parsing for the command-line front ends.
+ *
+ * strtoul/strtod-style parsing silently turns "abc" into 0 and
+ * accepts trailing garbage ("12x" -> 12), so a mistyped flag value
+ * becomes a quietly wrong campaign.  These helpers require the whole
+ * token to be a valid number and report failure to the caller, which
+ * can then die naming the offending flag.
+ */
+
+#ifndef DFI_COMMON_PARSE_NUM_HH
+#define DFI_COMMON_PARSE_NUM_HH
+
+#include <cstdint>
+#include <string>
+
+namespace dfi
+{
+
+/**
+ * Parse a non-negative decimal integer.  The entire string must be
+ * digits — no whitespace, sign, hex prefix, or trailing garbage —
+ * and the value must fit std::uint64_t.
+ */
+bool parseUnsigned(const std::string &text, std::uint64_t &out);
+
+/** parseUnsigned with an inclusive upper bound (narrow flags). */
+bool parseUnsigned(const std::string &text, std::uint64_t &out,
+                   std::uint64_t max);
+
+/**
+ * Parse a finite decimal floating-point number.  The entire string
+ * must be consumed; "nan"/"inf" and trailing garbage are rejected.
+ */
+bool parseDouble(const std::string &text, double &out);
+
+} // namespace dfi
+
+#endif // DFI_COMMON_PARSE_NUM_HH

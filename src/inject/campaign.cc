@@ -51,46 +51,31 @@ InjectionCampaign::prepare()
     expectedOutput_ = bench.expectedOutput;
     image_ = ir::compileModule(bench.module, core_cfg.isa, 0x200000);
 
-    // Golden pass: learn the run length and validate the workload.
-    {
-        uarch::OooCore core(core_cfg, image_);
-        while (core.tick()) {
-            if (core.cycle() > kAbsoluteCycleCap)
-                fatal("golden run of '%s' on '%s' exceeded the cycle "
-                      "cap",
-                      cfg_.benchmark, cfg_.coreName);
-        }
-        golden_ = core.record();
-        if (golden_.term != syskit::Termination::Exited)
-            fatal("golden run of '%s' on '%s' did not exit cleanly: %s",
-                  cfg_.benchmark, cfg_.coreName, golden_.detail);
-        if (golden_.output != expectedOutput_)
-            fatal("golden run of '%s' on '%s' produced wrong output",
-                  cfg_.benchmark, cfg_.coreName);
-    }
+    // Single full-program pass: the golden reference and the restore
+    // checkpoints are captured together.  Snapshots are COW-backed
+    // core copies, so each capture copies page tables, not pages.
+    CheckpointPolicy checkpoint_policy;
+    checkpoint_policy.enabled = cfg_.useCheckpoints;
+    checkpoint_policy.targetCount = cfg_.checkpointCount;
+    checkpoint_policy.budgetBytes =
+        cfg_.checkpointMemBudgetMB * 1024 * 1024;
+    checkpoints_ = CheckpointStore(checkpoint_policy);
 
-    // Checkpoint pass: snapshot the core at fixed intervals so faulty
-    // runs can start close to their injection cycle.
-    checkpoints_.clear();
-    checkpointCycles_.clear();
-    checkpoints_.push_back(
-        std::make_unique<uarch::OooCore>(core_cfg, image_));
-    checkpointCycles_.push_back(0);
-    if (cfg_.useCheckpoints && cfg_.checkpointCount > 1) {
-        const std::uint64_t interval =
-            std::max<std::uint64_t>(1, golden_.cycles /
-                                           cfg_.checkpointCount);
-        uarch::OooCore core(core_cfg, image_);
-        std::uint64_t next = interval;
-        while (core.tick()) {
-            if (core.cycle() >= next) {
-                checkpoints_.push_back(
-                    std::make_unique<uarch::OooCore>(core));
-                checkpointCycles_.push_back(core.cycle());
-                next += interval;
-            }
-        }
+    uarch::OooCore core(core_cfg, image_);
+    checkpoints_.captureBase(core);
+    while (core.tick()) {
+        if (core.cycle() > kAbsoluteCycleCap)
+            fatal("golden run of '%s' on '%s' exceeded the cycle cap",
+                  cfg_.benchmark, cfg_.coreName);
+        checkpoints_.observe(core);
     }
+    golden_ = core.record();
+    if (golden_.term != syskit::Termination::Exited)
+        fatal("golden run of '%s' on '%s' did not exit cleanly: %s",
+              cfg_.benchmark, cfg_.coreName, golden_.detail);
+    if (golden_.output != expectedOutput_)
+        fatal("golden run of '%s' on '%s' produced wrong output",
+              cfg_.benchmark, cfg_.coreName);
 }
 
 const syskit::RunRecord &
@@ -98,22 +83,6 @@ InjectionCampaign::golden()
 {
     prepare();
     return golden_;
-}
-
-const uarch::OooCore &
-InjectionCampaign::checkpointFor(std::uint64_t cycle) const
-{
-    // Latest snapshot strictly before `cycle`: the first checkpoint
-    // is always cycle 0, so the element preceding the lower bound is
-    // the answer (or that first checkpoint when none is earlier).
-    const auto it = std::lower_bound(checkpointCycles_.begin(),
-                                     checkpointCycles_.end(), cycle);
-    const std::size_t best =
-        it == checkpointCycles_.begin()
-            ? 0
-            : static_cast<std::size_t>(it - checkpointCycles_.begin()) -
-                  1;
-    return *checkpoints_[best];
 }
 
 syskit::RunRecord
@@ -147,8 +116,15 @@ InjectionCampaign::runTask(const RunTask &task) const
     const std::uint64_t first_cycle = task.firstCycle;
 
     // Dispatch: copy the nearest read-only checkpoint before the
-    // injection into this worker's private core.
-    uarch::OooCore core = checkpointFor(first_cycle);
+    // injection into this worker's private core.  The copy shares
+    // the snapshot's COW pages, so its cost tracks the state the run
+    // goes on to touch, not the core size.
+    const auto restore_started = std::chrono::steady_clock::now();
+    uarch::OooCore core = checkpoints_.sourceFor(first_cycle);
+    const std::uint64_t restore_micros = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - restore_started)
+            .count());
     const std::uint64_t restored_cycle = core.cycle();
 
     dfi::FaultDomain domain;
@@ -165,16 +141,44 @@ InjectionCampaign::runTask(const RunTask &task) const
         static_cast<std::uint64_t>(
             static_cast<double>(golden_.cycles) * cfg_.timeoutFactor));
 
-    bool injected = domain.numArmed() > 0 && first_cycle == 0;
+    bool injected = false;
     bool watch_armed = false;
     bool early_masked = false;
     std::string early_reason;
     dfi::FaultableArray *watch_array = nullptr;
 
-    // Permanent/intermittent faults active from cycle 0.
-    domain.tick(core.cycle());
+    // Arm the overwrite watch the moment the flip lands.
+    auto arm_watch_if_injected = [&]() {
+        if (single_transient && !injected &&
+            domain.allTransientsApplied()) {
+            injected = true;
+            if (cfg_.earlyStopOverwrite) {
+                watch_array = core.arrayFor(masks[0].structure);
+                watch_array->armWatch(masks[0].entry, masks[0].bit);
+                watch_armed = true;
+            }
+        }
+    };
 
-    while (!core.finished()) {
+    // A transient due at the restored cycle (only cycle 0 qualifies:
+    // later injections restore a strictly-earlier snapshot) is
+    // applied by the pre-loop tick below, so both early-stop rules
+    // must run for it here, before the loop.
+    if (single_transient && cfg_.earlyStopInvalidEntry &&
+        masks[0].cycle <= core.cycle() &&
+        !core.entryLive(masks[0].structure, masks[0].entry)) {
+        early_masked = true;
+        early_reason = "invalid-entry";
+    }
+
+    if (!early_masked) {
+        // Permanent/intermittent faults (and cycle-0 transients)
+        // active from cycle 0.
+        domain.tick(core.cycle());
+        arm_watch_if_injected();
+    }
+
+    while (!early_masked && !core.finished()) {
         const std::uint64_t next_cycle = core.cycle() + 1;
 
         // Early-stop rule (i): the fault lands in an invalid entry.
@@ -189,17 +193,7 @@ InjectionCampaign::runTask(const RunTask &task) const
         }
 
         domain.tick(next_cycle);
-
-        // Arm the overwrite watch the moment the flip lands.
-        if (single_transient && !injected &&
-            domain.allTransientsApplied()) {
-            injected = true;
-            if (cfg_.earlyStopOverwrite) {
-                watch_array = core.arrayFor(masks[0].structure);
-                watch_array->armWatch(masks[0].entry, masks[0].bit);
-                watch_armed = true;
-            }
-        }
+        arm_watch_if_injected();
 
         if (!core.tick())
             break;
@@ -239,6 +233,7 @@ InjectionCampaign::runTask(const RunTask &task) const
         result.record = core.record();
     }
     result.simulatedCycles = core.cycle() - restored_cycle;
+    result.restoreMicros = restore_micros;
     return result;
 }
 

@@ -4,9 +4,11 @@
  * Fig. 1).
  *
  * The controller owns a complete campaign: it runs the golden
- * (fault-free) reference, takes interval checkpoints of the simulator
- * (the paper's use of the simulators' checkpointing to speed up
- * campaigns), asks the Fault Mask Generator for masks, and drives one
+ * (fault-free) reference — capturing interval checkpoints of the
+ * simulator during that same single pass (the paper's use of the
+ * simulators' checkpointing to speed up campaigns; see
+ * inject/checkpoint.hh) — asks the Fault Mask Generator for masks,
+ * and drives one
  * faulty run per mask group through the dispatcher, which applies the
  * masks to the core's storage arrays and implements the two
  * early-stop optimizations of Section III.B:
@@ -40,6 +42,7 @@
 #include <vector>
 
 #include "common/stats.hh"
+#include "inject/checkpoint.hh"
 #include "inject/mask_gen.hh"
 #include "uarch/core_config.hh"
 #include "inject/parser.hh"
@@ -83,6 +86,17 @@ struct CampaignConfig
     bool earlyStopOverwrite = true;
     bool useCheckpoints = true;
     std::uint32_t checkpointCount = 6;
+
+    /**
+     * Checkpoint memory budget in MiB (0 = unlimited).  Snapshots
+     * are charged at a conservative per-snapshot bound
+     * (uarch::OooCore::approxStateBytes); when the budget affords
+     * fewer than the capture cadence wants, the spacing widens, and
+     * when even two snapshots do not fit — e.g. full-scale L2 data
+     * arrays under a small budget — capture drops to the base
+     * snapshot alone.  See inject/checkpoint.hh.
+     */
+    std::uint64_t checkpointMemBudgetMB = 256;
 
     std::uint64_t seed = 0x5eed;
 
@@ -166,24 +180,21 @@ class InjectionCampaign
      */
     TaskResult runTask(const RunTask &task) const;
 
+    /**
+     * The checkpoint store (exposed for tests and benches).  Valid
+     * after golden()/run() has prepared the campaign.
+     */
+    const CheckpointStore &checkpoints() const { return checkpoints_; }
+
   private:
     void prepare();
-
-    /**
-     * Latest checkpoint strictly before `cycle` (binary search over
-     * the sorted snapshot cycles).  The cores are const once taken:
-     * workers copy-construct their private core from the shared
-     * snapshot and never mutate it.
-     */
-    const uarch::OooCore &checkpointFor(std::uint64_t cycle) const;
 
     CampaignConfig cfg_;
     bool prepared_ = false;
     isa::Image image_;
     std::vector<std::uint8_t> expectedOutput_;
     syskit::RunRecord golden_;
-    std::vector<std::unique_ptr<const uarch::OooCore>> checkpoints_;
-    std::vector<std::uint64_t> checkpointCycles_;
+    CheckpointStore checkpoints_;
 };
 
 } // namespace dfi::inject

@@ -49,10 +49,16 @@ struct TaskResult
     std::uint64_t simulatedCycles = 0; //!< post-restore cycles
     /**
      * Host wall-clock spent executing the task, in microseconds.
-     * The one nondeterministic output: telemetry treats it as a
-     * volatile field and zeroes it unless timing capture is on.
+     * Nondeterministic: telemetry treats it as a volatile field and
+     * zeroes it unless timing capture is on.
      */
     std::uint64_t wallMicros = 0;
+
+    /**
+     * Host wall-clock spent restoring the starting checkpoint (the
+     * COW core copy), in microseconds.  Volatile, like wallMicros.
+     */
+    std::uint64_t restoreMicros = 0;
 };
 
 /**

@@ -88,15 +88,17 @@ requiredInjections(std::uint64_t population, double confidence,
         fatal("error margin %s out of (0, 1)", margin);
     const double t = confidenceZScore(confidence);
     const double numerator = t * t * p * (1.0 - p) / (margin * margin);
+    // Sample sizes round UP: rounding to nearest can return a count
+    // whose achieved margin falls short of the requested one.
     if (population == 0) {
         // Infinite-population limit.
-        return static_cast<std::uint64_t>(std::llround(numerator));
+        return static_cast<std::uint64_t>(std::ceil(numerator));
     }
     const double n_pop = static_cast<double>(population);
     const double n =
         n_pop / (1.0 + (margin * margin * (n_pop - 1.0)) /
                            (t * t * p * (1.0 - p)));
-    return static_cast<std::uint64_t>(std::llround(n));
+    return static_cast<std::uint64_t>(std::ceil(n));
 }
 
 double

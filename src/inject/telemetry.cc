@@ -45,7 +45,9 @@ bool
 isVolatileKey(const std::string &key)
 {
     return key == "wall_us" || key == "jobs" || key == "volatile" ||
-           key == "wall_total_us";
+           key == "wall_total_us" || key == "sim_cycles" ||
+           key == "restore_us" || key == "sim_cycles_total" ||
+           key == "restore_total_us";
 }
 
 std::string
@@ -180,26 +182,43 @@ decodeString(const json::Value &line, const char *key,
     return true;
 }
 
+/** Optional numeric field: absent (older schema) decodes as zero. */
+void
+decodeOptUint(const json::Value &line, const char *key,
+              std::uint64_t &out)
+{
+    const json::Value *v = line.find(key);
+    if (v != nullptr && v->kind() == json::Kind::Int)
+        out = v->asUint();
+}
+
 bool
 decodeRecord(const json::Value &line, TelemetryRecord &out,
              std::string &error)
 {
-    return decodeUint(line, "run", out.runId, error) &&
-           decodeUint(line, "seed", out.seed, error) &&
-           decodeString(line, "component", out.component, error) &&
-           decodeString(line, "structure", out.structure, error) &&
-           decodeUint(line, "entry", out.entry, error) &&
-           decodeUint(line, "bit", out.bit, error) &&
-           decodeString(line, "fault_type", out.faultType, error) &&
-           decodeUint(line, "cycle", out.injectionCycle, error) &&
-           decodeUint(line, "masks", out.maskCount, error) &&
-           decodeString(line, "outcome", out.outcome, error) &&
-           decodeString(line, "subclass", out.subclass, error) &&
-           decodeUint(line, "instructions", out.instructions, error) &&
-           decodeUint(line, "cycles", out.cycles, error) &&
-           decodeUint(line, "sim_cycles", out.simCycles, error) &&
-           decodeUint(line, "wall_us", out.wallMicros, error) &&
-           decodeUint(line, "jobs", out.jobs, error);
+    if (!(decodeUint(line, "run", out.runId, error) &&
+          decodeUint(line, "seed", out.seed, error) &&
+          decodeString(line, "component", out.component, error) &&
+          decodeString(line, "structure", out.structure, error) &&
+          decodeUint(line, "entry", out.entry, error) &&
+          decodeUint(line, "bit", out.bit, error) &&
+          decodeString(line, "fault_type", out.faultType, error) &&
+          decodeUint(line, "cycle", out.injectionCycle, error) &&
+          decodeUint(line, "masks", out.maskCount, error) &&
+          decodeString(line, "outcome", out.outcome, error) &&
+          decodeString(line, "subclass", out.subclass, error) &&
+          decodeUint(line, "instructions", out.instructions,
+                     error) &&
+          decodeUint(line, "cycles", out.cycles, error))) {
+        return false;
+    }
+    // Volatile fields are tolerated missing so older artifacts and
+    // hand-trimmed streams still parse.
+    decodeOptUint(line, "sim_cycles", out.simCycles);
+    decodeOptUint(line, "restore_us", out.restoreMicros);
+    decodeOptUint(line, "wall_us", out.wallMicros);
+    decodeOptUint(line, "jobs", out.jobs);
+    return true;
 }
 
 } // namespace
@@ -232,6 +251,7 @@ TelemetryRecord::toJson() const
     line.set("instructions", json::Value::unsignedInt(instructions));
     line.set("cycles", json::Value::unsignedInt(cycles));
     line.set("sim_cycles", json::Value::unsignedInt(simCycles));
+    line.set("restore_us", json::Value::unsignedInt(restoreMicros));
     line.set("wall_us", json::Value::unsignedInt(wallMicros));
     line.set("jobs", json::Value::unsignedInt(jobs));
     return line;
@@ -290,10 +310,9 @@ TelemetryWriter::configEcho() const
              json::Value::boolean(config_.earlyStopInvalidEntry));
     echo.set("early_stop_overwrite",
              json::Value::boolean(config_.earlyStopOverwrite));
-    echo.set("checkpoints",
-             json::Value::boolean(config_.useCheckpoints));
-    echo.set("checkpoint_count",
-             json::Value::unsignedInt(config_.checkpointCount));
+    // Execution-strategy knobs (checkpointing, jobs, budget) are
+    // deliberately absent: they cannot change outcomes, and leaving
+    // them out keeps artifacts byte-identical across strategies.
     echo.set("seed", json::Value::unsignedInt(config_.seed));
     return echo;
 }
@@ -325,8 +344,12 @@ TelemetryWriter::commit(const RunTask &task, const TaskResult &result)
     record.subclass = classification.subclass;
     record.instructions = result.record.instructions;
     record.cycles = result.record.cycles;
-    record.simCycles = result.simulatedCycles;
     if (options_.captureTiming) {
+        // Execution-strategy measurements: which cycles were really
+        // simulated (and how long the restore took) depends on the
+        // checkpoint layout, so they are volatile like wall-clock.
+        record.simCycles = result.simulatedCycles;
+        record.restoreMicros = result.restoreMicros;
         record.wallMicros = result.wallMicros;
         record.jobs = jobs_;
     }
@@ -336,13 +359,17 @@ TelemetryWriter::commit(const RunTask &task, const TaskResult &result)
 
     counts_.add(classification.cls);
     totalSimCycles_ += result.simulatedCycles;
+    totalRestoreMicros_ += result.restoreMicros;
     totalWallMicros_ += result.wallMicros;
 
+    // Bucket the deterministic run length (not the strategy-dependent
+    // simulated cycles): early-stopped runs land in the small
+    // buckets, timeouts in the last bounded ones.
     const auto &edges = telemetryHistogramEdges();
     const auto golden_cycles = static_cast<double>(golden_.cycles);
     std::size_t bucket = edges.size();
     for (std::size_t i = 0; i < edges.size(); ++i) {
-        if (static_cast<double>(result.simulatedCycles) <=
+        if (static_cast<double>(result.record.cycles) <=
             edges[i] * golden_cycles) {
             bucket = i;
             break;
@@ -382,8 +409,7 @@ TelemetryWriter::summaryJson() const
     doc.set("vulnerability_percent",
             json::Value::number(counts_.vulnerability()));
 
-    json::Value sim = json::Value::object();
-    sim.set("total", json::Value::unsignedInt(totalSimCycles_));
+    json::Value lengths = json::Value::object();
     json::Value buckets = json::Value::array();
     const auto &edges = telemetryHistogramEdges();
     for (std::size_t i = 0; i < histogram_.size(); ++i) {
@@ -394,13 +420,21 @@ TelemetryWriter::summaryJson() const
         bucket.set("count", json::Value::unsignedInt(histogram_[i]));
         buckets.push(std::move(bucket));
     }
-    sim.set("histogram", std::move(buckets));
-    doc.set("sim_cycles", std::move(sim));
+    lengths.set("histogram", std::move(buckets));
+    doc.set("run_cycles", std::move(lengths));
 
     json::Value volatile_echo = json::Value::object();
     volatile_echo.set(
         "jobs", json::Value::unsignedInt(
                     options_.captureTiming ? jobs_ : 0));
+    volatile_echo.set(
+        "sim_cycles_total",
+        json::Value::unsignedInt(
+            options_.captureTiming ? totalSimCycles_ : 0));
+    volatile_echo.set(
+        "restore_total_us",
+        json::Value::unsignedInt(
+            options_.captureTiming ? totalRestoreMicros_ : 0));
     volatile_echo.set(
         "wall_total_us",
         json::Value::unsignedInt(

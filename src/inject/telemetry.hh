@@ -13,15 +13,18 @@
  *    emitted at the executor's ordered-commit point so the stream is
  *    byte-identical for any `--jobs` value;
  *  - a summary JSON document: config echo, per-class counts and
- *    percentages, and a simulated-cycles histogram.
+ *    percentages, and a run-length histogram.
  *
  * Determinism contract: with timing capture off (the default) every
  * byte of both artifacts is a pure function of (config, program,
- * seed).  The only nondeterministic inputs — wall-clock micros and
- * the executor job count — are "volatile" fields, written as zero
- * unless timing capture is requested, and ignored by exact
- * comparison either way.  See DESIGN.md §7 for the schema reference
- * and the version-bump policy.
+ * seed) — independent not only of hosts and `--jobs`, but of every
+ * execution *strategy* knob (checkpointing on/off, checkpoint count
+ * and budget).  Strategy-dependent measurements — wall-clock micros,
+ * the executor job count, post-restore simulated cycles, restore
+ * cost — are "volatile" fields, written as zero unless timing
+ * capture is requested, and ignored by exact comparison either way;
+ * strategy knobs are likewise excluded from the config echo.  See
+ * DESIGN.md §7 for the schema reference and the version-bump policy.
  */
 
 #ifndef DFI_INJECT_TELEMETRY_HH
@@ -45,8 +48,15 @@ namespace dfi::inject
  * ignore unknown fields); renaming, removing, or changing the
  * meaning/unit of an existing field bumps it and requires
  * regenerating `results/golden/`.
+ *
+ * v2: `sim_cycles` became volatile (an execution-strategy
+ * measurement, zero unless timing capture is on), the volatile
+ * `restore_us` field was added, the summary histogram moved from
+ * simulated cycles to deterministic run lengths (`run_cycles`), and
+ * the checkpoint knobs left the config echo — so artifacts are
+ * byte-identical with checkpointing on or off.
  */
-constexpr std::uint64_t kTelemetrySchemaVersion = 1;
+constexpr std::uint64_t kTelemetrySchemaVersion = 2;
 
 /** Artifact kind tags (the "kind" member of the header/document). */
 inline constexpr const char *kTelemetryRunsKind = "dfi-telemetry";
@@ -79,7 +89,8 @@ struct TelemetryRecord
     std::string subclass;
     std::uint64_t instructions = 0;   //!< retired instructions
     std::uint64_t cycles = 0;         //!< run length in sim cycles
-    std::uint64_t simCycles = 0;      //!< simulated (post-restore)
+    std::uint64_t simCycles = 0;      //!< post-restore; volatile
+    std::uint64_t restoreMicros = 0;  //!< volatile
     std::uint64_t wallMicros = 0;     //!< volatile
     std::uint64_t jobs = 0;           //!< volatile
 
@@ -136,14 +147,16 @@ class TelemetryWriter
     ClassCounts counts_;
     std::uint64_t nextRunId_ = 0;
     std::uint64_t totalSimCycles_ = 0;
+    std::uint64_t totalRestoreMicros_ = 0;
     std::uint64_t totalWallMicros_ = 0;
-    std::vector<std::uint64_t> histogram_; //!< simCycles buckets
+    std::vector<std::uint64_t> histogram_; //!< run-length buckets
 };
 
 /**
  * Histogram bucket upper bounds, as multiples of the golden run
- * length (the last bucket is unbounded).  Simulated cycles are
- * deterministic, so the histogram participates in exact comparison.
+ * length (the last bucket is unbounded).  The histogram buckets the
+ * deterministic run lengths (`cycles`), so it participates in exact
+ * comparison regardless of checkpoint placement.
  */
 const std::vector<double> &telemetryHistogramEdges();
 

@@ -62,9 +62,9 @@ FaultableArray::readBits(std::size_t entry, std::size_t bit,
     const std::size_t word = bit / 64;
     const std::size_t shift = bit % 64;
 
-    std::uint64_t value = words_[base + word] >> shift;
+    std::uint64_t value = words_.get(base + word) >> shift;
     if (shift != 0 && shift + width > 64)
-        value |= words_[base + word + 1] << (64 - shift);
+        value |= words_.get(base + word + 1) << (64 - shift);
     if (width < 64)
         value &= (1ull << width) - 1;
     return value;
@@ -83,13 +83,15 @@ FaultableArray::writeBits(std::size_t entry, std::size_t bit,
     const std::uint64_t mask =
         width == 64 ? ~0ull : ((1ull << width) - 1);
 
-    words_[base + word] &= ~(mask << shift);
-    words_[base + word] |= (value & mask) << shift;
+    std::uint64_t &low = words_.ref(base + word);
+    low &= ~(mask << shift);
+    low |= (value & mask) << shift;
     if (shift != 0 && shift + width > 64) {
         const std::size_t spill = shift + width - 64;
         const std::uint64_t spill_mask = (1ull << spill) - 1;
-        words_[base + word + 1] &= ~spill_mask;
-        words_[base + word + 1] |= (value & mask) >> (64 - shift);
+        std::uint64_t &high = words_.ref(base + word + 1);
+        high &= ~spill_mask;
+        high |= (value & mask) >> (64 - shift);
     }
 }
 
@@ -111,7 +113,7 @@ FaultableArray::readBytes(std::size_t entry, std::size_t byte_offset,
     for (std::size_t i = 0; i < count; ++i) {
         const std::size_t b = bit + i * 8;
         out[i] = static_cast<std::uint8_t>(
-            words_[base + b / 64] >> (b % 64));
+            words_.get(base + b / 64) >> (b % 64));
     }
 }
 
@@ -130,7 +132,7 @@ FaultableArray::writeBytes(std::size_t entry, std::size_t byte_offset,
     const std::size_t base = entry * wordsPerEntry_;
     for (std::size_t i = 0; i < count; ++i) {
         const std::size_t b = bit + i * 8;
-        std::uint64_t &word = words_[base + b / 64];
+        std::uint64_t &word = words_.ref(base + b / 64);
         word &= ~(0xffull << (b % 64));
         word |= static_cast<std::uint64_t>(in[i]) << (b % 64);
     }
@@ -158,7 +160,7 @@ FaultableArray::clearEntry(std::size_t entry)
         watchState_ = WatchState::WrittenFirst;
     const std::size_t base = entry * wordsPerEntry_;
     for (std::size_t w = 0; w < wordsPerEntry_; ++w)
-        words_[base + w] = 0;
+        words_.set(base + w, 0);
 }
 
 void
@@ -166,7 +168,7 @@ FaultableArray::flipBit(std::size_t entry, std::size_t bit)
 {
     checkBounds(entry, bit, 1);
     const std::size_t base = entry * wordsPerEntry_;
-    words_[base + bit / 64] ^= 1ull << (bit % 64);
+    words_.ref(base + bit / 64) ^= 1ull << (bit % 64);
 }
 
 void
@@ -176,9 +178,9 @@ FaultableArray::forceBit(std::size_t entry, std::size_t bit, bool value)
     const std::size_t base = entry * wordsPerEntry_;
     const std::uint64_t mask = 1ull << (bit % 64);
     if (value)
-        words_[base + bit / 64] |= mask;
+        words_.ref(base + bit / 64) |= mask;
     else
-        words_[base + bit / 64] &= ~mask;
+        words_.ref(base + bit / 64) &= ~mask;
 }
 
 bool
@@ -186,7 +188,7 @@ FaultableArray::peekBit(std::size_t entry, std::size_t bit) const
 {
     checkBounds(entry, bit, 1);
     const std::size_t base = entry * wordsPerEntry_;
-    return (words_[base + bit / 64] >> (bit % 64)) & 1;
+    return (words_.get(base + bit / 64) >> (bit % 64)) & 1;
 }
 
 void

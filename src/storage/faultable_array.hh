@@ -18,7 +18,10 @@
  * guaranteed masked) instead of a read.
  *
  * The class is value-semantic; simulator checkpointing copies it
- * wholesale.
+ * wholesale.  The backing words live in a copy-on-write paged buffer
+ * (storage/cow_buffer.hh), so a checkpoint copy shares every page
+ * with its source until one side writes it — restores cost
+ * O(touched pages), not O(array size).
  */
 
 #ifndef DFI_STORAGE_FAULTABLE_ARRAY_HH
@@ -26,7 +29,8 @@
 
 #include <cstdint>
 #include <string>
-#include <vector>
+
+#include "storage/cow_buffer.hh"
 
 namespace dfi
 {
@@ -105,6 +109,20 @@ class FaultableArray
     /** Current watch verdict. */
     WatchState watchState() const { return watchState_; }
 
+    /** Backing pages (checkpoint memory-budget accounting). */
+    std::size_t backingPages() const { return words_.pageCount(); }
+    /** Pages still shared with a checkpoint or sibling copy. */
+    std::size_t sharedBackingPages() const
+    {
+        return words_.sharedPageCount();
+    }
+    /** Upper bound on materialised backing bytes. */
+    std::uint64_t storageBytes() const
+    {
+        return static_cast<std::uint64_t>(words_.pageCount()) *
+               WordBuffer::pageBytes();
+    }
+
   private:
     void checkBounds(std::size_t entry, std::size_t bit,
                      std::size_t width) const;
@@ -112,11 +130,14 @@ class FaultableArray
                   std::size_t width) const;
     void noteWrite(std::size_t entry, std::size_t bit, std::size_t width);
 
+    /** 4 KiB copy-on-write pages of backing words. */
+    using WordBuffer = CowBuffer<std::uint64_t, 512>;
+
     std::string name_;
     std::size_t entries_ = 0;
     std::size_t bitsPerEntry_ = 0;
     std::size_t wordsPerEntry_ = 0;
-    std::vector<std::uint64_t> words_;
+    WordBuffer words_;
 
     std::size_t watchEntry_ = 0;
     std::size_t watchBit_ = 0;

@@ -43,7 +43,7 @@ GuestMemory::read(std::uint32_t addr, std::uint32_t len,
         return fault;
     std::uint32_t v = 0;
     for (std::uint32_t i = 0; i < len; ++i)
-        v |= static_cast<std::uint32_t>(bytes_[addr + i]) << (8 * i);
+        v |= static_cast<std::uint32_t>(bytes_.get(addr + i)) << (8 * i);
     *value = v;
     return MemFault::None;
 }
@@ -56,7 +56,7 @@ GuestMemory::write(std::uint32_t addr, std::uint32_t len,
     if (fault != MemFault::None)
         return fault;
     for (std::uint32_t i = 0; i < len; ++i)
-        bytes_[addr + i] = static_cast<std::uint8_t>(value >> (8 * i));
+        bytes_.set(addr + i, static_cast<std::uint8_t>(value >> (8 * i)));
     return MemFault::None;
 }
 
@@ -68,7 +68,7 @@ GuestMemory::readBlock(std::uint32_t addr, std::uint32_t len,
     if (fault != MemFault::None)
         return fault;
     for (std::uint32_t i = 0; i < len; ++i)
-        out[i] = bytes_[addr + i];
+        out[i] = bytes_.get(addr + i);
     return MemFault::None;
 }
 
@@ -80,7 +80,7 @@ GuestMemory::writeBlock(std::uint32_t addr, std::uint32_t len,
     if (fault != MemFault::None)
         return fault;
     for (std::uint32_t i = 0; i < len; ++i)
-        bytes_[addr + i] = in[i];
+        bytes_.set(addr + i, in[i]);
     return MemFault::None;
 }
 
@@ -91,7 +91,7 @@ GuestMemory::pokeBytes(std::uint32_t addr, std::uint32_t len,
     if (static_cast<std::uint64_t>(addr) + len > bytes_.size())
         panic("GuestMemory::pokeBytes out of range: %s + %s", addr, len);
     for (std::uint32_t i = 0; i < len; ++i)
-        bytes_[addr + i] = in[i];
+        bytes_.set(addr + i, in[i]);
 }
 
 void
@@ -101,7 +101,7 @@ GuestMemory::peekBytes(std::uint32_t addr, std::uint32_t len,
     if (static_cast<std::uint64_t>(addr) + len > bytes_.size())
         panic("GuestMemory::peekBytes out of range: %s + %s", addr, len);
     for (std::uint32_t i = 0; i < len; ++i)
-        out[i] = bytes_[addr + i];
+        out[i] = bytes_.get(addr + i);
 }
 
 } // namespace dfi::syskit

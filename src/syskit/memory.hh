@@ -13,8 +13,8 @@
 
 #include <cstdint>
 #include <string>
-#include <vector>
 
+#include "storage/cow_buffer.hh"
 #include "syskit/layout.hh"
 
 namespace dfi::syskit
@@ -28,7 +28,13 @@ enum class MemFault : std::uint8_t
     WriteToCode, //!< store into the read-only code segment
 };
 
-/** Flat guest memory with segment protection. */
+/**
+ * Flat guest memory with segment protection.
+ *
+ * The byte store sits in copy-on-write pages
+ * (storage/cow_buffer.hh): checkpoint copies of a core share the
+ * whole image and pay only for the pages a run subsequently writes.
+ */
 class GuestMemory
 {
   public:
@@ -78,11 +84,17 @@ class GuestMemory
     void peekBytes(std::uint32_t addr, std::uint32_t len,
                    std::uint8_t *out) const;
 
-    /** Raw backing store (for checkpoint copies). */
-    const std::vector<std::uint8_t> &raw() const { return bytes_; }
+    /** Backing pages (checkpoint memory-budget accounting). */
+    std::size_t backingPages() const { return bytes_.pageCount(); }
+    /** Pages still shared with a checkpoint or sibling copy. */
+    std::size_t sharedBackingPages() const
+    {
+        return bytes_.sharedPageCount();
+    }
 
   private:
-    std::vector<std::uint8_t> bytes_;
+    /** 4 KiB copy-on-write pages of guest bytes. */
+    dfi::CowBuffer<std::uint8_t, 4096> bytes_;
     std::uint32_t codeLimit_ = kCodeBase;
 };
 

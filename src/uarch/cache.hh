@@ -111,6 +111,15 @@ class Cache
     dfi::FaultableArray &dataArray() { return data_; }
     dfi::FaultableArray &validArray() { return valid_; }
 
+    /** Upper bound on checkpointable state (budget accounting). */
+    std::uint64_t
+    approxStateBytes() const
+    {
+        return tags_.storageBytes() + data_.storageBytes() +
+               valid_.storageBytes() + dirty_.size() +
+               lruStamp_.size() * sizeof(std::uint64_t);
+    }
+
   private:
     std::uint32_t setOf(std::uint32_t addr) const;
     std::uint32_t tagOf(std::uint32_t addr) const;

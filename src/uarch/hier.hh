@@ -113,6 +113,14 @@ class MemHierarchy
     NextLinePrefetcher &l1iPrefetcher() { return pfI_; }
     const HierConfig &config() const { return cfg_; }
 
+    /** Upper bound on checkpointable state (budget accounting). */
+    std::uint64_t
+    approxStateBytes() const
+    {
+        return memory_.size() + l1i_.approxStateBytes() +
+               l1d_.approxStateBytes() + l2_.approxStateBytes();
+    }
+
   private:
     /** Access one-line-contained span through a given L1. */
     Access accessLine(Cache &l1, std::uint32_t pa, std::uint32_t count,

@@ -1477,4 +1477,19 @@ OooCore::entryLive(dfi::StructureId id, std::uint32_t entry)
     }
 }
 
+std::uint64_t
+OooCore::approxStateBytes() const
+{
+    // Guest memory and the cache arrays dominate; the small
+    // predictor/TLB arrays ride inside the sizeof slack.
+    std::uint64_t bytes = sizeof(*this);
+    bytes += hier_.approxStateBytes();
+    bytes += intRf_.storageBytes() + fpRf_.storageBytes() +
+             iqArray_.storageBytes() + lsqData_.storageBytes() +
+             lqData_.storageBytes() + sqData_.storageBytes();
+    bytes += rob_.capacity() * sizeof(Uop);
+    bytes += fetchQueue_.capacity() * sizeof(FetchedInst);
+    return bytes;
+}
+
 } // namespace dfi::uarch

@@ -14,7 +14,10 @@
  * three machines on top of it.
  *
  * Everything architecturally or microarchitecturally stateful is a
- * value member, so checkpointing a core is plain copy construction.
+ * value member, so checkpointing a core is plain copy construction —
+ * and because the bulk stores (guest memory, FaultableArrays) sit in
+ * copy-on-write pages, that copy shares the bulk state and costs
+ * O(touched pages) rather than O(core size).
  *
  * The core is UB-free under arbitrary corruption of its injectable
  * arrays: every index read back from an array passes a
@@ -165,6 +168,14 @@ class OooCore
      * live content whose corruption could matter.
      */
     bool entryLive(dfi::StructureId id, std::uint32_t entry);
+
+    /**
+     * Conservative upper bound on the bytes a checkpoint copy of this
+     * core can come to own (COW pages count at full materialisation).
+     * Used by the checkpoint store's memory budget; approximate — the
+     * memory image and cache arrays dominate by construction.
+     */
+    std::uint64_t approxStateBytes() const;
 
   private:
     // Pipeline stages (called in reverse order inside tick()).

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Tests for the strict numeric parsing helpers used by the CLI
+ * front ends.  The point of these helpers is rejecting everything
+ * strtoul/strtod silently accept, so most cases here are negative.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+#include "common/parse_num.hh"
+
+namespace
+{
+
+using dfi::parseDouble;
+using dfi::parseUnsigned;
+
+TEST(ParseUnsigned, AcceptsPlainDecimal)
+{
+    std::uint64_t value = 99;
+    EXPECT_TRUE(parseUnsigned("0", value));
+    EXPECT_EQ(value, 0u);
+    EXPECT_TRUE(parseUnsigned("12", value));
+    EXPECT_EQ(value, 12u);
+    EXPECT_TRUE(parseUnsigned("18446744073709551615", value));
+    EXPECT_EQ(value, std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(ParseUnsigned, RejectsNonNumbers)
+{
+    std::uint64_t value = 99;
+    EXPECT_FALSE(parseUnsigned("", value));
+    EXPECT_FALSE(parseUnsigned("abc", value));
+    EXPECT_FALSE(parseUnsigned("1.5", value));
+    // Unchanged on failure.
+    EXPECT_EQ(value, 99u);
+}
+
+TEST(ParseUnsigned, RejectsTrailingGarbage)
+{
+    // strtoul would happily return 12 for all of these.
+    std::uint64_t value = 0;
+    EXPECT_FALSE(parseUnsigned("12abc", value));
+    EXPECT_FALSE(parseUnsigned("12 ", value));
+    EXPECT_FALSE(parseUnsigned("12x4", value));
+}
+
+TEST(ParseUnsigned, RejectsSignAndWhitespace)
+{
+    // strtoul accepts leading whitespace and signs (including "-3",
+    // which wraps to a huge unsigned value).
+    std::uint64_t value = 0;
+    EXPECT_FALSE(parseUnsigned(" 12", value));
+    EXPECT_FALSE(parseUnsigned("-3", value));
+    EXPECT_FALSE(parseUnsigned("+3", value));
+}
+
+TEST(ParseUnsigned, RejectsOverflow)
+{
+    std::uint64_t value = 0;
+    EXPECT_FALSE(parseUnsigned("18446744073709551616", value));
+    EXPECT_FALSE(parseUnsigned("99999999999999999999999", value));
+}
+
+TEST(ParseUnsigned, BoundedOverloadEnforcesMax)
+{
+    const std::uint64_t max32 =
+        std::numeric_limits<std::uint32_t>::max();
+    std::uint64_t value = 0;
+    EXPECT_TRUE(parseUnsigned("4294967295", value, max32));
+    EXPECT_EQ(value, max32);
+    EXPECT_FALSE(parseUnsigned("4294967296", value, max32));
+    EXPECT_FALSE(parseUnsigned("abc", value, max32));
+}
+
+TEST(ParseDouble, AcceptsFiniteNumbers)
+{
+    double value = 99.0;
+    EXPECT_TRUE(parseDouble("0.5", value));
+    EXPECT_DOUBLE_EQ(value, 0.5);
+    EXPECT_TRUE(parseDouble("1e-2", value));
+    EXPECT_DOUBLE_EQ(value, 0.01);
+    EXPECT_TRUE(parseDouble("-2.5", value));
+    EXPECT_DOUBLE_EQ(value, -2.5);
+    EXPECT_TRUE(parseDouble("3", value));
+    EXPECT_DOUBLE_EQ(value, 3.0);
+}
+
+TEST(ParseDouble, RejectsNonNumbers)
+{
+    double value = 99.0;
+    EXPECT_FALSE(parseDouble("", value));
+    EXPECT_FALSE(parseDouble("x", value));
+    EXPECT_FALSE(parseDouble(" 0.5", value));
+    EXPECT_DOUBLE_EQ(value, 99.0);
+}
+
+TEST(ParseDouble, RejectsTrailingGarbage)
+{
+    double value = 0.0;
+    EXPECT_FALSE(parseDouble("0.5x", value));
+    EXPECT_FALSE(parseDouble("0.5 ", value));
+    EXPECT_FALSE(parseDouble("1..2", value));
+}
+
+TEST(ParseDouble, RejectsNonFinite)
+{
+    // strtod parses these; a NaN tolerance or infinite timeout
+    // factor is never what a flag meant.
+    double value = 0.0;
+    EXPECT_FALSE(parseDouble("nan", value));
+    EXPECT_FALSE(parseDouble("inf", value));
+    EXPECT_FALSE(parseDouble("-inf", value));
+    EXPECT_FALSE(parseDouble("1e999", value));
+}
+
+} // namespace

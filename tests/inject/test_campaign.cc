@@ -79,6 +79,135 @@ TEST(Campaign, CheckpointsDoNotChangeOutcomes)
     EXPECT_EQ(a.counts, b.counts);
 }
 
+TEST(Campaign, CheckpointScheduleIsStrictlyEarlier)
+{
+    InjectionCampaign campaign(microConfig("marss-x86", "l1d"));
+    (void)campaign.golden();
+    const CheckpointStore &store = campaign.checkpoints();
+
+    // The base snapshot is cycle 0 and the schedule ascends.
+    const auto &cycles = store.cycles();
+    ASSERT_GE(cycles.size(), 2u);
+    EXPECT_EQ(cycles.front(), 0u);
+    for (std::size_t i = 1; i < cycles.size(); ++i)
+        EXPECT_GT(cycles[i], cycles[i - 1]);
+
+    // An injection AT a checkpoint cycle restores the strictly
+    // earlier snapshot: restoring at the injection cycle itself would
+    // apply the flip one state transition late.
+    EXPECT_EQ(store.indexFor(0), 0u);
+    for (std::size_t i = 1; i < cycles.size(); ++i) {
+        EXPECT_EQ(store.indexFor(cycles[i]), i - 1);
+        EXPECT_EQ(store.indexFor(cycles[i] + 1), i);
+        EXPECT_LT(store.sourceFor(cycles[i]).cycle(), cycles[i]);
+    }
+}
+
+TEST(Campaign, InjectionAtCheckpointCycleMatchesFromReset)
+{
+    // Boundary determinism: a mask landing exactly on a checkpoint
+    // cycle must produce the same record whether the run restores
+    // from a snapshot or replays from reset.
+    auto cfg = microConfig("marss-x86", "l1d");
+    InjectionCampaign with(cfg);
+    (void)with.golden();
+    const auto &cycles = with.checkpoints().cycles();
+    ASSERT_GE(cycles.size(), 2u);
+
+    cfg.useCheckpoints = false;
+    InjectionCampaign without(cfg);
+    (void)without.golden();
+    ASSERT_EQ(without.checkpoints().count(), 1u);
+
+    for (std::size_t i = 1; i < cycles.size(); ++i) {
+        dfi::FaultMask mask;
+        mask.structure = StructureId::L1DData;
+        mask.entry = 3;
+        mask.bit = 5;
+        mask.type = FaultType::Transient;
+        mask.cycle = cycles[i];
+
+        const auto a = with.runOne({mask});
+        const auto b = without.runOne({mask});
+        EXPECT_EQ(a.term, b.term) << "checkpoint cycle " << cycles[i];
+        EXPECT_EQ(a.exitCode, b.exitCode);
+        EXPECT_EQ(a.output, b.output);
+        EXPECT_EQ(a.cycles, b.cycles);
+        EXPECT_EQ(a.instructions, b.instructions);
+        EXPECT_EQ(a.earlyStopMasked, b.earlyStopMasked);
+        EXPECT_EQ(a.earlyStopReason, b.earlyStopReason);
+    }
+}
+
+TEST(Campaign, CheckpointBudgetDropsToBaseSnapshot)
+{
+    // The micro image alone is 2 MiB of guest memory, so a 1 MiB
+    // budget cannot afford a second snapshot: capture must drop to
+    // the base one (runs start from reset) rather than exceed the
+    // budget — and outcomes must not change.
+    auto cfg = microConfig("marss-x86", "l1d");
+    Parser parser;
+
+    InjectionCampaign unlimited(cfg);
+    const auto a = unlimited.run().classify(parser);
+    EXPECT_GE(unlimited.checkpoints().count(), 2u);
+
+    cfg.checkpointMemBudgetMB = 1;
+    InjectionCampaign tight(cfg);
+    const auto b = tight.run().classify(parser);
+    const CheckpointStore &store = tight.checkpoints();
+    EXPECT_GT(store.snapshotBoundBytes(), 1u << 20);
+    EXPECT_EQ(store.maxLiveSnapshots(), 1u);
+    EXPECT_EQ(store.count(), 1u);
+    EXPECT_TRUE(store.budgetLimited());
+
+    EXPECT_EQ(a.counts, b.counts);
+}
+
+TEST(Campaign, CycleZeroTransientStopsOnInvalidEntry)
+{
+    // Regression: runTask() used to mark cycle-0 transients as
+    // already injected before evaluating either early-stop rule, so
+    // a flip into a line that is invalid at reset ran the whole
+    // program instead of stopping immediately as Masked.
+    InjectionCampaign campaign(microConfig("marss-x86", "l1d"));
+    (void)campaign.golden();
+
+    dfi::FaultMask mask;
+    mask.structure = StructureId::L1DData;
+    mask.entry = 0;
+    mask.bit = 0;
+    mask.type = FaultType::Transient;
+    mask.cycle = 0; // nothing is cached at reset
+    std::uint64_t simulated = 0;
+    const auto record = campaign.runOne({mask}, &simulated);
+    EXPECT_TRUE(record.earlyStopMasked);
+    EXPECT_EQ(record.earlyStopReason, "invalid-entry");
+    EXPECT_EQ(simulated, 0u);
+}
+
+TEST(Campaign, CycleZeroTransientArmsOverwriteWatch)
+{
+    // Companion regression for rule (ii): with the invalid-entry rule
+    // off, a cycle-0 flip into a free physical register must still
+    // arm the overwrite watch, which fires when rename allocates and
+    // writes that register before anything reads it.
+    auto cfg = microConfig("marss-x86", "int_regfile");
+    cfg.earlyStopInvalidEntry = false;
+    InjectionCampaign campaign(cfg);
+    (void)campaign.golden();
+
+    dfi::FaultMask mask;
+    mask.structure = StructureId::IntRegFile;
+    mask.entry = 17; // first free physical register at reset
+    mask.bit = 0;
+    mask.type = FaultType::Transient;
+    mask.cycle = 0;
+    const auto record = campaign.runOne({mask});
+    EXPECT_TRUE(record.earlyStopMasked);
+    EXPECT_EQ(record.earlyStopReason, "overwritten-before-read");
+}
+
 TEST(Campaign, EarlyStopsOnlyRelabelMaskedRuns)
 {
     // Disabling both early-stop rules must yield the same

@@ -25,21 +25,42 @@ TEST(Sampling, ZScores)
 
 TEST(Sampling, PaperValue1843)
 {
-    // 99% confidence, 3% margin, large population -> 1843 runs.
-    EXPECT_EQ(requiredInjections(0, 0.99, 0.03), 1843u);
+    // 99% confidence, 3% margin, large population: the formula gives
+    // 1843.03 runs, which must round UP to 1844 — the paper's quoted
+    // 1843 is the (truncated) formula value, and 1843 runs achieve a
+    // margin slightly worse than the 3% requested.
+    EXPECT_EQ(requiredInjections(0, 0.99, 0.03), 1844u);
     // Finite-but-large populations converge to the same value.
     EXPECT_NEAR(
         static_cast<double>(requiredInjections(1u << 30, 0.99, 0.03)),
-        1843.0, 1.0);
+        1844.0, 1.0);
 }
 
 TEST(Sampling, PaperValue663)
 {
-    // Margin relaxed to 5% at 99% confidence -> 663 runs
-    // ("approximately 3 times" fewer).
-    EXPECT_EQ(requiredInjections(0, 0.99, 0.05), 663u);
-    const double ratio = 1843.0 / 663.0;
+    // Margin relaxed to 5% at 99% confidence -> 663.5 runs, rounded
+    // up to 664 ("approximately 3 times" fewer than 3% margin).
+    EXPECT_EQ(requiredInjections(0, 0.99, 0.05), 664u);
+    const double ratio = 1844.0 / 664.0;
     EXPECT_NEAR(ratio, 2.78, 0.05);
+}
+
+TEST(Sampling, SampleSizesRoundUpNotToNearest)
+{
+    // Regression for a round-to-nearest bug: 0.99/0.03 on an
+    // infinite population needs 1843.03 runs.  Rounding to nearest
+    // returned 1843, whose achieved margin exceeds the requested 3%;
+    // ceil returns 1844, which satisfies it.
+    const auto n = requiredInjections(0, 0.99, 0.03);
+    EXPECT_EQ(n, 1844u);
+    EXPECT_GT(achievedMargin(n - 1, 0, 0.99), 0.03);
+    EXPECT_LE(achievedMargin(n, 0, 0.99), 0.03);
+
+    // Same failure mode through the finite-population correction.
+    const auto finite = requiredInjections(2'000'000, 0.99, 0.03);
+    EXPECT_EQ(finite, 1842u);
+    EXPECT_GT(achievedMargin(finite - 1, 2'000'000, 0.99), 0.03);
+    EXPECT_LE(achievedMargin(finite, 2'000'000, 0.99), 0.03);
 }
 
 TEST(Sampling, PaperValue2000Gives288Margin)

@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <sstream>
 #include <string>
 
@@ -134,6 +135,54 @@ TEST(Telemetry, SerialAndFourJobStreamsAreByteIdentical)
               readFile(dir.path / "jobs4.jsonl"));
     EXPECT_EQ(readFile(dir.path / "serial.summary.json"),
               readFile(dir.path / "jobs4.summary.json"));
+}
+
+TEST(Telemetry, CheckpointModesProduceByteIdenticalArtifacts)
+{
+    // The checkpoint fast path is a pure execution strategy: the
+    // artifacts must be byte-identical with checkpoints on, off, or
+    // budget-starved down to the base snapshot, serial or threaded.
+    TempDir dir;
+    struct Variant
+    {
+        const char *name;
+        bool useCheckpoints;
+        std::uint64_t budgetMB;
+        std::uint32_t jobs;
+    };
+    const Variant variants[] = {
+        {"on_serial", true, 256, 1},
+        {"on_jobs4", true, 256, 4},
+        {"off_serial", false, 256, 1},
+        {"off_jobs4", false, 256, 4},
+        {"budget_starved", true, 1, 1},
+    };
+
+    for (const Variant &variant : variants) {
+        CampaignConfig cfg = smokeConfig();
+        cfg.useCheckpoints = variant.useCheckpoints;
+        cfg.checkpointMemBudgetMB = variant.budgetMB;
+        cfg.jobs = variant.jobs;
+        cfg.telemetryOut = (dir.path / variant.name).string();
+        InjectionCampaign(cfg).run();
+    }
+
+    const std::string runs =
+        readFile(dir.path / "on_serial.jsonl");
+    const std::string summary =
+        readFile(dir.path / "on_serial.summary.json");
+    EXPECT_FALSE(runs.empty());
+    for (std::size_t i = 1; i < std::size(variants); ++i) {
+        const Variant &variant = variants[i];
+        EXPECT_EQ(runs, readFile(dir.path /
+                                 (std::string(variant.name) +
+                                  ".jsonl")))
+            << variant.name;
+        EXPECT_EQ(summary,
+                  readFile(dir.path / (std::string(variant.name) +
+                                       ".summary.json")))
+            << variant.name;
+    }
 }
 
 TEST(Telemetry, ExactDiffIgnoresVolatileTimingFields)

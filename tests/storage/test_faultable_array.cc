@@ -103,6 +103,52 @@ TEST(FaultableArray, ClearEntryZeroesRow)
 
 // --- watch automaton ----------------------------------------------------
 
+TEST(FaultableArray, CheckpointCopySharesCowPages)
+{
+    // 4096 x 64-bit rows -> 4096 backing words -> 8 pages of 512
+    // words.  Write one word per page to materialise distinct pages.
+    FaultableArray a("cow", 4096, 64);
+    for (std::size_t e = 0; e < 4096; e += 512)
+        a.writeBits(e, 0, 64, e + 1);
+    ASSERT_EQ(a.backingPages(), 8u);
+    EXPECT_EQ(a.sharedBackingPages(), 0u);
+
+    // A checkpoint copy shares every page with its source...
+    FaultableArray b = a;
+    EXPECT_EQ(b.sharedBackingPages(), 8u);
+    EXPECT_EQ(a.sharedBackingPages(), 8u);
+
+    // ...reads never privatise one...
+    for (std::size_t e = 0; e < 4096; ++e)
+        (void)b.readBits(e, 0, 64);
+    EXPECT_EQ(b.sharedBackingPages(), 8u);
+
+    // ...and a single write privatises exactly the touched page,
+    // invisibly to the source.
+    b.flipBit(0, 0);
+    EXPECT_EQ(b.sharedBackingPages(), 7u);
+    EXPECT_EQ(a.sharedBackingPages(), 7u);
+    // Entry 0 was seeded with value 1, so the flip clears its bit 0
+    // in the copy while the source keeps it.
+    EXPECT_FALSE(b.peekBit(0, 0));
+    EXPECT_TRUE(a.peekBit(0, 0));
+    EXPECT_EQ(b.readBits(512, 0, 64), 513u);
+}
+
+TEST(FaultableArray, FreshArrayAliasesOneFillPage)
+{
+    // A newly built array materialises a single zero page no matter
+    // its logical size: every page-table slot aliases it.
+    FaultableArray a("fill", 4096, 64);
+    ASSERT_EQ(a.backingPages(), 8u);
+    EXPECT_EQ(a.sharedBackingPages(), 8u);
+    EXPECT_EQ(a.storageBytes(), 8u * 4096u);
+
+    // First write to any page unshares just that slot.
+    a.writeBit(0, 0, true);
+    EXPECT_EQ(a.sharedBackingPages(), 7u);
+}
+
 TEST(FaultableArrayWatch, ReadFirstDetected)
 {
     FaultableArray a("w1", 8, 32);

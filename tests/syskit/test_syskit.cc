@@ -66,6 +66,31 @@ TEST(GuestMemory, PokePeekBypassProtection)
     EXPECT_EQ(out[3], 4);
 }
 
+TEST(GuestMemory, CheckpointCopySharesCowPages)
+{
+    // 64 KiB of guest memory -> 16 pages of 4 KiB.
+    GuestMemory a(0x10000, 0x2000);
+    for (std::uint32_t addr = 0x2000; addr < 0x10000; addr += 0x1000)
+        ASSERT_EQ(a.write(addr, 4, addr), MemFault::None);
+    ASSERT_EQ(a.backingPages(), 16u);
+
+    // A checkpoint copy shares the whole image; reads stay shared.
+    GuestMemory b = a;
+    EXPECT_EQ(b.sharedBackingPages(), 16u);
+    std::uint32_t value = 0;
+    for (std::uint32_t addr = 0x1000; addr < 0x10000; addr += 4)
+        ASSERT_EQ(b.read(addr, 4, &value), MemFault::None);
+    EXPECT_EQ(b.sharedBackingPages(), 16u);
+
+    // One store pays for exactly one page and stays private.
+    ASSERT_EQ(b.write(0x3000, 4, 0xfeed), MemFault::None);
+    EXPECT_EQ(b.sharedBackingPages(), 15u);
+    ASSERT_EQ(b.read(0x3000, 4, &value), MemFault::None);
+    EXPECT_EQ(value, 0xfeedu);
+    ASSERT_EQ(a.read(0x3000, 4, &value), MemFault::None);
+    EXPECT_EQ(value, 0x3000u);
+}
+
 class CountingPort : public SysMemPort
 {
   public:

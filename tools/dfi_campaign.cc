@@ -18,12 +18,15 @@
  *                --save-masks masks.txt --crash-as-assert
  */
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <string>
 
 #include "common/logging.hh"
+#include "common/parse_num.hh"
 #include "common/stats.hh"
 #include "inject/campaign.hh"
 #include "inject/executor.hh"
@@ -69,6 +72,11 @@ usage()
         "  --cache-scale F      cache capacity scale (default 0.0625)\n"
         "  --no-early-stop      disable both early-stop optimizations\n"
         "  --no-checkpoints     always start runs from reset\n"
+        "  --checkpoints N      target live checkpoint count\n"
+        "                       (default 6)\n"
+        "  --checkpoint-budget MB\n"
+        "                       checkpoint memory budget in MiB\n"
+        "                       (default 256; 0 = unlimited)\n"
         "\n"
         "output:\n"
         "  --telemetry-out BASE write BASE.jsonl (per-run records)\n"
@@ -97,6 +105,38 @@ need(int argc, char **argv, int &i)
     if (i + 1 >= argc)
         die(std::string("missing value for ") + argv[i]);
     return argv[++i];
+}
+
+/**
+ * Strictly-parsed numeric flag values: trailing garbage or a
+ * non-number dies naming the flag instead of silently becoming 0.
+ */
+std::uint64_t
+needUnsigned(int argc, char **argv, int &i,
+             std::uint64_t max = std::numeric_limits<
+                 std::uint64_t>::max())
+{
+    const std::string flag = argv[i];
+    const std::string text = need(argc, argv, i);
+    std::uint64_t value = 0;
+    if (!dfi::parseUnsigned(text, value, max)) {
+        die("invalid value '" + text + "' for " + flag +
+            " (expected an unsigned integer)");
+    }
+    return value;
+}
+
+double
+needDouble(int argc, char **argv, int &i)
+{
+    const std::string flag = argv[i];
+    const std::string text = need(argc, argv, i);
+    double value = 0.0;
+    if (!dfi::parseDouble(text, value)) {
+        die("invalid value '" + text + "' for " + flag +
+            " (expected a number)");
+    }
+    return value;
 }
 
 } // namespace
@@ -135,15 +175,15 @@ main(int argc, char **argv)
         } else if (arg == "--component") {
             cfg.component = need(argc, argv, i);
         } else if (arg == "--scale") {
-            cfg.scale = static_cast<std::uint32_t>(
-                std::strtoul(need(argc, argv, i), nullptr, 10));
+            cfg.scale = static_cast<std::uint32_t>(needUnsigned(
+                argc, argv, i,
+                std::numeric_limits<std::uint32_t>::max()));
         } else if (arg == "--injections") {
-            cfg.numInjections =
-                std::strtoull(need(argc, argv, i), nullptr, 10);
+            cfg.numInjections = needUnsigned(argc, argv, i);
         } else if (arg == "--confidence") {
-            cfg.confidence = std::strtod(need(argc, argv, i), nullptr);
+            cfg.confidence = needDouble(argc, argv, i);
         } else if (arg == "--margin") {
-            cfg.margin = std::strtod(need(argc, argv, i), nullptr);
+            cfg.margin = needDouble(argc, argv, i);
         } else if (arg == "--fault-type") {
             const std::string type = need(argc, argv, i);
             if (type == "transient")
@@ -167,20 +207,27 @@ main(int argc, char **argv)
             else
                 die("unknown population '" + pop + "'");
         } else if (arg == "--seed") {
-            cfg.seed = std::strtoull(need(argc, argv, i), nullptr, 10);
+            cfg.seed = needUnsigned(argc, argv, i);
         } else if (arg == "--jobs") {
-            cfg.jobs = static_cast<std::uint32_t>(
-                std::strtoul(need(argc, argv, i), nullptr, 10));
+            cfg.jobs = static_cast<std::uint32_t>(needUnsigned(
+                argc, argv, i,
+                std::numeric_limits<std::uint32_t>::max()));
         } else if (arg == "--timeout-factor") {
-            cfg.timeoutFactor =
-                std::strtod(need(argc, argv, i), nullptr);
+            cfg.timeoutFactor = needDouble(argc, argv, i);
         } else if (arg == "--cache-scale") {
-            cfg.cacheScale = std::strtod(need(argc, argv, i), nullptr);
+            cfg.cacheScale = needDouble(argc, argv, i);
         } else if (arg == "--no-early-stop") {
             cfg.earlyStopInvalidEntry = false;
             cfg.earlyStopOverwrite = false;
         } else if (arg == "--no-checkpoints") {
             cfg.useCheckpoints = false;
+        } else if (arg == "--checkpoints") {
+            cfg.checkpointCount = static_cast<std::uint32_t>(
+                needUnsigned(argc, argv, i,
+                             std::numeric_limits<
+                                 std::uint32_t>::max()));
+        } else if (arg == "--checkpoint-budget") {
+            cfg.checkpointMemBudgetMB = needUnsigned(argc, argv, i);
         } else if (arg == "--telemetry-out") {
             cfg.telemetryOut = need(argc, argv, i);
         } else if (arg == "--telemetry-timing") {

@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "common/parse_num.hh"
 #include "inject/telemetry.hh"
 
 using namespace dfi::inject;
@@ -75,9 +76,17 @@ main(int argc, char **argv)
                              "--tolerance\n");
                 return 2;
             }
+            const std::string text = argv[++i];
+            double tolerance = 0.0;
+            if (!dfi::parseDouble(text, tolerance)) {
+                std::fprintf(stderr,
+                             "dfi-diff: invalid value '%s' for "
+                             "--tolerance (expected a number)\n",
+                             text.c_str());
+                return 2;
+            }
             options.exact = false;
-            options.tolerancePercent =
-                std::strtod(argv[++i], nullptr);
+            options.tolerancePercent = tolerance;
         } else if (!arg.empty() && arg[0] == '-') {
             std::fprintf(stderr,
                          "dfi-diff: unknown option '%s' (try "
