@@ -1,0 +1,109 @@
+#!/usr/bin/env bash
+# Prove shard ∪ dfi-merge ≡ serial and resume ≡ uninterrupted, byte
+# for byte, against the checked-in golden baselines.
+#
+# For each core model and N in {2, 4}: runs the smoke campaign as N
+# shard processes (`--shard I/N`), merges the shard streams with
+# dfi-merge, and requires `dfi-diff --exact` equality (and literal
+# byte equality) against results/golden/.  Then simulates an
+# interrupted campaign — the golden stream truncated mid-record, the
+# torn-tail signature of a killed writer — resumes it with
+# `--resume`, and requires the finished artifacts to equal the
+# baselines as well.
+#
+# Usage:
+#   scripts/check_shard_resume.sh [WORKDIR]
+#
+#   WORKDIR  scratch directory (default: a fresh mktemp -d)
+#
+# Environment:
+#   DFI_CAMPAIGN  dfi-campaign binary (default build/tools/...)
+#   DFI_MERGE     dfi-merge binary    (default build/tools/...)
+#   DFI_DIFF      dfi-diff binary     (default build/tools/...)
+#
+# Run from the repository root after building:
+#   cmake -B build -S . && cmake --build build -j
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+WORKDIR="${1:-$(mktemp -d)}"
+CAMPAIGN_BIN="${DFI_CAMPAIGN:-build/tools/dfi-campaign}"
+MERGE_BIN="${DFI_MERGE:-build/tools/dfi-merge}"
+DIFF_BIN="${DFI_DIFF:-build/tools/dfi-diff}"
+GOLDEN_DIR="results/golden"
+
+for bin in "$CAMPAIGN_BIN" "$MERGE_BIN" "$DIFF_BIN"; do
+    if [[ ! -x "$bin" ]]; then
+        echo "error: $bin not found or not executable." >&2
+        echo "build first: cmake -B build -S . && cmake --build build -j" >&2
+        exit 1
+    fi
+done
+
+mkdir -p "$WORKDIR"
+status=0
+
+check_exact() {
+    # check_exact GOLDEN CANDIDATE: dfi-diff --exact plus literal
+    # byte comparison (the merge/resume guarantee is stronger than
+    # volatile-field-insensitive equality).
+    if ! "$DIFF_BIN" --exact "$1" "$2"; then
+        status=1
+    elif ! cmp -s "$1" "$2"; then
+        echo "byte drift: $1 vs $2 (dfi-diff saw no semantic drift)" >&2
+        status=1
+    fi
+}
+
+run_smoke() {
+    # run_smoke CORE OUT_BASE [EXTRA_FLAGS...]
+    local core="$1" out="$2"
+    shift 2
+    "$CAMPAIGN_BIN" \
+        --core "$core" \
+        --benchmark micro \
+        --component int_regfile \
+        --injections 24 \
+        --seed 7 \
+        --jobs 1 \
+        --telemetry-out "$out" \
+        "$@" \
+        > /dev/null
+}
+
+for core in marss-x86 gem5-x86 gem5-arm; do
+    golden_runs="$GOLDEN_DIR/smoke_$core.jsonl"
+    golden_summary="$GOLDEN_DIR/smoke_$core.summary.json"
+
+    for count in 2 4; do
+        echo "== shard merge: $core, $count shards" >&2
+        shard_paths=()
+        for (( index = 0; index < count; index++ )); do
+            base="$WORKDIR/${core}_${count}way_$index"
+            run_smoke "$core" "$base" --shard "$index/$count"
+            shard_paths+=("$base.jsonl")
+        done
+        merged="$WORKDIR/${core}_${count}way_merged"
+        "$MERGE_BIN" --out "$merged" "${shard_paths[@]}"
+        check_exact "$golden_runs" "$merged.jsonl"
+        check_exact "$golden_summary" "$merged.summary.json"
+    done
+
+    echo "== resume: $core (torn-tail partial)" >&2
+    # A campaign killed mid-write: the first 10 lines (header + 9
+    # records) plus half of the next record, without its newline.
+    partial="$WORKDIR/${core}_partial.jsonl"
+    head -n 10 "$golden_runs" > "$partial"
+    sed -n '11p' "$golden_runs" | head -c 20 >> "$partial"
+    resumed="$WORKDIR/${core}_resumed"
+    run_smoke "$core" "$resumed" --resume "$partial"
+    check_exact "$golden_runs" "$resumed.jsonl"
+    check_exact "$golden_summary" "$resumed.summary.json"
+done
+
+if [[ "$status" -ne 0 ]]; then
+    echo "shard/resume artifacts drifted from $GOLDEN_DIR/" >&2
+    exit 1
+fi
+echo "shard merge and resume byte-identical to $GOLDEN_DIR/" >&2

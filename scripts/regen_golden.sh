@@ -18,7 +18,14 @@
 #           1 and 4 and diffs both against the same baselines.
 #   EXTRA_FLAGS  passed through to dfi-campaign. CI uses
 #           `--no-checkpoints` for a leg proving the checkpoint fast
-#           path leaves the artifacts byte-identical.
+#           path leaves the artifacts byte-identical, and
+#           `--shard I/N` for the shard-merge leg.
+#
+# Environment:
+#   DFI_CAMPAIGN      dfi-campaign binary (default build/tools/...)
+#   DFI_SMOKE_SUFFIX  appended to each artifact base name
+#           (e.g. `.shard0` makes smoke_gem5-x86.shard0.jsonl) so
+#           shard legs can emit per-shard artifacts side by side.
 #
 # Run from the repository root after building:
 #   cmake -B build -S . && cmake --build build -j
@@ -31,6 +38,7 @@ JOBS="${2:-1}"
 shift $(( $# > 2 ? 2 : $# ))
 EXTRA=("$@")
 CAMPAIGN_BIN="${DFI_CAMPAIGN:-build/tools/dfi-campaign}"
+SUFFIX="${DFI_SMOKE_SUFFIX:-}"
 
 if [[ ! -x "$CAMPAIGN_BIN" ]]; then
     echo "error: $CAMPAIGN_BIN not found or not executable." >&2
@@ -49,7 +57,7 @@ for core in marss-x86 gem5-x86 gem5-arm; do
         --injections 24 \
         --seed 7 \
         --jobs "$JOBS" \
-        --telemetry-out "$OUTDIR/smoke_$core" \
+        --telemetry-out "$OUTDIR/smoke_$core$SUFFIX" \
         ${EXTRA[@]+"${EXTRA[@]}"} \
         > /dev/null
 done

@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <chrono>
 #include <memory>
+#include <unordered_set>
 
 #include "common/logging.hh"
 #include "inject/executor.hh"
 #include "inject/plan.hh"
 #include "inject/reporting.hh"
+#include "inject/target.hh"
 #include "inject/telemetry.hh"
 #include "isa/codegen.hh"
 #include "prog/benchmark.hh"
@@ -25,7 +27,82 @@ namespace
 /** Hard upper bound on any single simulated run. */
 constexpr std::uint64_t kAbsoluteCycleCap = 200'000'000;
 
+bool
+knownName(const std::vector<std::string> &names,
+          const std::string &name)
+{
+    return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+std::string
+joinNames(const std::vector<std::string> &names)
+{
+    std::string joined;
+    for (const std::string &name : names) {
+        if (!joined.empty())
+            joined += ", ";
+        joined += name;
+    }
+    return joined;
+}
+
 } // namespace
+
+std::vector<ConfigError>
+CampaignConfig::validate() const
+{
+    std::vector<ConfigError> errors;
+    auto bad = [&errors](std::string field, std::string message) {
+        errors.push_back(
+            ConfigError{std::move(field), std::move(message)});
+    };
+
+    if (!knownName(componentNames(), component))
+        bad("component", "unknown component '" + component +
+                             "' (known: " +
+                             joinNames(componentNames()) + ")");
+    if (benchmark != "micro" &&
+        !knownName(prog::benchmarkNames(), benchmark))
+        bad("benchmark",
+            "unknown benchmark '" + benchmark + "' (known: " +
+                joinNames(prog::benchmarkNames()) + ", micro)");
+    if (scale == 0)
+        bad("scale", "must be >= 1");
+    if (!knownName(uarch::coreConfigNames(), coreName))
+        bad("core", "unknown core '" + coreName + "' (known: " +
+                        joinNames(uarch::coreConfigNames()) + ")");
+    if (confidence <= 0.0 || confidence >= 1.0)
+        bad("confidence", "must be in (0, 1)");
+    if (margin <= 0.0 || margin >= 1.0)
+        bad("margin", "must be in (0, 1)");
+    if (intermittentMin > intermittentMax)
+        bad("intermittent_min",
+            "must not exceed intermittent_max (" +
+                std::to_string(intermittentMin) + " > " +
+                std::to_string(intermittentMax) + ")");
+    if (faultType == dfi::FaultType::Intermittent &&
+        intermittentMin == 0)
+        bad("intermittent_min",
+            "must be >= 1 for intermittent faults");
+    if (cacheScale <= 0.0 || cacheScale > 1.0)
+        bad("cache_scale", "must be in (0, 1]");
+    if (timeoutFactor < 1.0)
+        bad("timeout_factor", "must be >= 1");
+    if (useCheckpoints && checkpointCount == 0)
+        bad("checkpoints", "checkpoint count must be >= 1 when "
+                           "checkpointing is enabled");
+    if (shard.count == 0)
+        bad("shard", "shard count must be >= 1");
+    else if (shard.index >= shard.count)
+        bad("shard", "shard index " + std::to_string(shard.index) +
+                         " out of range for count " +
+                         std::to_string(shard.count));
+    if (!resumeFrom.empty() && telemetryOut.empty())
+        bad("resume",
+            "resuming requires a telemetry output path to append "
+            "the finished campaign to");
+    return errors;
+}
 
 InjectionCampaign::InjectionCampaign(CampaignConfig config)
     : cfg_(std::move(config))
@@ -40,6 +117,11 @@ InjectionCampaign::prepare()
     if (prepared_)
         return;
     prepared_ = true;
+
+    const std::vector<ConfigError> errors = cfg_.validate();
+    if (!errors.empty())
+        fatal("invalid campaign config: %s: %s", errors[0].field,
+              errors[0].message);
 
     uarch::CoreConfig core_cfg =
         uarch::coreConfigByName(cfg_.coreName);
@@ -249,7 +331,43 @@ InjectionCampaign::run(const Progress &progress)
     if (cfg_.configTweak)
         cfg_.configTweak(core_cfg);
     uarch::OooCore probe(core_cfg, image_);
-    const CampaignPlan plan = planCampaign(cfg_, golden_, probe);
+    CampaignPlan plan = planCampaign(cfg_, golden_, probe);
+    const std::uint64_t total_runs = plan.totalRuns();
+
+    // Shard first, then subtract resumed runs: `--resume` within a
+    // shard continues that shard, and a resume stream naming runs
+    // outside this shard view is rejected by withoutRuns().
+    if (cfg_.shard.count > 1)
+        plan = plan.shardView(cfg_.shard);
+
+    // Resume: load the partial stream up front (fully buffered, so
+    // streaming the new artifact over the same path is safe), prove
+    // it belongs to this exact campaign by byte-comparing its header
+    // against the one we are about to write, and drop its runs from
+    // the plan.
+    std::vector<TelemetryRecord> resumed;
+    if (!cfg_.resumeFrom.empty()) {
+        TelemetryFile partial;
+        std::string error;
+        if (!readTelemetryFile(cfg_.resumeFrom, partial, error))
+            fatal("resume: %s", error);
+        if (partial.kind != kTelemetryRunsKind)
+            fatal("resume: '%s' is not a telemetry run stream",
+                  cfg_.resumeFrom);
+        if (!partial.warning.empty())
+            warn("resume: %s: %s", cfg_.resumeFrom, partial.warning);
+        const std::string expected =
+            telemetryRunsHeader(cfg_, golden_, total_runs).dump();
+        if (partial.header.dump() != expected)
+            fatal("resume: '%s' came from a different campaign "
+                  "(header mismatch; check config and seed)",
+                  cfg_.resumeFrom);
+        resumed = std::move(partial.records);
+        std::unordered_set<std::uint64_t> completed;
+        for (const TelemetryRecord &record : resumed)
+            completed.insert(record.runId);
+        plan = plan.withoutRuns(completed);
+    }
 
     // Execute: serial or thread pool per cfg_.jobs; either way the
     // results come back in runId order.
@@ -258,12 +376,21 @@ InjectionCampaign::run(const Progress &progress)
         makeExecutor({cfg_.jobs});
 
     // Telemetry attaches at the reporter's ordered-commit point, so
-    // the stream is identical for every executor and job count.
+    // the stream is identical for every executor and job count.  It
+    // streams to disk line-by-line: a killed campaign leaves a
+    // resumable partial instead of nothing.
     std::unique_ptr<TelemetryWriter> telemetry;
     if (!cfg_.telemetryOut.empty()) {
         telemetry = std::make_unique<TelemetryWriter>(
-            cfg_, golden_, executor->jobs(),
+            cfg_, golden_, total_runs, executor->jobs(),
             TelemetryOptions{cfg_.telemetryTiming});
+        telemetry->streamTo(cfg_.telemetryOut);
+        // Completed runs from the resume stream re-enter the new
+        // artifact verbatim, ahead of everything this process runs
+        // (resumed runIds always precede the remainder: the partial
+        // stream was itself written in ascending-runId order).
+        for (const TelemetryRecord &record : resumed)
+            telemetry->replay(record);
         reporter.setCommitSink(
             [&telemetry](const RunTask &task,
                          const TaskResult &task_result) {

@@ -53,6 +53,31 @@
 namespace dfi::inject
 {
 
+/**
+ * Deterministic campaign shard selector: shard `index` of `count`
+ * executes the runs whose `runId % count == index`.  Mask generation,
+ * sampling, and seeds are untouched, so N shards partition the exact
+ * run set of an unsharded campaign and `dfi-merge` can recombine
+ * their telemetry byte-identically.  {0, 1} (the default) is the
+ * whole campaign.
+ */
+struct ShardSpec
+{
+    std::uint32_t index = 0;
+    std::uint32_t count = 1;
+};
+
+/**
+ * One structured configuration diagnostic from
+ * CampaignConfig::validate(): the offending field and what is wrong
+ * with it.  Tools print these uniformly as "field: message".
+ */
+struct ConfigError
+{
+    std::string field;
+    std::string message;
+};
+
 /** Full campaign parameters. */
 struct CampaignConfig
 {
@@ -128,15 +153,51 @@ struct CampaignConfig
      * byte-identical across hosts and `--jobs` values.
      */
     bool telemetryTiming = false;
+
+    /**
+     * Which shard of the campaign this process executes (CLI
+     * `--shard I/N`).  A pure execution-strategy knob: it selects
+     * runs, never changes them, and is deliberately absent from the
+     * telemetry config echo so shard artifacts merge byte-identically
+     * into the unsharded stream.
+     */
+    ShardSpec shard;
+
+    /**
+     * Path of a partial telemetry run stream (CLI `--resume FILE`):
+     * its completed runs are replayed into the new artifacts verbatim
+     * and skipped by the executor, so a killed campaign finishes for
+     * the cost of the remainder.  The stream's header must echo this
+     * exact campaign (config, golden reference, run count); a torn
+     * final line — the usual signature of a killed run — is dropped
+     * with a warning.  Requires telemetryOut.  Empty (the default)
+     * disables resuming.
+     */
+    std::string resumeFrom;
+
+    /**
+     * Check every field against its domain (known core/benchmark/
+     * component names, probability ranges, shard bounds, flag
+     * interactions).  Returns one structured error per violation;
+     * empty means the config is runnable.  InjectionCampaign fatal()s
+     * on the first invalid config instead of re-checking piecemeal.
+     */
+    std::vector<ConfigError> validate() const;
 };
 
-/** Everything a campaign leaves behind (the logs repository). */
+/**
+ * Everything a campaign leaves behind (the logs repository).  For a
+ * sharded or resumed campaign, `records` (and the derived cycle and
+ * stats aggregates) cover only the runs this process executed; the
+ * telemetry artifacts are the campaign-wide record.
+ */
 struct CampaignResult
 {
     CampaignConfig config;
     syskit::RunRecord golden;
     std::vector<dfi::FaultMask> masks;          //!< all masks
-    std::vector<syskit::RunRecord> records;     //!< one per runId
+    std::vector<syskit::RunRecord> records;     //!< one per executed
+                                                //!< run, runId order
     std::uint64_t simulatedFaultyCycles = 0;    //!< post-restore cycles
     std::uint64_t fullRunEquivalentCycles = 0;  //!< without the
                                                 //!< optimizations

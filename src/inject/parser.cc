@@ -16,6 +16,19 @@ outcomeClassName(OutcomeClass cls)
     return names[i];
 }
 
+bool
+outcomeClassFromName(const std::string &name, OutcomeClass &out)
+{
+    for (std::size_t i = 0; i < kNumOutcomeClasses; ++i) {
+        const auto cls = static_cast<OutcomeClass>(i);
+        if (outcomeClassName(cls) == name) {
+            out = cls;
+            return true;
+        }
+    }
+    return false;
+}
+
 Classification
 Parser::classify(const syskit::RunRecord &golden,
                  const syskit::RunRecord &faulty) const

@@ -41,6 +41,13 @@ constexpr std::size_t kNumOutcomeClasses =
 
 std::string outcomeClassName(OutcomeClass cls);
 
+/**
+ * Inverse of outcomeClassName, for consumers that rebuild class
+ * counts from logged records (telemetry resume/merge).  Returns
+ * false on an unknown name — record files are external input.
+ */
+bool outcomeClassFromName(const std::string &name, OutcomeClass &out);
+
 /** Classification of one run, with the finer-grain evidence. */
 struct Classification
 {

@@ -16,11 +16,13 @@ CampaignPlan::CampaignPlan(CampaignConfig config,
                            std::vector<dfi::FaultMask> masks,
                            std::uint64_t num_runs)
     : config_(std::move(config)), golden_(std::move(golden)),
-      masks_(std::move(masks))
+      masks_(std::move(masks)), totalRuns_(num_runs)
 {
     tasks_.resize(num_runs);
-    for (std::uint64_t run_id = 0; run_id < num_runs; ++run_id)
+    for (std::uint64_t run_id = 0; run_id < num_runs; ++run_id) {
         tasks_[run_id].runId = run_id;
+        tasks_[run_id].ordinal = run_id;
+    }
     for (const dfi::FaultMask &mask : masks_) {
         if (mask.runId >= num_runs)
             panic("plan: mask runId %s out of range (%s runs)",
@@ -30,6 +32,58 @@ CampaignPlan::CampaignPlan(CampaignConfig config,
         if (task.masks.size() == 1 || mask.cycle < task.firstCycle)
             task.firstCycle = mask.cycle;
     }
+}
+
+CampaignPlan
+CampaignPlan::filtered(
+    const std::function<bool(std::uint64_t)> &keep) const
+{
+    CampaignPlan view;
+    view.config_ = config_;
+    view.golden_ = golden_;
+    view.masks_ = masks_;
+    view.totalRuns_ = totalRuns_;
+    for (const RunTask &task : tasks_) {
+        if (!keep(task.runId))
+            continue;
+        view.tasks_.push_back(task);
+        view.tasks_.back().ordinal = view.tasks_.size() - 1;
+    }
+    return view;
+}
+
+CampaignPlan
+CampaignPlan::shardView(const ShardSpec &shard) const
+{
+    if (shard.count == 0 || shard.index >= shard.count)
+        fatal("plan: bad shard %s/%s (need 0 <= index < count)",
+              shard.index, shard.count);
+    return filtered([&shard](std::uint64_t run_id) {
+        return run_id % shard.count == shard.index;
+    });
+}
+
+CampaignPlan
+CampaignPlan::withoutRuns(
+    const std::unordered_set<std::uint64_t> &completed) const
+{
+    for (const std::uint64_t run_id : completed) {
+        const bool known =
+            std::any_of(tasks_.begin(), tasks_.end(),
+                        [run_id](const RunTask &task) {
+                            return task.runId == run_id;
+                        });
+        if (!known)
+            fatal("plan: completed run %s is not part of this "
+                  "campaign%s",
+                  run_id,
+                  tasks_.size() != totalRuns_
+                      ? " shard (resume file and --shard disagree?)"
+                      : " (resume file from another campaign?)");
+    }
+    return filtered([&completed](std::uint64_t run_id) {
+        return completed.count(run_id) == 0;
+    });
 }
 
 CampaignPlan

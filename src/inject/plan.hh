@@ -17,6 +17,8 @@
 #define DFI_INJECT_PLAN_HH
 
 #include <cstdint>
+#include <functional>
+#include <unordered_set>
 #include <vector>
 
 #include "inject/campaign.hh"
@@ -38,6 +40,14 @@ namespace dfi::inject
 struct RunTask
 {
     std::uint64_t runId = 0;
+    /**
+     * Position of this task in its plan's task list.  For a full
+     * plan ordinal == runId; shard/resume views renumber ordinals
+     * 0..n-1 while runIds keep their campaign-wide identity.  The
+     * reporter's commit frontier advances over ordinals, so ordered
+     * commit works for any plan view.
+     */
+    std::uint64_t ordinal = 0;
     std::vector<dfi::FaultMask> masks;
     std::uint64_t firstCycle = 0; //!< earliest injection cycle
 };
@@ -66,6 +76,13 @@ struct TaskResult
  *
  * Construction groups the mask repository into per-runId tasks; after
  * that the plan never changes, so concurrent readers need no locking.
+ *
+ * A plan can also be *viewed*: shardView() and withoutRuns() return
+ * plans that execute a subset of the tasks while keeping the full
+ * mask repository, seeds, and campaign size (totalRuns()) untouched —
+ * the deterministic foundation of `--shard` and `--resume`.  Every
+ * run keeps its campaign-wide runId; only the ordinals (commit
+ * positions) are renumbered.
  */
 class CampaignPlan
 {
@@ -85,11 +102,44 @@ class CampaignPlan
     const std::vector<RunTask> &tasks() const { return tasks_; }
     std::uint64_t numRuns() const { return tasks_.size(); }
 
+    /**
+     * Campaign-wide run count: the size of the original full plan,
+     * preserved across views.  Telemetry stamps it into the runs
+     * header (`runs_total`) so dfi-merge can prove shard coverage.
+     */
+    std::uint64_t totalRuns() const { return totalRuns_; }
+
+    /**
+     * Deterministic shard view: the tasks whose
+     * `runId % shard.count == shard.index`, in runId order.  Mask
+     * generation and seeds are untouched — shard I of N simulates
+     * exactly the runs an unsharded campaign would label
+     * i ≡ I (mod N), so N shards partition the campaign.
+     */
+    CampaignPlan shardView(const ShardSpec &shard) const;
+
+    /**
+     * Resume view: the tasks whose runId is NOT in `completed`
+     * (runIds loaded from a partial telemetry stream).  fatal() if a
+     * completed runId does not name a task of this plan — resuming
+     * against the wrong campaign or shard.
+     */
+    CampaignPlan
+    withoutRuns(const std::unordered_set<std::uint64_t> &completed)
+        const;
+
   private:
+    CampaignPlan() = default;
+
+    /** Copy of this plan with `tasks_` filtered by `keep(runId)`. */
+    CampaignPlan
+    filtered(const std::function<bool(std::uint64_t)> &keep) const;
+
     CampaignConfig config_;
     syskit::RunRecord golden_;
     std::vector<dfi::FaultMask> masks_;
     std::vector<RunTask> tasks_;
+    std::uint64_t totalRuns_ = 0;
 };
 
 /**

@@ -23,11 +23,14 @@ CampaignReporter::commit(const RunTask &task, const TaskResult &result)
 
     if (!sink_)
         return;
-    if (task.runId < frontier_ || pending_.count(task.runId) != 0)
+    if (task.ordinal < frontier_ || pending_.count(task.ordinal) != 0)
         panic("reporter: task %s committed twice", task.runId);
-    pending_.emplace(task.runId, std::make_pair(&task, &result));
+    pending_.emplace(task.ordinal, std::make_pair(&task, &result));
     // Replay every consecutively-finished task at the frontier, so
-    // the sink observes runId order no matter how completions raced.
+    // the sink observes plan order no matter how completions raced.
+    // Ordinals (not runIds) key the frontier: a shard or resume view
+    // executes a non-contiguous runId subset, but its ordinals are
+    // always 0..n-1 in ascending runId order.
     for (auto it = pending_.begin();
          it != pending_.end() && it->first == frontier_;
          it = pending_.erase(it), ++frontier_) {

@@ -12,11 +12,13 @@
  *
  * The reporter is also the engine's *ordered-commit point*: workers
  * hand each finished (task, result) pair to commit(), which reorders
- * racing completions behind the runId frontier and replays them to
- * the commit sink strictly in runId order.  Consumers attached there
- * (inject/telemetry.hh) therefore observe the exact same sequence for
- * every executor and job count — that is what makes campaign
- * artifacts byte-identical across `--jobs` values.
+ * racing completions behind the plan-order frontier (RunTask::ordinal
+ * — equal to runId for a full plan, renumbered 0..n-1 for shard and
+ * resume views) and replays them to the commit sink strictly in that
+ * order.  Consumers attached there (inject/telemetry.hh) therefore
+ * observe the exact same sequence for every executor and job count —
+ * that is what makes campaign artifacts byte-identical across
+ * `--jobs` values.
  *
  * (Log lines from workers need no help from this layer: common/logging
  * emits each line atomically; see logging.cc.)
@@ -47,8 +49,8 @@ class CampaignReporter
 
     /**
      * Ordered-commit consumer: invoked once per task, strictly in
-     * runId order, under the reporter lock.  The references are only
-     * valid for the duration of the call.
+     * plan (ascending-runId) order, under the reporter lock.  The
+     * references are only valid for the duration of the call.
      */
     using CommitSink = std::function<void(const RunTask &task,
                                           const TaskResult &result)>;
@@ -115,9 +117,9 @@ class CampaignReporter
     std::uint64_t done_ = 0;
     dfi::StatSet stats_;
 
-    /** Next runId the sink has not seen yet (the commit frontier). */
+    /** Next ordinal the sink has not seen yet (the commit frontier). */
     std::uint64_t frontier_ = 0;
-    /** Finished tasks still ahead of the frontier, keyed by runId. */
+    /** Finished tasks still ahead of the frontier, keyed by ordinal. */
     std::map<std::uint64_t,
              std::pair<const RunTask *, const TaskResult *>>
         pending_;

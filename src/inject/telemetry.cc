@@ -257,73 +257,221 @@ TelemetryRecord::toJson() const
     return line;
 }
 
-TelemetryWriter::TelemetryWriter(const CampaignConfig &config,
-                                 const syskit::RunRecord &golden,
-                                 std::uint32_t jobs,
-                                 TelemetryOptions options)
-    : config_(config), golden_(golden), jobs_(jobs),
-      options_(options),
-      histogram_(telemetryHistogramEdges().size() + 1, 0)
+json::Value
+telemetryConfigEcho(const CampaignConfig &config)
+{
+    json::Value echo = json::Value::object();
+    echo.set("component", json::Value::string(config.component));
+    echo.set("benchmark", json::Value::string(config.benchmark));
+    echo.set("scale", json::Value::unsignedInt(config.scale));
+    echo.set("core", json::Value::string(config.coreName));
+    echo.set("injections",
+             json::Value::unsignedInt(config.numInjections));
+    echo.set("confidence", json::Value::number(config.confidence));
+    echo.set("margin", json::Value::number(config.margin));
+    echo.set("fault_type",
+             json::Value::string(faultTypeName(config.faultType)));
+    echo.set("population",
+             json::Value::string(populationName(config.population)));
+    echo.set("intermittent_min",
+             json::Value::unsignedInt(config.intermittentMin));
+    echo.set("intermittent_max",
+             json::Value::unsignedInt(config.intermittentMax));
+    echo.set("cache_scale", json::Value::number(config.cacheScale));
+    echo.set("timeout_factor",
+             json::Value::number(config.timeoutFactor));
+    echo.set("early_stop_invalid_entry",
+             json::Value::boolean(config.earlyStopInvalidEntry));
+    echo.set("early_stop_overwrite",
+             json::Value::boolean(config.earlyStopOverwrite));
+    // Execution-strategy knobs (checkpointing, jobs, budget, shard,
+    // resume) are deliberately absent: they cannot change outcomes,
+    // and leaving them out keeps artifacts byte-identical across
+    // strategies — shard streams share the unsharded header.
+    echo.set("seed", json::Value::unsignedInt(config.seed));
+    return echo;
+}
+
+json::Value
+telemetryGoldenEcho(const syskit::RunRecord &golden)
+{
+    json::Value echo = json::Value::object();
+    echo.set("cycles", json::Value::unsignedInt(golden.cycles));
+    echo.set("instructions",
+             json::Value::unsignedInt(golden.instructions));
+    echo.set("output_bytes",
+             json::Value::unsignedInt(golden.output.size()));
+    return echo;
+}
+
+json::Value
+telemetryRunsHeader(const CampaignConfig &config,
+                    const syskit::RunRecord &golden,
+                    std::uint64_t total_runs)
 {
     json::Value header = json::Value::object();
     header.set("kind", json::Value::string(kTelemetryRunsKind));
     header.set("schema",
                json::Value::unsignedInt(kTelemetrySchemaVersion));
-    header.set("config", configEcho());
-    json::Value golden_echo = json::Value::object();
-    golden_echo.set("cycles",
-                    json::Value::unsignedInt(golden_.cycles));
-    golden_echo.set("instructions",
-                    json::Value::unsignedInt(golden_.instructions));
-    golden_echo.set(
-        "output_bytes",
-        json::Value::unsignedInt(golden_.output.size()));
-    header.set("golden", std::move(golden_echo));
-    lines_ = header.dump();
+    header.set("config", telemetryConfigEcho(config));
+    header.set("golden", telemetryGoldenEcho(golden));
+    header.set("runs_total", json::Value::unsignedInt(total_runs));
+    return header;
+}
+
+SummaryAccumulator::SummaryAccumulator(std::uint64_t golden_cycles)
+    : goldenCycles_(golden_cycles),
+      histogram_(telemetryHistogramEdges().size() + 1, 0)
+{
+}
+
+void
+SummaryAccumulator::add(const TelemetryRecord &record)
+{
+    OutcomeClass cls = OutcomeClass::Masked;
+    if (!outcomeClassFromName(record.outcome, cls))
+        fatal("telemetry: unknown outcome class '%s' in run %s",
+              record.outcome, record.runId);
+    counts_.add(cls);
+    totalSimCycles_ += record.simCycles;
+    totalRestoreMicros_ += record.restoreMicros;
+    totalWallMicros_ += record.wallMicros;
+
+    // Bucket the deterministic run length (not the strategy-dependent
+    // simulated cycles): early-stopped runs land in the small
+    // buckets, timeouts in the last bounded ones.
+    const auto &edges = telemetryHistogramEdges();
+    const auto golden_cycles = static_cast<double>(goldenCycles_);
+    std::size_t bucket = edges.size();
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+        if (static_cast<double>(record.cycles) <=
+            edges[i] * golden_cycles) {
+            bucket = i;
+            break;
+        }
+    }
+    ++histogram_[bucket];
+}
+
+std::string
+SummaryAccumulator::summaryJson(const json::Value &config_echo,
+                                const json::Value &golden_echo,
+                                std::uint64_t jobs_echo) const
+{
+    json::Value doc = json::Value::object();
+    doc.set("kind", json::Value::string(kTelemetrySummaryKind));
+    doc.set("schema",
+            json::Value::unsignedInt(kTelemetrySchemaVersion));
+    doc.set("config", config_echo);
+    doc.set("golden", golden_echo);
+    doc.set("runs", json::Value::unsignedInt(counts_.total()));
+
+    json::Value classes = json::Value::object();
+    for (std::size_t c = 0; c < kNumOutcomeClasses; ++c) {
+        const auto cls = static_cast<OutcomeClass>(c);
+        json::Value cell = json::Value::object();
+        cell.set("count", json::Value::unsignedInt(counts_.get(cls)));
+        cell.set("percent", json::Value::number(counts_.percent(cls)));
+        classes.set(outcomeClassName(cls), std::move(cell));
+    }
+    doc.set("classes", std::move(classes));
+    doc.set("vulnerability_percent",
+            json::Value::number(counts_.vulnerability()));
+
+    json::Value lengths = json::Value::object();
+    json::Value buckets = json::Value::array();
+    const auto &edges = telemetryHistogramEdges();
+    for (std::size_t i = 0; i < histogram_.size(); ++i) {
+        json::Value bucket = json::Value::object();
+        bucket.set("le_golden_x",
+                   i < edges.size() ? json::Value::number(edges[i])
+                                    : json::Value::null());
+        bucket.set("count", json::Value::unsignedInt(histogram_[i]));
+        buckets.push(std::move(bucket));
+    }
+    lengths.set("histogram", std::move(buckets));
+    doc.set("run_cycles", std::move(lengths));
+
+    json::Value volatile_echo = json::Value::object();
+    volatile_echo.set("jobs", json::Value::unsignedInt(jobs_echo));
+    volatile_echo.set("sim_cycles_total",
+                      json::Value::unsignedInt(totalSimCycles_));
+    volatile_echo.set("restore_total_us",
+                      json::Value::unsignedInt(totalRestoreMicros_));
+    volatile_echo.set("wall_total_us",
+                      json::Value::unsignedInt(totalWallMicros_));
+    doc.set("volatile", std::move(volatile_echo));
+    return doc.dumpPretty();
+}
+
+TelemetryWriter::TelemetryWriter(const CampaignConfig &config,
+                                 const syskit::RunRecord &golden,
+                                 std::uint64_t total_runs,
+                                 std::uint32_t jobs,
+                                 TelemetryOptions options)
+    : config_(config), golden_(golden), jobs_(jobs),
+      options_(options), acc_(golden.cycles)
+{
+    lines_ = telemetryRunsHeader(config_, golden_, total_runs).dump();
     lines_ += '\n';
 }
 
-json::Value
-TelemetryWriter::configEcho() const
+void
+TelemetryWriter::streamTo(const std::string &base)
 {
-    json::Value echo = json::Value::object();
-    echo.set("component", json::Value::string(config_.component));
-    echo.set("benchmark", json::Value::string(config_.benchmark));
-    echo.set("scale", json::Value::unsignedInt(config_.scale));
-    echo.set("core", json::Value::string(config_.coreName));
-    echo.set("injections",
-             json::Value::unsignedInt(config_.numInjections));
-    echo.set("confidence", json::Value::number(config_.confidence));
-    echo.set("margin", json::Value::number(config_.margin));
-    echo.set("fault_type",
-             json::Value::string(faultTypeName(config_.faultType)));
-    echo.set("population",
-             json::Value::string(populationName(config_.population)));
-    echo.set("intermittent_min",
-             json::Value::unsignedInt(config_.intermittentMin));
-    echo.set("intermittent_max",
-             json::Value::unsignedInt(config_.intermittentMax));
-    echo.set("cache_scale", json::Value::number(config_.cacheScale));
-    echo.set("timeout_factor",
-             json::Value::number(config_.timeoutFactor));
-    echo.set("early_stop_invalid_entry",
-             json::Value::boolean(config_.earlyStopInvalidEntry));
-    echo.set("early_stop_overwrite",
-             json::Value::boolean(config_.earlyStopOverwrite));
-    // Execution-strategy knobs (checkpointing, jobs, budget) are
-    // deliberately absent: they cannot change outcomes, and leaving
-    // them out keeps artifacts byte-identical across strategies.
-    echo.set("seed", json::Value::unsignedInt(config_.seed));
-    return echo;
+    if (stream_.is_open())
+        panic("telemetry: streamTo called twice");
+    if (anyEmitted_)
+        panic("telemetry: streamTo after records were emitted");
+    streamPath_ = base + ".jsonl";
+    stream_.open(streamPath_, std::ios::binary | std::ios::trunc);
+    if (!stream_)
+        fatal("telemetry: cannot write '%s'", streamPath_);
+    // The header goes out (and is flushed) immediately, so even a
+    // campaign killed before its first commit leaves a valid,
+    // resumable stream.
+    stream_ << lines_;
+    stream_.flush();
+    if (!stream_)
+        fatal("telemetry: write to '%s' failed", streamPath_);
+}
+
+void
+TelemetryWriter::appendLine(const std::string &line)
+{
+    lines_ += line;
+    lines_ += '\n';
+    if (stream_.is_open()) {
+        // One flush per record bounds a kill's damage to a single
+        // torn line, which the tolerant reader drops on resume.
+        stream_ << line << '\n';
+        stream_.flush();
+        if (!stream_)
+            fatal("telemetry: write to '%s' failed", streamPath_);
+    }
+}
+
+void
+TelemetryWriter::replay(const TelemetryRecord &record)
+{
+    if (anyEmitted_ && record.runId <= lastRunId_)
+        fatal("telemetry: resume record %s out of order (last was "
+              "%s) — corrupt or reordered resume stream",
+              record.runId, lastRunId_);
+    anyEmitted_ = true;
+    lastRunId_ = record.runId;
+    acc_.add(record); // fatal() on an unknown outcome class
+    appendLine(record.toJson().dump());
 }
 
 void
 TelemetryWriter::commit(const RunTask &task, const TaskResult &result)
 {
-    if (task.runId != nextRunId_)
-        panic("telemetry: commit of run %s out of order (expected %s)",
-              task.runId, nextRunId_);
-    ++nextRunId_;
+    if (anyEmitted_ && task.runId <= lastRunId_)
+        panic("telemetry: commit of run %s out of order (last was %s)",
+              task.runId, lastRunId_);
+    anyEmitted_ = true;
+    lastRunId_ = task.runId;
 
     const Classification classification =
         parser_.classify(golden_, result.record);
@@ -354,105 +502,35 @@ TelemetryWriter::commit(const RunTask &task, const TaskResult &result)
         record.jobs = jobs_;
     }
 
-    lines_ += record.toJson().dump();
-    lines_ += '\n';
-
-    counts_.add(classification.cls);
-    totalSimCycles_ += result.simulatedCycles;
-    totalRestoreMicros_ += result.restoreMicros;
-    totalWallMicros_ += result.wallMicros;
-
-    // Bucket the deterministic run length (not the strategy-dependent
-    // simulated cycles): early-stopped runs land in the small
-    // buckets, timeouts in the last bounded ones.
-    const auto &edges = telemetryHistogramEdges();
-    const auto golden_cycles = static_cast<double>(golden_.cycles);
-    std::size_t bucket = edges.size();
-    for (std::size_t i = 0; i < edges.size(); ++i) {
-        if (static_cast<double>(result.record.cycles) <=
-            edges[i] * golden_cycles) {
-            bucket = i;
-            break;
-        }
-    }
-    ++histogram_[bucket];
+    acc_.add(record);
+    appendLine(record.toJson().dump());
 }
 
 std::string
 TelemetryWriter::summaryJson() const
 {
-    json::Value doc = json::Value::object();
-    doc.set("kind", json::Value::string(kTelemetrySummaryKind));
-    doc.set("schema",
-            json::Value::unsignedInt(kTelemetrySchemaVersion));
-    doc.set("config", configEcho());
-    json::Value golden_echo = json::Value::object();
-    golden_echo.set("cycles",
-                    json::Value::unsignedInt(golden_.cycles));
-    golden_echo.set("instructions",
-                    json::Value::unsignedInt(golden_.instructions));
-    golden_echo.set(
-        "output_bytes",
-        json::Value::unsignedInt(golden_.output.size()));
-    doc.set("golden", std::move(golden_echo));
-    doc.set("runs", json::Value::unsignedInt(counts_.total()));
-
-    json::Value classes = json::Value::object();
-    for (std::size_t c = 0; c < kNumOutcomeClasses; ++c) {
-        const auto cls = static_cast<OutcomeClass>(c);
-        json::Value cell = json::Value::object();
-        cell.set("count", json::Value::unsignedInt(counts_.get(cls)));
-        cell.set("percent", json::Value::number(counts_.percent(cls)));
-        classes.set(outcomeClassName(cls), std::move(cell));
-    }
-    doc.set("classes", std::move(classes));
-    doc.set("vulnerability_percent",
-            json::Value::number(counts_.vulnerability()));
-
-    json::Value lengths = json::Value::object();
-    json::Value buckets = json::Value::array();
-    const auto &edges = telemetryHistogramEdges();
-    for (std::size_t i = 0; i < histogram_.size(); ++i) {
-        json::Value bucket = json::Value::object();
-        bucket.set("le_golden_x",
-                   i < edges.size() ? json::Value::number(edges[i])
-                                    : json::Value::null());
-        bucket.set("count", json::Value::unsignedInt(histogram_[i]));
-        buckets.push(std::move(bucket));
-    }
-    lengths.set("histogram", std::move(buckets));
-    doc.set("run_cycles", std::move(lengths));
-
-    json::Value volatile_echo = json::Value::object();
-    volatile_echo.set(
-        "jobs", json::Value::unsignedInt(
-                    options_.captureTiming ? jobs_ : 0));
-    volatile_echo.set(
-        "sim_cycles_total",
-        json::Value::unsignedInt(
-            options_.captureTiming ? totalSimCycles_ : 0));
-    volatile_echo.set(
-        "restore_total_us",
-        json::Value::unsignedInt(
-            options_.captureTiming ? totalRestoreMicros_ : 0));
-    volatile_echo.set(
-        "wall_total_us",
-        json::Value::unsignedInt(
-            options_.captureTiming ? totalWallMicros_ : 0));
-    doc.set("volatile", std::move(volatile_echo));
-    return doc.dumpPretty();
+    return acc_.summaryJson(telemetryConfigEcho(config_),
+                            telemetryGoldenEcho(golden_),
+                            options_.captureTiming ? jobs_ : 0);
 }
 
 void
-TelemetryWriter::writeFiles(const std::string &base) const
+TelemetryWriter::writeFiles(const std::string &base)
 {
     const std::string runs_path = base + ".jsonl";
     const std::string summary_path = base + ".summary.json";
-    std::ofstream runs(runs_path, std::ios::binary);
-    runs << lines_;
-    if (!runs)
-        fatal("telemetry: cannot write '%s'", runs_path);
-    runs.close();
+    if (stream_.is_open()) {
+        if (runs_path != streamPath_)
+            panic("telemetry: writeFiles('%s') while streaming to "
+                  "'%s'",
+                  runs_path, streamPath_);
+        stream_.close();
+    } else {
+        std::ofstream runs(runs_path, std::ios::binary);
+        runs << lines_;
+        if (!runs)
+            fatal("telemetry: cannot write '%s'", runs_path);
+    }
     std::ofstream summary(summary_path, std::ios::binary);
     summary << summaryJson();
     if (!summary)
@@ -506,13 +584,30 @@ parseTelemetry(const std::string &text, TelemetryFile &out,
             if (line.empty())
                 continue;
             json::Value parsed;
-            if (!json::parse(line, parsed, line_error)) {
-                error = "line " + std::to_string(line_number) + ": " +
-                        line_error;
-                return false;
-            }
             TelemetryRecord record;
-            if (!decodeRecord(parsed, record, line_error)) {
+            const bool ok =
+                json::parse(line, parsed, line_error) &&
+                decodeRecord(parsed, record, line_error);
+            if (!ok) {
+                // A killed writer tears at most the *final* line of
+                // the stream (one flushed write per record).  Only
+                // that signature is tolerated — if any complete line
+                // follows, the damage is mid-file corruption and must
+                // stay a hard error.
+                std::string rest;
+                bool more = false;
+                while (std::getline(stream, rest)) {
+                    if (!rest.empty()) {
+                        more = true;
+                        break;
+                    }
+                }
+                if (!more) {
+                    out.warning = "dropped torn trailing line " +
+                                  std::to_string(line_number) + " (" +
+                                  line_error + ")";
+                    break;
+                }
                 error = "line " + std::to_string(line_number) + ": " +
                         line_error;
                 return false;
@@ -637,6 +732,12 @@ diffTelemetryFiles(const std::string &pathA, const std::string &pathB,
         report += error + "\n";
         return DiffOutcome::Malformed;
     }
+    // Torn-tail drops are diagnostics, not drift by themselves — but
+    // a dropped record will surface as a run-count mismatch below.
+    if (!a.warning.empty())
+        report += pathA + ": warning: " + a.warning + "\n";
+    if (!b.warning.empty())
+        report += pathB + ": warning: " + b.warning + "\n";
     return diffTelemetry(a, b, options, report);
 }
 

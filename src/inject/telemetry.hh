@@ -9,11 +9,19 @@
  * counterpart of that logs repository:
  *
  *  - a JSONL run stream: one header line (schema version + config
- *    echo + golden reference), then one flat JSON record per RunTask,
- *    emitted at the executor's ordered-commit point so the stream is
- *    byte-identical for any `--jobs` value;
+ *    echo + golden reference + campaign-wide run count), then one
+ *    flat JSON record per RunTask, emitted at the executor's
+ *    ordered-commit point so the stream is byte-identical for any
+ *    `--jobs` value — and streamed to disk line-by-line, so a killed
+ *    campaign leaves a resumable partial;
  *  - a summary JSON document: config echo, per-class counts and
  *    percentages, and a run-length histogram.
+ *
+ * Scale-out rides on the same artifacts: a shard campaign
+ * (`--shard I/N`) emits the stream restricted to its runs under the
+ * *same* header, `inject/merge.hh` recombines shard streams into the
+ * unsharded bytes, and `--resume` replays a partial stream's records
+ * (tolerating a torn final line) before executing only the rest.
  *
  * Determinism contract: with timing capture off (the default) every
  * byte of both artifacts is a pure function of (config, program,
@@ -31,6 +39,7 @@
 #define DFI_INJECT_TELEMETRY_HH
 
 #include <cstdint>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -103,21 +112,118 @@ struct TelemetryFile
     std::string kind;      //!< kTelemetryRunsKind or ...SummaryKind
     json::Value header;    //!< header line / whole summary document
     std::vector<TelemetryRecord> records; //!< run streams only
+
+    /**
+     * Non-fatal reader diagnostic; empty when clean.  Set when a
+     * torn trailing line (the signature of a killed writer) was
+     * dropped — the parse still succeeds with the complete records.
+     */
+    std::string warning;
+};
+
+/**
+ * The deterministic config echo embedded in both artifacts.  Only
+ * outcome-relevant knobs appear; execution strategy (jobs,
+ * checkpointing, shard selection, resume) is deliberately absent, so
+ * artifacts are byte-comparable across strategies and shard streams
+ * merge into the unsharded bytes.
+ */
+json::Value telemetryConfigEcho(const CampaignConfig &config);
+
+/** The golden-run echo embedded in both artifacts. */
+json::Value telemetryGoldenEcho(const syskit::RunRecord &golden);
+
+/**
+ * The complete runs-stream header object: kind, schema, config echo,
+ * golden echo, and the campaign-wide run count (`runs_total`, the
+ * full plan size even when this process executes only a shard or a
+ * resume remainder).  Shared by the writer, the resume loader (which
+ * byte-compares it against a partial stream's header), and dfi-merge
+ * (which requires it identical across shards).
+ */
+json::Value telemetryRunsHeader(const CampaignConfig &config,
+                                const syskit::RunRecord &golden,
+                                std::uint64_t total_runs);
+
+/**
+ * Order-insensitive accumulation of everything the summary document
+ * derives from the run records: class counts, the run-length
+ * histogram, and the volatile totals.  The writer feeds it live
+ * commits; resume feeds it replayed records; dfi-merge feeds it the
+ * merged record set — all three produce identical summaries for
+ * identical records because the accumulation is shared.
+ */
+class SummaryAccumulator
+{
+  public:
+    /** @param golden_cycles golden run length (histogram scale). */
+    explicit SummaryAccumulator(std::uint64_t golden_cycles);
+
+    /** Fold in one record (its outcome name must be a known class). */
+    void add(const TelemetryRecord &record);
+
+    const ClassCounts &counts() const { return counts_; }
+    std::uint64_t runs() const { return counts_.total(); }
+
+    /**
+     * Render the summary document for the records folded in so far.
+     * `config_echo`/`golden_echo` come from telemetryConfigEcho/
+     * telemetryGoldenEcho (writer) or a parsed header (merge);
+     * `jobs_echo` is the volatile jobs field (0 unless timing
+     * capture is on).
+     */
+    std::string summaryJson(const json::Value &config_echo,
+                            const json::Value &golden_echo,
+                            std::uint64_t jobs_echo) const;
+
+  private:
+    std::uint64_t goldenCycles_;
+    ClassCounts counts_;
+    std::uint64_t totalSimCycles_ = 0;
+    std::uint64_t totalRestoreMicros_ = 0;
+    std::uint64_t totalWallMicros_ = 0;
+    std::vector<std::uint64_t> histogram_; //!< run-length buckets
 };
 
 /**
  * Builds both artifacts for one campaign.  commit() must be called
- * once per task in runId order — the executors' ordered-commit point
- * (CampaignReporter::setCommitSink) guarantees exactly that.
+ * once per task in ascending-runId order — the executors'
+ * ordered-commit point (CampaignReporter::setCommitSink) guarantees
+ * exactly that for any plan view and job count.
+ *
+ * With streamTo() the run stream is additionally appended to disk
+ * line-by-line (flushed per record), so a killed campaign leaves a
+ * readable partial stream — at worst with one torn trailing line —
+ * that `--resume` can finish from.
  */
 class TelemetryWriter
 {
   public:
+    /**
+     * @param total_runs campaign-wide run count (plan totalRuns()),
+     *        echoed as `runs_total` in the header.
+     */
     TelemetryWriter(const CampaignConfig &config,
                     const syskit::RunRecord &golden,
-                    std::uint32_t jobs, TelemetryOptions options);
+                    std::uint64_t total_runs, std::uint32_t jobs,
+                    TelemetryOptions options);
 
-    /** Append one run record (call in runId order). */
+    /**
+     * Stream the run lines to `<base>.jsonl` incrementally (header
+     * immediately, one flushed line per record).  Call before any
+     * commit/replay; fatal() on I/O failure.
+     */
+    void streamTo(const std::string &base);
+
+    /**
+     * Re-emit one already-completed record verbatim (resume).  Call
+     * before the executor runs, in ascending runId order; fatal() on
+     * an unknown outcome class or disordered runId (a corrupt or
+     * foreign resume stream).
+     */
+    void replay(const TelemetryRecord &record);
+
+    /** Append one run record (call in ascending runId order). */
     void commit(const RunTask &task, const TaskResult &result);
 
     /** The JSONL run stream (header line + one line per record). */
@@ -127,15 +233,15 @@ class TelemetryWriter
     std::string summaryJson() const;
 
     /**
-     * Write `<base>.jsonl` and `<base>.summary.json`.
-     * fatal() on I/O failure.
+     * Finalize: write `<base>.summary.json`, and `<base>.jsonl` too
+     * unless it was already streamed there.  fatal() on I/O failure.
      */
-    void writeFiles(const std::string &base) const;
+    void writeFiles(const std::string &base);
 
-    const ClassCounts &counts() const { return counts_; }
+    const ClassCounts &counts() const { return acc_.counts(); }
 
   private:
-    json::Value configEcho() const;
+    void appendLine(const std::string &line);
 
     CampaignConfig config_;
     syskit::RunRecord golden_;
@@ -144,12 +250,11 @@ class TelemetryWriter
     Parser parser_;
 
     std::string lines_;
-    ClassCounts counts_;
-    std::uint64_t nextRunId_ = 0;
-    std::uint64_t totalSimCycles_ = 0;
-    std::uint64_t totalRestoreMicros_ = 0;
-    std::uint64_t totalWallMicros_ = 0;
-    std::vector<std::uint64_t> histogram_; //!< run-length buckets
+    SummaryAccumulator acc_;
+    bool anyEmitted_ = false;
+    std::uint64_t lastRunId_ = 0;
+    std::ofstream stream_;     //!< open while streaming
+    std::string streamPath_;   //!< `<base>.jsonl` being streamed
 };
 
 /**

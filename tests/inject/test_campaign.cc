@@ -7,6 +7,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
 #include "gemsim/gefin.hh"
 #include "inject/campaign.hh"
 #include "inject/report.hh"
@@ -359,6 +364,65 @@ TEST(Report, FigureAggregation)
     const std::string summary = report.renderSummary();
     EXPECT_NE(summary.find("average vulnerability"),
               std::string::npos);
+}
+
+TEST(CampaignConfigValidate, DefaultAndMicroConfigsAreClean)
+{
+    EXPECT_TRUE(CampaignConfig{}.validate().empty());
+    EXPECT_TRUE(
+        microConfig("gem5-arm", "int_regfile").validate().empty());
+}
+
+TEST(CampaignConfigValidate, ReportsEveryViolationWithItsField)
+{
+    CampaignConfig cfg = microConfig("marss-x86", "int_regfile");
+    cfg.coreName = "vax-11";
+    cfg.component = "flux_capacitor";
+    cfg.benchmark = "doom";
+    cfg.confidence = 1.5;
+    cfg.margin = 0.0;
+    cfg.cacheScale = -1.0;
+    cfg.timeoutFactor = 0.5;
+    cfg.scale = 0;
+    cfg.shard = ShardSpec{3, 2};
+    cfg.resumeFrom = "partial.jsonl"; // without telemetryOut
+
+    const std::vector<ConfigError> errors = cfg.validate();
+    std::vector<std::string> fields;
+    for (const ConfigError &error : errors) {
+        EXPECT_FALSE(error.message.empty()) << error.field;
+        fields.push_back(error.field);
+    }
+    for (const char *field :
+         {"core", "component", "benchmark", "confidence", "margin",
+          "cache_scale", "timeout_factor", "scale", "shard",
+          "resume"}) {
+        EXPECT_NE(std::find(fields.begin(), fields.end(), field),
+                  fields.end())
+            << "no error for field " << field;
+    }
+}
+
+TEST(CampaignConfigValidate, ShardBounds)
+{
+    CampaignConfig cfg = microConfig("marss-x86", "int_regfile");
+    cfg.shard = ShardSpec{0, 4};
+    EXPECT_TRUE(cfg.validate().empty());
+    cfg.shard = ShardSpec{3, 4};
+    EXPECT_TRUE(cfg.validate().empty());
+    cfg.shard = ShardSpec{4, 4};
+    ASSERT_EQ(cfg.validate().size(), 1u);
+    EXPECT_EQ(cfg.validate()[0].field, "shard");
+    cfg.shard = ShardSpec{0, 0};
+    ASSERT_EQ(cfg.validate().size(), 1u);
+    EXPECT_EQ(cfg.validate()[0].field, "shard");
+}
+
+TEST(CampaignConfigValidate, CampaignRefusesInvalidConfig)
+{
+    CampaignConfig cfg = microConfig("marss-x86", "int_regfile");
+    cfg.component = "flux_capacitor";
+    EXPECT_THROW(InjectionCampaign(cfg).golden(), dfi::FatalError);
 }
 
 } // namespace

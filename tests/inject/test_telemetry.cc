@@ -264,6 +264,42 @@ TEST(Telemetry, DiffOutcomesEqualDriftMalformed)
         DiffOutcome::Malformed);
 }
 
+TEST(Telemetry, ReaderDropsTornTrailingLineWithWarning)
+{
+    TempDir dir;
+    CampaignConfig cfg = smokeConfig();
+    cfg.telemetryOut = (dir.path / "run").string();
+    InjectionCampaign(cfg).run();
+    const std::string full = readFile(dir.path / "run.jsonl");
+
+    // Clean streams parse without a warning.
+    TelemetryFile clean;
+    std::string error;
+    ASSERT_TRUE(parseTelemetry(full, clean, error)) << error;
+    EXPECT_TRUE(clean.warning.empty()) << clean.warning;
+
+    // A killed writer tears the final line mid-record: the reader
+    // drops it with a warning and keeps every complete record.
+    const std::size_t last_begin =
+        full.rfind('\n', full.size() - 2) + 1;
+    const std::string torn =
+        full.substr(0, last_begin) +
+        full.substr(last_begin, 17); // half a record, no newline
+    TelemetryFile file;
+    ASSERT_TRUE(parseTelemetry(torn, file, error)) << error;
+    EXPECT_EQ(file.records.size(), clean.records.size() - 1);
+    EXPECT_NE(file.warning.find("torn trailing line"),
+              std::string::npos)
+        << file.warning;
+
+    // Mid-file corruption is NOT a torn tail: hard error.
+    std::string corrupt = full;
+    const std::size_t second_line = corrupt.find('\n') + 1;
+    corrupt.insert(second_line, "{broken\n");
+    EXPECT_FALSE(parseTelemetry(corrupt, file, error));
+    EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+}
+
 TEST(Telemetry, ToleranceModeAcceptsSmallStatisticalDrift)
 {
     TempDir dir;

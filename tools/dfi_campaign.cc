@@ -4,8 +4,10 @@
  *
  * Runs a full campaign (golden run, mask generation, injections,
  * classification) from flags, mirroring how the paper's tools were
- * driven in batch across workstations.  Masks can be exported and
- * replayed so campaigns are shardable and reproducible.
+ * driven in batch across workstations.  Campaigns are shardable
+ * (`--shard I/N` + dfi-merge), resumable (`--resume`), and masks can
+ * be exported and replayed, so long campaigns split across machines
+ * and survive interruptions without losing determinism.
  *
  * Examples:
  *   dfi-campaign --core marss-x86 --benchmark fft --component l1d \
@@ -14,17 +16,20 @@
  *                --confidence 0.99 --margin 0.05
  *   dfi-campaign --list
  *   dfi-campaign --core gem5-x86 --benchmark qsort --component l1i \
- *                --fault-type permanent --injections 200 \
- *                --save-masks masks.txt --crash-as-assert
+ *                --injections 400 --shard 0/2 --telemetry-out s0
+ *   dfi-campaign --core gem5-x86 --benchmark qsort --component l1i \
+ *                --injections 400 --resume run.jsonl \
+ *                --telemetry-out run
  */
 
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <limits>
 #include <string>
+#include <vector>
 
+#include "common/cli.hh"
 #include "common/logging.hh"
 #include "common/parse_num.hh"
 #include "common/stats.hh"
@@ -42,56 +47,6 @@ using namespace dfi::inject;
 namespace
 {
 
-void
-usage()
-{
-    std::puts(
-        "usage: dfi-campaign [options]\n"
-        "\n"
-        "campaign selection:\n"
-        "  --core NAME          marss-x86 | gem5-x86 | gem5-arm\n"
-        "  --benchmark NAME     one of the ten workloads (or 'micro')\n"
-        "  --component NAME     injection target (see --list)\n"
-        "  --scale N            workload input scale (default 1)\n"
-        "\n"
-        "fault selection:\n"
-        "  --injections N       number of runs (default: derive from\n"
-        "                       --confidence/--margin)\n"
-        "  --confidence P       sampling confidence (default 0.99)\n"
-        "  --margin E           sampling error margin (default 0.03)\n"
-        "  --fault-type T       transient | intermittent | permanent\n"
-        "  --population P       single | double-adjacent |\n"
-        "                       double-random | multi-structure\n"
-        "  --seed N             campaign seed\n"
-        "\n"
-        "execution:\n"
-        "  --jobs N             worker threads (default: hardware\n"
-        "                       concurrency; results are bit-identical\n"
-        "                       for every N)\n"
-        "  --timeout-factor F   run bound vs golden cycles (default 3)\n"
-        "  --cache-scale F      cache capacity scale (default 0.0625)\n"
-        "  --no-early-stop      disable both early-stop optimizations\n"
-        "  --no-checkpoints     always start runs from reset\n"
-        "  --checkpoints N      target live checkpoint count\n"
-        "                       (default 6)\n"
-        "  --checkpoint-budget MB\n"
-        "                       checkpoint memory budget in MiB\n"
-        "                       (default 256; 0 = unlimited)\n"
-        "\n"
-        "output:\n"
-        "  --telemetry-out BASE write BASE.jsonl (per-run records)\n"
-        "                       and BASE.summary.json; byte-identical\n"
-        "                       for every --jobs value\n"
-        "  --telemetry-timing   record real wall-clock micros and the\n"
-        "                       job count in the telemetry (marks the\n"
-        "                       volatile fields; off by default)\n"
-        "  --save-masks FILE    write the generated masks repository\n"
-        "  --crash-as-assert    regroup simulator crashes under Assert\n"
-        "  --no-due-split       do not annotate true/false DUE\n"
-        "  --verbose            per-run progress\n"
-        "  --list               list cores, benchmarks, components\n");
-}
-
 [[noreturn]] void
 die(const std::string &message)
 {
@@ -99,44 +54,80 @@ die(const std::string &message)
     std::exit(2);
 }
 
-const char *
-need(int argc, char **argv, int &i)
+void
+listTargets()
 {
-    if (i + 1 >= argc)
-        die(std::string("missing value for ") + argv[i]);
-    return argv[++i];
+    std::puts("cores:");
+    for (const auto &name : uarch::coreConfigNames())
+        std::printf("  %s\n", name.c_str());
+    std::puts("benchmarks:");
+    for (const auto &name : prog::benchmarkNames())
+        std::printf("  %s\n", name.c_str());
+    std::puts("  micro (test workload)");
+    std::puts("components:");
+    for (const auto &name : componentNames())
+        std::printf("  %s\n", name.c_str());
 }
 
-/**
- * Strictly-parsed numeric flag values: trailing garbage or a
- * non-number dies naming the flag instead of silently becoming 0.
- */
-std::uint64_t
-needUnsigned(int argc, char **argv, int &i,
-             std::uint64_t max = std::numeric_limits<
-                 std::uint64_t>::max())
+bool
+decodeFaultType(const std::string &text, FaultType &out,
+                std::string &error)
 {
-    const std::string flag = argv[i];
-    const std::string text = need(argc, argv, i);
-    std::uint64_t value = 0;
-    if (!dfi::parseUnsigned(text, value, max)) {
-        die("invalid value '" + text + "' for " + flag +
-            " (expected an unsigned integer)");
+    if (text == "transient")
+        out = FaultType::Transient;
+    else if (text == "intermittent")
+        out = FaultType::Intermittent;
+    else if (text == "permanent")
+        out = FaultType::Permanent;
+    else {
+        error = "expected transient | intermittent | permanent";
+        return false;
     }
-    return value;
+    return true;
 }
 
-double
-needDouble(int argc, char **argv, int &i)
+bool
+decodePopulation(const std::string &text, Population &out,
+                 std::string &error)
 {
-    const std::string flag = argv[i];
-    const std::string text = need(argc, argv, i);
-    double value = 0.0;
-    if (!dfi::parseDouble(text, value)) {
-        die("invalid value '" + text + "' for " + flag +
-            " (expected a number)");
+    if (text == "single")
+        out = Population::SingleBit;
+    else if (text == "double-adjacent")
+        out = Population::DoubleAdjacent;
+    else if (text == "double-random")
+        out = Population::DoubleRandom;
+    else if (text == "multi-structure")
+        out = Population::MultiStructure;
+    else {
+        error = "expected single | double-adjacent | double-random | "
+                "multi-structure";
+        return false;
     }
-    return value;
+    return true;
+}
+
+/** Decode `I/N` (e.g. `0/4`) into a ShardSpec. */
+bool
+decodeShard(const std::string &text, ShardSpec &out,
+            std::string &error)
+{
+    const std::size_t slash = text.find('/');
+    if (slash == std::string::npos || slash == 0 ||
+        slash + 1 >= text.size()) {
+        error = "expected I/N (e.g. 0/4)";
+        return false;
+    }
+    std::uint64_t index = 0, count = 0;
+    if (!dfi::parseUnsigned(text.substr(0, slash), index,
+                            std::numeric_limits<std::uint32_t>::max()) ||
+        !dfi::parseUnsigned(text.substr(slash + 1), count,
+                            std::numeric_limits<std::uint32_t>::max())) {
+        error = "expected I/N (e.g. 0/4)";
+        return false;
+    }
+    out.index = static_cast<std::uint32_t>(index);
+    out.count = static_cast<std::uint32_t>(count);
+    return true;
 }
 
 } // namespace
@@ -150,99 +141,135 @@ main(int argc, char **argv)
     ParserConfig parser_cfg;
     std::string save_masks;
     bool verbose = false;
+    bool list = false;
+    std::uint64_t scale = cfg.scale;
+    std::uint64_t checkpoint_count = cfg.checkpointCount;
 
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        if (arg == "--help" || arg == "-h") {
-            usage();
-            return 0;
-        } else if (arg == "--list") {
-            std::puts("cores:");
-            for (const auto &name : uarch::coreConfigNames())
-                std::printf("  %s\n", name.c_str());
-            std::puts("benchmarks:");
-            for (const auto &name : prog::benchmarkNames())
-                std::printf("  %s\n", name.c_str());
-            std::puts("  micro (test workload)");
-            std::puts("components:");
-            for (const auto &name : componentNames())
-                std::printf("  %s\n", name.c_str());
-            return 0;
-        } else if (arg == "--core") {
-            cfg.coreName = need(argc, argv, i);
-        } else if (arg == "--benchmark") {
-            cfg.benchmark = need(argc, argv, i);
-        } else if (arg == "--component") {
-            cfg.component = need(argc, argv, i);
-        } else if (arg == "--scale") {
-            cfg.scale = static_cast<std::uint32_t>(needUnsigned(
-                argc, argv, i,
-                std::numeric_limits<std::uint32_t>::max()));
-        } else if (arg == "--injections") {
-            cfg.numInjections = needUnsigned(argc, argv, i);
-        } else if (arg == "--confidence") {
-            cfg.confidence = needDouble(argc, argv, i);
-        } else if (arg == "--margin") {
-            cfg.margin = needDouble(argc, argv, i);
-        } else if (arg == "--fault-type") {
-            const std::string type = need(argc, argv, i);
-            if (type == "transient")
-                cfg.faultType = FaultType::Transient;
-            else if (type == "intermittent")
-                cfg.faultType = FaultType::Intermittent;
-            else if (type == "permanent")
-                cfg.faultType = FaultType::Permanent;
-            else
-                die("unknown fault type '" + type + "'");
-        } else if (arg == "--population") {
-            const std::string pop = need(argc, argv, i);
-            if (pop == "single")
-                cfg.population = Population::SingleBit;
-            else if (pop == "double-adjacent")
-                cfg.population = Population::DoubleAdjacent;
-            else if (pop == "double-random")
-                cfg.population = Population::DoubleRandom;
-            else if (pop == "multi-structure")
-                cfg.population = Population::MultiStructure;
-            else
-                die("unknown population '" + pop + "'");
-        } else if (arg == "--seed") {
-            cfg.seed = needUnsigned(argc, argv, i);
-        } else if (arg == "--jobs") {
-            cfg.jobs = static_cast<std::uint32_t>(needUnsigned(
-                argc, argv, i,
-                std::numeric_limits<std::uint32_t>::max()));
-        } else if (arg == "--timeout-factor") {
-            cfg.timeoutFactor = needDouble(argc, argv, i);
-        } else if (arg == "--cache-scale") {
-            cfg.cacheScale = needDouble(argc, argv, i);
-        } else if (arg == "--no-early-stop") {
-            cfg.earlyStopInvalidEntry = false;
-            cfg.earlyStopOverwrite = false;
-        } else if (arg == "--no-checkpoints") {
-            cfg.useCheckpoints = false;
-        } else if (arg == "--checkpoints") {
-            cfg.checkpointCount = static_cast<std::uint32_t>(
-                needUnsigned(argc, argv, i,
-                             std::numeric_limits<
-                                 std::uint32_t>::max()));
-        } else if (arg == "--checkpoint-budget") {
-            cfg.checkpointMemBudgetMB = needUnsigned(argc, argv, i);
-        } else if (arg == "--telemetry-out") {
-            cfg.telemetryOut = need(argc, argv, i);
-        } else if (arg == "--telemetry-timing") {
-            cfg.telemetryTiming = true;
-        } else if (arg == "--save-masks") {
-            save_masks = need(argc, argv, i);
-        } else if (arg == "--crash-as-assert") {
-            parser_cfg.simulatorCrashAsAssert = true;
-        } else if (arg == "--no-due-split") {
-            parser_cfg.splitDue = false;
-        } else if (arg == "--verbose") {
-            verbose = true;
-        } else {
-            die("unknown option '" + arg + "' (try --help)");
-        }
+    cli::FlagSet flags("dfi-campaign", "[options]");
+    flags.section("campaign selection");
+    flags.text("--core", "NAME", "marss-x86 | gem5-x86 | gem5-arm",
+               &cfg.coreName);
+    flags.text("--benchmark", "NAME",
+               "one of the ten workloads (or 'micro')",
+               &cfg.benchmark);
+    flags.text("--component", "NAME", "injection target (see --list)",
+               &cfg.component);
+    flags.uint64("--scale", "N", "workload input scale (default 1)",
+                 &scale, std::numeric_limits<std::uint32_t>::max());
+
+    flags.section("fault selection");
+    flags.uint64("--injections", "N",
+                 "number of runs (default: derive from\n"
+                 "--confidence/--margin)",
+                 &cfg.numInjections);
+    flags.number("--confidence", "P",
+                 "sampling confidence (default 0.99)",
+                 &cfg.confidence);
+    flags.number("--margin", "E",
+                 "sampling error margin (default 0.03)", &cfg.margin);
+    flags.custom("--fault-type", "T",
+                 "transient | intermittent | permanent",
+                 [&cfg](const std::string &text, std::string &error) {
+                     return decodeFaultType(text, cfg.faultType,
+                                            error);
+                 });
+    flags.custom("--population", "P",
+                 "single | double-adjacent |\n"
+                 "double-random | multi-structure",
+                 [&cfg](const std::string &text, std::string &error) {
+                     return decodePopulation(text, cfg.population,
+                                             error);
+                 });
+    flags.uint64("--seed", "N", "campaign seed", &cfg.seed);
+
+    flags.section("execution");
+    flags.uint32("--jobs", "N",
+                 "worker threads (default: hardware\n"
+                 "concurrency; results are bit-identical\n"
+                 "for every N)",
+                 &cfg.jobs);
+    flags.custom("--shard", "I/N",
+                 "execute shard I of N (runs with\n"
+                 "runId mod N == I); merge the shards'\n"
+                 "telemetry with dfi-merge",
+                 [&cfg](const std::string &text, std::string &error) {
+                     return decodeShard(text, cfg.shard, error);
+                 });
+    flags.text("--resume", "FILE",
+               "replay the completed runs of a partial\n"
+               "telemetry stream (a torn final line is\n"
+               "dropped) and execute only the rest;\n"
+               "requires --telemetry-out",
+               &cfg.resumeFrom);
+    flags.number("--timeout-factor", "F",
+                 "run bound vs golden cycles (default 3)",
+                 &cfg.timeoutFactor);
+    flags.number("--cache-scale", "F",
+                 "cache capacity scale (default 0.0625)",
+                 &cfg.cacheScale);
+    flags.flag("--no-early-stop",
+               "disable both early-stop optimizations", [&cfg] {
+                   cfg.earlyStopInvalidEntry = false;
+                   cfg.earlyStopOverwrite = false;
+               });
+    flags.flag("--no-checkpoints", "always start runs from reset",
+               [&cfg] { cfg.useCheckpoints = false; });
+    flags.uint64("--checkpoints", "N",
+                 "target live checkpoint count\n(default 6)",
+                 &checkpoint_count,
+                 std::numeric_limits<std::uint32_t>::max());
+    flags.uint64("--checkpoint-budget", "MB",
+                 "checkpoint memory budget in MiB\n"
+                 "(default 256; 0 = unlimited)",
+                 &cfg.checkpointMemBudgetMB);
+
+    flags.section("output");
+    flags.text("--telemetry-out", "BASE",
+               "write BASE.jsonl (per-run records)\n"
+               "and BASE.summary.json; byte-identical\n"
+               "for every --jobs value",
+               &cfg.telemetryOut);
+    flags.flag("--telemetry-timing",
+               "record real wall-clock micros and the\n"
+               "job count in the telemetry (marks the\n"
+               "volatile fields; off by default)",
+               &cfg.telemetryTiming);
+    flags.text("--save-masks", "FILE",
+               "write the generated masks repository", &save_masks);
+    flags.flag("--crash-as-assert",
+               "regroup simulator crashes under Assert",
+               &parser_cfg.simulatorCrashAsAssert);
+    flags.flag("--no-due-split", "do not annotate true/false DUE",
+               [&parser_cfg] { parser_cfg.splitDue = false; });
+    flags.flag("--verbose", "per-run progress", &verbose);
+    flags.flag("--list", "list cores, benchmarks, components",
+               &list);
+
+    std::string parse_error;
+    switch (flags.parse(argc, argv, parse_error)) {
+      case cli::ParseResult::Help:
+        std::fputs(flags.usage().c_str(), stdout);
+        return 0;
+      case cli::ParseResult::Error:
+        die(parse_error);
+      case cli::ParseResult::Ok:
+        break;
+    }
+    if (list) {
+        listTargets();
+        return 0;
+    }
+    cfg.scale = static_cast<std::uint32_t>(scale);
+    cfg.checkpointCount = static_cast<std::uint32_t>(checkpoint_count);
+
+    // One structured validation pass; every defect is reported, not
+    // just the first.
+    const std::vector<ConfigError> config_errors = cfg.validate();
+    if (!config_errors.empty()) {
+        for (const ConfigError &err : config_errors)
+            std::fprintf(stderr, "dfi-campaign: config: %s: %s\n",
+                         err.field.c_str(), err.message.c_str());
+        return 2;
     }
 
     try {
@@ -255,6 +282,9 @@ main(int argc, char **argv)
                      static_cast<unsigned long long>(
                          golden.instructions),
                      golden.output.size());
+        if (cfg.shard.count > 1)
+            std::fprintf(stderr, "executing shard %u/%u\n",
+                         cfg.shard.index, cfg.shard.count);
         std::fprintf(stderr, "executing on %u worker thread%s\n",
                      resolveJobs(cfg.jobs),
                      resolveJobs(cfg.jobs) == 1 ? "" : "s");

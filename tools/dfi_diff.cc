@@ -25,36 +25,15 @@
  */
 
 #include <cstdio>
-#include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "common/cli.hh"
 #include "common/parse_num.hh"
 #include "inject/telemetry.hh"
 
 using namespace dfi::inject;
-
-namespace
-{
-
-void
-usage()
-{
-    std::puts(
-        "usage: dfi-diff [--exact | --tolerance PCT] FILE_A FILE_B\n"
-        "\n"
-        "Compares two telemetry artifacts of the same kind (JSONL run\n"
-        "streams or summary JSON documents).\n"
-        "\n"
-        "  --exact          require identity of every non-volatile\n"
-        "                   field (default)\n"
-        "  --tolerance PCT  require per-class outcome percentages to\n"
-        "                   agree within PCT percentage points\n"
-        "\n"
-        "exit codes: 0 equal, 1 drift, 2 malformed input / usage");
-}
-
-} // namespace
+namespace cli = dfi::cli;
 
 int
 main(int argc, char **argv)
@@ -62,40 +41,43 @@ main(int argc, char **argv)
     DiffOptions options;
     std::vector<std::string> paths;
 
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        if (arg == "--help" || arg == "-h") {
-            usage();
-            return 0;
-        } else if (arg == "--exact") {
-            options.exact = true;
-        } else if (arg == "--tolerance") {
-            if (i + 1 >= argc) {
-                std::fprintf(stderr,
-                             "dfi-diff: missing value for "
-                             "--tolerance\n");
-                return 2;
-            }
-            const std::string text = argv[++i];
-            double tolerance = 0.0;
-            if (!dfi::parseDouble(text, tolerance)) {
-                std::fprintf(stderr,
-                             "dfi-diff: invalid value '%s' for "
-                             "--tolerance (expected a number)\n",
-                             text.c_str());
-                return 2;
-            }
-            options.exact = false;
-            options.tolerancePercent = tolerance;
-        } else if (!arg.empty() && arg[0] == '-') {
-            std::fprintf(stderr,
-                         "dfi-diff: unknown option '%s' (try "
-                         "--help)\n",
-                         arg.c_str());
-            return 2;
-        } else {
-            paths.push_back(arg);
-        }
+    cli::FlagSet flags("dfi-diff",
+                       "[--exact | --tolerance PCT] FILE_A FILE_B");
+    flags.flag("--exact",
+               "require identity of every non-volatile\n"
+               "field (default)",
+               [&options] { options.exact = true; });
+    flags.custom("--tolerance", "PCT",
+                 "require per-class outcome percentages to\n"
+                 "agree within PCT percentage points",
+                 [&options](const std::string &text,
+                            std::string &error) {
+                     double tolerance = 0.0;
+                     if (!dfi::parseDouble(text, tolerance)) {
+                         error = "expected a number";
+                         return false;
+                     }
+                     options.exact = false;
+                     options.tolerancePercent = tolerance;
+                     return true;
+                 });
+    flags.positionals("FILE_A FILE_B",
+                      "two telemetry artifacts of the same kind\n"
+                      "(JSONL run streams or summary JSON documents)",
+                      &paths);
+
+    std::string parse_error;
+    switch (flags.parse(argc, argv, parse_error)) {
+      case cli::ParseResult::Help:
+        std::fputs(flags.usage().c_str(), stdout);
+        std::puts("\nexit codes: 0 equal, 1 drift, 2 malformed "
+                  "input / usage");
+        return 0;
+      case cli::ParseResult::Error:
+        std::fprintf(stderr, "dfi-diff: %s\n", parse_error.c_str());
+        return 2;
+      case cli::ParseResult::Ok:
+        break;
     }
     if (paths.size() != 2) {
         std::fprintf(stderr,
