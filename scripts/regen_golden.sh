@@ -18,7 +18,10 @@
 #           1 and 4 and diffs both against the same baselines.
 #   EXTRA_FLAGS  passed through to dfi-campaign. CI uses
 #           `--no-checkpoints` for a leg proving the checkpoint fast
-#           path leaves the artifacts byte-identical, and
+#           path leaves the artifacts byte-identical,
+#           `--no-prune` for a leg proving equivalence pruning never
+#           changes the classification output (exact-diff equal; the
+#           volatile prune bookkeeping fields are skipped), and
 #           `--shard I/N` for the shard-merge leg.
 #
 # Environment:

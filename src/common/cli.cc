@@ -146,6 +146,8 @@ FlagSet::parse(int argc, char **argv, std::string &error)
         const std::string arg = argv[i];
         if (arg == "--help" || arg == "-h")
             return ParseResult::Help;
+        if (arg == "--version")
+            return ParseResult::Version;
         if (arg.empty() || arg[0] != '-') {
             if (positionalOut_ == nullptr) {
                 error = "unexpected argument '" + arg +

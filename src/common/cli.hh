@@ -14,8 +14,10 @@
  * Grammar: a token starting with '-' is a flag; a flag either takes
  * no value or consumes the following token.  Anything else is a
  * positional argument (collected only when the tool registered a
- * positional slot).  `--help`/`-h` is built in and reports
- * ParseResult::Help without touching any destination.
+ * positional slot).  `--help`/`-h` and `--version` are built in and
+ * report ParseResult::Help / ParseResult::Version without touching
+ * any destination; tools print usage() or dfi::versionString() and
+ * exit 0.
  */
 
 #ifndef DFI_COMMON_CLI_HH
@@ -33,9 +35,10 @@ namespace dfi::cli
 /** Outcome of FlagSet::parse. */
 enum class ParseResult
 {
-    Ok,    //!< all tokens consumed
-    Help,  //!< --help/-h was given; print usage() and exit 0
-    Error, //!< bad input; `error` names the offending token
+    Ok,      //!< all tokens consumed
+    Help,    //!< --help/-h was given; print usage() and exit 0
+    Version, //!< --version was given; print versionString(), exit 0
+    Error,   //!< bad input; `error` names the offending token
 };
 
 /**

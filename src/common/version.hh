@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Single source of the build version, shared by the three CLI tools
+ * (`--version`) and the telemetry `generator` echo, so artifacts and
+ * bug reports can name the build that produced them.
+ *
+ * Bump policy: raise the version with every change that alters the
+ * bytes of the telemetry artifacts (the `generator` echo is volatile,
+ * but resume byte-compares the full header, so a version bump —
+ * like a schema bump — makes partial streams from older builds
+ * non-resumable by design).
+ */
+
+#ifndef DFI_COMMON_VERSION_HH
+#define DFI_COMMON_VERSION_HH
+
+#include <string>
+
+namespace dfi
+{
+
+inline constexpr const char *kVersion = "0.6.0";
+
+/** "dfi <version>", the `--version` output and telemetry echo. */
+inline std::string
+versionString()
+{
+    return std::string("dfi ") + kVersion;
+}
+
+} // namespace dfi
+
+#endif // DFI_COMMON_VERSION_HH

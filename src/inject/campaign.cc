@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <memory>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "common/logging.hh"
@@ -75,6 +76,15 @@ CampaignConfig::validate() const
         bad("confidence", "must be in (0, 1)");
     if (margin <= 0.0 || margin >= 1.0)
         bad("margin", "must be in (0, 1)");
+    if (exhaustive && numInjections != 0)
+        bad("injections",
+            "--exhaustive enumerates the whole fault space; drop "
+            "--injections");
+    if (exhaustive && (faultType != dfi::FaultType::Transient ||
+                       population != Population::SingleBit))
+        bad("exhaustive",
+            "exhaustive campaigns enumerate single-bit transients "
+            "only");
     if (intermittentMin > intermittentMax)
         bad("intermittent_min",
             "must not exceed intermittent_max (" +
@@ -319,13 +329,43 @@ InjectionCampaign::runTask(const RunTask &task) const
     return result;
 }
 
+InjectionCampaign::PlanSummary
+InjectionCampaign::planSummary()
+{
+    prepare();
+
+    uarch::CoreConfig core_cfg = uarch::coreConfigByName(cfg_.coreName);
+    uarch::scaleCaches(core_cfg, cfg_.cacheScale);
+    if (cfg_.configTweak)
+        cfg_.configTweak(core_cfg);
+    uarch::OooCore probe(core_cfg, image_);
+    CampaignPlan plan = planCampaign(cfg_, golden_, probe);
+
+    PlanSummary summary;
+    summary.totalRuns = plan.totalRuns();
+    summary.stats = plan.pruneStats();
+    summary.maskCount = plan.masks().size();
+    if (cfg_.shard.count > 1)
+        plan = plan.shardView(cfg_.shard);
+    summary.executed = plan.numRuns();
+    for (const RunTask &task : plan.tasks()) {
+        summary.estimatedSimulatedCycles +=
+            golden_.cycles >= task.firstCycle
+                ? golden_.cycles - task.firstCycle + 1
+                : 1;
+    }
+    return summary;
+}
+
 CampaignResult
 InjectionCampaign::run(const Progress &progress)
 {
     prepare();
 
-    // Plan: resolve sampling size and the mask repository.  The probe
-    // core only supplies structure geometries; it never ticks.
+    // Plan: resolve sampling size and the mask repository, then run
+    // the classification pipeline (the probe core supplies the
+    // structure geometries and, when pruning is on, is ticked through
+    // one instrumented golden re-run).
     uarch::CoreConfig core_cfg = uarch::coreConfigByName(cfg_.coreName);
     uarch::scaleCaches(core_cfg, cfg_.cacheScale);
     if (cfg_.configTweak)
@@ -357,7 +397,9 @@ InjectionCampaign::run(const Progress &progress)
         if (!partial.warning.empty())
             warn("resume: %s: %s", cfg_.resumeFrom, partial.warning);
         const std::string expected =
-            telemetryRunsHeader(cfg_, golden_, total_runs).dump();
+            telemetryRunsHeader(cfg_, golden_, total_runs,
+                                plan.pruneStats())
+                .dump();
         if (partial.header.dump() != expected)
             fatal("resume: '%s' came from a different campaign "
                   "(header mismatch; check config and seed)",
@@ -383,8 +425,12 @@ InjectionCampaign::run(const Progress &progress)
     if (!cfg_.telemetryOut.empty()) {
         telemetry = std::make_unique<TelemetryWriter>(
             cfg_, golden_, total_runs, executor->jobs(),
-            TelemetryOptions{cfg_.telemetryTiming});
+            plan.pruneStats(), TelemetryOptions{cfg_.telemetryTiming});
         telemetry->streamTo(cfg_.telemetryOut);
+        // Pruned runs of this plan view interleave into the stream at
+        // their runId positions; already-resumed pruned runs were
+        // dropped from the view by withoutRuns() above.
+        telemetry->setPruned(plan.pruned());
         // Completed runs from the resume stream re-enter the new
         // artifact verbatim, ahead of everything this process runs
         // (resumed runIds always precede the remainder: the partial
@@ -419,10 +465,19 @@ InjectionCampaign::run(const Progress &progress)
     result.config = cfg_;
     result.golden = golden_;
     result.masks = plan.masks();
+    result.pruneStats = plan.pruneStats();
     result.records.reserve(task_results.size());
+    result.recordRunIds.reserve(task_results.size());
     result.aggregateStats = reporter.aggregateStats();
-    for (TaskResult &task_result : task_results) {
+    const std::vector<RunTask> &tasks = plan.tasks();
+    if (task_results.size() != tasks.size())
+        panic("campaign: %s results for %s planned tasks",
+              task_results.size(), tasks.size());
+    for (std::size_t i = 0; i < task_results.size(); ++i) {
+        TaskResult &task_result = task_results[i];
         result.simulatedFaultyCycles += task_result.simulatedCycles;
+        result.totalWallMicros += task_result.wallMicros;
+        result.totalRestoreMicros += task_result.restoreMicros;
         // Without checkpoints and early stops the run would have
         // simulated from reset to wherever it ended (or to the end of
         // the program for masked runs).
@@ -430,7 +485,81 @@ InjectionCampaign::run(const Progress &progress)
         result.fullRunEquivalentCycles +=
             rec.earlyStopMasked ? golden_.cycles
                                 : std::max(rec.cycles, golden_.cycles);
+        result.recordRunIds.push_back(tasks[i].runId);
         result.records.push_back(std::move(task_result.record));
+    }
+
+    // Fold the pruned runs of this view in with their precomputed
+    // outcomes, so result.classify() tallies the whole view exactly
+    // as an unpruned campaign would.
+    std::unordered_map<std::uint64_t, const syskit::RunRecord *>
+        executed;
+    for (std::size_t i = 0; i < result.records.size(); ++i)
+        executed.emplace(result.recordRunIds[i], &result.records[i]);
+    std::unordered_map<std::uint64_t, const TelemetryRecord *>
+        resumed_by_id;
+    for (const TelemetryRecord &record : resumed)
+        resumed_by_id.emplace(record.runId, &record);
+
+    result.pruned.reserve(plan.pruned().size());
+    for (const PrunedRun &pruned : plan.pruned()) {
+        PrunedRunOutcome outcome;
+        outcome.runId = pruned.runId;
+        outcome.verdict = pruned.verdict;
+        outcome.repRunId = pruned.repRunId;
+        outcome.pruneClass = pruned.pruneClass;
+        switch (pruned.verdict) {
+          case SiteVerdict::InvalidEntry:
+          case SiteVerdict::DeadOverwrite:
+            outcome.record.earlyStopMasked = true;
+            outcome.record.earlyStopReason =
+                pruned.verdict == SiteVerdict::InvalidEntry
+                    ? "invalid-entry"
+                    : "overwritten-before-read";
+            outcome.record.cycles = pruned.cycles;
+            outcome.record.instructions = pruned.instructions;
+            outcome.haveRecord = true;
+            result.fullRunEquivalentCycles += golden_.cycles;
+            break;
+          case SiteVerdict::GoldenRun:
+            outcome.record = golden_;
+            outcome.haveRecord = true;
+            result.fullRunEquivalentCycles += golden_.cycles;
+            break;
+          case SiteVerdict::EquivMember: {
+            const auto exec = executed.find(pruned.repRunId);
+            if (exec != executed.end()) {
+                outcome.record = *exec->second;
+                outcome.haveRecord = true;
+                result.fullRunEquivalentCycles += std::max(
+                    outcome.record.cycles, golden_.cycles);
+                break;
+            }
+            const auto rep = resumed_by_id.find(pruned.repRunId);
+            if (rep == resumed_by_id.end())
+                panic("campaign: pruned run %s has no representative "
+                      "%s in this view",
+                      pruned.runId, pruned.repRunId);
+            // The representative came from the resume stream: only
+            // its classified outcome survives, not the full record.
+            if (!outcomeClassFromName(rep->second->outcome,
+                                      outcome.cls))
+                fatal("campaign: resume record %s has unknown "
+                      "outcome class '%s'",
+                      rep->second->runId, rep->second->outcome);
+            outcome.subclass = rep->second->subclass;
+            outcome.record.cycles = rep->second->cycles;
+            outcome.record.instructions = rep->second->instructions;
+            result.fullRunEquivalentCycles +=
+                std::max(outcome.record.cycles, golden_.cycles);
+            break;
+          }
+          case SiteVerdict::Simulate:
+            panic("campaign: Simulate verdict among pruned runs "
+                  "(run %s)",
+                  pruned.runId);
+        }
+        result.pruned.push_back(std::move(outcome));
     }
     return result;
 }
@@ -441,6 +570,11 @@ CampaignResult::classify(const Parser &parser) const
     ClassCounts counts;
     for (const syskit::RunRecord &record : records)
         counts.add(parser.classify(golden, record).cls);
+    for (const PrunedRunOutcome &outcome : pruned) {
+        counts.add(outcome.haveRecord
+                       ? parser.classify(golden, outcome.record).cls
+                       : outcome.cls);
+    }
     return counts;
 }
 

@@ -44,6 +44,7 @@
 #include "common/stats.hh"
 #include "inject/checkpoint.hh"
 #include "inject/mask_gen.hh"
+#include "inject/prune.hh"
 #include "uarch/core_config.hh"
 #include "inject/parser.hh"
 #include "storage/fault_domain.hh"
@@ -97,6 +98,23 @@ struct CampaignConfig
     dfi::FaultType faultType = dfi::FaultType::Transient;
     Population population = Population::SingleBit;
     std::uint64_t intermittentMin = 50, intermittentMax = 500;
+
+    /**
+     * Enumerate every bit x cycle site of the component instead of
+     * sampling (CLI `--exhaustive`).  Single-bit transients only,
+     * and numInjections must stay 0 (the space defines the count).
+     */
+    bool exhaustive = false;
+
+    /**
+     * Run the planning-time classification pipeline (inject/plan.hh
+     * stages 2-4): statically prune provably-masked sites and
+     * simulate one representative per fault-equivalence class.  On
+     * by default; CLI `--no-prune` disables it.  A pure
+     * execution-strategy knob: pruned and unpruned campaigns
+     * classify every run identically (DESIGN.md section 10).
+     */
+    bool prune = true;
 
     /**
      * Proportional cache-capacity scale (see uarch::scaleCaches).
@@ -186,10 +204,33 @@ struct CampaignConfig
 };
 
 /**
+ * One run the planner pruned instead of simulating, with the outcome
+ * the pipeline precomputed for it.  Statically classified runs carry
+ * the exact record the dispatcher would have produced; an
+ * equivalence-class member carries its representative's record when
+ * this process simulated the representative, or just the outcome
+ * class when the representative came from a resume stream.
+ */
+struct PrunedRunOutcome
+{
+    std::uint64_t runId = 0;
+    SiteVerdict verdict = SiteVerdict::InvalidEntry;
+    std::uint64_t repRunId = ~0ull;  //!< EquivMember only
+    std::uint64_t pruneClass = 0;    //!< 1-based class id, 0 = none
+    syskit::RunRecord record;        //!< valid when haveRecord
+    bool haveRecord = false;
+    OutcomeClass cls = OutcomeClass::Masked; //!< used when !haveRecord
+    std::string subclass;
+};
+
+/**
  * Everything a campaign leaves behind (the logs repository).  For a
  * sharded or resumed campaign, `records` (and the derived cycle and
  * stats aggregates) cover only the runs this process executed; the
- * telemetry artifacts are the campaign-wide record.
+ * telemetry artifacts are the campaign-wide record.  `pruned` covers
+ * the runs the classification pipeline removed from this process's
+ * plan view; `aggregateStats` deliberately sums executed runs only
+ * (pruned runs have no per-run simulator stats — nothing ran).
  */
 struct CampaignResult
 {
@@ -198,12 +239,28 @@ struct CampaignResult
     std::vector<dfi::FaultMask> masks;          //!< all masks
     std::vector<syskit::RunRecord> records;     //!< one per executed
                                                 //!< run, runId order
+    std::vector<std::uint64_t> recordRunIds;    //!< runId of records[i]
+    std::vector<PrunedRunOutcome> pruned;       //!< runId order
+    PruneStats pruneStats;                      //!< campaign-wide
     std::uint64_t simulatedFaultyCycles = 0;    //!< post-restore cycles
     std::uint64_t fullRunEquivalentCycles = 0;  //!< without the
                                                 //!< optimizations
-    dfi::StatSet aggregateStats;                //!< sum over all runs
+    dfi::StatSet aggregateStats;                //!< executed runs only
 
-    /** Classify every record with the given parser. */
+    /**
+     * Host wall-clock totals over the executed tasks, in
+     * microseconds (volatile; bench_parallel_scaling's per-stage
+     * breakdown).  totalRestoreMicros is the checkpoint-restore
+     * share of totalWallMicros.
+     */
+    std::uint64_t totalWallMicros = 0;
+    std::uint64_t totalRestoreMicros = 0;
+
+    /**
+     * Classify every run — executed and pruned — with the given
+     * parser.  This is the campaign-wide tally: identical with and
+     * without pruning (the determinism contract).
+     */
     ClassCounts classify(const Parser &parser) const;
 };
 
@@ -222,6 +279,25 @@ class InjectionCampaign
 
     /** Golden reference record (runs it on first use). */
     const syskit::RunRecord &golden();
+
+    /**
+     * What run() would do, without simulating any faulty run (CLI
+     * `--dry-run`): the resolved plan after sampling, classification,
+     * pruning, and sharding.  `executed` counts this process's view;
+     * the PruneStats are campaign-wide.
+     */
+    struct PlanSummary
+    {
+        std::uint64_t totalRuns = 0; //!< campaign-wide run count
+        std::uint64_t executed = 0;  //!< tasks in this shard view
+        PruneStats stats;            //!< campaign-wide tallies
+        std::uint64_t maskCount = 0;
+        /** Sum of golden.cycles - firstCycle + 1 over view tasks. */
+        std::uint64_t estimatedSimulatedCycles = 0;
+    };
+
+    /** Resolve the plan and summarize it (runs the golden first). */
+    PlanSummary planSummary();
 
     /** Run the whole campaign. */
     CampaignResult run(const Progress &progress = {});

@@ -100,6 +100,26 @@ mergeTelemetryStreams(const std::vector<std::string> &paths,
         return false;
     }
 
+    // Pruning tallies are campaign-wide and identical across shard
+    // headers; pre-v3 streams have no "prune" member, in which case
+    // the summary omits the object too.
+    PruneStats prune_stats;
+    bool have_prune = false;
+    if (const json::Value *prune = header.find("prune");
+        prune != nullptr) {
+        const json::Value *stat = prune->find("pruned_static");
+        const json::Value *equiv = prune->find("pruned_equiv");
+        const json::Value *sim = prune->find("simulated");
+        if (stat == nullptr || equiv == nullptr || sim == nullptr) {
+            error = header_path + ": malformed 'prune' header echo";
+            return false;
+        }
+        prune_stats.prunedStatic = stat->asUint();
+        prune_stats.prunedEquiv = equiv->asUint();
+        prune_stats.simulated = sim->asUint();
+        have_prune = true;
+    }
+
     SummaryAccumulator acc(golden_cycles->asUint());
     out.runsJsonl = header_dump;
     out.runsJsonl += '\n';
@@ -118,7 +138,8 @@ mergeTelemetryStreams(const std::vector<std::string> &paths,
         out.runsJsonl += record.toJson().dump();
         out.runsJsonl += '\n';
     }
-    out.summaryJson = acc.summaryJson(*config, *golden, 0);
+    out.summaryJson = acc.summaryJson(
+        *config, *golden, 0, have_prune ? &prune_stats : nullptr);
     out.runs = records.size();
     return true;
 }

@@ -1,16 +1,32 @@
 /**
  * @file
- * Campaign planning layer (layer 1 of the execution engine).
+ * Campaign planning layer (layer 1 of the execution engine): a staged
+ * classification pipeline.
  *
  * Planning resolves everything a campaign needs *before* any faulty
- * simulation happens — the configuration, the golden run, the
- * statistical sampling size, and the fault-mask repository — into an
- * immutable CampaignPlan: a flat list of independent RunTasks, one
- * per fault group (runId).  A plan is pure data; executors
- * (inject/executor.hh) may schedule its tasks in any order and on any
- * number of workers, and because every task is self-contained the
- * campaign outcome is bit-identical no matter how the tasks are
- * scheduled.
+ * simulation happens, in four explicit stages:
+ *
+ *  1. enumerate — resolve the sampling size and generate the mask
+ *     repository (or, with `CampaignConfig::exhaustive`, enumerate
+ *     every bit x cycle site of the component);
+ *  2. classify — statically decide each single-bit transient site
+ *     from one instrumented golden re-run (inject/prune.hh): dead
+ *     entries and dead-until-overwrite bits are provably Masked,
+ *     never-read bits provably reproduce the golden record;
+ *  3. dedupe — collapse sites that provably converge to identical
+ *     architectural state (same first covering read of the same bit)
+ *     into equivalence classes, keeping one representative each;
+ *  4. plan — emit RunTasks for the surviving representatives only.
+ *
+ * The result is an immutable CampaignPlan: a flat list of independent
+ * RunTasks plus the pruned runs with their precomputed outcomes.  A
+ * plan is pure data; executors (inject/executor.hh) may schedule its
+ * tasks in any order and on any number of workers, and because every
+ * task is self-contained the campaign outcome is bit-identical no
+ * matter how the tasks are scheduled.  Stages 2-3 only run when the
+ * configuration allows them (single-bit transients with both
+ * early-stop rules on, and not `--no-prune`); otherwise every run is
+ * planned as a task, exactly as before.
  */
 
 #ifndef DFI_INJECT_PLAN_HH
@@ -22,6 +38,7 @@
 #include <vector>
 
 #include "inject/campaign.hh"
+#include "inject/prune.hh"
 #include "storage/fault.hh"
 #include "syskit/run_record.hh"
 
@@ -50,6 +67,34 @@ struct RunTask
     std::uint64_t ordinal = 0;
     std::vector<dfi::FaultMask> masks;
     std::uint64_t firstCycle = 0; //!< earliest injection cycle
+    /**
+     * Nonzero when this task is the simulated representative of a
+     * fault-equivalence class; its record fans back out to the
+     * class's pruned members at reporting time.
+     */
+    std::uint64_t pruneClass = 0;
+};
+
+/**
+ * One run the classification pipeline removed from execution.  Its
+ * telemetry record is synthesized at reporting time: statically
+ * classified runs get the early-stop (or golden) record the
+ * dispatcher would have produced, equivalence-class members get their
+ * representative's outcome.
+ */
+struct PrunedRun
+{
+    std::uint64_t runId = 0;
+    SiteVerdict verdict = SiteVerdict::InvalidEntry;
+    /** The site's (single) mask, for the telemetry record fields. */
+    dfi::FaultMask mask;
+    /** Early-stop record fields (InvalidEntry/DeadOverwrite). */
+    std::uint64_t cycles = 0;
+    std::uint64_t instructions = 0;
+    /** Representative runId (EquivMember only). */
+    std::uint64_t repRunId = ~0ull;
+    /** 1-based equivalence-class id shared with the representative. */
+    std::uint64_t pruneClass = 0;
 };
 
 /** What executing one RunTask produces. */
@@ -103,6 +148,20 @@ class CampaignPlan
     std::uint64_t numRuns() const { return tasks_.size(); }
 
     /**
+     * The runs this view does not execute, with their precomputed
+     * classifications, in ascending runId order.  Empty unless
+     * applyPruning() ran.
+     */
+    const std::vector<PrunedRun> &pruned() const { return pruned_; }
+
+    /**
+     * Campaign-wide pruning tallies.  Deliberately *not* view-local:
+     * every shard reports the same numbers, so shard telemetry
+     * headers stay identical and merge byte-identically.
+     */
+    const PruneStats &pruneStats() const { return pruneStats_; }
+
+    /**
      * Campaign-wide run count: the size of the original full plan,
      * preserved across views.  Telemetry stamps it into the runs
      * header (`runs_total`) so dfi-merge can prove shard coverage.
@@ -110,19 +169,37 @@ class CampaignPlan
     std::uint64_t totalRuns() const { return totalRuns_; }
 
     /**
+     * Apply the classification pipeline's verdicts (stage 4):
+     * non-Simulate runs move from the task list into pruned(),
+     * representatives keep their pruneClass, and ordinals renumber.
+     * `classifications` must be indexed by runId over the full plan
+     * (single-bit campaigns only — one mask per run).  Call at most
+     * once, on a full (unviewed) plan.
+     */
+    void applyPruning(
+        const std::vector<SiteClassification> &classifications);
+
+    /**
      * Deterministic shard view: the tasks whose
      * `runId % shard.count == shard.index`, in runId order.  Mask
      * generation and seeds are untouched — shard I of N simulates
      * exactly the runs an unsharded campaign would label
      * i ≡ I (mod N), so N shards partition the campaign.
+     *
+     * Pruned runs partition the same way, with one twist: an
+     * equivalence-class member whose representative falls in a
+     * *different* shard is promoted back to a real task (its record
+     * is byte-identical to the representative's by construction), so
+     * every shard stream is self-contained.
      */
     CampaignPlan shardView(const ShardSpec &shard) const;
 
     /**
      * Resume view: the tasks whose runId is NOT in `completed`
-     * (runIds loaded from a partial telemetry stream).  fatal() if a
-     * completed runId does not name a task of this plan — resuming
-     * against the wrong campaign or shard.
+     * (runIds loaded from a partial telemetry stream; pruned runs
+     * appear there too and are dropped the same way).  fatal() if a
+     * completed runId names neither a task nor a pruned run of this
+     * plan — resuming against the wrong campaign or shard.
      */
     CampaignPlan
     withoutRuns(const std::unordered_set<std::uint64_t> &completed)
@@ -139,18 +216,29 @@ class CampaignPlan
     syskit::RunRecord golden_;
     std::vector<dfi::FaultMask> masks_;
     std::vector<RunTask> tasks_;
+    std::vector<PrunedRun> pruned_;
+    PruneStats pruneStats_;
     std::uint64_t totalRuns_ = 0;
 };
 
 /**
- * Resolve a configuration into a plan: derive the injection count
- * from the sampling parameters when `config.numInjections` is 0 (the
- * `probe` core supplies the component population), generate the mask
- * repository, and group it into tasks.
+ * Resolve a configuration into a plan by running the pipeline
+ * described above.  The `probe` core supplies the component
+ * geometries and — when the classification stages are enabled — is
+ * ticked through one instrumented golden re-run, so it must be
+ * freshly constructed from the campaign's image and configuration.
  */
 CampaignPlan planCampaign(const CampaignConfig &config,
                           const syskit::RunRecord &golden,
                           uarch::OooCore &probe);
+
+/**
+ * True when the configuration admits static classification and
+ * equivalence pruning: single-bit transients with both early-stop
+ * rules on (the static verdicts replicate the early-stop records
+ * byte-for-byte) and pruning not disabled.
+ */
+bool planPrunes(const CampaignConfig &config);
 
 } // namespace dfi::inject
 

@@ -1,0 +1,292 @@
+#include "inject/prune.hh"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.hh"
+#include "storage/faultable_array.hh"
+#include "uarch/ooo_core.hh"
+
+namespace dfi::inject
+{
+
+namespace
+{
+
+/** One access of a traced entry, in global program order (`seq`). */
+struct AccessEvent
+{
+    std::uint64_t seq = 0;
+    std::uint64_t cycle = 0; //!< the tick it happened in
+    std::uint32_t bitLo = 0;
+    std::uint32_t width = 0;
+    bool isWrite = false;
+};
+
+/**
+ * Records every access of the interesting entries of one structure.
+ * The seq and cycle counters are shared across all tracers so the
+ * merged trace is in global program order.
+ */
+class StructureTracer : public dfi::AccessObserver
+{
+  public:
+    StructureTracer(std::uint64_t &seq, const std::uint64_t &cycle)
+        : seq_(seq), cycle_(cycle)
+    {
+    }
+
+    void
+    addEntry(std::uint32_t entry)
+    {
+        events_.try_emplace(entry);
+    }
+
+    void
+    onAccess(const dfi::FaultableArray &, std::size_t entry,
+             std::size_t bit, std::size_t width,
+             bool is_write) override
+    {
+        const auto it = events_.find(static_cast<std::uint32_t>(entry));
+        if (it == events_.end())
+            return;
+        it->second.push_back(
+            AccessEvent{seq_++, cycle_, static_cast<std::uint32_t>(bit),
+                        static_cast<std::uint32_t>(width), is_write});
+    }
+
+    const std::vector<AccessEvent> *
+    eventsFor(std::uint32_t entry) const
+    {
+        const auto it = events_.find(entry);
+        return it == events_.end() ? nullptr : &it->second;
+    }
+
+  private:
+    std::uint64_t &seq_;
+    const std::uint64_t &cycle_;
+    std::unordered_map<std::uint32_t, std::vector<AccessEvent>>
+        events_;
+};
+
+} // namespace
+
+std::vector<SiteClassification>
+classifySites(uarch::OooCore &probe, const syskit::RunRecord &golden,
+              const std::vector<FaultSite> &sites)
+{
+    std::vector<SiteClassification> out(sites.size());
+    if (sites.empty())
+        return out;
+    if (probe.cycle() != 0)
+        panic("prune: trace core already ticked (cycle %s)",
+              probe.cycle());
+    if (golden.cycles == 0)
+        panic("prune: zero-length golden run");
+
+    // Attach one tracer per structure, restricted to the entries the
+    // site set actually targets.
+    std::uint64_t seq = 0;
+    std::uint64_t current_cycle = 0;
+    std::map<dfi::StructureId, StructureTracer> tracers;
+    for (const FaultSite &site : sites) {
+        auto [it, fresh] = tracers.try_emplace(
+            site.structure, seq, current_cycle);
+        it->second.addEntry(site.entry);
+        if (site.cycle == 0 || site.cycle > golden.cycles)
+            panic("prune: site cycle %s outside [1, %s]", site.cycle,
+                  golden.cycles);
+    }
+    for (auto &[structure, tracer] : tracers) {
+        dfi::FaultableArray *array = probe.arrayFor(structure);
+        if (array == nullptr)
+            panic("prune: structure '%s' has no array on this core",
+                  dfi::structureName(structure));
+        array->setObserver(&tracer);
+    }
+
+    // Liveness checkpoints: evaluate entryLive at exactly the state
+    // the dispatcher's early-stop rule (i) sees — after tick c-1,
+    // before tick c — by interleaving the checks with the trace run.
+    std::vector<std::size_t> by_cycle(sites.size());
+    for (std::size_t i = 0; i < sites.size(); ++i)
+        by_cycle[i] = i;
+    std::sort(by_cycle.begin(), by_cycle.end(),
+              [&sites](std::size_t a, std::size_t b) {
+                  return sites[a].cycle < sites[b].cycle;
+              });
+    std::vector<bool> live(sites.size(), false);
+
+    // instructions committed after each successful tick; index 0 is
+    // the reset state (the dispatcher's record for a stop before
+    // tick 1).
+    std::vector<std::uint64_t> committed_after(golden.cycles + 1, 0);
+    committed_after[0] = probe.committedInstructions();
+
+    std::size_t next_check = 0;
+    std::uint64_t terminal_cycle = 0;
+    while (true) {
+        const std::uint64_t next_cycle = probe.cycle() + 1;
+        if (next_cycle > golden.cycles)
+            fatal("prune: trace ran past the golden run length "
+                  "(cycle %s > %s) — nondeterministic model?",
+                  next_cycle, golden.cycles);
+        while (next_check < by_cycle.size() &&
+               sites[by_cycle[next_check]].cycle <= next_cycle) {
+            const FaultSite &site = sites[by_cycle[next_check]];
+            live[by_cycle[next_check]] =
+                probe.entryLive(site.structure, site.entry);
+            ++next_check;
+        }
+        current_cycle = next_cycle;
+        if (!probe.tick()) {
+            terminal_cycle = next_cycle;
+            break;
+        }
+        if (probe.cycle() <= golden.cycles)
+            committed_after[probe.cycle()] =
+                probe.committedInstructions();
+    }
+
+    for (auto &[structure, tracer] : tracers)
+        probe.arrayFor(structure)->setObserver(nullptr);
+
+    // The trace is only usable if it reproduced the golden run
+    // exactly; anything else means the model is nondeterministic or
+    // the probe was configured differently.
+    const syskit::RunRecord &traced = probe.record();
+    if (traced.term != syskit::Termination::Exited ||
+        traced.cycles != golden.cycles ||
+        traced.instructions != golden.instructions ||
+        traced.output != golden.output) {
+        fatal("prune: trace run diverged from the golden run "
+              "(%s cycles vs %s) — refusing to classify",
+              traced.cycles, golden.cycles);
+    }
+    if (next_check != by_cycle.size())
+        panic("prune: %s sites were never liveness-checked",
+              by_cycle.size() - next_check);
+
+    // Group sites by (structure, entry, bit) so each group filters
+    // its entry's trace down to covering events exactly once.
+    std::map<std::tuple<dfi::StructureId, std::uint32_t, std::uint32_t>,
+             std::vector<std::size_t>>
+        groups;
+    for (std::size_t i = 0; i < sites.size(); ++i) {
+        groups[{sites[i].structure, sites[i].entry, sites[i].bit}]
+            .push_back(i);
+    }
+
+    // Equivalence classes, collected across all (structure, entry,
+    // bit) groups.  Within one group the first-covering-read event's
+    // global seq keys the class; across groups the same read event
+    // covers *different* bits, so classes never merge across groups.
+    std::vector<std::vector<std::size_t>> real_classes;
+
+    for (const auto &[key, members] : groups) {
+        const auto &[structure, entry, bit] = key;
+        const std::vector<AccessEvent> *events =
+            tracers.at(structure).eventsFor(entry);
+
+        // Covering events of this bit, in program order (their cycles
+        // are nondecreasing, so lower_bound by cycle finds the first
+        // one at or after any injection cycle).
+        std::vector<AccessEvent> covering;
+        if (events != nullptr) {
+            for (const AccessEvent &event : *events) {
+                if (event.bitLo <= bit &&
+                    bit < event.bitLo + event.width)
+                    covering.push_back(event);
+            }
+        }
+
+        std::map<std::uint64_t, std::vector<std::size_t>> classes;
+        for (const std::size_t i : members) {
+            const FaultSite &site = sites[i];
+            SiteClassification &cls = out[i];
+            if (!live[i]) {
+                // Early-stop rule (i) fires at next_cycle == c with
+                // the core still at cycle c-1.
+                cls.verdict = SiteVerdict::InvalidEntry;
+                cls.cycles = site.cycle - 1;
+                cls.instructions = committed_after[site.cycle - 1];
+                continue;
+            }
+            const auto first = std::lower_bound(
+                covering.begin(), covering.end(), site.cycle,
+                [](const AccessEvent &event, std::uint64_t cycle) {
+                    return event.cycle < cycle;
+                });
+            if (first == covering.end()) {
+                // Never accessed again: the flip is never observed
+                // and the run completes as the golden record.
+                cls.verdict = SiteVerdict::GoldenRun;
+                cls.cycles = golden.cycles;
+                cls.instructions = golden.instructions;
+                continue;
+            }
+            if (first->isWrite) {
+                if (first->cycle == terminal_cycle) {
+                    // The dispatcher checks the overwrite watch only
+                    // after a *successful* tick; a first overwrite
+                    // during the terminal tick therefore yields the
+                    // completed (golden-identical) record, not an
+                    // early stop.
+                    cls.verdict = SiteVerdict::GoldenRun;
+                    cls.cycles = golden.cycles;
+                    cls.instructions = golden.instructions;
+                } else {
+                    // Early-stop rule (ii) fires right after the tick
+                    // the overwrite happened in.
+                    cls.verdict = SiteVerdict::DeadOverwrite;
+                    cls.cycles = first->cycle;
+                    cls.instructions = committed_after[first->cycle];
+                }
+                continue;
+            }
+            // First covering access reads the (corrupted) bit: the
+            // fault becomes architecturally visible there.  All sites
+            // of this bit sharing that first read produce
+            // byte-identical runs.
+            cls.verdict = SiteVerdict::Simulate;
+            classes[first->seq].push_back(i);
+        }
+        for (auto &[first_read_seq, class_members] : classes) {
+            if (class_members.size() < 2)
+                continue;
+            std::sort(class_members.begin(), class_members.end(),
+                      [&sites](std::size_t a, std::size_t b) {
+                          return sites[a].runId < sites[b].runId;
+                      });
+            real_classes.push_back(std::move(class_members));
+        }
+    }
+
+    // Collapse classes of two or more sites onto their lowest-runId
+    // representative.  Class ids are 1-based, assigned in ascending
+    // representative-runId order, so they are deterministic and
+    // independent of container iteration order.
+    std::sort(real_classes.begin(), real_classes.end(),
+              [&sites](const std::vector<std::size_t> &a,
+                       const std::vector<std::size_t> &b) {
+                  return sites[a[0]].runId < sites[b[0]].runId;
+              });
+    for (std::size_t c = 0; c < real_classes.size(); ++c) {
+        const std::vector<std::size_t> &members = real_classes[c];
+        const std::uint64_t class_id = c + 1;
+        const std::uint64_t rep_run = sites[members[0]].runId;
+        out[members[0]].pruneClass = class_id;
+        for (std::size_t m = 1; m < members.size(); ++m) {
+            SiteClassification &cls = out[members[m]];
+            cls.verdict = SiteVerdict::EquivMember;
+            cls.repRunId = rep_run;
+            cls.pruneClass = class_id;
+        }
+    }
+    return out;
+}
+
+} // namespace dfi::inject

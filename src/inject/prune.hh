@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Static fault classification and equivalence pruning (stage 2+3 of
+ * the planning pipeline, plan.hh).
+ *
+ * The paper pays one full faulty simulation per sampled fault.
+ * ARMORY-style pruning makes most of those runs free: a single-bit
+ * transient run is cycle-identical to the golden run until the first
+ * access that covers the faulted bit at or after the injection cycle,
+ * so one instrumented golden re-run — the *trace* — decides most
+ * outcomes analytically:
+ *
+ *  - the target entry is dead at the injection cycle
+ *      -> the dispatcher's early-stop rule (i) would fire
+ *         ("invalid-entry"; Masked);
+ *  - the first covering access is a write before the end of the run
+ *      -> early-stop rule (ii) would fire
+ *         ("overwritten-before-read"; Masked);
+ *  - the bit is never read (never accessed, or first overwritten
+ *    during the terminal tick, after the watch check last ran)
+ *      -> the run completes byte-identical to the golden record;
+ *  - the first covering access is a read
+ *      -> the fault is architecturally visible and must be simulated.
+ *
+ * Sites that must be simulated dedupe further: two sites of the same
+ * bit whose first covering read is the *same* trace event produce
+ * byte-identical runs (the flip is invisible until that read, and
+ * execution is deterministic after it), so they form an equivalence
+ * class keyed by (structure, entry, bit, first-read event) and only
+ * the lowest-runId representative is simulated.
+ *
+ * The contract — enforced by tests and the CI prune-equivalence leg —
+ * is that a pruned campaign's classification artifacts are
+ * byte-identical (modulo volatile fields) to the unpruned campaign's.
+ */
+
+#ifndef DFI_INJECT_PRUNE_HH
+#define DFI_INJECT_PRUNE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/structure_id.hh"
+#include "syskit/run_record.hh"
+
+namespace dfi::uarch
+{
+class OooCore;
+} // namespace dfi::uarch
+
+namespace dfi::inject
+{
+
+/** What the static classification decided for one fault site. */
+enum class SiteVerdict : std::uint8_t
+{
+    Simulate,      //!< first covering access reads the bit: run it
+    InvalidEntry,  //!< dead entry at injection: early-stop rule (i)
+    DeadOverwrite, //!< overwritten before read: early-stop rule (ii)
+    GoldenRun,     //!< never read: completes identical to golden
+    EquivMember    //!< identical to another site's run (see repRunId)
+};
+
+/** Campaign-wide pruning tallies (telemetry `prune` object). */
+struct PruneStats
+{
+    std::uint64_t prunedStatic = 0; //!< invalid-entry/overwrite/golden
+    std::uint64_t prunedEquiv = 0;  //!< equivalence-class members
+    std::uint64_t simulated = 0;    //!< surviving representatives
+};
+
+/** One single-bit transient fault site (stage-1 enumeration output). */
+struct FaultSite
+{
+    std::uint64_t runId = 0;
+    dfi::StructureId structure = dfi::StructureId::IntRegFile;
+    std::uint32_t entry = 0;
+    std::uint32_t bit = 0;
+    std::uint64_t cycle = 0; //!< injection cycle, >= 1
+};
+
+/** Per-site classification result. */
+struct SiteClassification
+{
+    SiteVerdict verdict = SiteVerdict::Simulate;
+    /**
+     * For InvalidEntry/DeadOverwrite: the `cycles`/`instructions`
+     * fields of the early-stop record the dispatcher would have
+     * produced.  Unused otherwise.
+     */
+    std::uint64_t cycles = 0;
+    std::uint64_t instructions = 0;
+    /** For EquivMember: the representative's runId. */
+    std::uint64_t repRunId = ~0ull;
+    /**
+     * 1-based equivalence-class id, assigned in ascending
+     * representative-runId order; 0 for sites outside any class.
+     * Set on both the representative (verdict Simulate) and its
+     * members (verdict EquivMember).
+     */
+    std::uint64_t pruneClass = 0;
+};
+
+/**
+ * Classify every site from one instrumented golden re-run of `probe`.
+ *
+ * `probe` must be a freshly-constructed core of the campaign's exact
+ * configuration and image (cycle 0, nothing ticked); the function
+ * ticks it to completion with access observers attached and fatal()s
+ * if the traced run does not reproduce `golden`.  Sites must be
+ * single-bit transients with injection cycles in [1, golden.cycles].
+ *
+ * The returned vector is indexed like `sites`.
+ */
+std::vector<SiteClassification>
+classifySites(uarch::OooCore &probe, const syskit::RunRecord &golden,
+              const std::vector<FaultSite> &sites);
+
+} // namespace dfi::inject
+
+#endif // DFI_INJECT_PRUNE_HH

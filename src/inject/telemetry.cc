@@ -1,11 +1,13 @@
 #include "inject/telemetry.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <fstream>
 #include <map>
 #include <sstream>
 
 #include "common/logging.hh"
+#include "common/version.hh"
 #include "inject/mask_gen.hh"
 
 namespace dfi::inject
@@ -47,7 +49,8 @@ isVolatileKey(const std::string &key)
     return key == "wall_us" || key == "jobs" || key == "volatile" ||
            key == "wall_total_us" || key == "sim_cycles" ||
            key == "restore_us" || key == "sim_cycles_total" ||
-           key == "restore_total_us";
+           key == "restore_total_us" || key == "prune" ||
+           key == "prune_class" || key == "generator";
 }
 
 std::string
@@ -218,6 +221,7 @@ decodeRecord(const json::Value &line, TelemetryRecord &out,
     decodeOptUint(line, "restore_us", out.restoreMicros);
     decodeOptUint(line, "wall_us", out.wallMicros);
     decodeOptUint(line, "jobs", out.jobs);
+    decodeOptUint(line, "prune_class", out.pruneClass);
     return true;
 }
 
@@ -254,6 +258,7 @@ TelemetryRecord::toJson() const
     line.set("restore_us", json::Value::unsignedInt(restoreMicros));
     line.set("wall_us", json::Value::unsignedInt(wallMicros));
     line.set("jobs", json::Value::unsignedInt(jobs));
+    line.set("prune_class", json::Value::unsignedInt(pruneClass));
     return line;
 }
 
@@ -269,6 +274,10 @@ telemetryConfigEcho(const CampaignConfig &config)
              json::Value::unsignedInt(config.numInjections));
     echo.set("confidence", json::Value::number(config.confidence));
     echo.set("margin", json::Value::number(config.margin));
+    // Outcome-relevant: exhaustive enumeration plans a different run
+    // set than sampling (the `prune` strategy knob, by contrast, is
+    // volatile — it never changes classifications).
+    echo.set("exhaustive", json::Value::boolean(config.exhaustive));
     echo.set("fault_type",
              json::Value::string(faultTypeName(config.faultType)));
     echo.set("population",
@@ -304,18 +313,41 @@ telemetryGoldenEcho(const syskit::RunRecord &golden)
     return echo;
 }
 
+namespace
+{
+
+json::Value
+pruneEcho(const PruneStats &prune)
+{
+    json::Value echo = json::Value::object();
+    echo.set("pruned_static",
+             json::Value::unsignedInt(prune.prunedStatic));
+    echo.set("pruned_equiv",
+             json::Value::unsignedInt(prune.prunedEquiv));
+    echo.set("simulated", json::Value::unsignedInt(prune.simulated));
+    return echo;
+}
+
+} // namespace
+
 json::Value
 telemetryRunsHeader(const CampaignConfig &config,
                     const syskit::RunRecord &golden,
-                    std::uint64_t total_runs)
+                    std::uint64_t total_runs, const PruneStats &prune)
 {
     json::Value header = json::Value::object();
     header.set("kind", json::Value::string(kTelemetryRunsKind));
     header.set("schema",
                json::Value::unsignedInt(kTelemetrySchemaVersion));
+    // Volatile build echo: names the build for bug reports without
+    // participating in exact comparison.
+    header.set("generator", json::Value::string(versionString()));
     header.set("config", telemetryConfigEcho(config));
     header.set("golden", telemetryGoldenEcho(golden));
     header.set("runs_total", json::Value::unsignedInt(total_runs));
+    // Volatile strategy tallies: campaign-wide (identical in every
+    // shard header), so merge's header-equality invariant holds.
+    header.set("prune", pruneEcho(prune));
     return header;
 }
 
@@ -356,7 +388,8 @@ SummaryAccumulator::add(const TelemetryRecord &record)
 std::string
 SummaryAccumulator::summaryJson(const json::Value &config_echo,
                                 const json::Value &golden_echo,
-                                std::uint64_t jobs_echo) const
+                                std::uint64_t jobs_echo,
+                                const PruneStats *prune) const
 {
     json::Value doc = json::Value::object();
     doc.set("kind", json::Value::string(kTelemetrySummaryKind));
@@ -392,6 +425,11 @@ SummaryAccumulator::summaryJson(const json::Value &config_echo,
     lengths.set("histogram", std::move(buckets));
     doc.set("run_cycles", std::move(lengths));
 
+    // Volatile (a strategy tally): pruned and unpruned summaries of
+    // the same campaign stay exact-equal.
+    if (prune != nullptr)
+        doc.set("prune", pruneEcho(*prune));
+
     json::Value volatile_echo = json::Value::object();
     volatile_echo.set("jobs", json::Value::unsignedInt(jobs_echo));
     volatile_echo.set("sim_cycles_total",
@@ -408,12 +446,136 @@ TelemetryWriter::TelemetryWriter(const CampaignConfig &config,
                                  const syskit::RunRecord &golden,
                                  std::uint64_t total_runs,
                                  std::uint32_t jobs,
+                                 const PruneStats &prune,
                                  TelemetryOptions options)
-    : config_(config), golden_(golden), jobs_(jobs),
+    : config_(config), golden_(golden), jobs_(jobs), prune_(prune),
       options_(options), acc_(golden.cycles)
 {
-    lines_ = telemetryRunsHeader(config_, golden_, total_runs).dump();
+    lines_ =
+        telemetryRunsHeader(config_, golden_, total_runs, prune_)
+            .dump();
     lines_ += '\n';
+}
+
+void
+TelemetryWriter::setPruned(const std::vector<PrunedRun> &pruned)
+{
+    if (anyEmitted_)
+        panic("telemetry: setPruned after records were emitted");
+    prunedQueue_ = pruned;
+    std::sort(prunedQueue_.begin(), prunedQueue_.end(),
+              [](const PrunedRun &a, const PrunedRun &b) {
+                  return a.runId < b.runId;
+              });
+    nextPruned_ = 0;
+    for (const PrunedRun &run : prunedQueue_) {
+        if (run.verdict == SiteVerdict::EquivMember)
+            reps_.try_emplace(run.repRunId);
+    }
+}
+
+void
+TelemetryWriter::harvestRep(std::uint64_t run_id,
+                            const TelemetryRecord &record)
+{
+    const auto it = reps_.find(run_id);
+    if (it == reps_.end())
+        return;
+    it->second.outcome = record.outcome;
+    it->second.subclass = record.subclass;
+    it->second.instructions = record.instructions;
+    it->second.cycles = record.cycles;
+    it->second.known = true;
+}
+
+void
+TelemetryWriter::emitPruned(const PrunedRun &pruned)
+{
+    if (anyEmitted_ && pruned.runId <= lastRunId_)
+        panic("telemetry: pruned run %s out of order (last was %s)",
+              pruned.runId, lastRunId_);
+
+    TelemetryRecord record;
+    record.runId = pruned.runId;
+    record.seed = config_.seed;
+    record.component = config_.component;
+    record.structure = structureName(pruned.mask.structure);
+    record.entry = pruned.mask.entry;
+    record.bit = pruned.mask.bit;
+    record.faultType = faultTypeName(pruned.mask.type);
+    record.injectionCycle = pruned.mask.cycle;
+    record.maskCount = 1;
+    record.pruneClass = pruned.pruneClass;
+    // Volatile measurements (sim_cycles, restore_us, wall_us, jobs)
+    // stay zero: nothing was simulated.
+
+    switch (pruned.verdict) {
+      case SiteVerdict::InvalidEntry:
+      case SiteVerdict::DeadOverwrite: {
+        // Exactly the early-stop record the dispatcher would have
+        // produced, classified by the same parser.
+        syskit::RunRecord stop;
+        stop.earlyStopMasked = true;
+        stop.earlyStopReason =
+            pruned.verdict == SiteVerdict::InvalidEntry
+                ? "invalid-entry"
+                : "overwritten-before-read";
+        stop.cycles = pruned.cycles;
+        stop.instructions = pruned.instructions;
+        const Classification cls = parser_.classify(golden_, stop);
+        record.outcome = outcomeClassName(cls.cls);
+        record.subclass = cls.subclass;
+        record.instructions = stop.instructions;
+        record.cycles = stop.cycles;
+        break;
+      }
+      case SiteVerdict::GoldenRun: {
+        // The fault is never observed: the run completes as the
+        // golden record.
+        const Classification cls = parser_.classify(golden_, golden_);
+        record.outcome = outcomeClassName(cls.cls);
+        record.subclass = cls.subclass;
+        record.instructions = golden_.instructions;
+        record.cycles = golden_.cycles;
+        break;
+      }
+      case SiteVerdict::EquivMember: {
+        const auto it = reps_.find(pruned.repRunId);
+        if (it == reps_.end() || !it->second.known)
+            panic("telemetry: pruned run %s emitted before its "
+                  "representative %s",
+                  pruned.runId, pruned.repRunId);
+        record.outcome = it->second.outcome;
+        record.subclass = it->second.subclass;
+        record.instructions = it->second.instructions;
+        record.cycles = it->second.cycles;
+        break;
+      }
+      case SiteVerdict::Simulate:
+        panic("telemetry: Simulate verdict in the pruned queue "
+              "(run %s)",
+              pruned.runId);
+    }
+
+    anyEmitted_ = true;
+    lastRunId_ = pruned.runId;
+    acc_.add(record);
+    appendLine(record.toJson().dump());
+}
+
+void
+TelemetryWriter::flushPrunedBelow(std::uint64_t run_id)
+{
+    while (nextPruned_ < prunedQueue_.size() &&
+           prunedQueue_[nextPruned_].runId < run_id)
+        emitPruned(prunedQueue_[nextPruned_++]);
+}
+
+void
+TelemetryWriter::flushAllPruned()
+{
+    while (nextPruned_ < prunedQueue_.size())
+        emitPruned(prunedQueue_[nextPruned_++]);
 }
 
 void
@@ -454,12 +616,14 @@ TelemetryWriter::appendLine(const std::string &line)
 void
 TelemetryWriter::replay(const TelemetryRecord &record)
 {
+    flushPrunedBelow(record.runId);
     if (anyEmitted_ && record.runId <= lastRunId_)
         fatal("telemetry: resume record %s out of order (last was "
               "%s) — corrupt or reordered resume stream",
               record.runId, lastRunId_);
     anyEmitted_ = true;
     lastRunId_ = record.runId;
+    harvestRep(record.runId, record);
     acc_.add(record); // fatal() on an unknown outcome class
     appendLine(record.toJson().dump());
 }
@@ -467,6 +631,7 @@ TelemetryWriter::replay(const TelemetryRecord &record)
 void
 TelemetryWriter::commit(const RunTask &task, const TaskResult &result)
 {
+    flushPrunedBelow(task.runId);
     if (anyEmitted_ && task.runId <= lastRunId_)
         panic("telemetry: commit of run %s out of order (last was %s)",
               task.runId, lastRunId_);
@@ -488,6 +653,7 @@ TelemetryWriter::commit(const RunTask &task, const TaskResult &result)
     }
     record.injectionCycle = task.masks.empty() ? 0 : task.firstCycle;
     record.maskCount = task.masks.size();
+    record.pruneClass = task.pruneClass;
     record.outcome = outcomeClassName(classification.cls);
     record.subclass = classification.subclass;
     record.instructions = result.record.instructions;
@@ -502,6 +668,7 @@ TelemetryWriter::commit(const RunTask &task, const TaskResult &result)
         record.jobs = jobs_;
     }
 
+    harvestRep(task.runId, record);
     acc_.add(record);
     appendLine(record.toJson().dump());
 }
@@ -511,12 +678,16 @@ TelemetryWriter::summaryJson() const
 {
     return acc_.summaryJson(telemetryConfigEcho(config_),
                             telemetryGoldenEcho(golden_),
-                            options_.captureTiming ? jobs_ : 0);
+                            options_.captureTiming ? jobs_ : 0,
+                            &prune_);
 }
 
 void
 TelemetryWriter::writeFiles(const std::string &base)
 {
+    // Pruned runs above the last committed runId are still queued.
+    flushAllPruned();
+
     const std::string runs_path = base + ".jsonl";
     const std::string summary_path = base + ".summary.json";
     if (stream_.is_open()) {

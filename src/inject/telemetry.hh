@@ -41,6 +41,7 @@
 #include <cstdint>
 #include <fstream>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/json.hh"
@@ -64,8 +65,18 @@ namespace dfi::inject
  * simulated cycles to deterministic run lengths (`run_cycles`), and
  * the checkpoint knobs left the config echo — so artifacts are
  * byte-identical with checkpointing on or off.
+ *
+ * v3: the planning pipeline gained static classification and
+ * equivalence pruning (inject/prune.hh).  The header and summary
+ * carry a volatile `prune` object (`pruned_static` / `pruned_equiv` /
+ * `simulated` campaign-wide counts) and a volatile `generator` build
+ * echo; every record carries a volatile `prune_class` (1-based
+ * equivalence-class id, 0 outside any class); and the config echo
+ * gained the outcome-relevant `exhaustive` flag.  Pruning itself is
+ * an execution strategy: pruned and unpruned artifacts of the same
+ * campaign are byte-identical outside the volatile fields.
  */
-constexpr std::uint64_t kTelemetrySchemaVersion = 2;
+constexpr std::uint64_t kTelemetrySchemaVersion = 3;
 
 /** Artifact kind tags (the "kind" member of the header/document). */
 inline constexpr const char *kTelemetryRunsKind = "dfi-telemetry";
@@ -102,6 +113,12 @@ struct TelemetryRecord
     std::uint64_t restoreMicros = 0;  //!< volatile
     std::uint64_t wallMicros = 0;     //!< volatile
     std::uint64_t jobs = 0;           //!< volatile
+    /**
+     * 1-based fault-equivalence class id (0 = not in any class).
+     * Volatile: a strategy annotation — pruned and unpruned streams
+     * differ here but nowhere else.
+     */
+    std::uint64_t pruneClass = 0;
 
     json::Value toJson() const;
 };
@@ -134,16 +151,19 @@ json::Value telemetryConfigEcho(const CampaignConfig &config);
 json::Value telemetryGoldenEcho(const syskit::RunRecord &golden);
 
 /**
- * The complete runs-stream header object: kind, schema, config echo,
- * golden echo, and the campaign-wide run count (`runs_total`, the
- * full plan size even when this process executes only a shard or a
- * resume remainder).  Shared by the writer, the resume loader (which
- * byte-compares it against a partial stream's header), and dfi-merge
- * (which requires it identical across shards).
+ * The complete runs-stream header object: kind, schema, the volatile
+ * `generator` build echo, config echo, golden echo, the campaign-wide
+ * run count (`runs_total`, the full plan size even when this process
+ * executes only a shard or a resume remainder), and the volatile
+ * campaign-wide `prune` tallies.  Shared by the writer, the resume
+ * loader (which byte-compares it against a partial stream's header),
+ * and dfi-merge (which requires it identical across shards — the
+ * prune tallies are campaign-wide precisely so shard headers agree).
  */
 json::Value telemetryRunsHeader(const CampaignConfig &config,
                                 const syskit::RunRecord &golden,
-                                std::uint64_t total_runs);
+                                std::uint64_t total_runs,
+                                const PruneStats &prune);
 
 /**
  * Order-insensitive accumulation of everything the summary document
@@ -170,11 +190,13 @@ class SummaryAccumulator
      * `config_echo`/`golden_echo` come from telemetryConfigEcho/
      * telemetryGoldenEcho (writer) or a parsed header (merge);
      * `jobs_echo` is the volatile jobs field (0 unless timing
-     * capture is on).
+     * capture is on); `prune` is the campaign-wide tally object
+     * (nullptr omits it — pre-v3 streams have none to echo).
      */
     std::string summaryJson(const json::Value &config_echo,
                             const json::Value &golden_echo,
-                            std::uint64_t jobs_echo) const;
+                            std::uint64_t jobs_echo,
+                            const PruneStats *prune) const;
 
   private:
     std::uint64_t goldenCycles_;
@@ -202,11 +224,23 @@ class TelemetryWriter
     /**
      * @param total_runs campaign-wide run count (plan totalRuns()),
      *        echoed as `runs_total` in the header.
+     * @param prune campaign-wide pruning tallies (plan pruneStats()),
+     *        echoed in the header and summary.
      */
     TelemetryWriter(const CampaignConfig &config,
                     const syskit::RunRecord &golden,
                     std::uint64_t total_runs, std::uint32_t jobs,
-                    TelemetryOptions options);
+                    const PruneStats &prune, TelemetryOptions options);
+
+    /**
+     * Declare the pruned runs of this process's plan view (plan
+     * pruned()); their records are synthesized and interleaved into
+     * the stream at the right runId positions — statically classified
+     * runs as the early-stop (or golden) record the dispatcher would
+     * have produced, equivalence-class members as their
+     * representative's outcome.  Call before any commit/replay.
+     */
+    void setPruned(const std::vector<PrunedRun> &pruned);
 
     /**
      * Stream the run lines to `<base>.jsonl` incrementally (header
@@ -242,12 +276,35 @@ class TelemetryWriter
 
   private:
     void appendLine(const std::string &line);
+    /** Emit queued pruned records with runId < `run_id`. */
+    void flushPrunedBelow(std::uint64_t run_id);
+    /** Emit all remaining queued pruned records. */
+    void flushAllPruned();
+    void emitPruned(const PrunedRun &pruned);
+    /** Remember a representative's outcome for member synthesis. */
+    void harvestRep(std::uint64_t run_id,
+                    const TelemetryRecord &record);
+
+    /** A representative's outcome, fanned out to class members. */
+    struct RepOutcome
+    {
+        std::string outcome;
+        std::string subclass;
+        std::uint64_t instructions = 0;
+        std::uint64_t cycles = 0;
+        bool known = false;
+    };
 
     CampaignConfig config_;
     syskit::RunRecord golden_;
     std::uint32_t jobs_;
+    PruneStats prune_;
     TelemetryOptions options_;
     Parser parser_;
+
+    std::vector<PrunedRun> prunedQueue_; //!< ascending runId
+    std::size_t nextPruned_ = 0;
+    std::unordered_map<std::uint64_t, RepOutcome> reps_;
 
     std::string lines_;
     SummaryAccumulator acc_;

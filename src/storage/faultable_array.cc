@@ -31,6 +31,8 @@ void
 FaultableArray::noteRead(std::size_t entry, std::size_t bit,
                          std::size_t width) const
 {
+    if (observer_)
+        observer_->onAccess(*this, entry, bit, width, false);
     if (watchState_ != WatchState::Armed)
         return;
     if (entry == watchEntry_ && watchBit_ >= bit &&
@@ -43,6 +45,8 @@ void
 FaultableArray::noteWrite(std::size_t entry, std::size_t bit,
                           std::size_t width)
 {
+    if (observer_)
+        observer_->onAccess(*this, entry, bit, width, true);
     if (watchState_ != WatchState::Armed)
         return;
     if (entry == watchEntry_ && watchBit_ >= bit &&
@@ -156,6 +160,8 @@ FaultableArray::clearEntry(std::size_t entry)
     if (entry >= entries_)
         panic("FaultableArray %s: clearEntry out of bounds (%s)", name_,
               entry);
+    if (observer_)
+        observer_->onAccess(*this, entry, 0, bitsPerEntry_, true);
     if (watchState_ == WatchState::Armed && entry == watchEntry_)
         watchState_ = WatchState::WrittenFirst;
     const std::size_t base = entry * wordsPerEntry_;

@@ -35,6 +35,30 @@
 namespace dfi
 {
 
+class FaultableArray;
+
+/**
+ * Observer of every watch-visible access to a FaultableArray.
+ *
+ * The prune pass (inject/prune.hh) attaches one observer per traced
+ * structure during a single golden re-run and records the full access
+ * trace; per-site classification then replays that trace analytically
+ * instead of simulating each fault.  Unlike the single-bit watch the
+ * observer sees *all* accesses, read and write, of every entry.
+ *
+ * Fault-application primitives (flipBit/forceBit/peekBit) stay
+ * invisible, exactly as they are to the watch.
+ */
+class AccessObserver
+{
+  public:
+    virtual ~AccessObserver() = default;
+    /** One access of `width` bits starting at `bit` of row `entry`. */
+    virtual void onAccess(const FaultableArray &array, std::size_t entry,
+                          std::size_t bit, std::size_t width,
+                          bool is_write) = 0;
+};
+
 /** What happened first to a watched bit after fault injection. */
 enum class WatchState : std::uint8_t
 {
@@ -58,6 +82,37 @@ class FaultableArray
      */
     FaultableArray(std::string name, std::size_t entries,
                    std::size_t bits_per_entry);
+
+    // The array is value-semantic (checkpoints copy it wholesale), but
+    // an attached access observer is a property of the *live* array
+    // being traced, not of the stored bits: copies (checkpoints,
+    // snapshots) must not report accesses.  Copy everything except the
+    // observer pointer; moves transfer it with the identity.
+    FaultableArray(const FaultableArray &other)
+        : name_(other.name_), entries_(other.entries_),
+          bitsPerEntry_(other.bitsPerEntry_),
+          wordsPerEntry_(other.wordsPerEntry_), words_(other.words_),
+          watchEntry_(other.watchEntry_), watchBit_(other.watchBit_),
+          watchState_(other.watchState_)
+    {
+    }
+    FaultableArray &operator=(const FaultableArray &other)
+    {
+        if (this != &other) {
+            name_ = other.name_;
+            entries_ = other.entries_;
+            bitsPerEntry_ = other.bitsPerEntry_;
+            wordsPerEntry_ = other.wordsPerEntry_;
+            words_ = other.words_;
+            watchEntry_ = other.watchEntry_;
+            watchBit_ = other.watchBit_;
+            watchState_ = other.watchState_;
+            observer_ = nullptr;
+        }
+        return *this;
+    }
+    FaultableArray(FaultableArray &&) = default;
+    FaultableArray &operator=(FaultableArray &&) = default;
 
     const std::string &name() const { return name_; }
     std::size_t numEntries() const { return entries_; }
@@ -109,6 +164,12 @@ class FaultableArray
     /** Current watch verdict. */
     WatchState watchState() const { return watchState_; }
 
+    /**
+     * Attach (or detach with nullptr) a full access-trace observer.
+     * Not owned; the caller keeps it alive while attached.
+     */
+    void setObserver(AccessObserver *observer) { observer_ = observer; }
+
     /** Backing pages (checkpoint memory-budget accounting). */
     std::size_t backingPages() const { return words_.pageCount(); }
     /** Pages still shared with a checkpoint or sibling copy. */
@@ -142,8 +203,9 @@ class FaultableArray
     std::size_t watchEntry_ = 0;
     std::size_t watchBit_ = 0;
     // Mutable: reads are logically const for callers but advance the
-    // watch automaton.
+    // watch automaton (and notify the trace observer).
     mutable WatchState watchState_ = WatchState::Idle;
+    mutable AccessObserver *observer_ = nullptr;
 };
 
 } // namespace dfi

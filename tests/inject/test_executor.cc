@@ -203,8 +203,11 @@ TEST_P(ExecutorDeterminism, ParallelBitIdenticalToSerial)
     const CampaignResult parallel = run_with_jobs(4);
     const CampaignResult parallel_again = run_with_jobs(4);
 
-    ASSERT_EQ(serial.records.size(), 32u);
-    ASSERT_EQ(parallel.records.size(), 32u);
+    // With pruning, executed records plus pruned outcomes cover the
+    // whole campaign; the split itself must also be deterministic.
+    ASSERT_EQ(serial.records.size() + serial.pruned.size(), 32u);
+    ASSERT_EQ(parallel.records.size() + parallel.pruned.size(), 32u);
+    ASSERT_EQ(serial.records.size(), parallel.records.size());
 
     // Byte-identical record sequences and mask repositories.
     EXPECT_EQ(serializeRecords(serial.records),

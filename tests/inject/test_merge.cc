@@ -288,8 +288,9 @@ TEST(Resume, InterruptedCampaignResumesToIdenticalArtifacts)
     resume.telemetryOut = (dir.path / "resumed").string();
     const CampaignResult result = InjectionCampaign(resume).run();
 
-    // Only the remainder was executed ...
-    EXPECT_EQ(result.records.size(), 12u - 5u);
+    // Only the remainder was executed or synthesized from the prune
+    // verdicts; the 5 replayed records belong to neither list ...
+    EXPECT_EQ(result.records.size() + result.pruned.size(), 12u - 5u);
     // ... but the artifacts equal the uninterrupted run's, byte for
     // byte.
     EXPECT_EQ(readFile(dir.path / "resumed.jsonl"), runs);

@@ -13,6 +13,7 @@
 #include <iterator>
 #include <sstream>
 #include <string>
+#include <unordered_map>
 
 #include "inject/campaign.hh"
 #include "inject/telemetry.hh"
@@ -85,15 +86,24 @@ TEST(Telemetry, JsonlRoundTripsThroughReader)
     EXPECT_EQ(runs.header.get("golden").get("cycles").asUint(),
               result.golden.cycles);
 
-    // One record per run, in runId order, fields wired from the plan.
-    ASSERT_EQ(runs.records.size(), result.records.size());
+    // One record per run — executed and pruned — in runId order,
+    // fields wired from the plan.
+    ASSERT_EQ(runs.records.size(),
+              result.records.size() + result.pruned.size());
+    std::unordered_map<std::uint64_t, std::size_t> executed;
+    for (std::size_t i = 0; i < result.recordRunIds.size(); ++i)
+        executed.emplace(result.recordRunIds[i], i);
     for (std::size_t i = 0; i < runs.records.size(); ++i) {
         const TelemetryRecord &rec = runs.records[i];
         EXPECT_EQ(rec.runId, i);
         EXPECT_EQ(rec.seed, cfg.seed);
         EXPECT_EQ(rec.component, "int_regfile");
-        EXPECT_EQ(rec.instructions, result.records[i].instructions);
-        EXPECT_EQ(rec.cycles, result.records[i].cycles);
+        const auto it = executed.find(rec.runId);
+        if (it != executed.end()) {
+            EXPECT_EQ(rec.instructions,
+                      result.records[it->second].instructions);
+            EXPECT_EQ(rec.cycles, result.records[it->second].cycles);
+        }
         EXPECT_FALSE(rec.outcome.empty());
         // Volatile fields are zero unless timing capture is on.
         EXPECT_EQ(rec.wallMicros, 0u);
@@ -108,7 +118,7 @@ TEST(Telemetry, JsonlRoundTripsThroughReader)
         << error;
     EXPECT_EQ(summary.kind, kTelemetrySummaryKind);
     EXPECT_EQ(summary.header.get("runs").asUint(),
-              result.records.size());
+              result.records.size() + result.pruned.size());
     Parser parser;
     const auto counts = result.classify(parser);
     const auto &classes = summary.header.get("classes");

@@ -252,4 +252,73 @@ TEST(FaultableArrayProperty, MatchesReferenceModel)
     }
 }
 
+/** Captures every onAccess callback for inspection. */
+struct RecordingObserver : dfi::AccessObserver
+{
+    struct Event
+    {
+        std::size_t entry, bit, width;
+        bool write;
+    };
+    std::vector<Event> events;
+
+    void
+    onAccess(const FaultableArray &, std::size_t entry,
+             std::size_t bit, std::size_t width, bool is_write) override
+    {
+        events.push_back({entry, bit, width, is_write});
+    }
+};
+
+TEST(FaultableArray, ObserverSeesArchitecturalAccessesOnly)
+{
+    FaultableArray a("rf", 8, 32);
+    RecordingObserver obs;
+    a.setObserver(&obs);
+
+    a.writeBits(2, 4, 8, 0xff);
+    a.readBits(2, 4, 8);
+    a.clearEntry(3); // whole-entry write
+    a.flipBit(2, 5); // fault application: silent
+    a.forceBit(2, 6, true);
+    a.peekBit(2, 5);
+
+    ASSERT_EQ(obs.events.size(), 3u);
+    EXPECT_TRUE(obs.events[0].write);
+    EXPECT_EQ(obs.events[0].entry, 2u);
+    EXPECT_EQ(obs.events[0].bit, 4u);
+    EXPECT_EQ(obs.events[0].width, 8u);
+    EXPECT_FALSE(obs.events[1].write);
+    EXPECT_TRUE(obs.events[2].write);
+    EXPECT_EQ(obs.events[2].entry, 3u);
+    EXPECT_EQ(obs.events[2].bit, 0u);
+    EXPECT_EQ(obs.events[2].width, 32u);
+
+    // Detaching stops the callbacks.
+    a.setObserver(nullptr);
+    a.readBits(2, 0, 1);
+    EXPECT_EQ(obs.events.size(), 3u);
+}
+
+TEST(FaultableArray, CopiesDoNotCarryTheObserver)
+{
+    FaultableArray a("rf", 4, 16);
+    RecordingObserver obs;
+    a.setObserver(&obs);
+
+    FaultableArray copied(a);
+    copied.writeBits(1, 0, 4, 0xf);
+    FaultableArray assigned("other", 4, 16);
+    assigned = a;
+    assigned.writeBits(1, 0, 4, 0xf);
+
+    // Only the original reports; a checkpoint-restored core copy
+    // must not feed events into the planner's tracer.
+    EXPECT_TRUE(obs.events.empty());
+    a.writeBits(1, 0, 4, 0xf);
+    EXPECT_EQ(obs.events.size(), 1u);
+    // And the copy kept the data it was copied from.
+    EXPECT_EQ(copied.readBits(1, 0, 4), 0xfu);
+}
+
 } // namespace

@@ -32,6 +32,7 @@
 #include "common/cli.hh"
 #include "common/logging.hh"
 #include "common/parse_num.hh"
+#include "common/version.hh"
 #include "common/stats.hh"
 #include "inject/campaign.hh"
 #include "inject/executor.hh"
@@ -142,6 +143,7 @@ main(int argc, char **argv)
     std::string save_masks;
     bool verbose = false;
     bool list = false;
+    bool dry_run = false;
     std::uint64_t scale = cfg.scale;
     std::uint64_t checkpoint_count = cfg.checkpointCount;
 
@@ -181,8 +183,24 @@ main(int argc, char **argv)
                                              error);
                  });
     flags.uint64("--seed", "N", "campaign seed", &cfg.seed);
+    flags.flag("--exhaustive",
+               "enumerate every bit x cycle site of the\n"
+               "component instead of sampling (single-bit\n"
+               "transients only; small structures)",
+               &cfg.exhaustive);
 
     flags.section("execution");
+    flags.flag("--no-prune",
+               "disable planning-time classification and\n"
+               "fault-equivalence pruning; simulate every\n"
+               "run (the classification is identical\n"
+               "either way)",
+               [&cfg] { cfg.prune = false; });
+    flags.flag("--dry-run",
+               "resolve and print the plan (runs, pruned\n"
+               "counts, estimated simulated cycles), then\n"
+               "exit without simulating",
+               &dry_run);
     flags.uint32("--jobs", "N",
                  "worker threads (default: hardware\n"
                  "concurrency; results are bit-identical\n"
@@ -250,6 +268,9 @@ main(int argc, char **argv)
       case cli::ParseResult::Help:
         std::fputs(flags.usage().c_str(), stdout);
         return 0;
+      case cli::ParseResult::Version:
+        std::puts(dfi::versionString().c_str());
+        return 0;
       case cli::ParseResult::Error:
         die(parse_error);
       case cli::ParseResult::Ok:
@@ -282,6 +303,33 @@ main(int argc, char **argv)
                      static_cast<unsigned long long>(
                          golden.instructions),
                      golden.output.size());
+        if (dry_run) {
+            const InjectionCampaign::PlanSummary summary =
+                campaign.planSummary();
+            std::printf("plan: %llu runs (%llu masks)\n",
+                        static_cast<unsigned long long>(
+                            summary.totalRuns),
+                        static_cast<unsigned long long>(
+                            summary.maskCount));
+            std::printf("  simulated:     %llu\n",
+                        static_cast<unsigned long long>(
+                            summary.stats.simulated));
+            std::printf("  pruned static: %llu\n",
+                        static_cast<unsigned long long>(
+                            summary.stats.prunedStatic));
+            std::printf("  pruned equiv:  %llu\n",
+                        static_cast<unsigned long long>(
+                            summary.stats.prunedEquiv));
+            if (cfg.shard.count > 1)
+                std::printf("  this shard (%u/%u) executes: %llu\n",
+                            cfg.shard.index, cfg.shard.count,
+                            static_cast<unsigned long long>(
+                                summary.executed));
+            std::printf("  estimated simulated cycles: %llu\n",
+                        static_cast<unsigned long long>(
+                            summary.estimatedSimulatedCycles));
+            return 0;
+        }
         if (cfg.shard.count > 1)
             std::fprintf(stderr, "executing shard %u/%u\n",
                          cfg.shard.index, cfg.shard.count);
@@ -343,6 +391,18 @@ main(int argc, char **argv)
                               static_cast<double>(
                                   result.fullRunEquivalentCycles)
                         : 0.0);
+        if (result.pruneStats.prunedStatic +
+                result.pruneStats.prunedEquiv >
+            0) {
+            std::printf("pruning: %llu simulated, %llu pruned static, "
+                        "%llu pruned equivalent\n",
+                        static_cast<unsigned long long>(
+                            result.pruneStats.simulated),
+                        static_cast<unsigned long long>(
+                            result.pruneStats.prunedStatic),
+                        static_cast<unsigned long long>(
+                            result.pruneStats.prunedEquiv));
+        }
         return 0;
     } catch (const dfi::FatalError &err) {
         die(err.what());

@@ -30,6 +30,7 @@
 
 #include "common/cli.hh"
 #include "common/parse_num.hh"
+#include "common/version.hh"
 #include "inject/telemetry.hh"
 
 using namespace dfi::inject;
@@ -72,6 +73,9 @@ main(int argc, char **argv)
         std::fputs(flags.usage().c_str(), stdout);
         std::puts("\nexit codes: 0 equal, 1 drift, 2 malformed "
                   "input / usage");
+        return 0;
+      case cli::ParseResult::Version:
+        std::puts(dfi::versionString().c_str());
         return 0;
       case cli::ParseResult::Error:
         std::fprintf(stderr, "dfi-diff: %s\n", parse_error.c_str());

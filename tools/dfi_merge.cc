@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "common/cli.hh"
+#include "common/version.hh"
 #include "inject/merge.hh"
 
 using namespace dfi::inject;
@@ -52,6 +53,9 @@ main(int argc, char **argv)
       case cli::ParseResult::Help:
         std::fputs(flags.usage().c_str(), stdout);
         std::puts("\nexit codes: 0 merged, 2 refused");
+        return 0;
+      case cli::ParseResult::Version:
+        std::puts(dfi::versionString().c_str());
         return 0;
       case cli::ParseResult::Error:
         std::fprintf(stderr, "dfi-merge: %s\n", parse_error.c_str());
