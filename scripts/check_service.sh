@@ -1,0 +1,132 @@
+#!/usr/bin/env bash
+# Prove the campaign service serves byte-exact campaigns and that its
+# warm cache actually short-circuits preparation.
+#
+# Starts a dfi-serve daemon on a scratch Unix-domain socket, submits
+# the three golden smoke campaigns twice each — a cold round and a
+# warm round — and requires:
+#
+#   1. every cold response to report `cache_hit: false` and every
+#      warm response `cache_hit: true` (the second request adopted
+#      the cached golden run + checkpoint store instead of
+#      re-simulating);
+#   2. the client-written telemetry of BOTH rounds to be
+#      `dfi-diff --exact`-equal AND byte-equal to the checked-in
+#      baselines under results/golden/ — a served campaign, warm or
+#      cold, must be indistinguishable from a local dfi-campaign run;
+#   3. the daemon to drain and exit 0 on a shutdown request.
+#
+# Usage:
+#   scripts/check_service.sh [WORKDIR]
+#
+#   WORKDIR  scratch directory (default: a fresh mktemp -d)
+#
+# Environment:
+#   DFI_SERVE  dfi-serve binary (default build/tools/...)
+#   DFI_DIFF   dfi-diff binary  (default build/tools/...)
+#
+# Run from the repository root after building:
+#   cmake -B build -S . && cmake --build build -j
+set -euo pipefail
+trap 'echo "check_service.sh: failed at line $LINENO: $BASH_COMMAND" >&2' ERR
+
+cd "$(dirname "$0")/.."
+
+WORKDIR="${1:-$(mktemp -d)}"
+SERVE_BIN="${DFI_SERVE:-build/tools/dfi-serve}"
+DIFF_BIN="${DFI_DIFF:-build/tools/dfi-diff}"
+GOLDEN_DIR="results/golden"
+SOCKET="$WORKDIR/dfi-serve.sock"
+
+for bin in "$SERVE_BIN" "$DIFF_BIN"; do
+    if [[ ! -x "$bin" ]]; then
+        echo "error: $bin not found or not executable." >&2
+        echo "build first: cmake -B build -S . && cmake --build build -j" >&2
+        exit 1
+    fi
+done
+
+mkdir -p "$WORKDIR"
+
+"$SERVE_BIN" --socket "$SOCKET" 2> "$WORKDIR/server.log" &
+SERVER_PID=$!
+cleanup() {
+    kill "$SERVER_PID" 2> /dev/null || true
+}
+trap cleanup EXIT
+
+# The daemon binds the socket before accepting; give it a moment.
+for _ in $(seq 1 50); do
+    if [[ -S "$SOCKET" ]]; then
+        break
+    fi
+    sleep 0.1
+done
+"$SERVE_BIN" --connect "$SOCKET" --ping > /dev/null
+
+status=0
+
+# submit CORE ROUND EXPECTED_HIT: serve one smoke campaign, check the
+# cache_hit field, and diff the client-written artifacts against the
+# golden baselines.
+submit() {
+    local core="$1" round="$2" expected_hit="$3"
+    local base="$WORKDIR/${round}_${core}"
+    local out
+    echo "== served smoke campaign: $core ($round)" >&2
+    out=$("$SERVE_BIN" --connect "$SOCKET" \
+        --client check-service \
+        --core "$core" \
+        --benchmark micro \
+        --component int_regfile \
+        --injections 24 \
+        --seed 7 \
+        --telemetry-out "$base" \
+        2> /dev/null)
+
+    local hit
+    hit=$(grep '^cache_hit: ' <<< "$out" | cut -d' ' -f2)
+    if [[ "$hit" != "$expected_hit" ]]; then
+        echo "$core $round: expected cache_hit $expected_hit, got '$hit'" >&2
+        status=1
+    fi
+
+    local golden_base="$GOLDEN_DIR/smoke_$core"
+    if ! "$DIFF_BIN" --exact "$golden_base.jsonl" "$base.jsonl"; then
+        status=1
+    elif ! cmp -s "$golden_base.jsonl" "$base.jsonl"; then
+        echo "byte drift: $golden_base.jsonl vs $base.jsonl" >&2
+        status=1
+    fi
+    if ! cmp -s "$golden_base.summary.json" "$base.summary.json"; then
+        echo "summary drift: $golden_base.summary.json vs $base.summary.json" >&2
+        status=1
+    fi
+}
+
+# Cold round: every core prepares from scratch and populates the
+# cache.  Warm round: every core must adopt the cached preparation.
+for core in marss-x86 gem5-x86 gem5-arm; do
+    submit "$core" cold false
+done
+for core in marss-x86 gem5-x86 gem5-arm; do
+    submit "$core" warm true
+done
+
+"$SERVE_BIN" --connect "$SOCKET" --stats >&2
+
+# Graceful shutdown: the daemon must drain and exit 0.
+"$SERVE_BIN" --connect "$SOCKET" --shutdown > /dev/null
+if ! wait "$SERVER_PID"; then
+    echo "dfi-serve exited non-zero after shutdown" >&2
+    sed 's/^/  server: /' "$WORKDIR/server.log" >&2
+    status=1
+fi
+trap - EXIT
+
+if [[ "$status" -ne 0 ]]; then
+    echo "FAIL: served campaigns drifted from $GOLDEN_DIR/ (see above)" >&2
+    exit "$status"
+fi
+echo "OK: 6 served smoke campaigns byte-equal to $GOLDEN_DIR/," >&2
+echo "    warm round hit the preparation cache on all 3 cores." >&2

@@ -24,6 +24,7 @@
 # Run from the repository root after building:
 #   cmake -B build -S . && cmake --build build -j
 set -euo pipefail
+trap 'echo "check_shard_resume.sh: failed at line $LINENO: $BASH_COMMAND" >&2' ERR
 
 cd "$(dirname "$0")/.."
 

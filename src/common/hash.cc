@@ -1,0 +1,58 @@
+#include "common/hash.hh"
+
+namespace dfi::hash
+{
+
+void
+Fnv1a::update(const void *data, std::size_t size)
+{
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+        state_ ^= bytes[i];
+        state_ *= kPrime;
+    }
+}
+
+void
+Fnv1a::update(std::string_view text)
+{
+    update(static_cast<std::uint64_t>(text.size()));
+    update(text.data(), text.size());
+}
+
+void
+Fnv1a::update(std::uint64_t value)
+{
+    unsigned char bytes[8];
+    for (int i = 0; i < 8; ++i)
+        bytes[i] = static_cast<unsigned char>(value >> (8 * i));
+    update(bytes, sizeof(bytes));
+}
+
+std::string
+Fnv1a::hexDigest() const
+{
+    return toHex(state_);
+}
+
+std::uint64_t
+fnv1a(std::string_view text)
+{
+    Fnv1a hasher;
+    hasher.update(text.data(), text.size());
+    return hasher.digest();
+}
+
+std::string
+toHex(std::uint64_t value)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[static_cast<std::size_t>(i)] = digits[value & 0xf];
+        value >>= 4;
+    }
+    return out;
+}
+
+} // namespace dfi::hash

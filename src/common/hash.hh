@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Stable content hashing for cache keys (FNV-1a, 64-bit).
+ *
+ * The campaign service (inject/service.hh) content-addresses golden
+ * runs and checkpoint stores by a digest of the campaign-relevant
+ * configuration.  That key must be a pure function of the *values*
+ * hashed — identical across processes, hosts, and library versions —
+ * so this is a fixed, self-contained FNV-1a implementation rather
+ * than std::hash (whose result is explicitly allowed to vary between
+ * runs and implementations).
+ *
+ * FNV-1a is not cryptographic; it is used here to bucket equal
+ * configurations together, never to defend against adversarial
+ * collisions.  Callers that need the digest as an identifier format
+ * it with toHex() (16 lower-case hex digits, fixed width).
+ */
+
+#ifndef DFI_COMMON_HASH_HH
+#define DFI_COMMON_HASH_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace dfi::hash
+{
+
+/** Incremental FNV-1a 64-bit hasher. */
+class Fnv1a
+{
+  public:
+    /** Fold in raw bytes. */
+    void update(const void *data, std::size_t size);
+
+    /**
+     * Fold in a string, length-prefixed so that adjacent fields
+     * cannot alias ("ab"+"c" never hashes like "a"+"bc").
+     */
+    void update(std::string_view text);
+
+    /** Fold in an integer as 8 fixed little-endian bytes. */
+    void update(std::uint64_t value);
+
+    std::uint64_t digest() const { return state_; }
+
+    /** digest() as 16 lower-case hex digits. */
+    std::string hexDigest() const;
+
+  private:
+    static constexpr std::uint64_t kOffsetBasis =
+        0xcbf29ce484222325ull;
+    static constexpr std::uint64_t kPrime = 0x100000001b3ull;
+
+    std::uint64_t state_ = kOffsetBasis;
+};
+
+/** One-shot convenience: FNV-1a of a byte string. */
+std::uint64_t fnv1a(std::string_view text);
+
+/** Fixed-width (16-digit) lower-case hex of a 64-bit value. */
+std::string toHex(std::uint64_t value);
+
+} // namespace dfi::hash
+
+#endif // DFI_COMMON_HASH_HH

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/hash.hh"
 #include "common/logging.hh"
 #include "inject/executor.hh"
 #include "inject/plan.hh"
@@ -114,6 +115,34 @@ CampaignConfig::validate() const
     return errors;
 }
 
+std::string
+CampaignConfig::cacheKey() const
+{
+    // The deterministic identity of a campaign is exactly its
+    // telemetry config echo (every outcome-relevant field, no
+    // execution-strategy knobs).  The checkpoint knobs are appended
+    // because the cached artifact includes the CheckpointStore,
+    // whose capture schedule they shape.  A format tag leads so a
+    // future key-derivation change re-keys every entry cleanly.
+    hash::Fnv1a hasher;
+    hasher.update(std::string_view("dfi-cache-key-v1"));
+    hasher.update(telemetryConfigEcho(*this).dump());
+    hasher.update(static_cast<std::uint64_t>(useCheckpoints ? 1 : 0));
+    hasher.update(static_cast<std::uint64_t>(checkpointCount));
+    hasher.update(checkpointMemBudgetMB);
+    return hasher.hexDigest();
+}
+
+std::uint64_t
+PreparedCampaign::approxBytes() const
+{
+    std::uint64_t bytes = sizeof(PreparedCampaign);
+    bytes += image.code.size() + image.data.size();
+    bytes += expectedOutput.size() + golden.output.size();
+    bytes += checkpoints.count() * checkpoints.snapshotBoundBytes();
+    return bytes;
+}
+
 InjectionCampaign::InjectionCampaign(CampaignConfig config)
     : cfg_(std::move(config))
 {
@@ -124,15 +153,15 @@ InjectionCampaign::~InjectionCampaign() = default;
 void
 InjectionCampaign::prepare()
 {
-    if (prepared_)
+    if (prep_ != nullptr)
         return;
-    prepared_ = true;
 
     const std::vector<ConfigError> errors = cfg_.validate();
     if (!errors.empty())
         fatal("invalid campaign config: %s: %s", errors[0].field,
               errors[0].message);
 
+    auto prep = std::make_shared<PreparedCampaign>();
     uarch::CoreConfig core_cfg =
         uarch::coreConfigByName(cfg_.coreName);
     uarch::scaleCaches(core_cfg, cfg_.cacheScale);
@@ -140,8 +169,9 @@ InjectionCampaign::prepare()
         cfg_.configTweak(core_cfg);
     const prog::Benchmark bench =
         prog::buildBenchmark(cfg_.benchmark, cfg_.scale);
-    expectedOutput_ = bench.expectedOutput;
-    image_ = ir::compileModule(bench.module, core_cfg.isa, 0x200000);
+    prep->expectedOutput = bench.expectedOutput;
+    prep->image = ir::compileModule(bench.module, core_cfg.isa,
+                                    0x200000);
 
     // Single full-program pass: the golden reference and the restore
     // checkpoints are captured together.  Snapshots are COW-backed
@@ -151,30 +181,57 @@ InjectionCampaign::prepare()
     checkpoint_policy.targetCount = cfg_.checkpointCount;
     checkpoint_policy.budgetBytes =
         cfg_.checkpointMemBudgetMB * 1024 * 1024;
-    checkpoints_ = CheckpointStore(checkpoint_policy);
+    prep->checkpoints = CheckpointStore(checkpoint_policy);
 
-    uarch::OooCore core(core_cfg, image_);
-    checkpoints_.captureBase(core);
+    uarch::OooCore core(core_cfg, prep->image);
+    prep->checkpoints.captureBase(core);
     while (core.tick()) {
         if (core.cycle() > kAbsoluteCycleCap)
             fatal("golden run of '%s' on '%s' exceeded the cycle cap",
                   cfg_.benchmark, cfg_.coreName);
-        checkpoints_.observe(core);
+        prep->checkpoints.observe(core);
     }
-    golden_ = core.record();
-    if (golden_.term != syskit::Termination::Exited)
+    prep->golden = core.record();
+    if (prep->golden.term != syskit::Termination::Exited)
         fatal("golden run of '%s' on '%s' did not exit cleanly: %s",
-              cfg_.benchmark, cfg_.coreName, golden_.detail);
-    if (golden_.output != expectedOutput_)
+              cfg_.benchmark, cfg_.coreName, prep->golden.detail);
+    if (prep->golden.output != prep->expectedOutput)
         fatal("golden run of '%s' on '%s' produced wrong output",
               cfg_.benchmark, cfg_.coreName);
+    prep_ = std::move(prep);
 }
 
 const syskit::RunRecord &
 InjectionCampaign::golden()
 {
     prepare();
-    return golden_;
+    return prep_->golden;
+}
+
+std::shared_ptr<const PreparedCampaign>
+InjectionCampaign::prepared()
+{
+    prepare();
+    return prep_;
+}
+
+void
+InjectionCampaign::adoptPrepared(
+    std::shared_ptr<const PreparedCampaign> prep)
+{
+    if (prep_ != nullptr)
+        panic("adoptPrepared after prepare(): adopt before first "
+              "use");
+    if (prep == nullptr)
+        panic("adoptPrepared: null preparation");
+
+    // Adoption skips the golden pass but never validation: a config
+    // the campaign would refuse cold must be refused warm too.
+    const std::vector<ConfigError> errors = cfg_.validate();
+    if (!errors.empty())
+        fatal("invalid campaign config: %s: %s", errors[0].field,
+              errors[0].message);
+    prep_ = std::move(prep);
 }
 
 syskit::RunRecord
@@ -200,7 +257,7 @@ InjectionCampaign::runOne(const std::vector<FaultMask> &masks,
 TaskResult
 InjectionCampaign::runTask(const RunTask &task) const
 {
-    if (!prepared_)
+    if (prep_ == nullptr)
         panic("runTask before prepare(): run golden() first");
     const std::vector<FaultMask> &masks = task.masks;
     if (masks.empty())
@@ -212,7 +269,7 @@ InjectionCampaign::runTask(const RunTask &task) const
     // the snapshot's COW pages, so its cost tracks the state the run
     // goes on to touch, not the core size.
     const auto restore_started = std::chrono::steady_clock::now();
-    uarch::OooCore core = checkpoints_.sourceFor(first_cycle);
+    uarch::OooCore core = prep_->checkpoints.sourceFor(first_cycle);
     const std::uint64_t restore_micros = static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::microseconds>(
             std::chrono::steady_clock::now() - restore_started)
@@ -231,7 +288,7 @@ InjectionCampaign::runTask(const RunTask &task) const
     const std::uint64_t limit = std::min<std::uint64_t>(
         kAbsoluteCycleCap,
         static_cast<std::uint64_t>(
-            static_cast<double>(golden_.cycles) * cfg_.timeoutFactor));
+            static_cast<double>(prep_->golden.cycles) * cfg_.timeoutFactor));
 
     bool injected = false;
     bool watch_armed = false;
@@ -338,8 +395,8 @@ InjectionCampaign::planSummary()
     uarch::scaleCaches(core_cfg, cfg_.cacheScale);
     if (cfg_.configTweak)
         cfg_.configTweak(core_cfg);
-    uarch::OooCore probe(core_cfg, image_);
-    CampaignPlan plan = planCampaign(cfg_, golden_, probe);
+    uarch::OooCore probe(core_cfg, prep_->image);
+    CampaignPlan plan = planCampaign(cfg_, prep_->golden, probe);
 
     PlanSummary summary;
     summary.totalRuns = plan.totalRuns();
@@ -350,8 +407,8 @@ InjectionCampaign::planSummary()
     summary.executed = plan.numRuns();
     for (const RunTask &task : plan.tasks()) {
         summary.estimatedSimulatedCycles +=
-            golden_.cycles >= task.firstCycle
-                ? golden_.cycles - task.firstCycle + 1
+            prep_->golden.cycles >= task.firstCycle
+                ? prep_->golden.cycles - task.firstCycle + 1
                 : 1;
     }
     return summary;
@@ -370,8 +427,8 @@ InjectionCampaign::run(const Progress &progress)
     uarch::scaleCaches(core_cfg, cfg_.cacheScale);
     if (cfg_.configTweak)
         cfg_.configTweak(core_cfg);
-    uarch::OooCore probe(core_cfg, image_);
-    CampaignPlan plan = planCampaign(cfg_, golden_, probe);
+    uarch::OooCore probe(core_cfg, prep_->image);
+    CampaignPlan plan = planCampaign(cfg_, prep_->golden, probe);
     const std::uint64_t total_runs = plan.totalRuns();
 
     // Shard first, then subtract resumed runs: `--resume` within a
@@ -397,7 +454,7 @@ InjectionCampaign::run(const Progress &progress)
         if (!partial.warning.empty())
             warn("resume: %s: %s", cfg_.resumeFrom, partial.warning);
         const std::string expected =
-            telemetryRunsHeader(cfg_, golden_, total_runs,
+            telemetryRunsHeader(cfg_, prep_->golden, total_runs,
                                 plan.pruneStats())
                 .dump();
         if (partial.header.dump() != expected)
@@ -422,11 +479,14 @@ InjectionCampaign::run(const Progress &progress)
     // streams to disk line-by-line: a killed campaign leaves a
     // resumable partial instead of nothing.
     std::unique_ptr<TelemetryWriter> telemetry;
-    if (!cfg_.telemetryOut.empty()) {
+    if (!cfg_.telemetryOut.empty() || cfg_.telemetryCapture) {
         telemetry = std::make_unique<TelemetryWriter>(
-            cfg_, golden_, total_runs, executor->jobs(),
+            cfg_, prep_->golden, total_runs, executor->jobs(),
             plan.pruneStats(), TelemetryOptions{cfg_.telemetryTiming});
-        telemetry->streamTo(cfg_.telemetryOut);
+        // Capture-only telemetry (the campaign service) stays in
+        // memory; a path additionally streams every line to disk.
+        if (!cfg_.telemetryOut.empty())
+            telemetry->streamTo(cfg_.telemetryOut);
         // Pruned runs of this plan view interleave into the stream at
         // their runId positions; already-resumed pruned runs were
         // dropped from the view by withoutRuns() above.
@@ -457,13 +517,21 @@ InjectionCampaign::run(const Progress &progress)
         },
         reporter);
 
-    if (telemetry != nullptr)
+    if (telemetry != nullptr && !cfg_.telemetryOut.empty())
         telemetry->writeFiles(cfg_.telemetryOut);
 
     // Report: fold the ordered results into the campaign record.
     CampaignResult result;
     result.config = cfg_;
-    result.golden = golden_;
+    if (telemetry != nullptr) {
+        // Pruned runs above the last committed runId are still
+        // queued; a capture-only writer (no writeFiles) must flush
+        // them or the in-memory artifacts drop the trailing records.
+        telemetry->finalize();
+        result.telemetryRuns = telemetry->runsJsonl();
+        result.telemetrySummary = telemetry->summaryJson();
+    }
+    result.golden = prep_->golden;
     result.masks = plan.masks();
     result.pruneStats = plan.pruneStats();
     result.records.reserve(task_results.size());
@@ -483,8 +551,8 @@ InjectionCampaign::run(const Progress &progress)
         // the program for masked runs).
         const syskit::RunRecord &rec = task_result.record;
         result.fullRunEquivalentCycles +=
-            rec.earlyStopMasked ? golden_.cycles
-                                : std::max(rec.cycles, golden_.cycles);
+            rec.earlyStopMasked ? prep_->golden.cycles
+                                : std::max(rec.cycles, prep_->golden.cycles);
         result.recordRunIds.push_back(tasks[i].runId);
         result.records.push_back(std::move(task_result.record));
     }
@@ -519,12 +587,12 @@ InjectionCampaign::run(const Progress &progress)
             outcome.record.cycles = pruned.cycles;
             outcome.record.instructions = pruned.instructions;
             outcome.haveRecord = true;
-            result.fullRunEquivalentCycles += golden_.cycles;
+            result.fullRunEquivalentCycles += prep_->golden.cycles;
             break;
           case SiteVerdict::GoldenRun:
-            outcome.record = golden_;
+            outcome.record = prep_->golden;
             outcome.haveRecord = true;
-            result.fullRunEquivalentCycles += golden_.cycles;
+            result.fullRunEquivalentCycles += prep_->golden.cycles;
             break;
           case SiteVerdict::EquivMember: {
             const auto exec = executed.find(pruned.repRunId);
@@ -532,7 +600,7 @@ InjectionCampaign::run(const Progress &progress)
                 outcome.record = *exec->second;
                 outcome.haveRecord = true;
                 result.fullRunEquivalentCycles += std::max(
-                    outcome.record.cycles, golden_.cycles);
+                    outcome.record.cycles, prep_->golden.cycles);
                 break;
             }
             const auto rep = resumed_by_id.find(pruned.repRunId);
@@ -551,7 +619,7 @@ InjectionCampaign::run(const Progress &progress)
             outcome.record.cycles = rep->second->cycles;
             outcome.record.instructions = rep->second->instructions;
             result.fullRunEquivalentCycles +=
-                std::max(outcome.record.cycles, golden_.cycles);
+                std::max(outcome.record.cycles, prep_->golden.cycles);
             break;
           }
           case SiteVerdict::Simulate:

@@ -194,6 +194,29 @@ struct CampaignConfig
     std::string resumeFrom;
 
     /**
+     * Build the telemetry artifacts in memory and return them in
+     * CampaignResult::telemetryRuns/telemetrySummary even when
+     * telemetryOut is empty (no files touched).  The campaign
+     * service uses this to ship artifacts over a socket; the client
+     * writes the identical bytes a local `dfi-campaign
+     * --telemetry-out` run would have produced.
+     */
+    bool telemetryCapture = false;
+
+    /**
+     * Content-address of this campaign for the service's warm
+     * artifact cache: a stable FNV-1a digest (16 hex digits) of
+     * every outcome-relevant field — exactly the telemetry config
+     * echo (program, core model, fault selection, seed, ...) — plus
+     * the checkpoint knobs, which shape the cached CheckpointStore.
+     * Pure execution/reporting knobs (jobs, telemetry paths, shard,
+     * resume, prune) are excluded: they never change the prepared
+     * artifacts.  Stable across processes and hosts; `configTweak`
+     * is not hashable and must be unset when keys are compared.
+     */
+    std::string cacheKey() const;
+
+    /**
      * Check every field against its domain (known core/benchmark/
      * component names, probability ranges, shard bounds, flag
      * interactions).  Returns one structured error per violation;
@@ -201,6 +224,33 @@ struct CampaignConfig
      * on the first invalid config instead of re-checking piecemeal.
      */
     std::vector<ConfigError> validate() const;
+};
+
+/**
+ * The immutable artifacts of a campaign's preparation pass: the
+ * compiled program image, the golden (fault-free) reference run, and
+ * the checkpoint store captured during that same single pass.  They
+ * are a pure function of (benchmark, scale, core model, cache scale,
+ * checkpoint knobs) — none of the fault-selection fields — so any
+ * number of campaigns whose CampaignConfig::cacheKey() matches may
+ * share one instance: every consumer only ever copy-constructs
+ * private cores from the const checkpoint snapshots, which is
+ * already the executor's thread-safety contract.
+ */
+struct PreparedCampaign
+{
+    isa::Image image;
+    std::vector<std::uint8_t> expectedOutput;
+    syskit::RunRecord golden;
+    CheckpointStore checkpoints;
+
+    /**
+     * Conservative resident-footprint bound in bytes (the service's
+     * LRU budget accounting).  Snapshots are charged at the
+     * per-snapshot bound even though COW sharing usually keeps the
+     * true footprint lower.
+     */
+    std::uint64_t approxBytes() const;
 };
 
 /**
@@ -257,6 +307,14 @@ struct CampaignResult
     std::uint64_t totalRestoreMicros = 0;
 
     /**
+     * The telemetry artifacts, captured in memory.  Non-empty when
+     * telemetryOut or telemetryCapture requested telemetry; the
+     * bytes equal what writeFiles() wrote (or would have written).
+     */
+    std::string telemetryRuns;
+    std::string telemetrySummary;
+
+    /**
      * Classify every run — executed and pruned — with the given
      * parser.  This is the campaign-wide tally: identical with and
      * without pruning (the determinism contract).
@@ -279,6 +337,22 @@ class InjectionCampaign
 
     /** Golden reference record (runs it on first use). */
     const syskit::RunRecord &golden();
+
+    /**
+     * The shared preparation artifacts (runs the golden pass on
+     * first use).  The returned state is immutable and safe to share
+     * with other campaigns whose config cacheKey() matches.
+     */
+    std::shared_ptr<const PreparedCampaign> prepared();
+
+    /**
+     * Adopt previously prepared artifacts instead of re-simulating
+     * the golden pass (the service's warm-cache fast path).  Must be
+     * called before the first golden()/run() call; the artifacts
+     * must come from a config with the same cacheKey() — that
+     * equivalence is the caller's contract.
+     */
+    void adoptPrepared(std::shared_ptr<const PreparedCampaign> prep);
 
     /**
      * What run() would do, without simulating any faulty run (CLI
@@ -321,17 +395,16 @@ class InjectionCampaign
      * The checkpoint store (exposed for tests and benches).  Valid
      * after golden()/run() has prepared the campaign.
      */
-    const CheckpointStore &checkpoints() const { return checkpoints_; }
+    const CheckpointStore &checkpoints() const
+    {
+        return prep_->checkpoints;
+    }
 
   private:
     void prepare();
 
     CampaignConfig cfg_;
-    bool prepared_ = false;
-    isa::Image image_;
-    std::vector<std::uint8_t> expectedOutput_;
-    syskit::RunRecord golden_;
-    CheckpointStore checkpoints_;
+    std::shared_ptr<const PreparedCampaign> prep_; //!< set by prepare()
 };
 
 } // namespace dfi::inject

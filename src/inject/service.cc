@@ -1,0 +1,614 @@
+#include "inject/service.hh"
+
+#include <utility>
+
+#include "common/logging.hh"
+#include "inject/mask_gen.hh"
+#include "storage/fault.hh"
+
+namespace dfi::inject
+{
+
+namespace
+{
+
+bool
+faultTypeFromName(const std::string &name, dfi::FaultType &out)
+{
+    for (const dfi::FaultType type :
+         {dfi::FaultType::Transient, dfi::FaultType::Intermittent,
+          dfi::FaultType::Permanent}) {
+        if (faultTypeName(type) == name) {
+            out = type;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+populationFromName(const std::string &name, Population &out)
+{
+    for (const Population population :
+         {Population::SingleBit, Population::DoubleAdjacent,
+          Population::DoubleRandom, Population::MultiStructure}) {
+        if (populationName(population) == name) {
+            out = population;
+            return true;
+        }
+    }
+    return false;
+}
+
+/** Typed member getters; false + error on a wrong JSON kind. */
+bool
+getUint(const json::Value &v, const std::string &key,
+        std::uint64_t &out, std::string &error)
+{
+    if (v.kind() != json::Kind::Int) {
+        error = "config." + key + ": expected an unsigned integer";
+        return false;
+    }
+    out = v.asUint();
+    return true;
+}
+
+bool
+getNumber(const json::Value &v, const std::string &key, double &out,
+          std::string &error)
+{
+    if (!v.isNumber()) {
+        error = "config." + key + ": expected a number";
+        return false;
+    }
+    out = v.kind() == json::Kind::Double
+              ? v.asDouble()
+              : static_cast<double>(v.asUint());
+    return true;
+}
+
+bool
+getBool(const json::Value &v, const std::string &key, bool &out,
+        std::string &error)
+{
+    if (v.kind() != json::Kind::Bool) {
+        error = "config." + key + ": expected a boolean";
+        return false;
+    }
+    out = v.asBool();
+    return true;
+}
+
+bool
+getString(const json::Value &v, const std::string &key,
+          std::string &out, std::string &error)
+{
+    if (v.kind() != json::Kind::String) {
+        error = "config." + key + ": expected a string";
+        return false;
+    }
+    out = v.asString();
+    return true;
+}
+
+/**
+ * Decode one config member.  The key set mirrors the telemetry
+ * config echo plus the execution knobs a remote client may set.
+ */
+bool
+decodeConfigMember(const std::string &key, const json::Value &v,
+                   CampaignConfig &cfg, std::string &error)
+{
+    std::uint64_t u = 0;
+    std::string s;
+    if (key == "component")
+        return getString(v, key, cfg.component, error);
+    if (key == "benchmark")
+        return getString(v, key, cfg.benchmark, error);
+    if (key == "scale") {
+        if (!getUint(v, key, u, error))
+            return false;
+        cfg.scale = static_cast<std::uint32_t>(u);
+        return true;
+    }
+    if (key == "core")
+        return getString(v, key, cfg.coreName, error);
+    if (key == "injections")
+        return getUint(v, key, cfg.numInjections, error);
+    if (key == "confidence")
+        return getNumber(v, key, cfg.confidence, error);
+    if (key == "margin")
+        return getNumber(v, key, cfg.margin, error);
+    if (key == "exhaustive")
+        return getBool(v, key, cfg.exhaustive, error);
+    if (key == "fault_type") {
+        if (!getString(v, key, s, error))
+            return false;
+        if (!faultTypeFromName(s, cfg.faultType)) {
+            error = "config.fault_type: unknown fault type '" + s +
+                    "'";
+            return false;
+        }
+        return true;
+    }
+    if (key == "population") {
+        if (!getString(v, key, s, error))
+            return false;
+        if (!populationFromName(s, cfg.population)) {
+            error = "config.population: unknown population '" + s +
+                    "'";
+            return false;
+        }
+        return true;
+    }
+    if (key == "intermittent_min")
+        return getUint(v, key, cfg.intermittentMin, error);
+    if (key == "intermittent_max")
+        return getUint(v, key, cfg.intermittentMax, error);
+    if (key == "cache_scale")
+        return getNumber(v, key, cfg.cacheScale, error);
+    if (key == "timeout_factor")
+        return getNumber(v, key, cfg.timeoutFactor, error);
+    if (key == "early_stop_invalid_entry")
+        return getBool(v, key, cfg.earlyStopInvalidEntry, error);
+    if (key == "early_stop_overwrite")
+        return getBool(v, key, cfg.earlyStopOverwrite, error);
+    if (key == "seed")
+        return getUint(v, key, cfg.seed, error);
+    if (key == "prune")
+        return getBool(v, key, cfg.prune, error);
+    if (key == "jobs") {
+        if (!getUint(v, key, u, error))
+            return false;
+        cfg.jobs = static_cast<std::uint32_t>(u);
+        return true;
+    }
+    if (key == "telemetry_timing")
+        return getBool(v, key, cfg.telemetryTiming, error);
+    if (key == "use_checkpoints")
+        return getBool(v, key, cfg.useCheckpoints, error);
+    if (key == "checkpoints") {
+        if (!getUint(v, key, u, error))
+            return false;
+        cfg.checkpointCount = static_cast<std::uint32_t>(u);
+        return true;
+    }
+    if (key == "checkpoint_budget_mb")
+        return getUint(v, key, cfg.checkpointMemBudgetMB, error);
+    error = "config." + key + ": unknown key";
+    return false;
+}
+
+json::Value
+encodeConfig(const CampaignConfig &cfg)
+{
+    json::Value obj = json::Value::object();
+    obj.set("component", json::Value::string(cfg.component));
+    obj.set("benchmark", json::Value::string(cfg.benchmark));
+    obj.set("scale", json::Value::unsignedInt(cfg.scale));
+    obj.set("core", json::Value::string(cfg.coreName));
+    obj.set("injections",
+            json::Value::unsignedInt(cfg.numInjections));
+    obj.set("confidence", json::Value::number(cfg.confidence));
+    obj.set("margin", json::Value::number(cfg.margin));
+    obj.set("exhaustive", json::Value::boolean(cfg.exhaustive));
+    obj.set("fault_type",
+            json::Value::string(faultTypeName(cfg.faultType)));
+    obj.set("population",
+            json::Value::string(populationName(cfg.population)));
+    obj.set("intermittent_min",
+            json::Value::unsignedInt(cfg.intermittentMin));
+    obj.set("intermittent_max",
+            json::Value::unsignedInt(cfg.intermittentMax));
+    obj.set("cache_scale", json::Value::number(cfg.cacheScale));
+    obj.set("timeout_factor",
+            json::Value::number(cfg.timeoutFactor));
+    obj.set("early_stop_invalid_entry",
+            json::Value::boolean(cfg.earlyStopInvalidEntry));
+    obj.set("early_stop_overwrite",
+            json::Value::boolean(cfg.earlyStopOverwrite));
+    obj.set("seed", json::Value::unsignedInt(cfg.seed));
+    obj.set("prune", json::Value::boolean(cfg.prune));
+    obj.set("jobs", json::Value::unsignedInt(cfg.jobs));
+    obj.set("telemetry_timing",
+            json::Value::boolean(cfg.telemetryTiming));
+    obj.set("use_checkpoints",
+            json::Value::boolean(cfg.useCheckpoints));
+    obj.set("checkpoints",
+            json::Value::unsignedInt(cfg.checkpointCount));
+    obj.set("checkpoint_budget_mb",
+            json::Value::unsignedInt(cfg.checkpointMemBudgetMB));
+    return obj;
+}
+
+json::Value
+encodeCounts(const ClassCounts &counts)
+{
+    json::Value obj = json::Value::object();
+    for (std::size_t c = 0; c < kNumOutcomeClasses; ++c) {
+        const auto cls = static_cast<OutcomeClass>(c);
+        obj.set(outcomeClassName(cls),
+                json::Value::unsignedInt(counts.get(cls)));
+    }
+    return obj;
+}
+
+bool
+decodeCounts(const json::Value &obj, ClassCounts &counts,
+             std::string &error)
+{
+    for (const auto &[name, value] : obj.members()) {
+        OutcomeClass cls = OutcomeClass::Masked;
+        if (!outcomeClassFromName(name, cls)) {
+            error = "counts: unknown class '" + name + "'";
+            return false;
+        }
+        if (value.kind() != json::Kind::Int) {
+            error = "counts." + name + ": expected an integer";
+            return false;
+        }
+        counts.counts[static_cast<std::size_t>(cls)] = value.asUint();
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+decodeServiceRequest(const json::Value &line, ServiceRequest &out,
+                     std::string &error)
+{
+    if (line.kind() != json::Kind::Object) {
+        error = "request: expected a JSON object";
+        return false;
+    }
+    const json::Value *kind = line.find("kind");
+    if (kind == nullptr || kind->kind() != json::Kind::String ||
+        kind->asString() != kServiceRequestKind) {
+        error = "request: missing kind \"dfi-request\"";
+        return false;
+    }
+    out = ServiceRequest{};
+    for (const auto &[key, value] : line.members()) {
+        if (key == "kind")
+            continue;
+        if (key == "op") {
+            if (value.kind() != json::Kind::String) {
+                error = "request.op: expected a string";
+                return false;
+            }
+            out.op = value.asString();
+            continue;
+        }
+        if (key == "client") {
+            if (value.kind() != json::Kind::String) {
+                error = "request.client: expected a string";
+                return false;
+            }
+            out.client = value.asString();
+            continue;
+        }
+        if (key == "config") {
+            if (value.kind() != json::Kind::Object) {
+                error = "request.config: expected an object";
+                return false;
+            }
+            for (const auto &[ckey, cvalue] : value.members()) {
+                if (!decodeConfigMember(ckey, cvalue, out.config,
+                                        error))
+                    return false;
+            }
+            continue;
+        }
+        error = "request." + key + ": unknown key";
+        return false;
+    }
+    if (out.op != "campaign" && out.op != "ping" &&
+        out.op != "stats" && out.op != "shutdown") {
+        error = "request.op: unknown operation '" + out.op + "'";
+        return false;
+    }
+    return true;
+}
+
+json::Value
+encodeServiceRequest(const ServiceRequest &request)
+{
+    json::Value line = json::Value::object();
+    line.set("kind", json::Value::string(kServiceRequestKind));
+    line.set("op", json::Value::string(request.op));
+    line.set("client", json::Value::string(request.client));
+    if (request.op == "campaign")
+        line.set("config", encodeConfig(request.config));
+    return line;
+}
+
+json::Value
+encodeServiceProgress(std::uint64_t done, std::uint64_t total)
+{
+    json::Value line = json::Value::object();
+    line.set("kind", json::Value::string(kServiceProgressKind));
+    line.set("done", json::Value::unsignedInt(done));
+    line.set("total", json::Value::unsignedInt(total));
+    return line;
+}
+
+json::Value
+encodeServiceResponse(const ServiceResponse &response)
+{
+    json::Value line = json::Value::object();
+    line.set("kind", json::Value::string(kServiceResponseKind));
+    line.set("op", json::Value::string(response.op));
+    line.set("ok", json::Value::boolean(response.ok));
+    if (!response.ok) {
+        line.set("error", json::Value::string(response.error));
+        return line;
+    }
+    if (response.op == "campaign") {
+        line.set("cache_key", json::Value::string(response.cacheKey));
+        line.set("cache_hit", json::Value::boolean(response.cacheHit));
+        line.set("runs_total",
+                 json::Value::unsignedInt(response.runsTotal));
+        line.set("counts", encodeCounts(response.counts));
+        line.set("vulnerability",
+                 json::Value::number(response.vulnerability));
+        line.set("runs_jsonl",
+                 json::Value::string(response.telemetryRuns));
+        line.set("summary_json",
+                 json::Value::string(response.telemetrySummary));
+    }
+    if (!response.extra.isNull())
+        line.set("data", response.extra);
+    return line;
+}
+
+bool
+decodeServiceResponse(const json::Value &line, ServiceResponse &out,
+                      std::string &error)
+{
+    if (line.kind() != json::Kind::Object) {
+        error = "response: expected a JSON object";
+        return false;
+    }
+    const json::Value *kind = line.find("kind");
+    if (kind == nullptr || kind->kind() != json::Kind::String ||
+        kind->asString() != kServiceResponseKind) {
+        error = "response: missing kind \"dfi-response\"";
+        return false;
+    }
+    out = ServiceResponse{};
+    const json::Value *ok = line.find("ok");
+    if (ok == nullptr || ok->kind() != json::Kind::Bool) {
+        error = "response.ok: expected a boolean";
+        return false;
+    }
+    out.ok = ok->asBool();
+    if (const json::Value *op = line.find("op");
+        op != nullptr && op->kind() == json::Kind::String)
+        out.op = op->asString();
+    if (const json::Value *err = line.find("error");
+        err != nullptr && err->kind() == json::Kind::String)
+        out.error = err->asString();
+    if (const json::Value *v = line.find("cache_key");
+        v != nullptr && v->kind() == json::Kind::String)
+        out.cacheKey = v->asString();
+    if (const json::Value *v = line.find("cache_hit");
+        v != nullptr && v->kind() == json::Kind::Bool)
+        out.cacheHit = v->asBool();
+    if (const json::Value *v = line.find("runs_total");
+        v != nullptr && v->kind() == json::Kind::Int)
+        out.runsTotal = v->asUint();
+    if (const json::Value *v = line.find("counts");
+        v != nullptr && v->kind() == json::Kind::Object) {
+        if (!decodeCounts(*v, out.counts, error))
+            return false;
+    }
+    if (const json::Value *v = line.find("vulnerability");
+        v != nullptr && v->isNumber())
+        out.vulnerability = v->kind() == json::Kind::Double
+                                ? v->asDouble()
+                                : static_cast<double>(v->asUint());
+    if (const json::Value *v = line.find("runs_jsonl");
+        v != nullptr && v->kind() == json::Kind::String)
+        out.telemetryRuns = v->asString();
+    if (const json::Value *v = line.find("summary_json");
+        v != nullptr && v->kind() == json::Kind::String)
+        out.telemetrySummary = v->asString();
+    if (const json::Value *v = line.find("data"); v != nullptr)
+        out.extra = *v;
+    return true;
+}
+
+CampaignService::CampaignService(Options options)
+    : opts_(options)
+{
+}
+
+std::shared_ptr<const PreparedCampaign>
+CampaignService::cacheLookup(const std::string &key)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+        if (it->key == key) {
+            lru_.splice(lru_.begin(), lru_, it);
+            ++stats_.hits;
+            return lru_.front().prep;
+        }
+    }
+    ++stats_.misses;
+    return nullptr;
+}
+
+void
+CampaignService::cacheInsert(
+    const std::string &key,
+    std::shared_ptr<const PreparedCampaign> prep)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const CacheEntry &entry : lru_) {
+        if (entry.key == key)
+            return; // racing request cached it first
+    }
+    CacheEntry entry;
+    entry.key = key;
+    entry.bytes = prep->approxBytes();
+    entry.prep = std::move(prep);
+
+    // An entry larger than the whole budget would evict everything
+    // and still not fit; serve it uncached.
+    if (entry.bytes > opts_.cacheBudgetBytes)
+        return;
+    cacheBytes_ += entry.bytes;
+    lru_.push_front(std::move(entry));
+    while (cacheBytes_ > opts_.cacheBudgetBytes && lru_.size() > 1) {
+        cacheBytes_ -= lru_.back().bytes;
+        lru_.pop_back();
+        ++stats_.evictions;
+    }
+    stats_.entries = lru_.size();
+    stats_.bytes = cacheBytes_;
+}
+
+ServiceResponse
+CampaignService::execute(const ServiceRequest &request,
+                         const Progress &progress)
+{
+    ServiceResponse response;
+    response.op = "campaign";
+
+    // The request's campaign never touches service-side files:
+    // artifacts are captured in memory and travel in the response.
+    CampaignConfig cfg = request.config;
+    cfg.telemetryOut.clear();
+    cfg.resumeFrom.clear();
+    cfg.shard = ShardSpec{};
+    cfg.telemetryCapture = true;
+
+    const std::vector<ConfigError> errors = cfg.validate();
+    if (!errors.empty()) {
+        response.error = "config: " + errors[0].field + ": " +
+                         errors[0].message;
+        return response;
+    }
+
+    response.cacheKey = cfg.cacheKey();
+    std::shared_ptr<const PreparedCampaign> prep =
+        opts_.cacheBudgetBytes > 0 ? cacheLookup(response.cacheKey)
+                                   : nullptr;
+    response.cacheHit = prep != nullptr;
+
+    try {
+        InjectionCampaign campaign(cfg);
+        if (prep != nullptr)
+            campaign.adoptPrepared(std::move(prep));
+        const CampaignResult result = campaign.run(progress);
+        if (!response.cacheHit && opts_.cacheBudgetBytes > 0)
+            cacheInsert(response.cacheKey, campaign.prepared());
+
+        response.runsTotal =
+            result.records.size() + result.pruned.size();
+        const Parser parser;
+        response.counts = result.classify(parser);
+        response.vulnerability = response.counts.vulnerability();
+        response.telemetryRuns = result.telemetryRuns;
+        response.telemetrySummary = result.telemetrySummary;
+        response.ok = true;
+    } catch (const dfi::FatalError &err) {
+        response.ok = false;
+        response.error = err.what();
+    }
+    return response;
+}
+
+ServiceResponse
+CampaignService::executeQueued(const ServiceRequest &request,
+                               const Progress &progress)
+{
+    std::uint64_t ticket = 0;
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        if (draining_) {
+            ServiceResponse response;
+            response.error = "service is draining";
+            return response;
+        }
+        if (active_ >= opts_.queueCapacity) {
+            ServiceResponse response;
+            response.error = "queue full (" +
+                             std::to_string(opts_.queueCapacity) +
+                             " requests in flight)";
+            return response;
+        }
+        std::uint32_t &client_count = inFlight_[request.client];
+        if (client_count >= opts_.perClientInFlight) {
+            ServiceResponse response;
+            response.error =
+                "client quota exceeded (" +
+                std::to_string(opts_.perClientInFlight) +
+                " in flight for '" + request.client + "')";
+            return response;
+        }
+        ++client_count;
+        ++active_;
+        ticket = nextTicket_++;
+        cv_.wait(lock, [&] { return serving_ == ticket; });
+    }
+
+    ServiceResponse response = execute(request, progress);
+
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = inFlight_.find(request.client);
+        if (it != inFlight_.end() && --it->second == 0)
+            inFlight_.erase(it);
+        --active_;
+        ++serving_;
+    }
+    cv_.notify_all();
+    return response;
+}
+
+void
+CampaignService::drain()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    draining_ = true;
+    cv_.wait(lock, [&] { return active_ == 0; });
+}
+
+CampaignService::CacheStats
+CampaignService::cacheStats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    CacheStats stats = stats_;
+    stats.entries = lru_.size();
+    stats.bytes = cacheBytes_;
+    return stats;
+}
+
+json::Value
+CampaignService::statsJson() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    json::Value cache = json::Value::object();
+    cache.set("hits", json::Value::unsignedInt(stats_.hits));
+    cache.set("misses", json::Value::unsignedInt(stats_.misses));
+    cache.set("evictions",
+              json::Value::unsignedInt(stats_.evictions));
+    cache.set("entries", json::Value::unsignedInt(lru_.size()));
+    cache.set("bytes", json::Value::unsignedInt(cacheBytes_));
+    cache.set("budget_bytes",
+              json::Value::unsignedInt(opts_.cacheBudgetBytes));
+    json::Value queue = json::Value::object();
+    queue.set("active", json::Value::unsignedInt(active_));
+    queue.set("capacity",
+              json::Value::unsignedInt(opts_.queueCapacity));
+    queue.set("per_client_quota",
+              json::Value::unsignedInt(opts_.perClientInFlight));
+    json::Value stats = json::Value::object();
+    stats.set("cache", std::move(cache));
+    stats.set("queue", std::move(queue));
+    return stats;
+}
+
+} // namespace dfi::inject

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Persistent campaign service with a content-addressed warm artifact
+ * cache (the scale-out layer above the campaign engine).
+ *
+ * Every `dfi-campaign` invocation re-simulates the golden run and
+ * rebuilds the checkpoint store from scratch, even though those
+ * artifacts are a pure function of (program, core model, checkpoint
+ * knobs) and PR 3 made them COW-backed shared state.  The
+ * CampaignService amortizes that cost across requests the way a
+ * simulator fleet amortizes it across users:
+ *
+ *  - requests are content-addressed by CampaignConfig::cacheKey();
+ *    a repeat key adopts the cached PreparedCampaign (golden run +
+ *    checkpoints) and skips prepare() entirely — the request goes
+ *    straight to plan/execute;
+ *  - cached preparations live in an LRU keyed by a byte budget
+ *    (Options::cacheBudgetBytes), charged at
+ *    PreparedCampaign::approxBytes(); cold entries evict first;
+ *  - queued execution is FIFO with a per-client in-flight quota and
+ *    a global admission capacity, so one client cannot starve the
+ *    fleet;
+ *  - progress streams back through the campaign's ordered-commit
+ *    reporting, so a served campaign emits the same (done, total)
+ *    sequence a local run would.
+ *
+ * Determinism contract: a served campaign's telemetry artifacts are
+ * byte-identical to a local `dfi-campaign` run of the same config —
+ * warm or cold.  The cache only ever short-circuits the golden pass,
+ * never the faulty runs, and checkpoint reuse is already proven
+ * byte-exact by the golden-diff CI legs.  `scripts/check_service.sh`
+ * asserts exactly this against `results/golden/`.
+ *
+ * The wire protocol (tools/dfi_serve.cc) is newline-delimited JSON
+ * over a Unix-domain socket; the encode/decode halves live here so
+ * they are unit-testable without sockets.  See DESIGN.md §11.
+ */
+
+#ifndef DFI_INJECT_SERVICE_HH
+#define DFI_INJECT_SERVICE_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/json.hh"
+#include "inject/campaign.hh"
+#include "inject/parser.hh"
+
+namespace dfi::inject
+{
+
+/** Protocol object tags (the "kind" member of every line). */
+inline constexpr const char *kServiceRequestKind = "dfi-request";
+inline constexpr const char *kServiceResponseKind = "dfi-response";
+inline constexpr const char *kServiceProgressKind = "dfi-progress";
+
+/** One client request: an operation plus (for campaigns) a config. */
+struct ServiceRequest
+{
+    /** "campaign" | "ping" | "stats" | "shutdown". */
+    std::string op = "campaign";
+
+    /** Client identity for the per-client in-flight quota. */
+    std::string client = "anon";
+
+    CampaignConfig config;
+};
+
+/**
+ * Decode a request line.  Strict: unknown operations, unknown config
+ * keys, and type mismatches are errors (a service must not guess at
+ * traffic it does not understand).  Config keys mirror the telemetry
+ * config echo plus the execution knobs a remote client may set
+ * (jobs, prune, checkpoint shape); telemetry paths, shard, and
+ * resume are deliberately not part of the protocol — artifacts
+ * travel back in the response and land wherever the *client* says.
+ */
+bool decodeServiceRequest(const json::Value &line, ServiceRequest &out,
+                          std::string &error);
+
+/** Encode a request line (the client half). */
+json::Value encodeServiceRequest(const ServiceRequest &request);
+
+/** A progress event line. */
+json::Value encodeServiceProgress(std::uint64_t done,
+                                  std::uint64_t total);
+
+/** The terminal response to one request. */
+struct ServiceResponse
+{
+    bool ok = false;
+    std::string op = "campaign";
+    std::string error; //!< set when !ok
+
+    // Campaign responses only:
+    std::string cacheKey;  //!< CampaignConfig::cacheKey()
+    bool cacheHit = false; //!< prepare() was skipped
+    std::uint64_t runsTotal = 0;
+    ClassCounts counts;
+    double vulnerability = 0.0;
+    std::string telemetryRuns;    //!< full runs JSONL artifact
+    std::string telemetrySummary; //!< full summary JSON artifact
+
+    /** Extra payload for ping/stats responses (object or null). */
+    json::Value extra;
+};
+
+json::Value encodeServiceResponse(const ServiceResponse &response);
+
+/** Decode a response line (the client half). */
+bool decodeServiceResponse(const json::Value &line,
+                           ServiceResponse &out, std::string &error);
+
+/** The long-running service: cache + queue around the engine. */
+class CampaignService
+{
+  public:
+    struct Options
+    {
+        /**
+         * LRU byte budget for cached preparations (0 disables
+         * caching entirely — every request prepares cold).
+         */
+        std::uint64_t cacheBudgetBytes = 1024ull << 20;
+
+        /** Admitted (queued + running) requests per client. */
+        std::uint32_t perClientInFlight = 2;
+
+        /** Admitted requests across all clients. */
+        std::uint32_t queueCapacity = 64;
+    };
+
+    struct CacheStats
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t evictions = 0;
+        std::uint64_t entries = 0;
+        std::uint64_t bytes = 0;
+    };
+
+    using Progress =
+        std::function<void(std::uint64_t done, std::uint64_t total)>;
+
+    explicit CampaignService(Options options);
+
+    /**
+     * Execute one campaign request synchronously on the calling
+     * thread (no queue, no quota).  Never throws: engine fatal()s
+     * come back as !ok responses.
+     */
+    ServiceResponse execute(const ServiceRequest &request,
+                            const Progress &progress = {});
+
+    /**
+     * Queued execution: admit (enforcing the per-client quota and
+     * the global capacity — both rejected immediately, not blocked),
+     * wait for FIFO turn, then execute.  Campaigns therefore run one
+     * at a time in arrival order; each may still use `jobs` worker
+     * threads internally.
+     */
+    ServiceResponse executeQueued(const ServiceRequest &request,
+                                  const Progress &progress = {});
+
+    /**
+     * Stop admitting queued requests and block until every admitted
+     * one has finished (SIGTERM drain).  Idempotent.
+     */
+    void drain();
+
+    CacheStats cacheStats() const;
+
+    /** Cache + queue counters as a JSON object (the stats op). */
+    json::Value statsJson() const;
+
+  private:
+    struct CacheEntry
+    {
+        std::string key;
+        std::shared_ptr<const PreparedCampaign> prep;
+        std::uint64_t bytes = 0;
+    };
+
+    /** Look up + front-move; nullptr on miss.  Counts hit/miss. */
+    std::shared_ptr<const PreparedCampaign>
+    cacheLookup(const std::string &key);
+
+    /** Insert and evict LRU entries beyond the byte budget. */
+    void cacheInsert(const std::string &key,
+                     std::shared_ptr<const PreparedCampaign> prep);
+
+    Options opts_;
+
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+
+    // Warm artifact cache, most-recently-used first.
+    std::list<CacheEntry> lru_;
+    std::uint64_t cacheBytes_ = 0;
+    CacheStats stats_;
+
+    // FIFO admission queue: tickets are served strictly in issue
+    // order; active_ counts admitted-but-unfinished requests.
+    std::uint64_t nextTicket_ = 0;
+    std::uint64_t serving_ = 0;
+    std::uint32_t active_ = 0;
+    std::map<std::string, std::uint32_t> inFlight_;
+    bool draining_ = false;
+};
+
+} // namespace dfi::inject
+
+#endif // DFI_INJECT_SERVICE_HH

@@ -260,7 +260,17 @@ class TelemetryWriter
     /** Append one run record (call in ascending runId order). */
     void commit(const RunTask &task, const TaskResult &result);
 
-    /** The JSONL run stream (header line + one line per record). */
+    /**
+     * Flush pruned records queued above the last committed runId.
+     * Call after the last commit and before reading runsJsonl() /
+     * summaryJson(); writeFiles() does it implicitly.  Idempotent.
+     */
+    void finalize() { flushAllPruned(); }
+
+    /**
+     * The JSONL run stream (header line + one line per record).
+     * Complete only after finalize() or writeFiles().
+     */
     const std::string &runsJsonl() const { return lines_; }
 
     /** The summary document (built from the commits so far). */

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Tests for the stable FNV-1a content hasher (common/hash.hh).
+ *
+ * The digests pinned here are the published FNV-1a 64-bit test
+ * vectors: the hasher's whole reason to exist is that its output is
+ * a fixed function of the input bytes, identical across processes
+ * and hosts, so the expected values are literals — if any of these
+ * change, every content-addressed cache key changes with them.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "common/hash.hh"
+
+namespace
+{
+
+using namespace dfi::hash;
+
+TEST(Hash, PublishedFnv1aVectors)
+{
+    EXPECT_EQ(fnv1a(""), 0xcbf29ce484222325ull);
+    EXPECT_EQ(fnv1a("a"), 0xaf63dc4c8601ec8cull);
+    EXPECT_EQ(fnv1a("foobar"), 0x85944171f73967e8ull);
+}
+
+TEST(Hash, IncrementalRawBytesMatchOneShot)
+{
+    const std::string text = "differential fault injection";
+    Fnv1a hasher;
+    hasher.update(text.data(), 12);
+    hasher.update(text.data() + 12, text.size() - 12);
+    EXPECT_EQ(hasher.digest(), fnv1a(text));
+}
+
+TEST(Hash, StringUpdatesAreLengthPrefixed)
+{
+    // Adjacent fields must not alias: ("ab","c") != ("a","bc")
+    // even though the concatenated bytes are identical.
+    Fnv1a left;
+    left.update(std::string_view("ab"));
+    left.update(std::string_view("c"));
+    Fnv1a right;
+    right.update(std::string_view("a"));
+    right.update(std::string_view("bc"));
+    EXPECT_NE(left.digest(), right.digest());
+}
+
+TEST(Hash, IntegerUpdatesAreFixedWidth)
+{
+    Fnv1a one;
+    one.update(std::uint64_t{1});
+    Fnv1a two;
+    two.update(std::uint64_t{2});
+    EXPECT_NE(one.digest(), two.digest());
+
+    // Same value always hashes the same way.
+    Fnv1a again;
+    again.update(std::uint64_t{1});
+    EXPECT_EQ(one.digest(), again.digest());
+}
+
+TEST(Hash, ToHexIsFixedWidthLowerCase)
+{
+    EXPECT_EQ(toHex(0), "0000000000000000");
+    EXPECT_EQ(toHex(0xdeadbeefull), "00000000deadbeef");
+    EXPECT_EQ(toHex(0xcbf29ce484222325ull), "cbf29ce484222325");
+
+    Fnv1a hasher;
+    hasher.update(std::string_view("x"));
+    EXPECT_EQ(hasher.hexDigest(), toHex(hasher.digest()));
+    EXPECT_EQ(hasher.hexDigest().size(), 16u);
+}
+
+} // namespace

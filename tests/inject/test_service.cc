@@ -1,0 +1,440 @@
+/**
+ * @file
+ * Tests for the campaign service layer: cache-key derivation, the
+ * warm PreparedCampaign cache, FIFO/quota admission, and the
+ * NDJSON protocol encode/decode halves (inject/service.hh).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.hh"
+#include "inject/campaign.hh"
+#include "inject/service.hh"
+
+namespace
+{
+
+using namespace dfi;
+using namespace dfi::inject;
+
+CampaignConfig
+smokeConfig()
+{
+    CampaignConfig cfg;
+    cfg.coreName = "marss-x86";
+    cfg.benchmark = "micro";
+    cfg.component = "int_regfile";
+    cfg.numInjections = 24;
+    cfg.seed = 7;
+    return cfg;
+}
+
+// ---------------------------------------------------------------
+// CampaignConfig::cacheKey()
+// ---------------------------------------------------------------
+
+/**
+ * The key must be a pure function of the campaign-relevant values —
+ * stable across processes, hosts, and sessions — so the expected
+ * digest is a literal.  If this test fails, the key derivation
+ * changed and every previously cached artifact silently becomes
+ * unreachable: bump the version tag in cacheKey() deliberately, not
+ * by accident.
+ */
+TEST(CacheKey, PinnedDigestIsStableAcrossProcesses)
+{
+    EXPECT_EQ(smokeConfig().cacheKey(), "709a0fa662302086");
+}
+
+TEST(CacheKey, IgnoresExecutionStrategyAndTelemetryFields)
+{
+    const std::string base = smokeConfig().cacheKey();
+
+    CampaignConfig cfg = smokeConfig();
+    cfg.jobs = 8;
+    EXPECT_EQ(cfg.cacheKey(), base);
+
+    cfg = smokeConfig();
+    cfg.telemetryOut = "/tmp/somewhere";
+    cfg.telemetryTiming = true;
+    cfg.telemetryCapture = true;
+    EXPECT_EQ(cfg.cacheKey(), base);
+
+    cfg = smokeConfig();
+    cfg.resumeFrom = "/tmp/prior.jsonl";
+    EXPECT_EQ(cfg.cacheKey(), base);
+
+    cfg = smokeConfig();
+    cfg.shard.index = 1;
+    cfg.shard.count = 4;
+    EXPECT_EQ(cfg.cacheKey(), base);
+
+    cfg = smokeConfig();
+    cfg.prune = false;
+    EXPECT_EQ(cfg.cacheKey(), base);
+}
+
+TEST(CacheKey, ChangesWhenAnyCampaignRelevantFieldChanges)
+{
+    const std::string base = smokeConfig().cacheKey();
+
+    const std::vector<
+        std::pair<const char *, void (*)(CampaignConfig &)>>
+        mutations = {
+            {"component",
+             [](CampaignConfig &c) { c.component = "l1d"; }},
+            {"benchmark",
+             [](CampaignConfig &c) { c.benchmark = "sha"; }},
+            {"scale", [](CampaignConfig &c) { c.scale = 2; }},
+            {"core",
+             [](CampaignConfig &c) { c.coreName = "gem5-arm"; }},
+            {"injections",
+             [](CampaignConfig &c) { c.numInjections = 25; }},
+            {"confidence",
+             [](CampaignConfig &c) {
+                 c.numInjections = 0;
+                 c.confidence = 0.95;
+             }},
+            {"margin",
+             [](CampaignConfig &c) {
+                 c.numInjections = 0;
+                 c.margin = 0.05;
+             }},
+            {"exhaustive",
+             [](CampaignConfig &c) {
+                 c.numInjections = 0;
+                 c.exhaustive = true;
+             }},
+            {"fault_type",
+             [](CampaignConfig &c) {
+                 c.faultType = FaultType::Permanent;
+             }},
+            {"population",
+             [](CampaignConfig &c) {
+                 c.population = Population::DoubleAdjacent;
+             }},
+            {"intermittent_min",
+             [](CampaignConfig &c) { c.intermittentMin = 51; }},
+            {"intermittent_max",
+             [](CampaignConfig &c) { c.intermittentMax = 501; }},
+            {"cache_scale",
+             [](CampaignConfig &c) { c.cacheScale = 0.125; }},
+            {"timeout_factor",
+             [](CampaignConfig &c) { c.timeoutFactor = 4.0; }},
+            {"early_stop_invalid_entry",
+             [](CampaignConfig &c) {
+                 c.earlyStopInvalidEntry = false;
+             }},
+            {"early_stop_overwrite",
+             [](CampaignConfig &c) { c.earlyStopOverwrite = false; }},
+            {"seed", [](CampaignConfig &c) { c.seed = 8; }},
+            {"use_checkpoints",
+             [](CampaignConfig &c) { c.useCheckpoints = false; }},
+            {"checkpoint_count",
+             [](CampaignConfig &c) { c.checkpointCount = 7; }},
+            {"checkpoint_budget",
+             [](CampaignConfig &c) {
+                 c.checkpointMemBudgetMB = 128;
+             }},
+        };
+
+    std::vector<std::string> keys{base};
+    for (const auto &[name, mutate] : mutations) {
+        CampaignConfig cfg = smokeConfig();
+        mutate(cfg);
+        const std::string key = cfg.cacheKey();
+        EXPECT_NE(key, base) << "field did not affect the key: "
+                             << name;
+        for (const std::string &prior : keys)
+            EXPECT_NE(key, prior)
+                << "key collision involving field: " << name;
+        keys.push_back(key);
+    }
+}
+
+// ---------------------------------------------------------------
+// Protocol encode/decode
+// ---------------------------------------------------------------
+
+TEST(ServiceProtocol, RequestRoundTripPreservesConfig)
+{
+    ServiceRequest request;
+    request.op = "campaign";
+    request.client = "ci";
+    request.config.coreName = "gem5-arm";
+    request.config.benchmark = "crc";
+    request.config.component = "rob";
+    request.config.scale = 3;
+    request.config.numInjections = 99;
+    request.config.confidence = 0.95;
+    request.config.margin = 0.05;
+    request.config.faultType = FaultType::Intermittent;
+    request.config.population = Population::DoubleRandom;
+    request.config.intermittentMin = 10;
+    request.config.intermittentMax = 20;
+    request.config.exhaustive = true;
+    request.config.prune = false;
+    request.config.cacheScale = 0.5;
+    request.config.timeoutFactor = 5.0;
+    request.config.earlyStopInvalidEntry = false;
+    request.config.earlyStopOverwrite = false;
+    request.config.useCheckpoints = false;
+    request.config.checkpointCount = 9;
+    request.config.checkpointMemBudgetMB = 64;
+    request.config.seed = 1234;
+    request.config.jobs = 4;
+    request.config.telemetryTiming = true;
+
+    ServiceRequest decoded;
+    std::string error;
+    ASSERT_TRUE(decodeServiceRequest(encodeServiceRequest(request),
+                                     decoded, error))
+        << error;
+    EXPECT_EQ(decoded.op, "campaign");
+    EXPECT_EQ(decoded.client, "ci");
+    // Campaign-relevant equality is exactly key equality, plus the
+    // execution knobs the protocol carries.
+    EXPECT_EQ(decoded.config.cacheKey(), request.config.cacheKey());
+    EXPECT_EQ(decoded.config.jobs, 4u);
+    EXPECT_FALSE(decoded.config.prune);
+    EXPECT_TRUE(decoded.config.telemetryTiming);
+}
+
+TEST(ServiceProtocol, DecodeRejectsUnknownOpAndKeys)
+{
+    json::Value line = encodeServiceRequest(ServiceRequest{});
+    std::string error;
+    ServiceRequest out;
+
+    json::Value bad_op = line;
+    bad_op.set("op", json::Value::string("explode"));
+    EXPECT_FALSE(decodeServiceRequest(bad_op, out, error));
+    EXPECT_NE(error.find("unknown operation"), std::string::npos);
+
+    json::Value bad_cfg = line;
+    json::Value cfg = json::Value::object();
+    cfg.set("telemetry_out", json::Value::string("/tmp/x"));
+    bad_cfg.set("config", cfg);
+    EXPECT_FALSE(decodeServiceRequest(bad_cfg, out, error));
+    EXPECT_NE(error.find("unknown key"), std::string::npos);
+
+    json::Value bad_type = line;
+    cfg = json::Value::object();
+    cfg.set("injections", json::Value::string("many"));
+    bad_type.set("config", cfg);
+    EXPECT_FALSE(decodeServiceRequest(bad_type, out, error));
+}
+
+TEST(ServiceProtocol, ResponseRoundTripPreservesArtifacts)
+{
+    ServiceResponse response;
+    response.ok = true;
+    response.op = "campaign";
+    response.cacheKey = "0123456789abcdef";
+    response.cacheHit = true;
+    response.runsTotal = 24;
+    for (std::size_t i = 0; i < response.counts.counts.size(); ++i)
+        response.counts.counts[i] = i + 1;
+    response.vulnerability = 4.25;
+    response.telemetryRuns = "{\"kind\":\"header\"}\n{\"run\":1}\n";
+    response.telemetrySummary = "{\n  \"schema\": 3\n}\n";
+
+    ServiceResponse decoded;
+    std::string error;
+    ASSERT_TRUE(decodeServiceResponse(encodeServiceResponse(response),
+                                      decoded, error))
+        << error;
+    EXPECT_TRUE(decoded.ok);
+    EXPECT_EQ(decoded.cacheKey, "0123456789abcdef");
+    EXPECT_TRUE(decoded.cacheHit);
+    EXPECT_EQ(decoded.runsTotal, 24u);
+    EXPECT_EQ(decoded.counts.counts, response.counts.counts);
+    EXPECT_DOUBLE_EQ(decoded.vulnerability, 4.25);
+    EXPECT_EQ(decoded.telemetryRuns, response.telemetryRuns);
+    EXPECT_EQ(decoded.telemetrySummary, response.telemetrySummary);
+}
+
+// ---------------------------------------------------------------
+// PreparedCampaign sharing
+// ---------------------------------------------------------------
+
+TEST(PreparedCampaign, AdoptedPreparationReproducesColdRun)
+{
+    InjectionCampaign cold(smokeConfig());
+    const CampaignResult cold_result = cold.run();
+
+    InjectionCampaign warm(smokeConfig());
+    warm.adoptPrepared(cold.prepared());
+    const CampaignResult warm_result = warm.run();
+
+    ASSERT_EQ(warm_result.records.size(),
+              cold_result.records.size());
+    for (std::size_t i = 0; i < cold_result.records.size(); ++i) {
+        EXPECT_EQ(warm_result.records[i].term,
+                  cold_result.records[i].term);
+        EXPECT_EQ(warm_result.records[i].cycles,
+                  cold_result.records[i].cycles);
+        EXPECT_EQ(warm_result.records[i].output,
+                  cold_result.records[i].output);
+    }
+    EXPECT_EQ(warm_result.pruned.size(), cold_result.pruned.size());
+}
+
+// ---------------------------------------------------------------
+// CampaignService
+// ---------------------------------------------------------------
+
+TEST(Service, WarmRequestHitsCacheWithIdenticalArtifacts)
+{
+    CampaignService service({});
+    ServiceRequest request;
+    request.config = smokeConfig();
+
+    const ServiceResponse cold = service.execute(request);
+    ASSERT_TRUE(cold.ok) << cold.error;
+    EXPECT_FALSE(cold.cacheHit);
+    EXPECT_EQ(cold.runsTotal, 24u);
+    EXPECT_FALSE(cold.telemetryRuns.empty());
+    EXPECT_FALSE(cold.telemetrySummary.empty());
+
+    const ServiceResponse warm = service.execute(request);
+    ASSERT_TRUE(warm.ok) << warm.error;
+    EXPECT_TRUE(warm.cacheHit);
+    EXPECT_EQ(warm.cacheKey, cold.cacheKey);
+    EXPECT_EQ(warm.telemetryRuns, cold.telemetryRuns);
+    EXPECT_EQ(warm.telemetrySummary, cold.telemetrySummary);
+
+    const CampaignService::CacheStats stats = service.cacheStats();
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.entries, 1u);
+    EXPECT_GT(stats.bytes, 0u);
+}
+
+TEST(Service, ZeroBudgetDisablesCaching)
+{
+    CampaignService::Options options;
+    options.cacheBudgetBytes = 0;
+    CampaignService service(options);
+    ServiceRequest request;
+    request.config = smokeConfig();
+    request.config.numInjections = 8;
+
+    EXPECT_FALSE(service.execute(request).cacheHit);
+    EXPECT_FALSE(service.execute(request).cacheHit);
+    const CampaignService::CacheStats stats = service.cacheStats();
+    EXPECT_EQ(stats.hits, 0u);
+    EXPECT_EQ(stats.entries, 0u);
+}
+
+TEST(Service, LruEvictsColdestEntryWhenOverBudget)
+{
+    // Size the budget from a first service so it holds exactly one
+    // preparation; the entries for configs A and B are the same
+    // shape, so inserting B must evict A.
+    ServiceRequest a;
+    a.config = smokeConfig();
+    a.config.numInjections = 8;
+    ServiceRequest b = a;
+    b.config.seed = 8;
+
+    CampaignService sizing({});
+    ASSERT_TRUE(sizing.execute(a).ok);
+    const std::uint64_t one_entry = sizing.cacheStats().bytes;
+    ASSERT_GT(one_entry, 0u);
+
+    CampaignService::Options options;
+    options.cacheBudgetBytes = one_entry + 1;
+    CampaignService service(options);
+
+    ASSERT_FALSE(service.execute(a).cacheHit);
+    ASSERT_FALSE(service.execute(b).cacheHit); // evicts a
+    EXPECT_EQ(service.cacheStats().evictions, 1u);
+    EXPECT_EQ(service.cacheStats().entries, 1u);
+
+    EXPECT_TRUE(service.execute(b).cacheHit);  // b survived
+    EXPECT_FALSE(service.execute(a).cacheHit); // a was evicted
+}
+
+TEST(Service, ExecuteReportsInvalidConfigInsteadOfThrowing)
+{
+    CampaignService service({});
+    ServiceRequest request;
+    request.config = smokeConfig();
+    request.config.component = "no_such_component";
+    const ServiceResponse response = service.execute(request);
+    EXPECT_FALSE(response.ok);
+    EXPECT_FALSE(response.error.empty());
+}
+
+TEST(Service, QueuedRequestsAllCompleteAcrossThreads)
+{
+    CampaignService service({});
+    ServiceRequest request;
+    request.config = smokeConfig();
+    request.config.numInjections = 8;
+
+    std::vector<std::thread> threads;
+    std::vector<ServiceResponse> responses(4);
+    for (int i = 0; i < 4; ++i) {
+        threads.emplace_back([&service, &responses, request, i] {
+            ServiceRequest mine = request;
+            mine.client = "client-" + std::to_string(i);
+            responses[static_cast<std::size_t>(i)] =
+                service.executeQueued(mine);
+        });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+
+    for (const ServiceResponse &response : responses) {
+        EXPECT_TRUE(response.ok) << response.error;
+        EXPECT_EQ(response.runsTotal, 8u);
+    }
+    // One cold preparation, three warm adoptions (FIFO: the first
+    // served request misses, every later one hits).
+    const CampaignService::CacheStats stats = service.cacheStats();
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.hits, 3u);
+}
+
+TEST(Service, ZeroQuotaRejectsAdmission)
+{
+    CampaignService::Options options;
+    options.perClientInFlight = 0;
+    CampaignService service(options);
+    ServiceRequest request;
+    request.config = smokeConfig();
+    const ServiceResponse response = service.executeQueued(request);
+    EXPECT_FALSE(response.ok);
+    EXPECT_NE(response.error.find("quota exceeded"),
+              std::string::npos)
+        << response.error;
+}
+
+TEST(Service, DrainRejectsNewRequests)
+{
+    CampaignService service({});
+    service.drain();
+    ServiceRequest request;
+    request.config = smokeConfig();
+    const ServiceResponse response = service.executeQueued(request);
+    EXPECT_FALSE(response.ok);
+    EXPECT_NE(response.error.find("draining"), std::string::npos);
+}
+
+TEST(Service, StatsJsonCarriesCacheAndQueueCounters)
+{
+    CampaignService service({});
+    const json::Value stats = service.statsJson();
+    ASSERT_NE(stats.find("cache"), nullptr);
+    ASSERT_NE(stats.find("queue"), nullptr);
+    EXPECT_EQ(stats.get("cache").get("hits").asUint(), 0u);
+    EXPECT_EQ(stats.get("queue").get("capacity").asUint(), 64u);
+}
+
+} // namespace

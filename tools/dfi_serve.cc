@@ -1,0 +1,654 @@
+/**
+ * @file
+ * dfi-serve: persistent campaign service daemon — and its client.
+ *
+ * Server mode (`--socket`) listens on a Unix-domain socket and
+ * serves campaign requests from a long-lived process, so the golden
+ * run and checkpoint store of a repeated (program, core, config) are
+ * simulated once and reused from a content-addressed warm cache
+ * (inject/service.hh).  Requests queue FIFO with per-client quotas;
+ * SIGTERM/SIGINT drain gracefully (finish admitted requests, refuse
+ * new ones, then exit).
+ *
+ * Client mode (`--connect`) submits one request and exits: campaign
+ * flags mirror dfi-campaign, progress streams to stderr, and
+ * `--telemetry-out BASE` writes the returned artifacts to
+ * BASE.jsonl/BASE.summary.json — byte-identical to what a local
+ * `dfi-campaign --telemetry-out` run would produce, which is what
+ * lets CI `dfi-diff --exact` served output against results/golden/.
+ *
+ * Protocol: one request per connection, newline-delimited JSON both
+ * ways (`dfi-request` in; zero or more `dfi-progress` lines and one
+ * terminal `dfi-response` out).  See DESIGN.md §11.
+ *
+ * Examples:
+ *   dfi-serve --socket /tmp/dfi.sock --cache-budget 1024
+ *   dfi-serve --connect /tmp/dfi.sock --core gem5-arm \
+ *             --benchmark micro --component int_regfile \
+ *             --injections 24 --seed 7 --telemetry-out smoke
+ *   dfi-serve --connect /tmp/dfi.sock --stats
+ *   dfi-serve --connect /tmp/dfi.sock --shutdown
+ */
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/cli.hh"
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "common/version.hh"
+#include "inject/service.hh"
+
+using namespace dfi;
+using namespace dfi::inject;
+
+namespace
+{
+
+[[noreturn]] void
+die(const std::string &message)
+{
+    std::fprintf(stderr, "dfi-serve: %s\n", message.c_str());
+    std::exit(2);
+}
+
+/** Upper bound on one protocol line (the runs artifact rides in). */
+constexpr std::size_t kMaxLineBytes = 256ull << 20;
+
+volatile std::sig_atomic_t g_signalled = 0;
+
+void
+onSignal(int)
+{
+    g_signalled = 1;
+}
+
+/** Write all bytes; false on any error (EPIPE: peer vanished). */
+bool
+writeAll(int fd, const std::string &data)
+{
+    std::size_t off = 0;
+    while (off < data.size()) {
+        const ssize_t n =
+            ::write(fd, data.data() + off, data.size() - off);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+bool
+writeLine(int fd, const json::Value &line)
+{
+    return writeAll(fd, line.dump() + "\n");
+}
+
+/**
+ * Buffered newline-delimited reader.  One read() may deliver several
+ * protocol lines at once (a fast warm-cache response lands in the
+ * same chunk as the final progress event), so bytes past the first
+ * newline must be kept for the next call, not dropped.
+ */
+class LineReader
+{
+  public:
+    explicit LineReader(int fd) : fd_(fd) {}
+
+    /**
+     * Read one newline-terminated line (without the newline).
+     * Returns false on EOF before a newline, on an oversized line,
+     * or on a read error.
+     */
+    bool
+    next(std::string &out)
+    {
+        out.clear();
+        char buf[4096];
+        while (true) {
+            while (scan_ < pending_.size()) {
+                const char ch = pending_[scan_++];
+                if (ch == '\n') {
+                    pending_.erase(0, scan_);
+                    scan_ = 0;
+                    return true;
+                }
+                out.push_back(ch);
+                if (out.size() > kMaxLineBytes)
+                    return false;
+            }
+            pending_.clear();
+            scan_ = 0;
+            const ssize_t n = ::read(fd_, buf, sizeof(buf));
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                return false;
+            }
+            if (n == 0)
+                return false;
+            pending_.assign(buf, static_cast<std::size_t>(n));
+        }
+    }
+
+  private:
+    int fd_;
+    std::string pending_;
+    std::size_t scan_ = 0;
+};
+
+/** Bind + listen on a fresh Unix-domain socket at `path`. */
+int
+listenOn(const std::string &path)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path))
+        die("socket path too long: " + path);
+    std::strncpy(addr.sun_path, path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+
+    // The caller owns the path: a stale socket file from a previous
+    // run is replaced.
+    ::unlink(path.c_str());
+
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        die("socket(): " + std::string(std::strerror(errno)));
+    if (::bind(fd, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) != 0)
+        die("bind(" + path + "): " +
+            std::string(std::strerror(errno)));
+    if (::listen(fd, 64) != 0)
+        die("listen(" + path + "): " +
+            std::string(std::strerror(errno)));
+    return fd;
+}
+
+int
+connectTo(const std::string &path)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path))
+        die("socket path too long: " + path);
+    std::strncpy(addr.sun_path, path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        die("socket(): " + std::string(std::strerror(errno)));
+    if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        const std::string reason = std::strerror(errno);
+        ::close(fd);
+        std::fprintf(stderr, "dfi-serve: connect(%s): %s\n",
+                     path.c_str(), reason.c_str());
+        std::exit(1);
+    }
+    return fd;
+}
+
+/** Joins detached connection handlers at shutdown. */
+class ConnectionTracker
+{
+  public:
+    void
+    enter()
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++active_;
+    }
+
+    void
+    leave()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            --active_;
+        }
+        cv_.notify_all();
+    }
+
+    void
+    waitIdle()
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [&] { return active_ == 0; });
+    }
+
+  private:
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::uint64_t active_ = 0;
+};
+
+struct ServerState
+{
+    CampaignService *service = nullptr;
+    std::atomic<bool> shutdownRequested{false};
+};
+
+void
+handleConnection(int fd, ServerState *state)
+{
+    std::string line;
+    ServiceResponse response;
+    LineReader reader(fd);
+    if (!reader.next(line)) {
+        ::close(fd);
+        return;
+    }
+
+    json::Value parsed;
+    ServiceRequest request;
+    std::string error;
+    if (!json::parse(line, parsed, error) ||
+        !decodeServiceRequest(parsed, request, error)) {
+        response.error = error;
+        writeLine(fd, encodeServiceResponse(response));
+        ::close(fd);
+        return;
+    }
+
+    response.op = request.op;
+    if (request.op == "ping") {
+        response.ok = true;
+        response.extra = json::Value::string(versionString());
+    } else if (request.op == "stats") {
+        response.ok = true;
+        response.extra = state->service->statsJson();
+    } else if (request.op == "shutdown") {
+        response.ok = true;
+        state->shutdownRequested.store(true);
+    } else {
+        // Campaign: stream throttled progress events, then the
+        // terminal response.  Progress writes may race only with
+        // each other, and the reporter serialises those; a vanished
+        // client just loses its events — the campaign completes and
+        // warms the cache either way.
+        std::atomic<bool> peer_alive{true};
+        const auto progress = [fd, &peer_alive](std::uint64_t done,
+                                                std::uint64_t total) {
+            const std::uint64_t step =
+                total > 25 ? total / 25 : std::uint64_t{1};
+            if (done != total && done % step != 0)
+                return;
+            if (peer_alive.load() &&
+                !writeLine(fd, encodeServiceProgress(done, total)))
+                peer_alive.store(false);
+        };
+        response = state->service->executeQueued(request, progress);
+    }
+    writeLine(fd, encodeServiceResponse(response));
+    ::close(fd);
+}
+
+int
+serveMain(const std::string &socket_path,
+          const CampaignService::Options &options)
+{
+    std::signal(SIGPIPE, SIG_IGN);
+    std::signal(SIGTERM, onSignal);
+    std::signal(SIGINT, onSignal);
+
+    CampaignService service(options);
+    ServerState state;
+    state.service = &service;
+    ConnectionTracker tracker;
+
+    const int listen_fd = listenOn(socket_path);
+    std::fprintf(stderr,
+                 "dfi-serve: listening on %s (cache budget %llu MiB, "
+                 "quota %u/client, queue %u)\n",
+                 socket_path.c_str(),
+                 static_cast<unsigned long long>(
+                     options.cacheBudgetBytes >> 20),
+                 options.perClientInFlight, options.queueCapacity);
+
+    while (g_signalled == 0 && !state.shutdownRequested.load()) {
+        pollfd pfd{};
+        pfd.fd = listen_fd;
+        pfd.events = POLLIN;
+        const int ready = ::poll(&pfd, 1, 250);
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            die("poll(): " + std::string(std::strerror(errno)));
+        }
+        if (ready == 0)
+            continue;
+        const int fd = ::accept(listen_fd, nullptr, nullptr);
+        if (fd < 0)
+            continue;
+        tracker.enter();
+        std::thread([fd, &state, &tracker] {
+            handleConnection(fd, &state);
+            tracker.leave();
+        }).detach();
+    }
+
+    std::fprintf(stderr, "dfi-serve: draining...\n");
+    ::close(listen_fd);
+    service.drain();   // admitted campaigns finish
+    tracker.waitIdle(); // responses flush before teardown
+    ::unlink(socket_path.c_str());
+    std::fprintf(stderr, "dfi-serve: drained, exiting\n");
+    return 0;
+}
+
+/** Write one response artifact; die() on I/O failure. */
+void
+writeArtifact(const std::string &path, const std::string &content)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        die("cannot write " + path);
+    out.write(content.data(),
+              static_cast<std::streamsize>(content.size()));
+    out.flush();
+    if (!out)
+        die("short write to " + path);
+}
+
+int
+clientMain(const std::string &socket_path,
+           const ServiceRequest &request,
+           const std::string &telemetry_out)
+{
+    std::signal(SIGPIPE, SIG_IGN);
+    const int fd = connectTo(socket_path);
+    if (!writeLine(fd, encodeServiceRequest(request)))
+        die("request write failed (server gone?)");
+
+    std::string line;
+    ServiceResponse response;
+    LineReader reader(fd);
+    bool have_response = false;
+    while (!have_response && reader.next(line)) {
+        json::Value parsed;
+        std::string error;
+        if (!json::parse(line, parsed, error))
+            die("malformed server line: " + error);
+        const json::Value *kind = parsed.find("kind");
+        if (kind != nullptr &&
+            kind->asString() == kServiceProgressKind) {
+            std::fprintf(
+                stderr, "  %llu/%llu runs\n",
+                static_cast<unsigned long long>(
+                    parsed.get("done").asUint()),
+                static_cast<unsigned long long>(
+                    parsed.get("total").asUint()));
+            continue;
+        }
+        if (!decodeServiceResponse(parsed, response, error))
+            die("malformed server response: " + error);
+        have_response = true;
+    }
+    ::close(fd);
+    if (!have_response)
+        die("connection closed before a response arrived");
+
+    if (!response.ok) {
+        std::fprintf(stderr, "dfi-serve: server error: %s\n",
+                     response.error.c_str());
+        return 1;
+    }
+
+    if (response.op == "ping") {
+        std::printf("pong: %s\n", response.extra.asString().c_str());
+        return 0;
+    }
+    if (response.op == "stats") {
+        std::fputs(response.extra.dumpPretty().c_str(), stdout);
+        return 0;
+    }
+    if (response.op == "shutdown") {
+        std::puts("shutdown requested");
+        return 0;
+    }
+
+    // Campaign: artifacts land wherever the client says, exactly as
+    // a local dfi-campaign --telemetry-out run would write them.
+    if (!telemetry_out.empty()) {
+        writeArtifact(telemetry_out + ".jsonl",
+                      response.telemetryRuns);
+        writeArtifact(telemetry_out + ".summary.json",
+                      response.telemetrySummary);
+        std::fprintf(stderr,
+                     "telemetry written to %s.jsonl and "
+                     "%s.summary.json\n",
+                     telemetry_out.c_str(), telemetry_out.c_str());
+    }
+    std::printf("cache_key: %s\n", response.cacheKey.c_str());
+    std::printf("cache_hit: %s\n",
+                response.cacheHit ? "true" : "false");
+    std::printf("runs: %llu\n", static_cast<unsigned long long>(
+                                    response.runsTotal));
+    std::printf("vulnerability (non-masked): %.2f%%\n",
+                response.vulnerability);
+    return 0;
+}
+
+bool
+decodeFaultType(const std::string &text, FaultType &out,
+                std::string &error)
+{
+    if (text == "transient")
+        out = FaultType::Transient;
+    else if (text == "intermittent")
+        out = FaultType::Intermittent;
+    else if (text == "permanent")
+        out = FaultType::Permanent;
+    else {
+        error = "expected transient | intermittent | permanent";
+        return false;
+    }
+    return true;
+}
+
+bool
+decodePopulation(const std::string &text, Population &out,
+                 std::string &error)
+{
+    if (text == "single")
+        out = Population::SingleBit;
+    else if (text == "double-adjacent")
+        out = Population::DoubleAdjacent;
+    else if (text == "double-random")
+        out = Population::DoubleRandom;
+    else if (text == "multi-structure")
+        out = Population::MultiStructure;
+    else {
+        error = "expected single | double-adjacent | double-random | "
+                "multi-structure";
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string socket_path;
+    std::string connect_path;
+    std::string telemetry_out;
+    bool op_ping = false, op_stats = false, op_shutdown = false;
+    std::uint64_t cache_budget_mb = 1024;
+    std::uint64_t quota = 2, queue = 64;
+
+    ServiceRequest request;
+    CampaignConfig &cfg = request.config;
+    std::uint64_t scale = cfg.scale;
+    std::uint64_t checkpoint_count = cfg.checkpointCount;
+
+    cli::FlagSet flags("dfi-serve", "--socket PATH | --connect PATH "
+                                    "[options]");
+    flags.section("server mode");
+    flags.text("--socket", "PATH",
+               "listen on this unix-domain socket\n"
+               "(a stale socket file is replaced)",
+               &socket_path);
+    flags.uint64("--cache-budget", "MB",
+                 "warm artifact cache LRU budget in MiB\n"
+                 "(default 1024; 0 disables caching)",
+                 &cache_budget_mb);
+    flags.uint64("--quota", "N",
+                 "in-flight requests per client\n(default 2)",
+                 &quota, std::numeric_limits<std::uint32_t>::max());
+    flags.uint64("--queue", "N",
+                 "admitted requests across all clients\n"
+                 "(default 64)",
+                 &queue, std::numeric_limits<std::uint32_t>::max());
+
+    flags.section("client mode");
+    flags.text("--connect", "PATH",
+               "submit one request to the server at\nPATH and exit",
+               &connect_path);
+    flags.text("--client", "NAME",
+               "client identity for the per-client\n"
+               "quota (default 'anon')",
+               &request.client);
+    flags.flag("--ping", "check the server is alive", &op_ping);
+    flags.flag("--stats", "print cache and queue statistics",
+               &op_stats);
+    flags.flag("--shutdown", "ask the server to drain and exit",
+               &op_shutdown);
+    flags.text("--telemetry-out", "BASE",
+               "write the returned artifacts to\n"
+               "BASE.jsonl + BASE.summary.json",
+               &telemetry_out);
+
+    flags.section("campaign request (mirrors dfi-campaign)");
+    flags.text("--core", "NAME", "marss-x86 | gem5-x86 | gem5-arm",
+               &cfg.coreName);
+    flags.text("--benchmark", "NAME",
+               "one of the ten workloads (or 'micro')",
+               &cfg.benchmark);
+    flags.text("--component", "NAME", "injection target",
+               &cfg.component);
+    flags.uint64("--scale", "N", "workload input scale (default 1)",
+                 &scale, std::numeric_limits<std::uint32_t>::max());
+    flags.uint64("--injections", "N",
+                 "number of runs (default: derive from\n"
+                 "--confidence/--margin)",
+                 &cfg.numInjections);
+    flags.number("--confidence", "P",
+                 "sampling confidence (default 0.99)",
+                 &cfg.confidence);
+    flags.number("--margin", "E",
+                 "sampling error margin (default 0.03)", &cfg.margin);
+    flags.custom("--fault-type", "T",
+                 "transient | intermittent | permanent",
+                 [&cfg](const std::string &text, std::string &error) {
+                     return decodeFaultType(text, cfg.faultType,
+                                            error);
+                 });
+    flags.custom("--population", "P",
+                 "single | double-adjacent |\n"
+                 "double-random | multi-structure",
+                 [&cfg](const std::string &text, std::string &error) {
+                     return decodePopulation(text, cfg.population,
+                                             error);
+                 });
+    flags.uint64("--seed", "N", "campaign seed", &cfg.seed);
+    flags.flag("--exhaustive",
+               "enumerate every bit x cycle site of\nthe component",
+               &cfg.exhaustive);
+    flags.flag("--no-prune",
+               "disable planning-time classification\n"
+               "and fault-equivalence pruning",
+               [&cfg] { cfg.prune = false; });
+    flags.uint32("--jobs", "N",
+                 "worker threads for the served campaign\n"
+                 "(default 1; results are bit-identical\n"
+                 "for every N)",
+                 &cfg.jobs);
+    flags.number("--timeout-factor", "F",
+                 "run bound vs golden cycles (default 3)",
+                 &cfg.timeoutFactor);
+    flags.number("--cache-scale", "F",
+                 "cache capacity scale (default 0.0625)",
+                 &cfg.cacheScale);
+    flags.flag("--no-early-stop",
+               "disable both early-stop optimizations", [&cfg] {
+                   cfg.earlyStopInvalidEntry = false;
+                   cfg.earlyStopOverwrite = false;
+               });
+    flags.flag("--no-checkpoints", "always start runs from reset",
+               [&cfg] { cfg.useCheckpoints = false; });
+    flags.uint64("--checkpoints", "N",
+                 "target live checkpoint count\n(default 6)",
+                 &checkpoint_count,
+                 std::numeric_limits<std::uint32_t>::max());
+    flags.uint64("--checkpoint-budget", "MB",
+                 "checkpoint memory budget in MiB\n"
+                 "(default 256; 0 = unlimited)",
+                 &cfg.checkpointMemBudgetMB);
+    flags.flag("--telemetry-timing",
+               "record wall-clock micros and the job\n"
+               "count in the telemetry",
+               &cfg.telemetryTiming);
+
+    std::string parse_error;
+    switch (flags.parse(argc, argv, parse_error)) {
+      case cli::ParseResult::Help:
+        std::fputs(flags.usage().c_str(), stdout);
+        return 0;
+      case cli::ParseResult::Version:
+        std::puts(dfi::versionString().c_str());
+        return 0;
+      case cli::ParseResult::Error:
+        die(parse_error);
+      case cli::ParseResult::Ok:
+        break;
+    }
+    cfg.scale = static_cast<std::uint32_t>(scale);
+    cfg.checkpointCount = static_cast<std::uint32_t>(checkpoint_count);
+
+    if (!socket_path.empty() && !connect_path.empty())
+        die("--socket (server) and --connect (client) are mutually "
+            "exclusive");
+    if (socket_path.empty() && connect_path.empty())
+        die("one of --socket (server) or --connect (client) is "
+            "required");
+
+    if (!socket_path.empty()) {
+        CampaignService::Options options;
+        options.cacheBudgetBytes = cache_budget_mb << 20;
+        options.perClientInFlight = static_cast<std::uint32_t>(quota);
+        options.queueCapacity = static_cast<std::uint32_t>(queue);
+        return serveMain(socket_path, options);
+    }
+
+    const int ops = (op_ping ? 1 : 0) + (op_stats ? 1 : 0) +
+                    (op_shutdown ? 1 : 0);
+    if (ops > 1)
+        die("--ping, --stats and --shutdown are mutually exclusive");
+    request.op = op_ping       ? "ping"
+                 : op_stats    ? "stats"
+                 : op_shutdown ? "shutdown"
+                               : "campaign";
+    return clientMain(connect_path, request, telemetry_out);
+}
