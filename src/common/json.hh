@@ -66,6 +66,11 @@ class Value
     {
         return kind_ == Kind::Int || kind_ == Kind::Double;
     }
+    /** True for a Kind::Int built or parsed with a minus sign. */
+    bool isNegative() const
+    {
+        return kind_ == Kind::Int && negative_;
+    }
 
     /** Typed accessors; fatal() on kind mismatch (caller bug). */
     bool asBool() const;

@@ -41,6 +41,7 @@
 #include <string>
 #include <vector>
 
+#include "common/logging.hh"
 #include "common/stats.hh"
 #include "inject/checkpoint.hh"
 #include "inject/mask_gen.hh"
@@ -397,6 +398,9 @@ class InjectionCampaign
      */
     const CheckpointStore &checkpoints() const
     {
+        if (prep_ == nullptr)
+            panic("checkpoints() before prepare(): run golden() "
+                  "first");
         return prep_->checkpoints;
     }
 

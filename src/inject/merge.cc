@@ -43,7 +43,8 @@ mergeTelemetryStreams(const std::vector<std::string> &paths,
             header_path = path;
             const json::Value *total = file.header.find("runs_total");
             if (total == nullptr ||
-                total->kind() != json::Kind::Int) {
+                total->kind() != json::Kind::Int ||
+                total->isNegative()) {
                 error = path + ": header has no 'runs_total' (stream "
                                "predates sharding; re-run the "
                                "campaign to merge)";
@@ -95,7 +96,8 @@ mergeTelemetryStreams(const std::vector<std::string> &paths,
     const json::Value *golden_cycles =
         golden == nullptr ? nullptr : golden->find("cycles");
     if (config == nullptr || golden_cycles == nullptr ||
-        golden_cycles->kind() != json::Kind::Int) {
+        golden_cycles->kind() != json::Kind::Int ||
+        golden_cycles->isNegative()) {
         error = header_path + ": header missing config/golden echo";
         return false;
     }
@@ -107,10 +109,15 @@ mergeTelemetryStreams(const std::vector<std::string> &paths,
     bool have_prune = false;
     if (const json::Value *prune = header.find("prune");
         prune != nullptr) {
+        const auto uintField = [](const json::Value *v) {
+            return v != nullptr && v->kind() == json::Kind::Int &&
+                   !v->isNegative();
+        };
         const json::Value *stat = prune->find("pruned_static");
         const json::Value *equiv = prune->find("pruned_equiv");
         const json::Value *sim = prune->find("simulated");
-        if (stat == nullptr || equiv == nullptr || sim == nullptr) {
+        if (!uintField(stat) || !uintField(equiv) ||
+            !uintField(sim)) {
             error = header_path + ": malformed 'prune' header echo";
             return false;
         }

@@ -45,7 +45,7 @@ bool
 getUint(const json::Value &v, const std::string &key,
         std::uint64_t &out, std::string &error)
 {
-    if (v.kind() != json::Kind::Int) {
+    if (v.kind() != json::Kind::Int || v.isNegative()) {
         error = "config." + key + ": expected an unsigned integer";
         return false;
     }
@@ -61,9 +61,7 @@ getNumber(const json::Value &v, const std::string &key, double &out,
         error = "config." + key + ": expected a number";
         return false;
     }
-    out = v.kind() == json::Kind::Double
-              ? v.asDouble()
-              : static_cast<double>(v.asUint());
+    out = v.asDouble();
     return true;
 }
 
@@ -243,8 +241,9 @@ decodeCounts(const json::Value &obj, ClassCounts &counts,
             error = "counts: unknown class '" + name + "'";
             return false;
         }
-        if (value.kind() != json::Kind::Int) {
-            error = "counts." + name + ": expected an integer";
+        if (value.kind() != json::Kind::Int || value.isNegative()) {
+            error = "counts." + name + ": expected an unsigned "
+                    "integer";
             return false;
         }
         counts.counts[static_cast<std::size_t>(cls)] = value.asUint();
@@ -396,7 +395,8 @@ decodeServiceResponse(const json::Value &line, ServiceResponse &out,
         v != nullptr && v->kind() == json::Kind::Bool)
         out.cacheHit = v->asBool();
     if (const json::Value *v = line.find("runs_total");
-        v != nullptr && v->kind() == json::Kind::Int)
+        v != nullptr && v->kind() == json::Kind::Int &&
+        !v->isNegative())
         out.runsTotal = v->asUint();
     if (const json::Value *v = line.find("counts");
         v != nullptr && v->kind() == json::Kind::Object) {
@@ -405,9 +405,7 @@ decodeServiceResponse(const json::Value &line, ServiceResponse &out,
     }
     if (const json::Value *v = line.find("vulnerability");
         v != nullptr && v->isNumber())
-        out.vulnerability = v->kind() == json::Kind::Double
-                                ? v->asDouble()
-                                : static_cast<double>(v->asUint());
+        out.vulnerability = v->asDouble();
     if (const json::Value *v = line.find("runs_jsonl");
         v != nullptr && v->kind() == json::Kind::String)
         out.telemetryRuns = v->asString();
@@ -516,6 +514,13 @@ CampaignService::execute(const ServiceRequest &request,
     } catch (const dfi::FatalError &err) {
         response.ok = false;
         response.error = err.what();
+    } catch (const std::exception &err) {
+        // Resource failures (bad_alloc, thread-spawn system_error)
+        // must come back as a !ok response, not unwind through the
+        // queue bookkeeping or a detached handler thread.
+        response.ok = false;
+        response.error =
+            std::string("internal error: ") + err.what();
     }
     return response;
 }
@@ -554,18 +559,29 @@ CampaignService::executeQueued(const ServiceRequest &request,
         cv_.wait(lock, [&] { return serving_ == ticket; });
     }
 
-    ServiceResponse response = execute(request, progress);
-
+    // Completion bookkeeping must run even if execute() throws:
+    // serving_ advancing is what unblocks every later ticket.
+    struct Completion
     {
-        std::lock_guard<std::mutex> lock(mu_);
-        auto it = inFlight_.find(request.client);
-        if (it != inFlight_.end() && --it->second == 0)
-            inFlight_.erase(it);
-        --active_;
-        ++serving_;
-    }
-    cv_.notify_all();
-    return response;
+        CampaignService &service;
+        const std::string &client;
+
+        ~Completion()
+        {
+            {
+                std::lock_guard<std::mutex> lock(service.mu_);
+                auto it = service.inFlight_.find(client);
+                if (it != service.inFlight_.end() &&
+                    --it->second == 0)
+                    service.inFlight_.erase(it);
+                --service.active_;
+                ++service.serving_;
+            }
+            service.cv_.notify_all();
+        }
+    } completion{*this, request.client};
+
+    return execute(request, progress);
 }
 
 void

@@ -162,7 +162,8 @@ decodeUint(const json::Value &line, const char *key,
            std::uint64_t &out, std::string &error)
 {
     const json::Value *v = line.find(key);
-    if (v == nullptr || v->kind() != json::Kind::Int) {
+    if (v == nullptr || v->kind() != json::Kind::Int ||
+        v->isNegative()) {
         error = std::string("record missing numeric field '") + key +
                 "'";
         return false;
@@ -191,7 +192,8 @@ decodeOptUint(const json::Value &line, const char *key,
               std::uint64_t &out)
 {
     const json::Value *v = line.find(key);
-    if (v != nullptr && v->kind() == json::Kind::Int)
+    if (v != nullptr && v->kind() == json::Kind::Int &&
+        !v->isNegative())
         out = v->asUint();
 }
 
@@ -737,7 +739,8 @@ parseTelemetry(const std::string &text, TelemetryFile &out,
         }
         const json::Value *schema = header.find("schema");
         if (schema == nullptr ||
-            schema->kind() != json::Kind::Int) {
+            schema->kind() != json::Kind::Int ||
+            schema->isNegative()) {
             error = "header line has no 'schema'";
             return false;
         }
@@ -798,7 +801,8 @@ parseTelemetry(const std::string &text, TelemetryFile &out,
         return false;
     }
     const json::Value *schema = doc.find("schema");
-    if (schema == nullptr || schema->kind() != json::Kind::Int) {
+    if (schema == nullptr || schema->kind() != json::Kind::Int ||
+        schema->isNegative()) {
         error = "summary has no 'schema'";
         return false;
     }

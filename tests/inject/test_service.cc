@@ -229,6 +229,43 @@ TEST(ServiceProtocol, DecodeRejectsUnknownOpAndKeys)
     EXPECT_FALSE(decodeServiceRequest(bad_type, out, error));
 }
 
+TEST(ServiceProtocol, DecodeRejectsNegativeIntegersWithoutAborting)
+{
+    // Parsed wire bytes, not a hand-built tree: the parser stores
+    // -1 as Kind::Int with the negative flag, which asUint() would
+    // abort on -- the decoder must turn it into an error instead.
+    json::Value line;
+    std::string error;
+    ASSERT_TRUE(json::parse(
+        "{\"kind\":\"dfi-request\",\"op\":\"campaign\","
+        "\"config\":{\"injections\":-1}}",
+        line, error));
+    ServiceRequest out;
+    EXPECT_FALSE(decodeServiceRequest(line, out, error));
+    EXPECT_NE(error.find("unsigned integer"), std::string::npos);
+
+    // Negative doubles stay legal wherever a number is expected.
+    json::Value number_cfg;
+    ASSERT_TRUE(json::parse(
+        "{\"kind\":\"dfi-request\",\"op\":\"campaign\","
+        "\"config\":{\"confidence\":-0.5}}",
+        number_cfg, error));
+    EXPECT_TRUE(decodeServiceRequest(number_cfg, out, error));
+    EXPECT_EQ(out.config.confidence, -0.5);
+
+    // Negative counts in a response are rejected, not aborted on.
+    json::Value response_line;
+    ASSERT_TRUE(json::parse(
+        "{\"kind\":\"dfi-response\",\"op\":\"campaign\","
+        "\"ok\":true,\"runs_total\":-3,"
+        "\"counts\":{\"Masked\":-1}}",
+        response_line, error));
+    ServiceResponse response;
+    EXPECT_FALSE(
+        decodeServiceResponse(response_line, response, error));
+    EXPECT_NE(error.find("unsigned"), std::string::npos);
+}
+
 TEST(ServiceProtocol, ResponseRoundTripPreservesArtifacts)
 {
     ServiceResponse response;

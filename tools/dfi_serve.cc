@@ -391,13 +391,21 @@ clientMain(const std::string &socket_path,
             die("malformed server line: " + error);
         const json::Value *kind = parsed.find("kind");
         if (kind != nullptr &&
+            kind->kind() == json::Kind::String &&
             kind->asString() == kServiceProgressKind) {
+            const json::Value *done = parsed.find("done");
+            const json::Value *total = parsed.find("total");
+            const auto uintField = [](const json::Value *v) {
+                return v != nullptr &&
+                       v->kind() == json::Kind::Int &&
+                       !v->isNegative();
+            };
+            if (!uintField(done) || !uintField(total))
+                die("malformed server progress line");
             std::fprintf(
                 stderr, "  %llu/%llu runs\n",
-                static_cast<unsigned long long>(
-                    parsed.get("done").asUint()),
-                static_cast<unsigned long long>(
-                    parsed.get("total").asUint()));
+                static_cast<unsigned long long>(done->asUint()),
+                static_cast<unsigned long long>(total->asUint()));
             continue;
         }
         if (!decodeServiceResponse(parsed, response, error))
