@@ -1,20 +1,38 @@
 #!/usr/bin/env bash
-# Prove the campaign service serves byte-exact campaigns and that its
-# warm cache actually short-circuits preparation.
+# Prove the campaign service serves byte-exact campaigns under
+# concurrency and that its caches survive a daemon restart.
 #
-# Starts a dfi-serve daemon on a scratch Unix-domain socket, submits
-# the three golden smoke campaigns twice each — a cold round and a
-# warm round — and requires:
+# Leg 1 — concurrent warm cache:
+#   Starts a dfi-serve daemon with --workers 4, submits the three
+#   golden smoke campaigns *concurrently* (cold round), then again
+#   sequentially (warm round), and requires:
 #
 #   1. every cold response to report `cache_hit: false` and every
-#      warm response `cache_hit: true` (the second request adopted
-#      the cached golden run + checkpoint store instead of
-#      re-simulating);
+#      warm response `cache_hit: true` with `cache_source: memory`
+#      (the second request adopted the cached golden run +
+#      checkpoint store instead of re-simulating);
 #   2. the client-written telemetry of BOTH rounds to be
 #      `dfi-diff --exact`-equal AND byte-equal to the checked-in
 #      baselines under results/golden/ — a served campaign, warm or
-#      cold, must be indistinguishable from a local dfi-campaign run;
-#   3. the daemon to drain and exit 0 on a shutdown request.
+#      cold, concurrent or not, must be indistinguishable from a
+#      local dfi-campaign run;
+#   3. a second daemon started on the same socket to refuse to
+#      replace the live one;
+#   4. the daemon to drain and exit 0 on a shutdown request.
+#
+# Leg 2 — restart persistence:
+#   Starts a daemon with --cache-dir, runs the campaigns, SIGTERMs
+#   it, restarts it over the same directory, and requires:
+#
+#   5. the first daemon to drain and exit 0 on SIGTERM, leaving
+#      prep_*.bin and resp_*.json spill files behind;
+#   6. exact repeat requests against the restarted daemon to replay
+#      the memoized response (`cache_source: response`) byte-equal
+#      to the golden baselines;
+#   7. a --no-prune variation to adopt the prepared state from disk
+#      (`cache_source: disk`) and stay `dfi-diff --exact`-equal to
+#      the golden baseline (pruned and unpruned artifacts differ in
+#      bytes but never in outcomes).
 #
 # Usage:
 #   scripts/check_service.sh [WORKDIR]
@@ -37,6 +55,8 @@ SERVE_BIN="${DFI_SERVE:-build/tools/dfi-serve}"
 DIFF_BIN="${DFI_DIFF:-build/tools/dfi-diff}"
 GOLDEN_DIR="results/golden"
 SOCKET="$WORKDIR/dfi-serve.sock"
+CACHE_DIR="$WORKDIR/cache"
+CORES=(marss-x86 gem5-x86 gem5-arm)
 
 for bin in "$SERVE_BIN" "$DIFF_BIN"; do
     if [[ ! -x "$bin" ]]; then
@@ -48,85 +68,199 @@ done
 
 mkdir -p "$WORKDIR"
 
-"$SERVE_BIN" --socket "$SOCKET" 2> "$WORKDIR/server.log" &
-SERVER_PID=$!
+status=0
+SERVER_PID=""
 cleanup() {
-    kill "$SERVER_PID" 2> /dev/null || true
+    if [[ -n "$SERVER_PID" ]]; then
+        kill "$SERVER_PID" 2> /dev/null || true
+    fi
 }
 trap cleanup EXIT
 
-# The daemon binds the socket before accepting; give it a moment.
-for _ in $(seq 1 50); do
-    if [[ -S "$SOCKET" ]]; then
-        break
-    fi
-    sleep 0.1
-done
-"$SERVE_BIN" --connect "$SOCKET" --ping > /dev/null
+# start_daemon LOG [extra flags...]: launch dfi-serve and wait for
+# the socket (the daemon binds before accepting).
+start_daemon() {
+    local log="$1"
+    shift
+    "$SERVE_BIN" --socket "$SOCKET" --workers 4 "$@" \
+        2> "$WORKDIR/$log" &
+    SERVER_PID=$!
+    for _ in $(seq 1 100); do
+        if [[ -S "$SOCKET" ]]; then
+            break
+        fi
+        sleep 0.1
+    done
+    "$SERVE_BIN" --connect "$SOCKET" --ping > /dev/null
+}
 
-status=0
-
-# submit CORE ROUND EXPECTED_HIT: serve one smoke campaign, check the
-# cache_hit field, and diff the client-written artifacts against the
-# golden baselines.
-submit() {
-    local core="$1" round="$2" expected_hit="$3"
-    local base="$WORKDIR/${round}_${core}"
-    local out
-    echo "== served smoke campaign: $core ($round)" >&2
-    out=$("$SERVE_BIN" --connect "$SOCKET" \
-        --client check-service \
+# request CORE BASE [extra flags...]: serve one smoke campaign,
+# keeping the client's report in BASE.out for verify().
+request() {
+    local core="$1" base="$2"
+    shift 2
+    "$SERVE_BIN" --connect "$SOCKET" \
+        --client "check-$core" \
         --core "$core" \
         --benchmark micro \
         --component int_regfile \
         --injections 24 \
         --seed 7 \
         --telemetry-out "$base" \
-        2> /dev/null)
+        "$@" > "$base.out" 2> /dev/null
+}
 
-    local hit
-    hit=$(grep '^cache_hit: ' <<< "$out" | cut -d' ' -f2)
+# verify CORE BASE EXPECTED_HIT EXPECTED_SOURCE BYTES: check the
+# cache provenance the client reported and diff the client-written
+# artifacts against the golden baselines.  BYTES=byte additionally
+# requires byte equality (pruned requests only: an unpruned artifact
+# is outcome-equal but not byte-equal to the pruned baseline).
+verify() {
+    local core="$1" base="$2" expected_hit="$3"
+    local expected_source="$4" bytes="$5"
+    local hit source golden_base
+    hit=$(grep '^cache_hit: ' "$base.out" | cut -d' ' -f2)
+    source=$(grep '^cache_source: ' "$base.out" | cut -d' ' -f2)
     if [[ "$hit" != "$expected_hit" ]]; then
-        echo "$core $round: expected cache_hit $expected_hit, got '$hit'" >&2
+        echo "$base: expected cache_hit $expected_hit, got '$hit'" >&2
+        status=1
+    fi
+    if [[ "$source" != "$expected_source" ]]; then
+        echo "$base: expected cache_source $expected_source," \
+             "got '$source'" >&2
         status=1
     fi
 
-    local golden_base="$GOLDEN_DIR/smoke_$core"
+    golden_base="$GOLDEN_DIR/smoke_$core"
     if ! "$DIFF_BIN" --exact "$golden_base.jsonl" "$base.jsonl"; then
         status=1
-    elif ! cmp -s "$golden_base.jsonl" "$base.jsonl"; then
-        echo "byte drift: $golden_base.jsonl vs $base.jsonl" >&2
-        status=1
     fi
-    if ! cmp -s "$golden_base.summary.json" "$base.summary.json"; then
-        echo "summary drift: $golden_base.summary.json vs $base.summary.json" >&2
-        status=1
+    if [[ "$bytes" == byte ]]; then
+        if ! cmp -s "$golden_base.jsonl" "$base.jsonl"; then
+            echo "byte drift: $golden_base.jsonl vs $base.jsonl" >&2
+            status=1
+        fi
+        if ! cmp -s "$golden_base.summary.json" \
+                 "$base.summary.json"; then
+            echo "summary drift: $golden_base.summary.json vs" \
+                 "$base.summary.json" >&2
+            status=1
+        fi
     fi
 }
 
-# Cold round: every core prepares from scratch and populates the
-# cache.  Warm round: every core must adopt the cached preparation.
-for core in marss-x86 gem5-x86 gem5-arm; do
-    submit "$core" cold false
+# ------------------------------------------------------------------
+# Leg 1: concurrent cold round, warm round, live-socket refusal.
+# ------------------------------------------------------------------
+start_daemon server1.log
+
+echo "== concurrent cold round (3 cores, --workers 4)" >&2
+pids=()
+for core in "${CORES[@]}"; do
+    request "$core" "$WORKDIR/cold_$core" &
+    pids+=($!)
 done
-for core in marss-x86 gem5-x86 gem5-arm; do
-    submit "$core" warm true
+for pid in "${pids[@]}"; do
+    if ! wait "$pid"; then
+        echo "a concurrent cold request failed" >&2
+        status=1
+    fi
 done
+for core in "${CORES[@]}"; do
+    verify "$core" "$WORKDIR/cold_$core" false none byte
+done
+
+echo "== warm round" >&2
+for core in "${CORES[@]}"; do
+    request "$core" "$WORKDIR/warm_$core"
+    verify "$core" "$WORKDIR/warm_$core" true memory byte
+done
+
+echo "== live-socket refusal" >&2
+if "$SERVE_BIN" --socket "$SOCKET" 2> "$WORKDIR/hijack.log"; then
+    echo "a second daemon replaced a live socket" >&2
+    status=1
+fi
+if ! grep -q "live daemon" "$WORKDIR/hijack.log"; then
+    echo "expected a live-daemon refusal, got:" >&2
+    sed 's/^/  /' "$WORKDIR/hijack.log" >&2
+    status=1
+fi
 
 "$SERVE_BIN" --connect "$SOCKET" --stats >&2
-
-# Graceful shutdown: the daemon must drain and exit 0.
 "$SERVE_BIN" --connect "$SOCKET" --shutdown > /dev/null
 if ! wait "$SERVER_PID"; then
     echo "dfi-serve exited non-zero after shutdown" >&2
-    sed 's/^/  server: /' "$WORKDIR/server.log" >&2
+    sed 's/^/  server: /' "$WORKDIR/server1.log" >&2
     status=1
 fi
+SERVER_PID=""
+
+# ------------------------------------------------------------------
+# Leg 2: restart persistence through --cache-dir.
+# ------------------------------------------------------------------
+echo "== restart leg: cold round with --cache-dir" >&2
+start_daemon server2.log --cache-dir "$CACHE_DIR"
+pids=()
+for core in "${CORES[@]}"; do
+    request "$core" "$WORKDIR/disk_cold_$core" &
+    pids+=($!)
+done
+for pid in "${pids[@]}"; do
+    if ! wait "$pid"; then
+        echo "a cache-dir cold request failed" >&2
+        status=1
+    fi
+done
+for core in "${CORES[@]}"; do
+    verify "$core" "$WORKDIR/disk_cold_$core" false none byte
+done
+
+echo "== SIGTERM drain" >&2
+kill -TERM "$SERVER_PID"
+if ! wait "$SERVER_PID"; then
+    echo "dfi-serve exited non-zero after SIGTERM" >&2
+    sed 's/^/  server: /' "$WORKDIR/server2.log" >&2
+    status=1
+fi
+SERVER_PID=""
+
+shopt -s nullglob
+preps=("$CACHE_DIR"/prep_*.bin)
+resps=("$CACHE_DIR"/resp_*.json)
+shopt -u nullglob
+if [[ "${#preps[@]}" -ne 3 || "${#resps[@]}" -ne 3 ]]; then
+    echo "expected 3 prep spills + 3 response memos in $CACHE_DIR," \
+         "found ${#preps[@]} + ${#resps[@]}" >&2
+    status=1
+fi
+
+echo "== restarted daemon serves disk warm hits" >&2
+start_daemon server3.log --cache-dir "$CACHE_DIR"
+for core in "${CORES[@]}"; do
+    request "$core" "$WORKDIR/memo_$core"
+    verify "$core" "$WORKDIR/memo_$core" true response byte
+done
+
+# A run-set variation misses the response memo but adopts the
+# prepared state spilled by the *previous* daemon process.
+request marss-x86 "$WORKDIR/noprune_marss-x86" --no-prune
+verify marss-x86 "$WORKDIR/noprune_marss-x86" true disk diff
+
+"$SERVE_BIN" --connect "$SOCKET" --stats >&2
+"$SERVE_BIN" --connect "$SOCKET" --shutdown > /dev/null
+if ! wait "$SERVER_PID"; then
+    echo "dfi-serve exited non-zero after shutdown" >&2
+    sed 's/^/  server: /' "$WORKDIR/server3.log" >&2
+    status=1
+fi
+SERVER_PID=""
 trap - EXIT
 
 if [[ "$status" -ne 0 ]]; then
     echo "FAIL: served campaigns drifted from $GOLDEN_DIR/ (see above)" >&2
     exit "$status"
 fi
-echo "OK: 6 served smoke campaigns byte-equal to $GOLDEN_DIR/," >&2
-echo "    warm round hit the preparation cache on all 3 cores." >&2
+echo "OK: 13 served smoke campaigns match $GOLDEN_DIR/ —" >&2
+echo "    concurrent cold round byte-equal, warm round from memory," >&2
+echo "    restart round from the disk cache (response + prep)." >&2

@@ -255,6 +255,26 @@ struct PreparedCampaign
 };
 
 /**
+ * Serialize prepared artifacts for the service's disk cache
+ * (common/serial.hh).  The stream carries only dynamic state; loading
+ * reconstructs the snapshot cores from the config named by `cfg`, so
+ * a stream is only meaningful under the cacheKey() that produced it —
+ * pairing stream and config is the caller's contract (the service
+ * names spill files by cache key).
+ */
+void savePreparedCampaign(const PreparedCampaign &prep,
+                          serial::Writer &writer);
+
+/**
+ * Rebuild prepared artifacts from a savePreparedCampaign() stream.
+ * Returns nullptr (and sets `error`) on any mismatch or truncation;
+ * `cfg` must not carry a configTweak (not serializable).
+ */
+std::shared_ptr<const PreparedCampaign>
+loadPreparedCampaign(const CampaignConfig &cfg, serial::Reader &reader,
+                     std::string &error);
+
+/**
  * One run the planner pruned instead of simulating, with the outcome
  * the pipeline precomputed for it.  Statically classified runs carry
  * the exact record the dispatcher would have produced; an

@@ -1,8 +1,18 @@
 #include "inject/service.hh"
 
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <utility>
 
+#include <unistd.h>
+
+#include "common/hash.hh"
 #include "common/logging.hh"
+#include "common/serial.hh"
 #include "inject/mask_gen.hh"
 #include "storage/fault.hh"
 
@@ -341,11 +351,15 @@ encodeServiceResponse(const ServiceResponse &response)
     line.set("ok", json::Value::boolean(response.ok));
     if (!response.ok) {
         line.set("error", json::Value::string(response.error));
+        line.set("retryable",
+                 json::Value::boolean(response.retryable));
         return line;
     }
     if (response.op == "campaign") {
         line.set("cache_key", json::Value::string(response.cacheKey));
         line.set("cache_hit", json::Value::boolean(response.cacheHit));
+        line.set("cache_source",
+                 json::Value::string(response.cacheSource));
         line.set("runs_total",
                  json::Value::unsignedInt(response.runsTotal));
         line.set("counts", encodeCounts(response.counts));
@@ -388,12 +402,18 @@ decodeServiceResponse(const json::Value &line, ServiceResponse &out,
     if (const json::Value *err = line.find("error");
         err != nullptr && err->kind() == json::Kind::String)
         out.error = err->asString();
+    if (const json::Value *v = line.find("retryable");
+        v != nullptr && v->kind() == json::Kind::Bool)
+        out.retryable = v->asBool();
     if (const json::Value *v = line.find("cache_key");
         v != nullptr && v->kind() == json::Kind::String)
         out.cacheKey = v->asString();
     if (const json::Value *v = line.find("cache_hit");
         v != nullptr && v->kind() == json::Kind::Bool)
         out.cacheHit = v->asBool();
+    if (const json::Value *v = line.find("cache_source");
+        v != nullptr && v->kind() == json::Kind::String)
+        out.cacheSource = v->asString();
     if (const json::Value *v = line.find("runs_total");
         v != nullptr && v->kind() == json::Kind::Int &&
         !v->isNegative())
@@ -417,23 +437,77 @@ decodeServiceResponse(const json::Value &line, ServiceResponse &out,
     return true;
 }
 
-CampaignService::CampaignService(Options options)
-    : opts_(options)
+namespace
 {
+
+/** Version tags for the two disk-cache file formats. */
+constexpr const char *kPrepCacheTag = "dfi-prep-cache-v1";
+constexpr const char *kResponseCacheKind = "dfi-response-cache-v1";
+
+/**
+ * Write via a process-unique temp file + rename, so a concurrent
+ * reader (or a crash mid-write) never observes a torn file.
+ */
+bool
+writeFileAtomic(const std::string &path, const std::string &payload)
+{
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid());
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out.is_open())
+        return false;
+    out.write(payload.data(),
+              static_cast<std::streamsize>(payload.size()));
+    out.flush();
+    if (!out.good()) {
+        out.close();
+        std::remove(tmp.c_str());
+        return false;
+    }
+    out.close();
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+bool
+readFileBytes(const std::string &path, std::string &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in.is_open())
+        return false;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    if (in.bad())
+        return false;
+    out = buf.str();
+    return true;
+}
+
+} // namespace
+
+CampaignService::CampaignService(Options options)
+    : opts_(std::move(options))
+{
+    if (!opts_.cacheDir.empty()) {
+        // Best-effort: an uncreatable directory just means every
+        // disk lookup misses and every store fails quietly.
+        std::error_code ec;
+        std::filesystem::create_directories(opts_.cacheDir, ec);
+    }
 }
 
 std::shared_ptr<const PreparedCampaign>
-CampaignService::cacheLookup(const std::string &key)
+CampaignService::lockedLruFind(const std::string &key)
 {
-    std::lock_guard<std::mutex> lock(mu_);
     for (auto it = lru_.begin(); it != lru_.end(); ++it) {
         if (it->key == key) {
             lru_.splice(lru_.begin(), lru_, it);
-            ++stats_.hits;
             return lru_.front().prep;
         }
     }
-    ++stats_.misses;
     return nullptr;
 }
 
@@ -467,6 +541,153 @@ CampaignService::cacheInsert(
     stats_.bytes = cacheBytes_;
 }
 
+void
+CampaignService::publishFlight(
+    const std::string &key, PrepFlight &flight,
+    std::shared_ptr<const PreparedCampaign> prep,
+    const std::string &error)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        flights_.erase(key);
+    }
+    {
+        std::lock_guard<std::mutex> lock(flight.mu);
+        flight.prep = std::move(prep);
+        flight.error = error;
+        flight.done = true;
+    }
+    flight.cv.notify_all();
+}
+
+std::string
+CampaignService::responseKey(const std::string &cacheKey, bool prune)
+{
+    // cacheKey() deliberately ignores knobs that cannot change the
+    // prepared artifacts; prune *does* change the response payload
+    // (header stats, per-record prune_class), so the memo key folds
+    // it back in.
+    const std::string text = std::string("dfi-response-key-v1|") +
+                             cacheKey +
+                             (prune ? "|prune" : "|noprune");
+    return hash::toHex(hash::fnv1a(text));
+}
+
+std::string
+CampaignService::prepPath(const std::string &key) const
+{
+    return opts_.cacheDir + "/prep_" + key + ".bin";
+}
+
+std::string
+CampaignService::responsePath(const std::string &key) const
+{
+    return opts_.cacheDir + "/resp_" + key + ".json";
+}
+
+std::shared_ptr<const PreparedCampaign>
+CampaignService::loadPreparedFromDisk(const CampaignConfig &cfg,
+                                      const std::string &key) const
+{
+    std::string payload;
+    if (!readFileBytes(prepPath(key), payload))
+        return nullptr;
+    if (payload.size() < sizeof(std::uint64_t))
+        return nullptr;
+
+    // The trailing digest frames the stream: a truncated or corrupt
+    // spill file must read as a cold miss, never as wrong state.
+    std::uint64_t digest = 0;
+    std::memcpy(&digest,
+                payload.data() + payload.size() - sizeof digest,
+                sizeof digest);
+    payload.resize(payload.size() - sizeof digest);
+    if (hash::fnv1a(payload) != digest)
+        return nullptr;
+
+    serial::Reader reader(payload);
+    std::string tag;
+    std::string stored_key;
+    serial::value(reader, tag);
+    serial::value(reader, stored_key);
+    if (!reader.ok() || tag != kPrepCacheTag || stored_key != key)
+        return nullptr;
+    std::string error;
+    return loadPreparedCampaign(cfg, reader, error);
+}
+
+bool
+CampaignService::storePreparedToDisk(
+    const std::string &key, const PreparedCampaign &prep) const
+{
+    serial::Writer writer;
+    std::string tag = kPrepCacheTag;
+    serial::value(writer, tag);
+    std::string stored_key = key;
+    serial::value(writer, stored_key);
+    savePreparedCampaign(prep, writer);
+    std::string payload = writer.buffer();
+    const std::uint64_t digest = hash::fnv1a(payload);
+    payload.append(reinterpret_cast<const char *>(&digest),
+                   sizeof digest);
+    return writeFileAtomic(prepPath(key), payload);
+}
+
+bool
+CampaignService::loadResponseFromDisk(const std::string &key,
+                                      bool prune,
+                                      ServiceResponse &out) const
+{
+    std::string text;
+    if (!readFileBytes(responsePath(responseKey(key, prune)), text))
+        return false;
+    json::Value line;
+    std::string error;
+    if (!json::parse(text, line, error) ||
+        line.kind() != json::Kind::Object)
+        return false;
+    const json::Value *kind = line.find("kind");
+    if (kind == nullptr || kind->kind() != json::Kind::String ||
+        kind->asString() != kResponseCacheKind)
+        return false;
+    const json::Value *stored_key = line.find("cache_key");
+    if (stored_key == nullptr ||
+        stored_key->kind() != json::Kind::String ||
+        stored_key->asString() != key)
+        return false;
+    const json::Value *stored_prune = line.find("prune");
+    if (stored_prune == nullptr ||
+        stored_prune->kind() != json::Kind::Bool ||
+        stored_prune->asBool() != prune)
+        return false;
+    const json::Value *response = line.find("response");
+    if (response == nullptr)
+        return false;
+    ServiceResponse decoded;
+    if (!decodeServiceResponse(*response, decoded, error))
+        return false;
+    // Only replay successful executions; a memoized failure would
+    // pin a transient error forever.
+    if (!decoded.ok || decoded.cacheKey != key)
+        return false;
+    out = std::move(decoded);
+    return true;
+}
+
+bool
+CampaignService::storeResponseToDisk(
+    const std::string &key, bool prune,
+    const ServiceResponse &response) const
+{
+    json::Value obj = json::Value::object();
+    obj.set("kind", json::Value::string(kResponseCacheKind));
+    obj.set("cache_key", json::Value::string(key));
+    obj.set("prune", json::Value::boolean(prune));
+    obj.set("response", encodeServiceResponse(response));
+    return writeFileAtomic(responsePath(responseKey(key, prune)),
+                           obj.dump() + "\n");
+}
+
 ServiceResponse
 CampaignService::execute(const ServiceRequest &request,
                          const Progress &progress)
@@ -490,18 +711,95 @@ CampaignService::execute(const ServiceRequest &request,
     }
 
     response.cacheKey = cfg.cacheKey();
-    std::shared_ptr<const PreparedCampaign> prep =
-        opts_.cacheBudgetBytes > 0 ? cacheLookup(response.cacheKey)
-                                   : nullptr;
-    response.cacheHit = prep != nullptr;
 
+    const bool disk = !opts_.cacheDir.empty();
+
+    // Response memoization: an exact repeat of a completed request
+    // replays the recorded response without executing.  Timing-mode
+    // responses carry wall-clock fields and are never memoized.
+    if (disk && !cfg.telemetryTiming &&
+        loadResponseFromDisk(response.cacheKey, cfg.prune,
+                             response)) {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.responseHits;
+        response.cacheHit = true;
+        response.cacheSource = "response";
+        return response;
+    }
+
+    // With no memory budget *and* no disk directory there is nothing
+    // to share, so single-flight dedup is off too (every request
+    // prepares cold — the documented cacheBudgetBytes == 0 contract).
+    const bool cache_enabled = opts_.cacheBudgetBytes > 0 || disk;
+
+    std::shared_ptr<const PreparedCampaign> prep;
+    std::shared_ptr<PrepFlight> flight;
+    bool leader = false;
+    if (cache_enabled) {
+        std::lock_guard<std::mutex> lock(mu_);
+        prep = lockedLruFind(response.cacheKey);
+        if (prep != nullptr) {
+            ++stats_.hits;
+            response.cacheSource = "memory";
+        } else if (const auto it = flights_.find(response.cacheKey);
+                   it != flights_.end()) {
+            flight = it->second;
+        } else {
+            flight = std::make_shared<PrepFlight>();
+            flights_.emplace(response.cacheKey, flight);
+            leader = true;
+            ++stats_.misses;
+        }
+    }
+
+    if (flight != nullptr && !leader) {
+        // Another request is preparing this key right now; share its
+        // golden run instead of simulating a duplicate.
+        std::unique_lock<std::mutex> wait_lock(flight->mu);
+        flight->cv.wait(wait_lock, [&] { return flight->done; });
+        if (flight->prep == nullptr) {
+            response.error = flight->error.empty()
+                                 ? "prepare failed in a racing "
+                                   "request"
+                                 : flight->error;
+            return response;
+        }
+        prep = flight->prep;
+        response.cacheSource = "flight";
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.hits;
+        ++stats_.coalesced;
+    }
+
+    bool published = false;
     try {
         InjectionCampaign campaign(cfg);
-        if (prep != nullptr)
-            campaign.adoptPrepared(std::move(prep));
+        if (prep == nullptr && leader && disk) {
+            prep = loadPreparedFromDisk(cfg, response.cacheKey);
+            if (prep != nullptr) {
+                response.cacheSource = "disk";
+                std::lock_guard<std::mutex> lock(mu_);
+                ++stats_.diskHits;
+            }
+        }
+        if (prep != nullptr) {
+            campaign.adoptPrepared(prep);
+            response.cacheHit = true;
+        }
+        if (leader) {
+            if (prep == nullptr) {
+                prep = campaign.prepared();
+                if (disk &&
+                    storePreparedToDisk(response.cacheKey, *prep)) {
+                    std::lock_guard<std::mutex> lock(mu_);
+                    ++stats_.diskStores;
+                }
+            }
+            cacheInsert(response.cacheKey, prep);
+            publishFlight(response.cacheKey, *flight, prep, "");
+            published = true;
+        }
         const CampaignResult result = campaign.run(progress);
-        if (!response.cacheHit && opts_.cacheBudgetBytes > 0)
-            cacheInsert(response.cacheKey, campaign.prepared());
 
         response.runsTotal =
             result.records.size() + result.pruned.size();
@@ -511,6 +809,12 @@ CampaignService::execute(const ServiceRequest &request,
         response.telemetryRuns = result.telemetryRuns;
         response.telemetrySummary = result.telemetrySummary;
         response.ok = true;
+        if (disk && !cfg.telemetryTiming &&
+            storeResponseToDisk(response.cacheKey, cfg.prune,
+                                response)) {
+            std::lock_guard<std::mutex> lock(mu_);
+            ++stats_.responseStores;
+        }
     } catch (const dfi::FatalError &err) {
         response.ok = false;
         response.error = err.what();
@@ -522,6 +826,12 @@ CampaignService::execute(const ServiceRequest &request,
         response.error =
             std::string("internal error: ") + err.what();
     }
+    if (leader && !published) {
+        // The leader failed before publishing; wake the followers
+        // with the error instead of leaving them blocked forever.
+        publishFlight(response.cacheKey, *flight, nullptr,
+                      response.error);
+    }
     return response;
 }
 
@@ -529,38 +839,51 @@ ServiceResponse
 CampaignService::executeQueued(const ServiceRequest &request,
                                const Progress &progress)
 {
+    // Backpressure rejections carry the request's op and are marked
+    // retryable: the client may resubmit once load subsides, unlike
+    // hard errors (bad config, engine failure).
+    const auto reject = [&](std::string why) {
+        ServiceResponse response;
+        response.op = request.op;
+        response.retryable = true;
+        response.error = std::move(why);
+        return response;
+    };
+
+    const std::uint32_t workers =
+        std::max<std::uint32_t>(1, opts_.workers);
     std::uint64_t ticket = 0;
     {
         std::unique_lock<std::mutex> lock(mu_);
-        if (draining_) {
-            ServiceResponse response;
-            response.error = "service is draining";
-            return response;
-        }
-        if (active_ >= opts_.queueCapacity) {
-            ServiceResponse response;
-            response.error = "queue full (" +
-                             std::to_string(opts_.queueCapacity) +
-                             " requests in flight)";
-            return response;
-        }
+        if (draining_)
+            return reject("service is draining");
+        if (active_ >= opts_.queueCapacity)
+            return reject("queue full (" +
+                          std::to_string(opts_.queueCapacity) +
+                          " requests in flight)");
         std::uint32_t &client_count = inFlight_[request.client];
-        if (client_count >= opts_.perClientInFlight) {
-            ServiceResponse response;
-            response.error =
-                "client quota exceeded (" +
-                std::to_string(opts_.perClientInFlight) +
-                " in flight for '" + request.client + "')";
-            return response;
-        }
+        if (client_count >= opts_.perClientInFlight)
+            return reject("client quota exceeded (" +
+                          std::to_string(opts_.perClientInFlight) +
+                          " in flight for '" + request.client +
+                          "')");
         ++client_count;
         ++active_;
         ticket = nextTicket_++;
-        cv_.wait(lock, [&] { return serving_ == ticket; });
+        waiting_.push_back(ticket);
+        // FIFO over bounded workers: start as soon as this ticket
+        // reaches the queue front *and* a worker slot is free.
+        cv_.wait(lock, [&] {
+            return waiting_.front() == ticket && running_ < workers;
+        });
+        waiting_.pop_front();
+        ++running_;
     }
+    // The queue front changed; later tickets may now be eligible.
+    cv_.notify_all();
 
     // Completion bookkeeping must run even if execute() throws:
-    // serving_ advancing is what unblocks every later ticket.
+    // running_ dropping is what frees a slot for every later ticket.
     struct Completion
     {
         CampaignService &service;
@@ -575,7 +898,7 @@ CampaignService::executeQueued(const ServiceRequest &request,
                     --it->second == 0)
                     service.inFlight_.erase(it);
                 --service.active_;
-                ++service.serving_;
+                --service.running_;
             }
             service.cv_.notify_all();
         }
@@ -615,8 +938,22 @@ CampaignService::statsJson() const
     cache.set("bytes", json::Value::unsignedInt(cacheBytes_));
     cache.set("budget_bytes",
               json::Value::unsignedInt(opts_.cacheBudgetBytes));
+    cache.set("coalesced",
+              json::Value::unsignedInt(stats_.coalesced));
+    cache.set("disk_hits",
+              json::Value::unsignedInt(stats_.diskHits));
+    cache.set("disk_stores",
+              json::Value::unsignedInt(stats_.diskStores));
+    cache.set("response_hits",
+              json::Value::unsignedInt(stats_.responseHits));
+    cache.set("response_stores",
+              json::Value::unsignedInt(stats_.responseStores));
     json::Value queue = json::Value::object();
     queue.set("active", json::Value::unsignedInt(active_));
+    queue.set("running", json::Value::unsignedInt(running_));
+    queue.set("workers",
+              json::Value::unsignedInt(
+                  std::max<std::uint32_t>(1, opts_.workers)));
     queue.set("capacity",
               json::Value::unsignedInt(opts_.queueCapacity));
     queue.set("per_client_quota",

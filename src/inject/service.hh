@@ -17,19 +17,34 @@
  *  - cached preparations live in an LRU keyed by a byte budget
  *    (Options::cacheBudgetBytes), charged at
  *    PreparedCampaign::approxBytes(); cold entries evict first;
- *  - queued execution is FIFO with a per-client in-flight quota and
- *    a global admission capacity, so one client cannot starve the
+ *  - preparation is single-flight: when several racing requests miss
+ *    on the same key, exactly one (the leader) runs prepare() and the
+ *    rest block until the shared artifacts are published — the fleet
+ *    never simulates the same golden run twice concurrently;
+ *  - queued execution admits in FIFO order onto a bounded pool of
+ *    Options::workers execution slots (each campaign may still use
+ *    `jobs` threads internally), with a per-client in-flight quota
+ *    and a global admission capacity so one client cannot starve the
  *    fleet;
+ *  - with Options::cacheDir set, prepared state spills to disk
+ *    (common/serial.hh streams framed by an FNV-1a digest) and whole
+ *    memoized responses persist as JSON, so a restarted daemon serves
+ *    warm hits immediately and an exact repeat request returns the
+ *    recorded response without re-executing;
  *  - progress streams back through the campaign's ordered-commit
  *    reporting, so a served campaign emits the same (done, total)
  *    sequence a local run would.
  *
  * Determinism contract: a served campaign's telemetry artifacts are
  * byte-identical to a local `dfi-campaign` run of the same config —
- * warm or cold.  The cache only ever short-circuits the golden pass,
- * never the faulty runs, and checkpoint reuse is already proven
- * byte-exact by the golden-diff CI legs.  `scripts/check_service.sh`
- * asserts exactly this against `results/golden/`.
+ * warm or cold, concurrent or serial.  The prepared-state caches
+ * only ever short-circuit the golden pass, never the faulty runs,
+ * and checkpoint reuse is already proven byte-exact by the
+ * golden-diff CI legs; the response memo goes one step further and
+ * replays the recorded bytes of a previous execution verbatim (it is
+ * skipped when telemetry timing is on, since wall-clock fields are
+ * not reproducible).  `scripts/check_service.sh` asserts exactly
+ * this against `results/golden/`.
  *
  * The wire protocol (tools/dfi_serve.cc) is newline-delimited JSON
  * over a Unix-domain socket; the encode/decode halves live here so
@@ -41,6 +56,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <list>
 #include <map>
@@ -98,9 +114,25 @@ struct ServiceResponse
     std::string op = "campaign";
     std::string error; //!< set when !ok
 
+    /**
+     * On !ok: true when the failure is backpressure (draining, queue
+     * full, client quota) that a client may retry later, false for
+     * hard errors (bad config, engine failure) that a retry would
+     * only repeat.
+     */
+    bool retryable = false;
+
     // Campaign responses only:
     std::string cacheKey;  //!< CampaignConfig::cacheKey()
     bool cacheHit = false; //!< prepare() was skipped
+
+    /**
+     * Where the warm artifacts came from: "none" (cold prepare),
+     * "memory" (LRU), "flight" (joined a racing request's prepare),
+     * "disk" (restart-persistent spill), or "response" (the whole
+     * memoized response was served without executing).
+     */
+    std::string cacheSource = "none";
     std::uint64_t runsTotal = 0;
     ClassCounts counts;
     double vulnerability = 0.0;
@@ -134,6 +166,20 @@ class CampaignService
 
         /** Admitted requests across all clients. */
         std::uint32_t queueCapacity = 64;
+
+        /**
+         * Campaigns executing simultaneously through executeQueued
+         * (each may still use `jobs` threads internally).  0 is
+         * treated as 1.
+         */
+        std::uint32_t workers = 1;
+
+        /**
+         * Directory for the restart-persistent disk cache (prepared
+         * state spills + memoized responses).  Empty disables disk
+         * persistence.
+         */
+        std::string cacheDir;
     };
 
     struct CacheStats
@@ -143,6 +189,14 @@ class CampaignService
         std::uint64_t evictions = 0;
         std::uint64_t entries = 0;
         std::uint64_t bytes = 0;
+
+        /** Hits that joined another request's in-flight prepare. */
+        std::uint64_t coalesced = 0;
+
+        std::uint64_t diskHits = 0;
+        std::uint64_t diskStores = 0;
+        std::uint64_t responseHits = 0;
+        std::uint64_t responseStores = 0;
     };
 
     using Progress =
@@ -160,10 +214,11 @@ class CampaignService
 
     /**
      * Queued execution: admit (enforcing the per-client quota and
-     * the global capacity — both rejected immediately, not blocked),
-     * wait for FIFO turn, then execute.  Campaigns therefore run one
-     * at a time in arrival order; each may still use `jobs` worker
-     * threads internally.
+     * the global capacity — both rejected immediately with a
+     * retryable !ok response, not blocked), wait for a worker slot
+     * in FIFO order, then execute.  Up to Options::workers campaigns
+     * run simultaneously; each may still use `jobs` worker threads
+     * internally.
      */
     ServiceResponse executeQueued(const ServiceRequest &request,
                                   const Progress &progress = {});
@@ -187,13 +242,54 @@ class CampaignService
         std::uint64_t bytes = 0;
     };
 
-    /** Look up + front-move; nullptr on miss.  Counts hit/miss. */
+    /**
+     * One in-flight prepare() shared by every racing request for the
+     * same cache key.  The leader fills prep or error and flips done;
+     * followers block on cv.
+     */
+    struct PrepFlight
+    {
+        std::mutex mu;
+        std::condition_variable cv;
+        bool done = false;
+        std::shared_ptr<const PreparedCampaign> prep;
+        std::string error;
+    };
+
+    /** Look up + front-move; nullptr on miss.  Caller holds mu_. */
     std::shared_ptr<const PreparedCampaign>
-    cacheLookup(const std::string &key);
+    lockedLruFind(const std::string &key);
 
     /** Insert and evict LRU entries beyond the byte budget. */
     void cacheInsert(const std::string &key,
                      std::shared_ptr<const PreparedCampaign> prep);
+
+    /**
+     * Resolve a flight (success or error) and wake its followers.
+     * The flights_ entry is erased only here, after the caller has
+     * already published the artifacts to the LRU, so there is never
+     * a moment where neither the flight nor the cache holds the key.
+     */
+    void publishFlight(const std::string &key, PrepFlight &flight,
+                       std::shared_ptr<const PreparedCampaign> prep,
+                       const std::string &error);
+
+    /** The response-memo key: cacheKey() refined by run-set knobs. */
+    static std::string responseKey(const std::string &cacheKey,
+                                   bool prune);
+
+    std::string prepPath(const std::string &key) const;
+    std::string responsePath(const std::string &key) const;
+
+    std::shared_ptr<const PreparedCampaign>
+    loadPreparedFromDisk(const CampaignConfig &cfg,
+                         const std::string &key) const;
+    bool storePreparedToDisk(const std::string &key,
+                             const PreparedCampaign &prep) const;
+    bool loadResponseFromDisk(const std::string &key, bool prune,
+                              ServiceResponse &out) const;
+    bool storeResponseToDisk(const std::string &key, bool prune,
+                             const ServiceResponse &response) const;
 
     Options opts_;
 
@@ -205,10 +301,16 @@ class CampaignService
     std::uint64_t cacheBytes_ = 0;
     CacheStats stats_;
 
-    // FIFO admission queue: tickets are served strictly in issue
-    // order; active_ counts admitted-but-unfinished requests.
+    // In-flight preparations by cache key (single-flight dedup).
+    std::map<std::string, std::shared_ptr<PrepFlight>> flights_;
+
+    // FIFO admission queue: waiting_ holds tickets in issue order;
+    // the front ticket starts as soon as a worker slot frees up.
+    // active_ counts admitted-but-unfinished requests, running_ the
+    // ones holding a worker slot.
     std::uint64_t nextTicket_ = 0;
-    std::uint64_t serving_ = 0;
+    std::deque<std::uint64_t> waiting_;
+    std::uint32_t running_ = 0;
     std::uint32_t active_ = 0;
     std::map<std::string, std::uint32_t> inFlight_;
     bool draining_ = false;

@@ -88,6 +88,9 @@ struct MacroOp
 
     /** Disassemble for logs and tests. */
     std::string toString() const;
+
+    /** Serialize all fields (cache spill). */
+    template <class Ar> void serializeState(Ar &ar);
 };
 
 } // namespace dfi::isa

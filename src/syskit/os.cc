@@ -69,4 +69,16 @@ MiniOs::finishInto(RunRecord &record)
     dueEvents_.clear();
 }
 
+template <class Ar>
+void
+MiniOs::serializeState(Ar &ar)
+{
+    serial::value(ar, output_);
+    serial::value(ar, dueEvents_);
+    serial::value(ar, brkTop_);
+}
+
+template void MiniOs::serializeState(serial::Writer &);
+template void MiniOs::serializeState(serial::Reader &);
+
 } // namespace dfi::syskit

@@ -192,4 +192,42 @@ Ras::pop()
     return static_cast<std::uint32_t>(array_.readBits(top_, 0, 32));
 }
 
+template <class Ar>
+void
+TournamentPredictor::serializeState(Ar &ar)
+{
+    serial::value(ar, localPht_);
+    serial::value(ar, localHist_);
+    serial::value(ar, globalPht_);
+    serial::value(ar, chooser_);
+    serial::value(ar, ghr_);
+}
+
+template void TournamentPredictor::serializeState(serial::Writer &);
+template void TournamentPredictor::serializeState(serial::Reader &);
+
+template <class Ar>
+void
+Btb::serializeState(Ar &ar)
+{
+    serial::value(ar, array_);
+    serial::value(ar, lru_);
+    serial::value(ar, stamp_);
+}
+
+template void Btb::serializeState(serial::Writer &);
+template void Btb::serializeState(serial::Reader &);
+
+template <class Ar>
+void
+Ras::serializeState(Ar &ar)
+{
+    serial::value(ar, top_);
+    serial::value(ar, depth_);
+    serial::value(ar, array_);
+}
+
+template void Ras::serializeState(serial::Writer &);
+template void Ras::serializeState(serial::Reader &);
+
 } // namespace dfi::uarch

@@ -43,6 +43,14 @@ class NextLinePrefetcher
 
     dfi::FaultableArray &array() { return state_; }
 
+    /** Serialize the last-miss register (cache spill). */
+    template <class Ar>
+    void
+    serializeState(Ar &ar)
+    {
+        serial::value(ar, state_);
+    }
+
   private:
     std::uint32_t lineBytes_ = 64;
     dfi::FaultableArray state_;

@@ -1,17 +1,21 @@
 /**
  * @file
  * Tests for the campaign service layer: cache-key derivation, the
- * warm PreparedCampaign cache, FIFO/quota admission, and the
- * NDJSON protocol encode/decode halves (inject/service.hh).
+ * warm PreparedCampaign cache, concurrent FIFO/quota admission with
+ * single-flight preparation, the restart-persistent disk cache, and
+ * the NDJSON protocol encode/decode halves (inject/service.hh).
  */
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <filesystem>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/json.hh"
+#include "common/serial.hh"
 #include "inject/campaign.hh"
 #include "inject/service.hh"
 
@@ -466,12 +470,397 @@ TEST(Service, DrainRejectsNewRequests)
 
 TEST(Service, StatsJsonCarriesCacheAndQueueCounters)
 {
-    CampaignService service({});
+    CampaignService::Options options;
+    options.workers = 3;
+    CampaignService service(options);
     const json::Value stats = service.statsJson();
     ASSERT_NE(stats.find("cache"), nullptr);
     ASSERT_NE(stats.find("queue"), nullptr);
     EXPECT_EQ(stats.get("cache").get("hits").asUint(), 0u);
+    EXPECT_EQ(stats.get("cache").get("coalesced").asUint(), 0u);
+    EXPECT_EQ(stats.get("cache").get("disk_hits").asUint(), 0u);
+    EXPECT_EQ(stats.get("cache").get("response_hits").asUint(), 0u);
     EXPECT_EQ(stats.get("queue").get("capacity").asUint(), 64u);
+    EXPECT_EQ(stats.get("queue").get("workers").asUint(), 3u);
+    EXPECT_EQ(stats.get("queue").get("running").asUint(), 0u);
+}
+
+// ---------------------------------------------------------------
+// Protocol: retryable rejections and cache provenance
+// ---------------------------------------------------------------
+
+TEST(ServiceProtocol, RetryableAndCacheSourceRoundTrip)
+{
+    ServiceResponse rejected;
+    rejected.ok = false;
+    rejected.op = "campaign";
+    rejected.error = "queue full";
+    rejected.retryable = true;
+
+    ServiceResponse decoded;
+    std::string error;
+    ASSERT_TRUE(decodeServiceResponse(
+        encodeServiceResponse(rejected), decoded, error))
+        << error;
+    EXPECT_FALSE(decoded.ok);
+    EXPECT_EQ(decoded.op, "campaign");
+    EXPECT_EQ(decoded.error, "queue full");
+    EXPECT_TRUE(decoded.retryable);
+
+    ServiceResponse served;
+    served.ok = true;
+    served.op = "campaign";
+    served.cacheKey = "0123456789abcdef";
+    served.cacheHit = true;
+    served.cacheSource = "disk";
+    ASSERT_TRUE(decodeServiceResponse(
+        encodeServiceResponse(served), decoded, error))
+        << error;
+    EXPECT_TRUE(decoded.ok);
+    EXPECT_FALSE(decoded.retryable);
+    EXPECT_EQ(decoded.cacheSource, "disk");
+}
+
+TEST(Service, RejectionsCarryOpAndRetryable)
+{
+    ServiceRequest request;
+    request.config = smokeConfig();
+
+    {
+        CampaignService service({});
+        service.drain();
+        const ServiceResponse r = service.executeQueued(request);
+        EXPECT_FALSE(r.ok);
+        EXPECT_EQ(r.op, "campaign");
+        EXPECT_TRUE(r.retryable);
+        EXPECT_NE(r.error.find("draining"), std::string::npos);
+    }
+    {
+        CampaignService::Options options;
+        options.perClientInFlight = 0;
+        CampaignService service(options);
+        const ServiceResponse r = service.executeQueued(request);
+        EXPECT_FALSE(r.ok);
+        EXPECT_EQ(r.op, "campaign");
+        EXPECT_TRUE(r.retryable);
+        EXPECT_NE(r.error.find("quota exceeded"),
+                  std::string::npos);
+    }
+    {
+        CampaignService::Options options;
+        options.queueCapacity = 0;
+        CampaignService service(options);
+        const ServiceResponse r = service.executeQueued(request);
+        EXPECT_FALSE(r.ok);
+        EXPECT_EQ(r.op, "campaign");
+        EXPECT_TRUE(r.retryable);
+        EXPECT_NE(r.error.find("queue full"), std::string::npos);
+    }
+    {
+        // Hard errors are not retryable: resubmitting a bad config
+        // can only fail the same way.
+        CampaignService service({});
+        ServiceRequest bad = request;
+        bad.config.component = "no_such_component";
+        const ServiceResponse r = service.execute(bad);
+        EXPECT_FALSE(r.ok);
+        EXPECT_FALSE(r.retryable);
+    }
+}
+
+// ---------------------------------------------------------------
+// Concurrent execution and single-flight preparation
+// ---------------------------------------------------------------
+
+TEST(Service, ConcurrentWorkersShareOneSingleFlightPrepare)
+{
+    CampaignService::Options options;
+    options.workers = 4;
+    CampaignService service(options);
+    ServiceRequest request;
+    request.config = smokeConfig();
+    request.config.numInjections = 8;
+
+    std::vector<std::thread> threads;
+    std::vector<ServiceResponse> responses(4);
+    for (int i = 0; i < 4; ++i) {
+        threads.emplace_back([&service, &responses, request, i] {
+            ServiceRequest mine = request;
+            mine.client = "client-" + std::to_string(i);
+            responses[static_cast<std::size_t>(i)] =
+                service.executeQueued(mine);
+        });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+
+    for (const ServiceResponse &response : responses) {
+        EXPECT_TRUE(response.ok) << response.error;
+        EXPECT_EQ(response.runsTotal, 8u);
+        EXPECT_EQ(response.telemetryRuns,
+                  responses[0].telemetryRuns);
+    }
+    // Single-flight: however the four racing requests interleave,
+    // exactly one prepares cold and the other three share it (by
+    // joining the flight or by hitting the LRU afterwards).
+    const CampaignService::CacheStats stats = service.cacheStats();
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.hits, 3u);
+    EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(Service, ConcurrentDistinctKeysPrepareIndependently)
+{
+    CampaignService::Options options;
+    options.workers = 4;
+    CampaignService service(options);
+
+    std::vector<std::thread> threads;
+    std::vector<ServiceResponse> responses(3);
+    for (int i = 0; i < 3; ++i) {
+        threads.emplace_back([&service, &responses, i] {
+            ServiceRequest mine;
+            mine.client = "client-" + std::to_string(i);
+            mine.config = smokeConfig();
+            mine.config.numInjections = 8;
+            mine.config.seed = 100 + static_cast<std::uint64_t>(i);
+            responses[static_cast<std::size_t>(i)] =
+                service.executeQueued(mine);
+        });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+
+    for (const ServiceResponse &response : responses) {
+        EXPECT_TRUE(response.ok) << response.error;
+        EXPECT_FALSE(response.cacheHit);
+    }
+    const CampaignService::CacheStats stats = service.cacheStats();
+    EXPECT_EQ(stats.misses, 3u);
+    EXPECT_EQ(stats.hits, 0u);
+    EXPECT_EQ(stats.coalesced, 0u);
+    EXPECT_EQ(stats.entries, 3u);
+}
+
+TEST(Service, DrainUnderLoadCompletesAdmittedRequests)
+{
+    CampaignService::Options options;
+    options.workers = 2;
+    CampaignService service(options);
+    ServiceRequest request;
+    request.config = smokeConfig();
+    request.config.numInjections = 8;
+
+    std::vector<std::thread> threads;
+    std::vector<ServiceResponse> responses(4);
+    for (int i = 0; i < 4; ++i) {
+        threads.emplace_back([&service, &responses, request, i] {
+            ServiceRequest mine = request;
+            mine.client = "client-" + std::to_string(i);
+            responses[static_cast<std::size_t>(i)] =
+                service.executeQueued(mine);
+        });
+    }
+
+    // Wait until all four are admitted, then drain mid-flight: every
+    // admitted request must still complete successfully.
+    while (service.statsJson().get("queue").get("active").asUint() <
+           4)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    service.drain();
+
+    for (std::thread &thread : threads)
+        thread.join();
+    for (const ServiceResponse &response : responses)
+        EXPECT_TRUE(response.ok) << response.error;
+}
+
+// ---------------------------------------------------------------
+// PreparedCampaign serialization (common/serial.hh)
+// ---------------------------------------------------------------
+
+TEST(PreparedSerial, SaveLoadRoundTripReproducesCampaign)
+{
+    CampaignConfig cfg = smokeConfig();
+    cfg.numInjections = 8;
+    cfg.telemetryCapture = true;
+
+    InjectionCampaign source(cfg);
+    const std::shared_ptr<const PreparedCampaign> original =
+        source.prepared();
+
+    serial::Writer writer;
+    savePreparedCampaign(*original, writer);
+
+    serial::Reader reader(writer.buffer());
+    std::string error;
+    const std::shared_ptr<const PreparedCampaign> loaded =
+        loadPreparedCampaign(cfg, reader, error);
+    ASSERT_NE(loaded, nullptr) << error;
+
+    EXPECT_EQ(loaded->expectedOutput, original->expectedOutput);
+    EXPECT_EQ(loaded->golden.cycles, original->golden.cycles);
+    EXPECT_EQ(loaded->checkpoints.count(),
+              original->checkpoints.count());
+    EXPECT_EQ(loaded->checkpoints.cycles(),
+              original->checkpoints.cycles());
+
+    // The decisive check: a campaign adopting the loaded state
+    // produces byte-identical artifacts to one adopting the live
+    // original.
+    InjectionCampaign live(cfg);
+    live.adoptPrepared(original);
+    const CampaignResult live_result = live.run();
+
+    InjectionCampaign restored(cfg);
+    restored.adoptPrepared(loaded);
+    const CampaignResult restored_result = restored.run();
+
+    EXPECT_EQ(restored_result.telemetryRuns,
+              live_result.telemetryRuns);
+    EXPECT_EQ(restored_result.telemetrySummary,
+              live_result.telemetrySummary);
+}
+
+TEST(PreparedSerial, TruncatedStreamFailsInsteadOfLoading)
+{
+    CampaignConfig cfg = smokeConfig();
+    cfg.numInjections = 8;
+
+    InjectionCampaign source(cfg);
+    serial::Writer writer;
+    savePreparedCampaign(*source.prepared(), writer);
+
+    const std::string truncated =
+        writer.buffer().substr(0, writer.buffer().size() / 2);
+    serial::Reader reader(truncated);
+    std::string error;
+    EXPECT_EQ(loadPreparedCampaign(cfg, reader, error), nullptr);
+    EXPECT_FALSE(error.empty());
+}
+
+// ---------------------------------------------------------------
+// Restart-persistent disk cache
+// ---------------------------------------------------------------
+
+std::string
+freshCacheDir(const std::string &name)
+{
+    const std::string dir = ::testing::TempDir() + name;
+    std::filesystem::remove_all(dir);
+    return dir;
+}
+
+TEST(ServiceDisk, RestartServesResponseAndPreparedFromDisk)
+{
+    CampaignService::Options options;
+    options.cacheDir =
+        freshCacheDir("dfi-service-restart-cache");
+
+    ServiceRequest request;
+    request.config = smokeConfig();
+    request.config.numInjections = 8;
+
+    ServiceResponse cold;
+    {
+        CampaignService first(options);
+        cold = first.execute(request);
+        ASSERT_TRUE(cold.ok) << cold.error;
+        EXPECT_FALSE(cold.cacheHit);
+        EXPECT_EQ(cold.cacheSource, "none");
+        const CampaignService::CacheStats stats =
+            first.cacheStats();
+        EXPECT_EQ(stats.diskStores, 1u);
+        EXPECT_EQ(stats.responseStores, 1u);
+    }
+
+    // "Restart": a brand-new service over the same directory.  An
+    // exact repeat replays the memoized response without executing.
+    CampaignService second(options);
+    const ServiceResponse memo = second.execute(request);
+    ASSERT_TRUE(memo.ok) << memo.error;
+    EXPECT_TRUE(memo.cacheHit);
+    EXPECT_EQ(memo.cacheSource, "response");
+    EXPECT_EQ(memo.telemetryRuns, cold.telemetryRuns);
+    EXPECT_EQ(memo.telemetrySummary, cold.telemetrySummary);
+    EXPECT_EQ(second.cacheStats().responseHits, 1u);
+
+    // A run-set variation (prune off) misses the response memo —
+    // its artifact bytes differ — but adopts the prepared state
+    // from disk instead of re-simulating the golden run.
+    ServiceRequest noprune = request;
+    noprune.config.prune = false;
+    const ServiceResponse disk = second.execute(noprune);
+    ASSERT_TRUE(disk.ok) << disk.error;
+    EXPECT_TRUE(disk.cacheHit);
+    EXPECT_EQ(disk.cacheSource, "disk");
+    EXPECT_EQ(disk.cacheKey, cold.cacheKey);
+    EXPECT_EQ(disk.counts.counts, cold.counts.counts);
+    EXPECT_EQ(second.cacheStats().diskHits, 1u);
+
+    std::filesystem::remove_all(options.cacheDir);
+}
+
+TEST(ServiceDisk, CorruptSpillFilesFallBackToColdPrepare)
+{
+    CampaignService::Options options;
+    options.cacheDir = freshCacheDir("dfi-service-corrupt-cache");
+
+    ServiceRequest request;
+    request.config = smokeConfig();
+    request.config.numInjections = 8;
+
+    ServiceResponse cold;
+    {
+        CampaignService first(options);
+        cold = first.execute(request);
+        ASSERT_TRUE(cold.ok) << cold.error;
+    }
+
+    // Truncate every cache file: the digest framing must turn them
+    // into cold misses, never into wrong state.
+    for (const auto &entry :
+         std::filesystem::directory_iterator(options.cacheDir))
+        std::filesystem::resize_file(
+            entry.path(), std::filesystem::file_size(entry.path()) /
+                              2);
+
+    CampaignService second(options);
+    const ServiceResponse fallback = second.execute(request);
+    ASSERT_TRUE(fallback.ok) << fallback.error;
+    EXPECT_FALSE(fallback.cacheHit);
+    EXPECT_EQ(fallback.cacheSource, "none");
+    EXPECT_EQ(second.cacheStats().diskHits, 0u);
+    EXPECT_EQ(second.cacheStats().responseHits, 0u);
+    EXPECT_EQ(fallback.telemetryRuns, cold.telemetryRuns);
+
+    std::filesystem::remove_all(options.cacheDir);
+}
+
+TEST(ServiceDisk, TimingResponsesAreNotMemoized)
+{
+    CampaignService::Options options;
+    options.cacheDir = freshCacheDir("dfi-service-timing-cache");
+
+    ServiceRequest request;
+    request.config = smokeConfig();
+    request.config.numInjections = 8;
+    request.config.telemetryTiming = true;
+
+    CampaignService service(options);
+    ASSERT_TRUE(service.execute(request).ok);
+    const ServiceResponse repeat = service.execute(request);
+    ASSERT_TRUE(repeat.ok) << repeat.error;
+    // Prepared state is shared (it carries no wall-clock), but the
+    // response memo is skipped: timing fields are not reproducible.
+    EXPECT_TRUE(repeat.cacheHit);
+    EXPECT_EQ(repeat.cacheSource, "memory");
+    const CampaignService::CacheStats stats = service.cacheStats();
+    EXPECT_EQ(stats.responseStores, 0u);
+    EXPECT_EQ(stats.responseHits, 0u);
+    EXPECT_EQ(stats.diskStores, 1u);
+
+    std::filesystem::remove_all(options.cacheDir);
 }
 
 } // namespace

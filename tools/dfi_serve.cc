@@ -6,9 +6,12 @@
  * serves campaign requests from a long-lived process, so the golden
  * run and checkpoint store of a repeated (program, core, config) are
  * simulated once and reused from a content-addressed warm cache
- * (inject/service.hh).  Requests queue FIFO with per-client quotas;
+ * (inject/service.hh).  Requests admit FIFO with per-client quotas
+ * onto `--workers` concurrent execution slots; `--cache-dir`
+ * persists prepared state and memoized responses across restarts;
  * SIGTERM/SIGINT drain gracefully (finish admitted requests, refuse
- * new ones, then exit).
+ * new ones, then exit).  A socket path already served by a live
+ * daemon is refused, never hijacked.
  *
  * Client mode (`--connect`) submits one request and exits: campaign
  * flags mirror dfi-campaign, progress streams to stderr, and
@@ -33,6 +36,7 @@
 #include <poll.h>
 #include <signal.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -113,14 +117,25 @@ writeLine(int fd, const json::Value &line)
 class LineReader
 {
   public:
+    /**
+     * Why next() stopped.  The cases are deliberately distinct: an
+     * oversized line is a *protocol violation by a live peer* and
+     * deserves an error response, while EOF is a peer that simply
+     * went away — conflating them would make the server drop
+     * malformed traffic silently.
+     */
+    enum class Result
+    {
+        Line,    //!< `out` holds one complete line
+        Eof,     //!< peer closed before a newline arrived
+        TooLong, //!< line exceeds kMaxLineBytes (peer still alive)
+        Error,   //!< read() failed; errno describes why
+    };
+
     explicit LineReader(int fd) : fd_(fd) {}
 
-    /**
-     * Read one newline-terminated line (without the newline).
-     * Returns false on EOF before a newline, on an oversized line,
-     * or on a read error.
-     */
-    bool
+    /** Read one newline-terminated line (without the newline). */
+    Result
     next(std::string &out)
     {
         out.clear();
@@ -131,11 +146,11 @@ class LineReader
                 if (ch == '\n') {
                     pending_.erase(0, scan_);
                     scan_ = 0;
-                    return true;
+                    return Result::Line;
                 }
                 out.push_back(ch);
                 if (out.size() > kMaxLineBytes)
-                    return false;
+                    return Result::TooLong;
             }
             pending_.clear();
             scan_ = 0;
@@ -143,10 +158,10 @@ class LineReader
             if (n < 0) {
                 if (errno == EINTR)
                     continue;
-                return false;
+                return Result::Error;
             }
             if (n == 0)
-                return false;
+                return Result::Eof;
             pending_.assign(buf, static_cast<std::size_t>(n));
         }
     }
@@ -156,6 +171,26 @@ class LineReader
     std::string pending_;
     std::size_t scan_ = 0;
 };
+
+/**
+ * True when a server is accepting connections at `path` right now.
+ * Distinguishes a *stale* socket file (previous daemon crashed
+ * without unlinking — safe to replace) from a *live* one (another
+ * daemon is serving — replacing it would silently hijack its
+ * clients).
+ */
+bool
+socketIsLive(const sockaddr_un &addr)
+{
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        return false;
+    const bool live =
+        ::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) == 0;
+    ::close(fd);
+    return live;
+}
 
 /** Bind + listen on a fresh Unix-domain socket at `path`. */
 int
@@ -168,9 +203,18 @@ listenOn(const std::string &path)
     std::strncpy(addr.sun_path, path.c_str(),
                  sizeof(addr.sun_path) - 1);
 
-    // The caller owns the path: a stale socket file from a previous
-    // run is replaced.
-    ::unlink(path.c_str());
+    struct stat st{};
+    if (::lstat(path.c_str(), &st) == 0) {
+        if (!S_ISSOCK(st.st_mode))
+            die(path + " exists and is not a socket; refusing to "
+                       "replace it");
+        if (socketIsLive(addr))
+            die(path + " is served by a live daemon; refusing to "
+                       "replace it");
+        // A socket file nobody answers on is debris from a daemon
+        // that died without cleanup; replace it.
+        ::unlink(path.c_str());
+    }
 
     const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
     if (fd < 0)
@@ -254,7 +298,20 @@ handleConnection(int fd, ServerState *state)
     std::string line;
     ServiceResponse response;
     LineReader reader(fd);
-    if (!reader.next(line)) {
+    switch (reader.next(line)) {
+      case LineReader::Result::Line:
+        break;
+      case LineReader::Result::TooLong:
+        // The peer is still there and still sending; tell it what
+        // went wrong instead of silently dropping the connection.
+        response.error = "request line exceeds " +
+                         std::to_string(kMaxLineBytes) + " bytes";
+        writeLine(fd, encodeServiceResponse(response));
+        ::close(fd);
+        return;
+      case LineReader::Result::Eof:
+      case LineReader::Result::Error:
+        // Nobody left to answer.
         ::close(fd);
         return;
     }
@@ -319,11 +376,14 @@ serveMain(const std::string &socket_path,
     const int listen_fd = listenOn(socket_path);
     std::fprintf(stderr,
                  "dfi-serve: listening on %s (cache budget %llu MiB, "
-                 "quota %u/client, queue %u)\n",
+                 "quota %u/client, queue %u, workers %u%s%s)\n",
                  socket_path.c_str(),
                  static_cast<unsigned long long>(
                      options.cacheBudgetBytes >> 20),
-                 options.perClientInFlight, options.queueCapacity);
+                 options.perClientInFlight, options.queueCapacity,
+                 options.workers,
+                 options.cacheDir.empty() ? "" : ", disk cache ",
+                 options.cacheDir.c_str());
 
     while (g_signalled == 0 && !state.shutdownRequested.load()) {
         pollfd pfd{};
@@ -341,10 +401,25 @@ serveMain(const std::string &socket_path,
         if (fd < 0)
             continue;
         tracker.enter();
-        std::thread([fd, &state, &tracker] {
-            handleConnection(fd, &state);
+        try {
+            std::thread([fd, &state, &tracker] {
+                handleConnection(fd, &state);
+                tracker.leave();
+            }).detach();
+        } catch (const std::exception &err) {
+            // Thread creation failed (EAGAIN under load): the enter()
+            // above has no matching leave() on this path, and an
+            // unbalanced counter would hang waitIdle() at shutdown
+            // forever.  Balance it and fail the connection cleanly.
             tracker.leave();
-        }).detach();
+            ServiceResponse response;
+            response.retryable = true;
+            response.error = std::string("cannot spawn a handler "
+                                         "thread: ") +
+                             err.what();
+            writeLine(fd, encodeServiceResponse(response));
+            ::close(fd);
+        }
     }
 
     std::fprintf(stderr, "dfi-serve: draining...\n");
@@ -384,7 +459,16 @@ clientMain(const std::string &socket_path,
     ServiceResponse response;
     LineReader reader(fd);
     bool have_response = false;
-    while (!have_response && reader.next(line)) {
+    while (!have_response) {
+        const LineReader::Result got = reader.next(line);
+        if (got == LineReader::Result::Eof)
+            break;
+        if (got == LineReader::Result::TooLong)
+            die("server line exceeds the protocol bound (" +
+                std::to_string(kMaxLineBytes) + " bytes)");
+        if (got == LineReader::Result::Error)
+            die("read from server failed: " +
+                std::string(std::strerror(errno)));
         json::Value parsed;
         std::string error;
         if (!json::parse(line, parsed, error))
@@ -417,8 +501,9 @@ clientMain(const std::string &socket_path,
         die("connection closed before a response arrived");
 
     if (!response.ok) {
-        std::fprintf(stderr, "dfi-serve: server error: %s\n",
-                     response.error.c_str());
+        std::fprintf(stderr, "dfi-serve: server error: %s%s\n",
+                     response.error.c_str(),
+                     response.retryable ? " (retryable)" : "");
         return 1;
     }
 
@@ -450,6 +535,7 @@ clientMain(const std::string &socket_path,
     std::printf("cache_key: %s\n", response.cacheKey.c_str());
     std::printf("cache_hit: %s\n",
                 response.cacheHit ? "true" : "false");
+    std::printf("cache_source: %s\n", response.cacheSource.c_str());
     std::printf("runs: %llu\n", static_cast<unsigned long long>(
                                     response.runsTotal));
     std::printf("vulnerability (non-masked): %.2f%%\n",
@@ -504,7 +590,8 @@ main(int argc, char **argv)
     std::string telemetry_out;
     bool op_ping = false, op_stats = false, op_shutdown = false;
     std::uint64_t cache_budget_mb = 1024;
-    std::uint64_t quota = 2, queue = 64;
+    std::uint64_t quota = 2, queue = 64, workers = 1;
+    std::string cache_dir;
 
     ServiceRequest request;
     CampaignConfig &cfg = request.config;
@@ -529,6 +616,14 @@ main(int argc, char **argv)
                  "admitted requests across all clients\n"
                  "(default 64)",
                  &queue, std::numeric_limits<std::uint32_t>::max());
+    flags.uint64("--workers", "N",
+                 "campaigns executing simultaneously\n(default 1)",
+                 &workers,
+                 std::numeric_limits<std::uint32_t>::max());
+    flags.text("--cache-dir", "DIR",
+               "persist prepared state and memoized\n"
+               "responses here across restarts",
+               &cache_dir);
 
     flags.section("client mode");
     flags.text("--connect", "PATH",
@@ -643,10 +738,14 @@ main(int argc, char **argv)
             "required");
 
     if (!socket_path.empty()) {
+        if (workers == 0)
+            die("--workers must be at least 1");
         CampaignService::Options options;
         options.cacheBudgetBytes = cache_budget_mb << 20;
         options.perClientInFlight = static_cast<std::uint32_t>(quota);
         options.queueCapacity = static_cast<std::uint32_t>(queue);
+        options.workers = static_cast<std::uint32_t>(workers);
+        options.cacheDir = cache_dir;
         return serveMain(socket_path, options);
     }
 
