@@ -77,21 +77,42 @@ cleanup() {
 }
 trap cleanup EXIT
 
-# start_daemon LOG [extra flags...]: launch dfi-serve and wait for
-# the socket (the daemon binds before accepting).
+# start_daemon LOG [extra flags...]: launch dfi-serve and wait for it
+# with the retrying client itself — no sleep-polling; the ping keeps
+# reconnecting with backoff until the daemon accepts.
 start_daemon() {
     local log="$1"
     shift
     "$SERVE_BIN" --socket "$SOCKET" --workers 4 "$@" \
         2> "$WORKDIR/$log" &
     SERVER_PID=$!
-    for _ in $(seq 1 100); do
-        if [[ -S "$SOCKET" ]]; then
-            break
-        fi
-        sleep 0.1
-    done
-    "$SERVE_BIN" --connect "$SOCKET" --ping > /dev/null
+    timeout 60 "$SERVE_BIN" --connect "$SOCKET" --ping \
+        --retries 50 --backoff-ms 100 > /dev/null
+}
+
+# await_daemon LOG WHY: wait for the daemon to exit cleanly, with a
+# kill -9 watchdog so a wedged drain fails the script instead of
+# hanging it.  (kill -0 polling cannot detect a zombie child; wait
+# can.)
+await_daemon() {
+    local log="$1" why="$2"
+    (
+        trap - EXIT # don't inherit cleanup; this subshell gets killed
+        sleep 120
+        kill -9 "$SERVER_PID" 2> /dev/null
+    ) &
+    local watchdog=$!
+    local rc=0
+    wait "$SERVER_PID" || rc=$?
+
+    kill -9 "$watchdog" 2> /dev/null || true
+    wait "$watchdog" 2> /dev/null || true
+    SERVER_PID=""
+    if [[ "$rc" -ne 0 ]]; then
+        echo "dfi-serve exited non-zero after $why" >&2
+        sed 's/^/  server: /' "$WORKDIR/$log" >&2
+        status=1
+    fi
 }
 
 # request CORE BASE [extra flags...]: serve one smoke campaign,
@@ -99,7 +120,7 @@ start_daemon() {
 request() {
     local core="$1" base="$2"
     shift 2
-    "$SERVE_BIN" --connect "$SOCKET" \
+    timeout 180 "$SERVE_BIN" --connect "$SOCKET" \
         --client "check-$core" \
         --core "$core" \
         --benchmark micro \
@@ -177,7 +198,8 @@ for core in "${CORES[@]}"; do
 done
 
 echo "== live-socket refusal" >&2
-if "$SERVE_BIN" --socket "$SOCKET" 2> "$WORKDIR/hijack.log"; then
+if timeout 30 "$SERVE_BIN" --socket "$SOCKET" \
+        2> "$WORKDIR/hijack.log"; then
     echo "a second daemon replaced a live socket" >&2
     status=1
 fi
@@ -187,14 +209,9 @@ if ! grep -q "live daemon" "$WORKDIR/hijack.log"; then
     status=1
 fi
 
-"$SERVE_BIN" --connect "$SOCKET" --stats >&2
-"$SERVE_BIN" --connect "$SOCKET" --shutdown > /dev/null
-if ! wait "$SERVER_PID"; then
-    echo "dfi-serve exited non-zero after shutdown" >&2
-    sed 's/^/  server: /' "$WORKDIR/server1.log" >&2
-    status=1
-fi
-SERVER_PID=""
+timeout 30 "$SERVE_BIN" --connect "$SOCKET" --stats >&2
+timeout 30 "$SERVE_BIN" --connect "$SOCKET" --shutdown > /dev/null
+await_daemon server1.log shutdown
 
 # ------------------------------------------------------------------
 # Leg 2: restart persistence through --cache-dir.
@@ -218,12 +235,7 @@ done
 
 echo "== SIGTERM drain" >&2
 kill -TERM "$SERVER_PID"
-if ! wait "$SERVER_PID"; then
-    echo "dfi-serve exited non-zero after SIGTERM" >&2
-    sed 's/^/  server: /' "$WORKDIR/server2.log" >&2
-    status=1
-fi
-SERVER_PID=""
+await_daemon server2.log SIGTERM
 
 shopt -s nullglob
 preps=("$CACHE_DIR"/prep_*.bin)
@@ -247,14 +259,9 @@ done
 request marss-x86 "$WORKDIR/noprune_marss-x86" --no-prune
 verify marss-x86 "$WORKDIR/noprune_marss-x86" true disk diff
 
-"$SERVE_BIN" --connect "$SOCKET" --stats >&2
-"$SERVE_BIN" --connect "$SOCKET" --shutdown > /dev/null
-if ! wait "$SERVER_PID"; then
-    echo "dfi-serve exited non-zero after shutdown" >&2
-    sed 's/^/  server: /' "$WORKDIR/server3.log" >&2
-    status=1
-fi
-SERVER_PID=""
+timeout 30 "$SERVE_BIN" --connect "$SOCKET" --stats >&2
+timeout 30 "$SERVE_BIN" --connect "$SOCKET" --shutdown > /dev/null
+await_daemon server3.log shutdown
 trap - EXIT
 
 if [[ "$status" -ne 0 ]]; then

@@ -1,0 +1,292 @@
+#include "common/failpoint.hh"
+
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/hash.hh"
+#include "common/json.hh"
+#include "common/parse_num.hh"
+#include "common/rng.hh"
+
+namespace dfi::failpoint
+{
+
+namespace
+{
+
+enum class Trigger : std::uint8_t
+{
+    Always,
+    Nth,   //!< fire on evaluation N only (once == nth:1)
+    Every, //!< fire on evaluations N, 2N, 3N, ...
+    Prob,  //!< Bernoulli draw from a seeded deterministic stream
+};
+
+struct Site
+{
+    Action action;
+    Trigger trigger = Trigger::Always;
+    std::uint64_t n = 1;    //!< Nth / Every operand
+    double probability = 0; //!< Prob operand
+    Rng rng{0};             //!< Prob stream (seed ^ fnv1a(site))
+
+    std::uint64_t evals = 0;
+    std::uint64_t fires = 0;
+};
+
+std::mutex g_mu;
+std::map<std::string, Site, std::less<>> g_sites;
+
+const char *
+actionName(Action::Kind kind)
+{
+    switch (kind) {
+      case Action::Kind::None:
+        return "none";
+      case Action::Kind::Error:
+        return "error";
+      case Action::Kind::Eintr:
+        return "eintr";
+      case Action::Kind::Short:
+        return "short";
+      case Action::Kind::Delay:
+        return "delay";
+      case Action::Kind::Abort:
+        return "abort";
+    }
+    return "?";
+}
+
+bool
+parseAction(const std::string &text, Site &site, std::string &error)
+{
+    if (text == "error") {
+        site.action.kind = Action::Kind::Error;
+    } else if (text == "eintr") {
+        site.action.kind = Action::Kind::Eintr;
+    } else if (text == "short") {
+        site.action.kind = Action::Kind::Short;
+    } else if (text == "abort") {
+        site.action.kind = Action::Kind::Abort;
+    } else if (text.rfind("delay:", 0) == 0) {
+        site.action.kind = Action::Kind::Delay;
+        if (!parseUnsigned(text.substr(6), site.action.delayMs)) {
+            error = "bad delay milliseconds '" + text.substr(6) + "'";
+            return false;
+        }
+    } else {
+        error = "unknown action '" + text +
+                "' (expected error | eintr | short | abort | "
+                "delay:MS)";
+        return false;
+    }
+    return true;
+}
+
+bool
+parseTrigger(const std::string &text, Site &site, std::string &error)
+{
+    if (text == "always") {
+        site.trigger = Trigger::Always;
+    } else if (text == "once") {
+        site.trigger = Trigger::Nth;
+        site.n = 1;
+    } else if (text.rfind("nth:", 0) == 0 ||
+               text.rfind("every:", 0) == 0) {
+        const bool nth = text.rfind("nth:", 0) == 0;
+        site.trigger = nth ? Trigger::Nth : Trigger::Every;
+        const std::string operand = text.substr(nth ? 4 : 6);
+        if (!parseUnsigned(operand, site.n) || site.n == 0) {
+            error = "bad trigger count '" + operand + "'";
+            return false;
+        }
+    } else if (text.rfind("prob:", 0) == 0) {
+        site.trigger = Trigger::Prob;
+        std::string operand = text.substr(5);
+        std::uint64_t seed = 0;
+        if (const std::size_t colon = operand.find(':');
+            colon != std::string::npos) {
+            if (!parseUnsigned(operand.substr(colon + 1), seed)) {
+                error = "bad probability seed '" +
+                        operand.substr(colon + 1) + "'";
+                return false;
+            }
+            operand.resize(colon);
+        }
+        if (!parseDouble(operand, site.probability) ||
+            site.probability < 0.0 || site.probability > 1.0) {
+            error = "bad probability '" + operand +
+                    "' (expected 0..1)";
+            return false;
+        }
+        site.n = seed; // stashed; parsePoint mixes in the site name
+    } else {
+        error = "unknown trigger '" + text +
+                "' (expected always | once | nth:N | every:N | "
+                "prob:P[:SEED])";
+        return false;
+    }
+    return true;
+}
+
+bool
+parsePoint(const std::string &text,
+           std::map<std::string, Site, std::less<>> &sites,
+           std::string &error)
+{
+    const std::size_t eq = text.find('=');
+    if (eq == std::string::npos || eq == 0) {
+        error = "expected SITE=ACTION[@TRIGGER], got '" + text + "'";
+        return false;
+    }
+    const std::string name = text.substr(0, eq);
+    std::string rest = text.substr(eq + 1);
+    Site site;
+    std::string trigger = "always";
+    if (const std::size_t at = rest.find('@');
+        at != std::string::npos) {
+        trigger = rest.substr(at + 1);
+        rest.resize(at);
+    }
+    if (!parseAction(rest, site, error) ||
+        !parseTrigger(trigger, site, error)) {
+        error = name + ": " + error;
+        return false;
+    }
+    // Two prob sites armed with one seed must not fire in lockstep,
+    // so the stream seed folds in the site name.
+    if (site.trigger == Trigger::Prob)
+        site.rng = Rng(site.n ^ hash::fnv1a(name));
+    if (!sites.emplace(name, site).second) {
+        error = name + ": site armed twice in one spec";
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+namespace detail
+{
+
+std::atomic<bool> g_armed{false};
+
+Action
+evaluate(std::string_view site)
+{
+    Action action;
+    {
+        std::lock_guard<std::mutex> lock(g_mu);
+        const auto it = g_sites.find(site);
+        if (it == g_sites.end())
+            return {};
+        Site &s = it->second;
+        ++s.evals;
+        bool fired = false;
+        switch (s.trigger) {
+          case Trigger::Always:
+            fired = true;
+            break;
+          case Trigger::Nth:
+            fired = s.evals == s.n;
+            break;
+          case Trigger::Every:
+            fired = s.evals % s.n == 0;
+            break;
+          case Trigger::Prob:
+            fired = s.rng.nextBool(s.probability);
+            break;
+        }
+        if (!fired)
+            return {};
+        ++s.fires;
+        action = s.action;
+    }
+    // Delay and Abort are absorbed here (outside the lock) so every
+    // instrumented site supports them without handling code.
+    if (action.kind == Action::Kind::Delay) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(action.delayMs));
+        return {};
+    }
+    if (action.kind == Action::Kind::Abort)
+        std::abort();
+    return action;
+}
+
+} // namespace detail
+
+bool
+configure(const std::string &spec, std::string &error)
+{
+    std::map<std::string, Site, std::less<>> sites;
+    std::size_t start = 0;
+    while (start < spec.size()) {
+        std::size_t end = spec.find(';', start);
+        if (end == std::string::npos)
+            end = spec.size();
+        const std::string point = spec.substr(start, end - start);
+        if (!point.empty() &&
+            !parsePoint(point, sites, error)) {
+            error = "failpoints: " + error;
+            return false;
+        }
+        start = end + 1;
+    }
+    std::lock_guard<std::mutex> lock(g_mu);
+    g_sites = std::move(sites);
+    detail::g_armed.store(!g_sites.empty(),
+                          std::memory_order_relaxed);
+    return true;
+}
+
+void
+reset()
+{
+    std::lock_guard<std::mutex> lock(g_mu);
+    g_sites.clear();
+    detail::g_armed.store(false, std::memory_order_relaxed);
+}
+
+bool
+armed()
+{
+    return detail::g_armed.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+evalCount(std::string_view site)
+{
+    std::lock_guard<std::mutex> lock(g_mu);
+    const auto it = g_sites.find(site);
+    return it == g_sites.end() ? 0 : it->second.evals;
+}
+
+std::uint64_t
+fireCount(std::string_view site)
+{
+    std::lock_guard<std::mutex> lock(g_mu);
+    const auto it = g_sites.find(site);
+    return it == g_sites.end() ? 0 : it->second.fires;
+}
+
+json::Value
+statsJson()
+{
+    std::lock_guard<std::mutex> lock(g_mu);
+    json::Value out = json::Value::object();
+    for (const auto &[name, site] : g_sites) {
+        json::Value counters = json::Value::object();
+        counters.set("action", json::Value::string(
+                                   actionName(site.action.kind)));
+        counters.set("evals", json::Value::unsignedInt(site.evals));
+        counters.set("fires", json::Value::unsignedInt(site.fires));
+        out.set(name, std::move(counters));
+    }
+    return out;
+}
+
+} // namespace dfi::failpoint

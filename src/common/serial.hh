@@ -36,6 +36,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/failpoint.hh"
+
 namespace dfi::serial
 {
 
@@ -43,15 +45,29 @@ namespace dfi::serial
  * Appends state to a growable byte buffer.  Never mutates the object
  * being saved; serializeState takes a non-const reference only so
  * save and load can share one function body.
+ *
+ * Writes can fail (the `serial.write` failpoint models the allocator
+ * or backing store giving out mid-save): the first failure latches
+ * ok() == false, later appends are dropped, and the caller must
+ * discard the buffer instead of persisting a truncated archive.
  */
 class Writer
 {
   public:
     static constexpr bool kSaving = true;
 
+    bool ok() const { return ok_; }
+
     void
     bytes(const void *data, std::size_t n)
     {
+        if (!ok_)
+            return;
+        if (failpoint::check("serial.write").kind ==
+            failpoint::Action::Kind::Error) {
+            ok_ = false;
+            return;
+        }
         buf_.append(static_cast<const char *>(data), n);
     }
 
@@ -91,6 +107,7 @@ class Writer
 
   private:
     std::string buf_;
+    bool ok_ = true;
     std::unordered_map<const void *, std::uint64_t> interned_;
 };
 
@@ -119,6 +136,9 @@ class Reader
     bool
     bytes(void *out, std::size_t n)
     {
+        if (ok_ && failpoint::check("serial.read").kind ==
+                       failpoint::Action::Kind::Error)
+            fail("injected read failure (serial.read failpoint)");
         if (!ok_ || n > remaining()) {
             std::memset(out, 0, n);
             fail("state stream underrun");

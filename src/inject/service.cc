@@ -1,15 +1,16 @@
 #include "inject/service.hh"
 
 #include <algorithm>
-#include <cstdio>
+#include <cerrno>
 #include <cstring>
 #include <filesystem>
-#include <fstream>
-#include <sstream>
+#include <new>
 #include <utility>
 
+#include <fcntl.h>
 #include <unistd.h>
 
+#include "common/failpoint.hh"
 #include "common/hash.hh"
 #include "common/logging.hh"
 #include "common/serial.hh"
@@ -444,46 +445,108 @@ namespace
 constexpr const char *kPrepCacheTag = "dfi-prep-cache-v1";
 constexpr const char *kResponseCacheKind = "dfi-response-cache-v1";
 
+/** True when the failpoint fires with an Error action. */
+bool
+chaosError(const char *site)
+{
+    return failpoint::check(site).kind ==
+           failpoint::Action::Kind::Error;
+}
+
 /**
- * Write via a process-unique temp file + rename, so a concurrent
- * reader (or a crash mid-write) never observes a torn file.
+ * Save via a process-unique temp file + fsync + rename + parent
+ * fsync, so neither a concurrent reader, a crash mid-write, nor a
+ * power cut can ever publish a torn or empty file under `path`:
+ * rename is only atomic against bytes that are already durable, and
+ * the rename itself is only durable once the directory entry is.
+ * (The digest framing remains the backstop — a torn file reads as a
+ * cold miss — but it should never be the first line of defence.)
+ *
+ * Chaos seams: `cache.write`, `cache.fsync`, `cache.rename`.
  */
 bool
 writeFileAtomic(const std::string &path, const std::string &payload)
 {
     const std::string tmp =
         path + ".tmp." + std::to_string(::getpid());
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out.is_open())
+    const int fd =
+        ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0)
         return false;
-    out.write(payload.data(),
-              static_cast<std::streamsize>(payload.size()));
-    out.flush();
-    if (!out.good()) {
-        out.close();
-        std::remove(tmp.c_str());
+    const auto abandon = [&](bool close_fd) {
+        if (close_fd)
+            ::close(fd);
+        ::unlink(tmp.c_str());
         return false;
+    };
+
+    std::size_t off = 0;
+    while (off < payload.size()) {
+        if (chaosError("cache.write"))
+            return abandon(true);
+        const ssize_t n = ::write(fd, payload.data() + off,
+                                  payload.size() - off);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0)
+            return abandon(true);
+        off += static_cast<std::size_t>(n);
     }
-    out.close();
-    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-        std::remove(tmp.c_str());
-        return false;
+    if (chaosError("cache.fsync") || ::fsync(fd) != 0)
+        return abandon(true);
+    if (::close(fd) != 0)
+        return abandon(false);
+    if (chaosError("cache.rename") ||
+        ::rename(tmp.c_str(), path.c_str()) != 0)
+        return abandon(false);
+
+    // Make the rename durable.  Failure here is not abandoned: the
+    // new file is already correctly published to live readers, the
+    // entry just might not survive a power cut.
+    const std::size_t slash = path.rfind('/');
+    const std::string dir =
+        slash == std::string::npos ? "." : path.substr(0, slash);
+    const int dirfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (dirfd >= 0) {
+        ::fsync(dirfd);
+        ::close(dirfd);
     }
     return true;
 }
 
-bool
+enum class FileRead
+{
+    Ok,
+    Miss,    //!< no such file
+    IoError, //!< open or read failed for any other reason
+};
+
+/** Read a whole file (chaos seam: `cache.read`). */
+FileRead
 readFileBytes(const std::string &path, std::string &out)
 {
-    std::ifstream in(path, std::ios::binary);
-    if (!in.is_open())
-        return false;
-    std::ostringstream buf;
-    buf << in.rdbuf();
-    if (in.bad())
-        return false;
-    out = buf.str();
-    return true;
+    if (chaosError("cache.read"))
+        return FileRead::IoError;
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        return errno == ENOENT ? FileRead::Miss
+                               : FileRead::IoError;
+    out.clear();
+    char buf[64 << 10];
+    while (true) {
+        const ssize_t n = ::read(fd, buf, sizeof buf);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n < 0) {
+            ::close(fd);
+            return FileRead::IoError;
+        }
+        if (n == 0)
+            break;
+        out.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    return FileRead::Ok;
 }
 
 } // namespace
@@ -587,11 +650,16 @@ CampaignService::responsePath(const std::string &key) const
 
 std::shared_ptr<const PreparedCampaign>
 CampaignService::loadPreparedFromDisk(const CampaignConfig &cfg,
-                                      const std::string &key) const
+                                      const std::string &key,
+                                      bool &io_error) const
 {
+    io_error = false;
     std::string payload;
-    if (!readFileBytes(prepPath(key), payload))
+    const FileRead read = readFileBytes(prepPath(key), payload);
+    if (read != FileRead::Ok) {
+        io_error = read == FileRead::IoError;
         return nullptr;
+    }
     if (payload.size() < sizeof(std::uint64_t))
         return nullptr;
 
@@ -626,6 +694,10 @@ CampaignService::storePreparedToDisk(
     std::string stored_key = key;
     serial::value(writer, stored_key);
     savePreparedCampaign(prep, writer);
+    // A failed save (serial.write) must never persist: the digest
+    // would frame the truncated bytes as a valid archive.
+    if (!writer.ok())
+        return false;
     std::string payload = writer.buffer();
     const std::uint64_t digest = hash::fnv1a(payload);
     payload.append(reinterpret_cast<const char *>(&digest),
@@ -633,45 +705,48 @@ CampaignService::storePreparedToDisk(
     return writeFileAtomic(prepPath(key), payload);
 }
 
-bool
+CampaignService::DiskRead
 CampaignService::loadResponseFromDisk(const std::string &key,
                                       bool prune,
                                       ServiceResponse &out) const
 {
     std::string text;
-    if (!readFileBytes(responsePath(responseKey(key, prune)), text))
-        return false;
+    const FileRead read =
+        readFileBytes(responsePath(responseKey(key, prune)), text);
+    if (read != FileRead::Ok)
+        return read == FileRead::IoError ? DiskRead::IoError
+                                         : DiskRead::Miss;
     json::Value line;
     std::string error;
     if (!json::parse(text, line, error) ||
         line.kind() != json::Kind::Object)
-        return false;
+        return DiskRead::Miss;
     const json::Value *kind = line.find("kind");
     if (kind == nullptr || kind->kind() != json::Kind::String ||
         kind->asString() != kResponseCacheKind)
-        return false;
+        return DiskRead::Miss;
     const json::Value *stored_key = line.find("cache_key");
     if (stored_key == nullptr ||
         stored_key->kind() != json::Kind::String ||
         stored_key->asString() != key)
-        return false;
+        return DiskRead::Miss;
     const json::Value *stored_prune = line.find("prune");
     if (stored_prune == nullptr ||
         stored_prune->kind() != json::Kind::Bool ||
         stored_prune->asBool() != prune)
-        return false;
+        return DiskRead::Miss;
     const json::Value *response = line.find("response");
     if (response == nullptr)
-        return false;
+        return DiskRead::Miss;
     ServiceResponse decoded;
     if (!decodeServiceResponse(*response, decoded, error))
-        return false;
+        return DiskRead::Miss;
     // Only replay successful executions; a memoized failure would
     // pin a transient error forever.
     if (!decoded.ok || decoded.cacheKey != key)
-        return false;
+        return DiskRead::Miss;
     out = std::move(decoded);
-    return true;
+    return DiskRead::Hit;
 }
 
 bool
@@ -686,6 +761,34 @@ CampaignService::storeResponseToDisk(
     obj.set("response", encodeServiceResponse(response));
     return writeFileAtomic(responsePath(responseKey(key, prune)),
                            obj.dump() + "\n");
+}
+
+bool
+CampaignService::diskEnabled() const
+{
+    if (opts_.cacheDir.empty())
+        return false;
+    std::lock_guard<std::mutex> lock(mu_);
+    return !diskDisabled_;
+}
+
+void
+CampaignService::noteDiskOutcome(bool ok)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (ok) {
+        diskFailStreak_ = 0;
+        return;
+    }
+    ++stats_.diskErrors;
+    ++diskFailStreak_;
+    if (opts_.diskFailureLimit != 0 && !diskDisabled_ &&
+        diskFailStreak_ >= opts_.diskFailureLimit) {
+        diskDisabled_ = true;
+        warn("disk cache disabled after %s consecutive I/O "
+             "failures; serving from memory only",
+             diskFailStreak_);
+    }
 }
 
 ServiceResponse
@@ -712,25 +815,30 @@ CampaignService::execute(const ServiceRequest &request,
 
     response.cacheKey = cfg.cacheKey();
 
-    const bool disk = !opts_.cacheDir.empty();
-
     // Response memoization: an exact repeat of a completed request
     // replays the recorded response without executing.  Timing-mode
     // responses carry wall-clock fields and are never memoized.
-    if (disk && !cfg.telemetryTiming &&
-        loadResponseFromDisk(response.cacheKey, cfg.prune,
-                             response)) {
-        std::lock_guard<std::mutex> lock(mu_);
-        ++stats_.responseHits;
-        response.cacheHit = true;
-        response.cacheSource = "response";
-        return response;
+    if (diskEnabled() && !cfg.telemetryTiming) {
+        const DiskRead memo = loadResponseFromDisk(
+            response.cacheKey, cfg.prune, response);
+        if (memo == DiskRead::IoError)
+            noteDiskOutcome(false);
+        else
+            noteDiskOutcome(true);
+        if (memo == DiskRead::Hit) {
+            std::lock_guard<std::mutex> lock(mu_);
+            ++stats_.responseHits;
+            response.cacheHit = true;
+            response.cacheSource = "response";
+            return response;
+        }
     }
 
     // With no memory budget *and* no disk directory there is nothing
     // to share, so single-flight dedup is off too (every request
     // prepares cold — the documented cacheBudgetBytes == 0 contract).
-    const bool cache_enabled = opts_.cacheBudgetBytes > 0 || disk;
+    const bool cache_enabled =
+        opts_.cacheBudgetBytes > 0 || !opts_.cacheDir.empty();
 
     std::shared_ptr<const PreparedCampaign> prep;
     std::shared_ptr<PrepFlight> flight;
@@ -773,9 +881,19 @@ CampaignService::execute(const ServiceRequest &request,
 
     bool published = false;
     try {
+        // Chaos seam: a prepare-time resource failure.  Thrown (not
+        // returned) so it exercises the same recovery path a real
+        // allocation failure in the engine would take.
+        if (failpoint::check("prep.alloc").kind ==
+            failpoint::Action::Kind::Error)
+            throw std::bad_alloc();
+
         InjectionCampaign campaign(cfg);
-        if (prep == nullptr && leader && disk) {
-            prep = loadPreparedFromDisk(cfg, response.cacheKey);
+        if (prep == nullptr && leader && diskEnabled()) {
+            bool io_error = false;
+            prep = loadPreparedFromDisk(cfg, response.cacheKey,
+                                        io_error);
+            noteDiskOutcome(!io_error);
             if (prep != nullptr) {
                 response.cacheSource = "disk";
                 std::lock_guard<std::mutex> lock(mu_);
@@ -789,10 +907,14 @@ CampaignService::execute(const ServiceRequest &request,
         if (leader) {
             if (prep == nullptr) {
                 prep = campaign.prepared();
-                if (disk &&
-                    storePreparedToDisk(response.cacheKey, *prep)) {
-                    std::lock_guard<std::mutex> lock(mu_);
-                    ++stats_.diskStores;
+                if (diskEnabled()) {
+                    const bool stored = storePreparedToDisk(
+                        response.cacheKey, *prep);
+                    noteDiskOutcome(stored);
+                    if (stored) {
+                        std::lock_guard<std::mutex> lock(mu_);
+                        ++stats_.diskStores;
+                    }
                 }
             }
             cacheInsert(response.cacheKey, prep);
@@ -809,15 +931,26 @@ CampaignService::execute(const ServiceRequest &request,
         response.telemetryRuns = result.telemetryRuns;
         response.telemetrySummary = result.telemetrySummary;
         response.ok = true;
-        if (disk && !cfg.telemetryTiming &&
-            storeResponseToDisk(response.cacheKey, cfg.prune,
-                                response)) {
-            std::lock_guard<std::mutex> lock(mu_);
-            ++stats_.responseStores;
+        if (diskEnabled() && !cfg.telemetryTiming) {
+            const bool stored = storeResponseToDisk(
+                response.cacheKey, cfg.prune, response);
+            noteDiskOutcome(stored);
+            if (stored) {
+                std::lock_guard<std::mutex> lock(mu_);
+                ++stats_.responseStores;
+            }
         }
     } catch (const dfi::FatalError &err) {
         response.ok = false;
         response.error = err.what();
+    } catch (const std::bad_alloc &) {
+        // Transient resource exhaustion: load may subside, so the
+        // client is told it can retry (unlike a config error, which
+        // a retry would only repeat).
+        response.ok = false;
+        response.retryable = true;
+        response.error = "internal error: out of memory during "
+                         "campaign preparation";
     } catch (const std::exception &err) {
         // Resource failures (bad_alloc, thread-spawn system_error)
         // must come back as a !ok response, not unwind through the
@@ -922,6 +1055,7 @@ CampaignService::cacheStats() const
     CacheStats stats = stats_;
     stats.entries = lru_.size();
     stats.bytes = cacheBytes_;
+    stats.diskDisabled = diskDisabled_;
     return stats;
 }
 
@@ -948,6 +1082,10 @@ CampaignService::statsJson() const
               json::Value::unsignedInt(stats_.responseHits));
     cache.set("response_stores",
               json::Value::unsignedInt(stats_.responseStores));
+    cache.set("disk_errors",
+              json::Value::unsignedInt(stats_.diskErrors));
+    cache.set("disk_disabled",
+              json::Value::boolean(diskDisabled_));
     json::Value queue = json::Value::object();
     queue.set("active", json::Value::unsignedInt(active_));
     queue.set("running", json::Value::unsignedInt(running_));

@@ -180,6 +180,15 @@ class CampaignService
          * persistence.
          */
         std::string cacheDir;
+
+        /**
+         * Graceful degradation: after this many *consecutive*
+         * disk-cache I/O failures the disk tier disables itself for
+         * the rest of the process (counted in stats; the memory
+         * tier keeps serving).  A miss — absent or invalid file —
+         * is not a failure.  0 never disables.
+         */
+        std::uint32_t diskFailureLimit = 3;
     };
 
     struct CacheStats
@@ -197,6 +206,12 @@ class CampaignService
         std::uint64_t diskStores = 0;
         std::uint64_t responseHits = 0;
         std::uint64_t responseStores = 0;
+
+        /** Disk-cache I/O failures (reads and stores, total). */
+        std::uint64_t diskErrors = 0;
+
+        /** True once the disk tier degraded itself off. */
+        bool diskDisabled = false;
     };
 
     using Progress =
@@ -281,15 +296,39 @@ class CampaignService
     std::string prepPath(const std::string &key) const;
     std::string responsePath(const std::string &key) const;
 
+    /**
+     * Outcome of a disk-cache lookup.  A Miss (absent, truncated, or
+     * digest-failed file) is the cold-fallback contract working as
+     * designed; an IoError is the storage itself failing and feeds
+     * the degradation counter.
+     */
+    enum class DiskRead
+    {
+        Hit,
+        Miss,
+        IoError,
+    };
+
     std::shared_ptr<const PreparedCampaign>
     loadPreparedFromDisk(const CampaignConfig &cfg,
-                         const std::string &key) const;
+                         const std::string &key,
+                         bool &io_error) const;
     bool storePreparedToDisk(const std::string &key,
                              const PreparedCampaign &prep) const;
-    bool loadResponseFromDisk(const std::string &key, bool prune,
-                              ServiceResponse &out) const;
+    DiskRead loadResponseFromDisk(const std::string &key, bool prune,
+                                  ServiceResponse &out) const;
     bool storeResponseToDisk(const std::string &key, bool prune,
                              const ServiceResponse &response) const;
+
+    /** True while the disk tier is configured and not degraded. */
+    bool diskEnabled() const;
+
+    /**
+     * Feed the degradation policy one disk outcome: success resets
+     * the consecutive-failure streak, failure advances it and trips
+     * diskDisabled_ at Options::diskFailureLimit.
+     */
+    void noteDiskOutcome(bool ok);
 
     Options opts_;
 
@@ -314,6 +353,10 @@ class CampaignService
     std::uint32_t active_ = 0;
     std::map<std::string, std::uint32_t> inFlight_;
     bool draining_ = false;
+
+    // Disk-tier degradation state (guarded by mu_).
+    std::uint32_t diskFailStreak_ = 0;
+    bool diskDisabled_ = false;
 };
 
 } // namespace dfi::inject

@@ -6,6 +6,7 @@
 #include <map>
 #include <sstream>
 
+#include "common/failpoint.hh"
 #include "common/logging.hh"
 #include "common/version.hh"
 #include "inject/mask_gen.hh"
@@ -594,6 +595,9 @@ TelemetryWriter::streamTo(const std::string &base)
     // The header goes out (and is flushed) immediately, so even a
     // campaign killed before its first commit leaves a valid,
     // resumable stream.
+    if (failpoint::check("telemetry.write").kind ==
+        failpoint::Action::Kind::Error)
+        stream_.setstate(std::ios::badbit);
     stream_ << lines_;
     stream_.flush();
     if (!stream_)
@@ -606,6 +610,12 @@ TelemetryWriter::appendLine(const std::string &line)
     lines_ += line;
     lines_ += '\n';
     if (stream_.is_open()) {
+        // The telemetry.write failpoint models the disk filling up
+        // mid-stream; flipping badbit drives the *real* error branch
+        // below rather than a parallel injected one.
+        if (failpoint::check("telemetry.write").kind ==
+            failpoint::Action::Kind::Error)
+            stream_.setstate(std::ios::badbit);
         // One flush per record bounds a kill's damage to a single
         // torn line, which the tolerant reader drops on resume.
         stream_ << line << '\n';
@@ -705,6 +715,9 @@ TelemetryWriter::writeFiles(const std::string &base)
             fatal("telemetry: cannot write '%s'", runs_path);
     }
     std::ofstream summary(summary_path, std::ios::binary);
+    if (failpoint::check("telemetry.flush").kind ==
+        failpoint::Action::Kind::Error)
+        summary.setstate(std::ios::badbit);
     summary << summaryJson();
     if (!summary)
         fatal("telemetry: cannot write '%s'", summary_path);

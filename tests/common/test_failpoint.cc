@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Tests for the deterministic failpoint registry, including the
+ * acceptance-criterion determinism property: the same spec (and
+ * seed) always replays the same hit sequence.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "common/failpoint.hh"
+#include "common/json.hh"
+
+namespace
+{
+
+namespace failpoint = dfi::failpoint;
+using dfi::json::Value;
+using Kind = failpoint::Action::Kind;
+
+/** Disarm around every test so specs never leak between cases. */
+class Failpoint : public ::testing::Test
+{
+  protected:
+    void SetUp() override { failpoint::reset(); }
+    void TearDown() override { failpoint::reset(); }
+};
+
+TEST_F(Failpoint, UnarmedChecksReturnNone)
+{
+    EXPECT_FALSE(failpoint::armed());
+    EXPECT_EQ(failpoint::check("cache.write").kind, Kind::None);
+    EXPECT_EQ(failpoint::evalCount("cache.write"), 0u);
+}
+
+TEST_F(Failpoint, ConfigureArmsAndResetDisarms)
+{
+    std::string error;
+    ASSERT_TRUE(failpoint::configure("cache.write=error", error))
+        << error;
+    EXPECT_TRUE(failpoint::armed());
+    EXPECT_EQ(failpoint::check("cache.write").kind, Kind::Error);
+    EXPECT_EQ(failpoint::check("cache.read").kind, Kind::None);
+    failpoint::reset();
+    EXPECT_FALSE(failpoint::armed());
+    EXPECT_EQ(failpoint::check("cache.write").kind, Kind::None);
+}
+
+TEST_F(Failpoint, EmptySpecDisarms)
+{
+    std::string error;
+    ASSERT_TRUE(failpoint::configure("sock.read=eintr", error));
+    ASSERT_TRUE(failpoint::armed());
+    ASSERT_TRUE(failpoint::configure("", error));
+    EXPECT_FALSE(failpoint::armed());
+}
+
+TEST_F(Failpoint, MalformedSpecsRejectedAndLeaveConfigIntact)
+{
+    std::string error;
+    ASSERT_TRUE(failpoint::configure("sock.read=short", error));
+    const char *bad[] = {
+        "nosuchaction",         // no '='
+        "x=frobnicate",         // unknown action
+        "x=error@sometimes",    // unknown trigger
+        "x=error@nth:0",        // n must be >= 1
+        "x=error@every:0",      // n must be >= 1
+        "x=delay",              // delay needs :MS
+        "x=error@prob:1.5",     // p out of range
+        "x=error@prob:abc",     // p not a number
+        "x=error;x=error",      // duplicate site
+        "=error",               // empty site name
+        "x=",                   // empty action
+    };
+    for (const char *spec : bad) {
+        EXPECT_FALSE(failpoint::configure(spec, error))
+            << "accepted: " << spec;
+        EXPECT_FALSE(error.empty());
+    }
+    // The good config from before every rejection still stands.
+    EXPECT_EQ(failpoint::check("sock.read").kind, Kind::Short);
+}
+
+TEST_F(Failpoint, OnceFiresOnFirstEvaluationOnly)
+{
+    std::string error;
+    ASSERT_TRUE(failpoint::configure("a=error@once", error));
+    EXPECT_EQ(failpoint::check("a").kind, Kind::Error);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(failpoint::check("a").kind, Kind::None);
+    EXPECT_EQ(failpoint::evalCount("a"), 6u);
+    EXPECT_EQ(failpoint::fireCount("a"), 1u);
+}
+
+TEST_F(Failpoint, NthFiresOnExactlyTheNthEvaluation)
+{
+    std::string error;
+    ASSERT_TRUE(failpoint::configure("a=error@nth:3", error));
+    EXPECT_EQ(failpoint::check("a").kind, Kind::None);
+    EXPECT_EQ(failpoint::check("a").kind, Kind::None);
+    EXPECT_EQ(failpoint::check("a").kind, Kind::Error);
+    EXPECT_EQ(failpoint::check("a").kind, Kind::None);
+    EXPECT_EQ(failpoint::fireCount("a"), 1u);
+}
+
+TEST_F(Failpoint, EveryFiresOnEachMultiple)
+{
+    std::string error;
+    ASSERT_TRUE(failpoint::configure("a=eintr@every:3", error));
+    std::vector<bool> fired;
+    for (int i = 0; i < 9; ++i)
+        fired.push_back(failpoint::check("a").kind == Kind::Eintr);
+    const std::vector<bool> expect = {false, false, true,
+                                      false, false, true,
+                                      false, false, true};
+    EXPECT_EQ(fired, expect);
+    EXPECT_EQ(failpoint::evalCount("a"), 9u);
+    EXPECT_EQ(failpoint::fireCount("a"), 3u);
+}
+
+TEST_F(Failpoint, AlwaysIsTheDefaultTrigger)
+{
+    std::string error;
+    ASSERT_TRUE(failpoint::configure("a=short", error));
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(failpoint::check("a").kind, Kind::Short);
+    EXPECT_EQ(failpoint::fireCount("a"), 4u);
+}
+
+/** The acceptance criterion: same spec + seed => same hit sequence. */
+TEST_F(Failpoint, ProbabilisticTriggerIsDeterministic)
+{
+    const std::string spec = "a=error@prob:0.5:1234";
+    std::string error;
+
+    const auto sample = [&] {
+        std::vector<bool> fired;
+        EXPECT_TRUE(failpoint::configure(spec, error)) << error;
+        for (int i = 0; i < 256; ++i)
+            fired.push_back(failpoint::check("a").kind ==
+                            Kind::Error);
+        return fired;
+    };
+
+    const std::vector<bool> first = sample();
+    const std::vector<bool> second = sample();
+    EXPECT_EQ(first, second);
+
+    // Sanity: p=0.5 really is probabilistic, not constant.
+    const std::size_t fires =
+        static_cast<std::size_t>(std::count(first.begin(),
+                                            first.end(), true));
+    EXPECT_GT(fires, 64u);
+    EXPECT_LT(fires, 192u);
+}
+
+TEST_F(Failpoint, ProbStreamsDifferPerSite)
+{
+    // Two sites armed with one seed draw from distinct streams
+    // (seed xor fnv1a(site)), so they must not fire in lockstep.
+    std::string error;
+    ASSERT_TRUE(failpoint::configure(
+        "a=error@prob:0.5:7;b=error@prob:0.5:7", error));
+    int lockstep = 0;
+    for (int i = 0; i < 128; ++i) {
+        const bool fa = failpoint::check("a").kind == Kind::Error;
+        const bool fb = failpoint::check("b").kind == Kind::Error;
+        lockstep += fa == fb;
+    }
+    EXPECT_LT(lockstep, 128);
+}
+
+TEST_F(Failpoint, DelayIsAbsorbedInsideCheck)
+{
+    std::string error;
+    ASSERT_TRUE(failpoint::configure("a=delay:20@once", error));
+    const auto start = std::chrono::steady_clock::now();
+    EXPECT_EQ(failpoint::check("a").kind, Kind::None);
+    const auto elapsed =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - start);
+    EXPECT_GE(elapsed.count(), 20);
+    EXPECT_EQ(failpoint::fireCount("a"), 1u);
+
+    // Not firing must not sleep (bounded loosely for slow CI).
+    const auto start2 = std::chrono::steady_clock::now();
+    EXPECT_EQ(failpoint::check("a").kind, Kind::None);
+    const auto elapsed2 =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - start2);
+    EXPECT_LT(elapsed2.count(), 20);
+}
+
+TEST_F(Failpoint, StatsJsonReportsEveryArmedSite)
+{
+    std::string error;
+    ASSERT_TRUE(failpoint::configure(
+        "a=error@every:2;b=short", error));
+    failpoint::check("a");
+    failpoint::check("a");
+    failpoint::check("b");
+
+    const Value stats = failpoint::statsJson();
+    const Value *a = stats.find("a");
+    ASSERT_NE(a, nullptr);
+    EXPECT_EQ(a->find("evals")->asUint(), 2u);
+    EXPECT_EQ(a->find("fires")->asUint(), 1u);
+    EXPECT_EQ(a->find("action")->asString(), "error");
+    const Value *b = stats.find("b");
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(b->find("evals")->asUint(), 1u);
+    EXPECT_EQ(b->find("fires")->asUint(), 1u);
+    EXPECT_EQ(b->find("action")->asString(), "short");
+}
+
+TEST_F(Failpoint, ReconfigureResetsCounters)
+{
+    std::string error;
+    ASSERT_TRUE(failpoint::configure("a=error", error));
+    failpoint::check("a");
+    failpoint::check("a");
+    EXPECT_EQ(failpoint::evalCount("a"), 2u);
+    ASSERT_TRUE(failpoint::configure("a=error", error));
+    EXPECT_EQ(failpoint::evalCount("a"), 0u);
+}
+
+} // namespace

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Tests for the buffered line reader and bounded writers, including
+ * their behaviour under injected socket faults (`sock.read` /
+ * `sock.write` failpoints): EINTR storms, short transfers, read
+ * errors, oversized lines, and idle timeouts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <string>
+
+#include "common/failpoint.hh"
+#include "common/json.hh"
+#include "common/netio.hh"
+
+namespace
+{
+
+namespace failpoint = dfi::failpoint;
+namespace netio = dfi::netio;
+using netio::ReadResult;
+
+/** A pipe pair closed on teardown; failpoints never leak out. */
+class Netio : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        failpoint::reset();
+        ASSERT_EQ(::pipe(fds_), 0);
+    }
+
+    void
+    TearDown() override
+    {
+        failpoint::reset();
+        closeRead();
+        closeWrite();
+    }
+
+    void
+    closeRead()
+    {
+        if (fds_[0] >= 0)
+            ::close(fds_[0]);
+        fds_[0] = -1;
+    }
+
+    void
+    closeWrite()
+    {
+        if (fds_[1] >= 0)
+            ::close(fds_[1]);
+        fds_[1] = -1;
+    }
+
+    void
+    feed(const std::string &bytes)
+    {
+        ASSERT_EQ(::write(fds_[1], bytes.data(), bytes.size()),
+                  static_cast<ssize_t>(bytes.size()));
+    }
+
+    int fds_[2] = {-1, -1};
+};
+
+TEST_F(Netio, SplitsLinesAcrossOneChunk)
+{
+    feed("alpha\nbeta\n");
+    closeWrite();
+    netio::LineReader reader(fds_[0], 4096);
+    std::string line;
+    EXPECT_EQ(reader.next(line), ReadResult::Line);
+    EXPECT_EQ(line, "alpha");
+    EXPECT_EQ(reader.next(line), ReadResult::Line);
+    EXPECT_EQ(line, "beta");
+    EXPECT_EQ(reader.next(line), ReadResult::Eof);
+}
+
+TEST_F(Netio, EofBeforeNewline)
+{
+    feed("partial");
+    closeWrite();
+    netio::LineReader reader(fds_[0], 4096);
+    std::string line;
+    EXPECT_EQ(reader.next(line), ReadResult::Eof);
+}
+
+TEST_F(Netio, OversizedLineIsRejectedNotTruncated)
+{
+    feed(std::string(64, 'x'));
+    netio::LineReader reader(fds_[0], 16);
+    std::string line;
+    EXPECT_EQ(reader.next(line), ReadResult::TooLong);
+}
+
+TEST_F(Netio, ReaderRecoversFromInjectedEintr)
+{
+    std::string error;
+    ASSERT_TRUE(
+        failpoint::configure("sock.read=eintr@nth:1", error))
+        << error;
+    feed("survived\n");
+    netio::LineReader reader(fds_[0], 4096);
+    std::string line;
+    EXPECT_EQ(reader.next(line), ReadResult::Line);
+    EXPECT_EQ(line, "survived");
+    EXPECT_EQ(failpoint::fireCount("sock.read"), 1u);
+}
+
+TEST_F(Netio, ReaderAssemblesLineFromShortReads)
+{
+    std::string error;
+    ASSERT_TRUE(failpoint::configure("sock.read=short", error));
+    feed("one byte at a time\n");
+    netio::LineReader reader(fds_[0], 4096);
+    std::string line;
+    EXPECT_EQ(reader.next(line), ReadResult::Line);
+    EXPECT_EQ(line, "one byte at a time");
+    // Every read was capped at one byte: line + newline.
+    EXPECT_EQ(failpoint::fireCount("sock.read"), 19u);
+}
+
+TEST_F(Netio, ReaderReportsInjectedHardError)
+{
+    std::string error;
+    ASSERT_TRUE(
+        failpoint::configure("sock.read=error@once", error));
+    feed("never delivered\n");
+    netio::LineReader reader(fds_[0], 4096);
+    std::string line;
+    EXPECT_EQ(reader.next(line), ReadResult::Error);
+    EXPECT_EQ(errno, EIO);
+}
+
+TEST_F(Netio, ReaderTimesOutOnAnIdlePeer)
+{
+    netio::LineReader reader(fds_[0], 4096, 50);
+    std::string line;
+    EXPECT_EQ(reader.next(line), ReadResult::Timeout);
+}
+
+TEST_F(Netio, WriteAllSurvivesEintrAndShortWrites)
+{
+    std::string error;
+    ASSERT_TRUE(failpoint::configure(
+        "sock.write=eintr@nth:1", error));
+    ASSERT_TRUE(netio::writeAll(fds_[1], "payload\n"));
+    failpoint::reset();
+    ASSERT_TRUE(failpoint::configure("sock.write=short", error));
+    ASSERT_TRUE(netio::writeAll(fds_[1], "dribble\n"));
+    failpoint::reset();
+    closeWrite();
+
+    netio::LineReader reader(fds_[0], 4096);
+    std::string line;
+    EXPECT_EQ(reader.next(line), ReadResult::Line);
+    EXPECT_EQ(line, "payload");
+    EXPECT_EQ(reader.next(line), ReadResult::Line);
+    EXPECT_EQ(line, "dribble");
+}
+
+TEST_F(Netio, WriteAllFailsOnInjectedError)
+{
+    std::string error;
+    ASSERT_TRUE(
+        failpoint::configure("sock.write=error@once", error));
+    EXPECT_FALSE(netio::writeAll(fds_[1], "lost\n"));
+}
+
+TEST_F(Netio, WriteLineAppendsNewline)
+{
+    dfi::json::Value obj = dfi::json::Value::object();
+    obj.set("ok", dfi::json::Value::boolean(true));
+    ASSERT_TRUE(netio::writeLine(fds_[1], obj));
+    closeWrite();
+    netio::LineReader reader(fds_[0], 4096);
+    std::string line;
+    EXPECT_EQ(reader.next(line), ReadResult::Line);
+    EXPECT_EQ(line, obj.dump());
+}
+
+} // namespace

@@ -14,6 +14,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/failpoint.hh"
 #include "common/json.hh"
 #include "common/serial.hh"
 #include "inject/campaign.hh"
@@ -861,6 +862,145 @@ TEST(ServiceDisk, TimingResponsesAreNotMemoized)
     EXPECT_EQ(stats.diskStores, 1u);
 
     std::filesystem::remove_all(options.cacheDir);
+}
+
+// ---------------------------------------------------------------
+// Chaos: disk-tier degradation under injected I/O failures
+// ---------------------------------------------------------------
+
+/** Disarms the failpoint registry on scope exit (test hygiene). */
+struct FailpointGuard
+{
+    ~FailpointGuard() { failpoint::reset(); }
+};
+
+TEST(ServiceChaos, DiskDegradesAfterConsecutiveIoFailures)
+{
+    FailpointGuard guard;
+    CampaignService::Options options;
+    options.cacheDir = freshCacheDir("dfi-service-chaos-cache");
+    options.diskFailureLimit = 2;
+
+    ServiceRequest request;
+    request.config = smokeConfig();
+    request.config.numInjections = 8;
+
+    std::string error;
+    ASSERT_TRUE(failpoint::configure("cache.write=error", error))
+        << error;
+
+    CampaignService service(options);
+    const ServiceResponse cold = service.execute(request);
+    ASSERT_TRUE(cold.ok) << cold.error;
+
+    // One execution makes two consecutive store attempts (prepared
+    // state, then the response memo); both failed, tripping the
+    // limit: the disk tier is now off for the process lifetime.
+    CampaignService::CacheStats stats = service.cacheStats();
+    EXPECT_EQ(stats.diskErrors, 2u);
+    EXPECT_TRUE(stats.diskDisabled);
+    EXPECT_EQ(stats.diskStores, 0u);
+
+    // The memory tier keeps serving: an exact repeat is a warm LRU
+    // hit with byte-identical artifacts, and the dead disk is not
+    // probed again (the error count stays put).
+    failpoint::reset();
+    const ServiceResponse warm = service.execute(request);
+    ASSERT_TRUE(warm.ok) << warm.error;
+    EXPECT_TRUE(warm.cacheHit);
+    EXPECT_EQ(warm.cacheSource, "memory");
+    EXPECT_EQ(warm.telemetryRuns, cold.telemetryRuns);
+    stats = service.cacheStats();
+    EXPECT_EQ(stats.diskErrors, 2u);
+    EXPECT_TRUE(stats.diskDisabled);
+
+    std::filesystem::remove_all(options.cacheDir);
+}
+
+TEST(ServiceChaos, SuccessResetsTheFailureStreak)
+{
+    FailpointGuard guard;
+    CampaignService::Options options;
+    options.cacheDir = freshCacheDir("dfi-service-streak-cache");
+    options.diskFailureLimit = 3;
+
+    ServiceRequest request;
+    request.config = smokeConfig();
+    request.config.numInjections = 8;
+
+    // Every other write fails: the streak never reaches 3 because
+    // each success resets it — degradation is for *persistent*
+    // failure, not for a flaky burst.
+    std::string error;
+    ASSERT_TRUE(
+        failpoint::configure("cache.write=error@every:2", error));
+
+    CampaignService service(options);
+    ServiceRequest other = request;
+    other.config.seed = 8;
+    ASSERT_TRUE(service.execute(request).ok);
+    ASSERT_TRUE(service.execute(other).ok);
+
+    const CampaignService::CacheStats stats = service.cacheStats();
+    EXPECT_GE(stats.diskErrors, 1u);
+    EXPECT_FALSE(stats.diskDisabled);
+
+    std::filesystem::remove_all(options.cacheDir);
+}
+
+TEST(ServiceChaos, SerialWriteFailureNeverPersistsTruncatedSpill)
+{
+    FailpointGuard guard;
+    CampaignService::Options options;
+    options.cacheDir = freshCacheDir("dfi-service-serial-cache");
+
+    ServiceRequest request;
+    request.config = smokeConfig();
+    request.config.numInjections = 8;
+
+    // Fail one archive append mid-save: the Writer latches !ok and
+    // the store must abandon the file rather than digest-frame a
+    // truncated stream.
+    std::string error;
+    ASSERT_TRUE(
+        failpoint::configure("serial.write=error@nth:40", error));
+
+    CampaignService service(options);
+    ASSERT_TRUE(service.execute(request).ok);
+    EXPECT_EQ(service.cacheStats().diskStores, 0u);
+    EXPECT_GE(service.cacheStats().diskErrors, 1u);
+    for (const auto &entry :
+         std::filesystem::directory_iterator(options.cacheDir))
+        EXPECT_NE(entry.path().filename().string().rfind("prep_",
+                                                         0),
+                  0u)
+            << "truncated spill persisted: " << entry.path();
+
+    std::filesystem::remove_all(options.cacheDir);
+}
+
+TEST(ServiceChaos, PrepAllocFailureIsRetryableAndRecovers)
+{
+    FailpointGuard guard;
+    ServiceRequest request;
+    request.config = smokeConfig();
+    request.config.numInjections = 8;
+
+    std::string error;
+    ASSERT_TRUE(
+        failpoint::configure("prep.alloc=error@nth:1", error));
+
+    CampaignService service(CampaignService::Options{});
+    const ServiceResponse failed = service.execute(request);
+    EXPECT_FALSE(failed.ok);
+    EXPECT_TRUE(failed.retryable);
+    EXPECT_NE(failed.error.find("out of memory"),
+              std::string::npos);
+
+    // The failure did not wedge the single-flight machinery: the
+    // retry prepares cold and succeeds.
+    const ServiceResponse retried = service.execute(request);
+    ASSERT_TRUE(retried.ok) << retried.error;
 }
 
 } // namespace

@@ -15,6 +15,8 @@
 #include <string>
 #include <unordered_map>
 
+#include "common/failpoint.hh"
+#include "common/logging.hh"
 #include "inject/campaign.hh"
 #include "inject/telemetry.hh"
 
@@ -350,6 +352,65 @@ TEST(Telemetry, ToleranceModeAcceptsSmallStatisticalDrift)
         diffTelemetryFiles(path_a, path_b, strict, report);
     EXPECT_TRUE(strict_outcome == DiffOutcome::Drift ||
                 strict_outcome == DiffOutcome::Equal);
+}
+
+// ---------------------------------------------------------------
+// Chaos: injected stream/flush failures drive the real fatal() paths
+// ---------------------------------------------------------------
+
+/** Disarms the failpoint registry on scope exit (test hygiene). */
+struct FailpointGuard
+{
+    ~FailpointGuard() { dfi::failpoint::reset(); }
+};
+
+TEST(TelemetryChaos, StreamWriteFailureIsAFatalError)
+{
+    FailpointGuard guard;
+    TempDir dir;
+    std::string error;
+    ASSERT_TRUE(dfi::failpoint::configure(
+        "telemetry.write=error@nth:1", error))
+        << error;
+
+    // The campaign streams its runs JSONL; the injected write
+    // failure must surface as FatalError (what a full disk would
+    // raise), not as a silent zero-length artifact.
+    CampaignConfig cfg = smokeConfig();
+    cfg.telemetryOut = (dir.path / "doomed").string();
+    InjectionCampaign campaign(cfg);
+    EXPECT_THROW(campaign.run(), dfi::FatalError);
+}
+
+TEST(TelemetryChaos, SummaryFlushFailureIsAFatalError)
+{
+    FailpointGuard guard;
+    TempDir dir;
+    std::string error;
+    ASSERT_TRUE(dfi::failpoint::configure(
+        "telemetry.flush=error@nth:1", error))
+        << error;
+
+    CampaignConfig cfg = smokeConfig();
+    cfg.telemetryOut = (dir.path / "doomed").string();
+    InjectionCampaign campaign(cfg);
+    EXPECT_THROW(campaign.run(), dfi::FatalError);
+}
+
+TEST(TelemetryChaos, MidStreamWriteFailureIsAFatalError)
+{
+    FailpointGuard guard;
+    TempDir dir;
+    std::string error;
+    // Let the header through, then fail a per-record append.
+    ASSERT_TRUE(dfi::failpoint::configure(
+        "telemetry.write=error@nth:4", error))
+        << error;
+
+    CampaignConfig cfg = smokeConfig();
+    cfg.telemetryOut = (dir.path / "doomed").string();
+    InjectionCampaign campaign(cfg);
+    EXPECT_THROW(campaign.run(), dfi::FatalError);
 }
 
 } // namespace

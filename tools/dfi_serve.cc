@@ -24,6 +24,16 @@
  * ways (`dfi-request` in; zero or more `dfi-progress` lines and one
  * terminal `dfi-response` out).  See DESIGN.md §11.
  *
+ * Robustness (DESIGN.md §12): the server never trusts a peer to make
+ * progress — reads carry an idle timeout (`--idle-timeout-ms`) and
+ * stream writes a bound (`--stream-timeout-ms`), so a stalled client
+ * costs a dropped stream, never a wedged worker slot.  The client
+ * retries retryable failures (`--retries`, `--backoff-ms`,
+ * `--deadline-ms`) with deterministic exponential backoff and exits
+ * 0 on success, 1 on a hard error, 3 with retries exhausted.  Both
+ * halves honour `--failpoints` / DFI_FAILPOINTS for deterministic
+ * fault injection into their own I/O paths (common/failpoint.hh).
+ *
  * Examples:
  *   dfi-serve --socket /tmp/dfi.sock --cache-budget 1024
  *   dfi-serve --connect /tmp/dfi.sock --core gem5-arm \
@@ -33,6 +43,7 @@
  *   dfi-serve --connect /tmp/dfi.sock --shutdown
  */
 
+#include <fcntl.h>
 #include <poll.h>
 #include <signal.h>
 #include <sys/socket.h>
@@ -40,7 +51,9 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <csignal>
 #include <cstdint>
@@ -55,8 +68,11 @@
 #include <vector>
 
 #include "common/cli.hh"
+#include "common/failpoint.hh"
 #include "common/json.hh"
 #include "common/logging.hh"
+#include "common/netio.hh"
+#include "common/rng.hh"
 #include "common/version.hh"
 #include "inject/service.hh"
 
@@ -83,94 +99,6 @@ onSignal(int)
 {
     g_signalled = 1;
 }
-
-/** Write all bytes; false on any error (EPIPE: peer vanished). */
-bool
-writeAll(int fd, const std::string &data)
-{
-    std::size_t off = 0;
-    while (off < data.size()) {
-        const ssize_t n =
-            ::write(fd, data.data() + off, data.size() - off);
-        if (n <= 0) {
-            if (n < 0 && errno == EINTR)
-                continue;
-            return false;
-        }
-        off += static_cast<std::size_t>(n);
-    }
-    return true;
-}
-
-bool
-writeLine(int fd, const json::Value &line)
-{
-    return writeAll(fd, line.dump() + "\n");
-}
-
-/**
- * Buffered newline-delimited reader.  One read() may deliver several
- * protocol lines at once (a fast warm-cache response lands in the
- * same chunk as the final progress event), so bytes past the first
- * newline must be kept for the next call, not dropped.
- */
-class LineReader
-{
-  public:
-    /**
-     * Why next() stopped.  The cases are deliberately distinct: an
-     * oversized line is a *protocol violation by a live peer* and
-     * deserves an error response, while EOF is a peer that simply
-     * went away — conflating them would make the server drop
-     * malformed traffic silently.
-     */
-    enum class Result
-    {
-        Line,    //!< `out` holds one complete line
-        Eof,     //!< peer closed before a newline arrived
-        TooLong, //!< line exceeds kMaxLineBytes (peer still alive)
-        Error,   //!< read() failed; errno describes why
-    };
-
-    explicit LineReader(int fd) : fd_(fd) {}
-
-    /** Read one newline-terminated line (without the newline). */
-    Result
-    next(std::string &out)
-    {
-        out.clear();
-        char buf[4096];
-        while (true) {
-            while (scan_ < pending_.size()) {
-                const char ch = pending_[scan_++];
-                if (ch == '\n') {
-                    pending_.erase(0, scan_);
-                    scan_ = 0;
-                    return Result::Line;
-                }
-                out.push_back(ch);
-                if (out.size() > kMaxLineBytes)
-                    return Result::TooLong;
-            }
-            pending_.clear();
-            scan_ = 0;
-            const ssize_t n = ::read(fd_, buf, sizeof(buf));
-            if (n < 0) {
-                if (errno == EINTR)
-                    continue;
-                return Result::Error;
-            }
-            if (n == 0)
-                return Result::Eof;
-            pending_.assign(buf, static_cast<std::size_t>(n));
-        }
-    }
-
-  private:
-    int fd_;
-    std::string pending_;
-    std::size_t scan_ = 0;
-};
 
 /**
  * True when a server is accepting connections at `path` right now.
@@ -229,6 +157,7 @@ listenOn(const std::string &path)
     return fd;
 }
 
+/** Connect to the server; -1 with errno preserved on failure. */
 int
 connectTo(const std::string &path)
 {
@@ -240,14 +169,13 @@ connectTo(const std::string &path)
                  sizeof(addr.sun_path) - 1);
     const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
     if (fd < 0)
-        die("socket(): " + std::string(std::strerror(errno)));
+        return -1;
     if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
                   sizeof(addr)) != 0) {
-        const std::string reason = std::strerror(errno);
+        const int saved = errno;
         ::close(fd);
-        std::fprintf(stderr, "dfi-serve: connect(%s): %s\n",
-                     path.c_str(), reason.c_str());
-        std::exit(1);
+        errno = saved;
+        return -1;
     }
     return fd;
 }
@@ -290,6 +218,21 @@ struct ServerState
 {
     CampaignService *service = nullptr;
     std::atomic<bool> shutdownRequested{false};
+
+    /** Poll bound on waiting for a request line (-1: forever). */
+    int idleTimeoutMs = -1;
+
+    /** Poll bound on progress/response writes (-1: forever). */
+    int streamTimeoutMs = -1;
+
+    /** SO_SNDBUF for accepted sockets (0: OS default). */
+    std::uint64_t sndbufBytes = 0;
+
+    /** Connections dropped for never sending a request in time. */
+    std::atomic<std::uint64_t> idleTimeouts{0};
+
+    /** Connections whose progress/response stream stalled or died. */
+    std::atomic<std::uint64_t> droppedStreams{0};
 };
 
 void
@@ -297,20 +240,28 @@ handleConnection(int fd, ServerState *state)
 {
     std::string line;
     ServiceResponse response;
-    LineReader reader(fd);
+    netio::LineReader reader(fd, kMaxLineBytes,
+                             state->idleTimeoutMs);
     switch (reader.next(line)) {
-      case LineReader::Result::Line:
+      case netio::ReadResult::Line:
         break;
-      case LineReader::Result::TooLong:
+      case netio::ReadResult::TooLong:
         // The peer is still there and still sending; tell it what
         // went wrong instead of silently dropping the connection.
         response.error = "request line exceeds " +
                          std::to_string(kMaxLineBytes) + " bytes";
-        writeLine(fd, encodeServiceResponse(response));
+        netio::writeLine(fd, encodeServiceResponse(response),
+                         state->streamTimeoutMs);
         ::close(fd);
         return;
-      case LineReader::Result::Eof:
-      case LineReader::Result::Error:
+      case netio::ReadResult::Timeout:
+        // A connection that never produces a request is not traffic,
+        // it is a held file descriptor; drop it and account for it.
+        state->idleTimeouts.fetch_add(1);
+        ::close(fd);
+        return;
+      case netio::ReadResult::Eof:
+      case netio::ReadResult::Error:
         // Nobody left to answer.
         ::close(fd);
         return;
@@ -322,10 +273,15 @@ handleConnection(int fd, ServerState *state)
     if (!json::parse(line, parsed, error) ||
         !decodeServiceRequest(parsed, request, error)) {
         response.error = error;
-        writeLine(fd, encodeServiceResponse(response));
+        netio::writeLine(fd, encodeServiceResponse(response),
+                         state->streamTimeoutMs);
         ::close(fd);
         return;
     }
+
+    // Tracks delivery across progress and the terminal response so a
+    // stalled or vanished peer is counted once per connection.
+    std::atomic<bool> peer_alive{true};
 
     response.op = request.op;
     if (request.op == "ping") {
@@ -333,36 +289,57 @@ handleConnection(int fd, ServerState *state)
         response.extra = json::Value::string(versionString());
     } else if (request.op == "stats") {
         response.ok = true;
-        response.extra = state->service->statsJson();
+        json::Value extra = state->service->statsJson();
+        json::Value server = json::Value::object();
+        server.set("idle_timeouts",
+                   json::Value::unsignedInt(
+                       state->idleTimeouts.load()));
+        server.set("dropped_streams",
+                   json::Value::unsignedInt(
+                       state->droppedStreams.load()));
+        extra.set("server", std::move(server));
+        extra.set("failpoints", failpoint::statsJson());
+        response.extra = std::move(extra);
     } else if (request.op == "shutdown") {
         response.ok = true;
         state->shutdownRequested.store(true);
     } else {
         // Campaign: stream throttled progress events, then the
         // terminal response.  Progress writes may race only with
-        // each other, and the reporter serialises those; a vanished
-        // client just loses its events — the campaign completes and
-        // warms the cache either way.
-        std::atomic<bool> peer_alive{true};
-        const auto progress = [fd, &peer_alive](std::uint64_t done,
-                                                std::uint64_t total) {
+        // each other, and the reporter serialises those; a stalled
+        // or vanished client just loses its events — the bounded
+        // write keeps the worker slot moving, and the campaign
+        // completes and warms the cache either way.
+        const int stream_timeout = state->streamTimeoutMs;
+        const auto progress = [fd, &peer_alive, stream_timeout](
+                                  std::uint64_t done,
+                                  std::uint64_t total) {
             const std::uint64_t step =
                 total > 25 ? total / 25 : std::uint64_t{1};
             if (done != total && done % step != 0)
                 return;
             if (peer_alive.load() &&
-                !writeLine(fd, encodeServiceProgress(done, total)))
+                !netio::writeLine(fd,
+                                  encodeServiceProgress(done, total),
+                                  stream_timeout))
                 peer_alive.store(false);
         };
         response = state->service->executeQueued(request, progress);
     }
-    writeLine(fd, encodeServiceResponse(response));
+    const bool delivered =
+        peer_alive.load() &&
+        netio::writeLine(fd, encodeServiceResponse(response),
+                         state->streamTimeoutMs);
+    if (!delivered)
+        state->droppedStreams.fetch_add(1);
     ::close(fd);
 }
 
 int
 serveMain(const std::string &socket_path,
-          const CampaignService::Options &options)
+          const CampaignService::Options &options,
+          int idle_timeout_ms, int stream_timeout_ms,
+          std::uint64_t sndbuf_bytes)
 {
     std::signal(SIGPIPE, SIG_IGN);
     std::signal(SIGTERM, onSignal);
@@ -371,6 +348,9 @@ serveMain(const std::string &socket_path,
     CampaignService service(options);
     ServerState state;
     state.service = &service;
+    state.idleTimeoutMs = idle_timeout_ms;
+    state.streamTimeoutMs = stream_timeout_ms;
+    state.sndbufBytes = sndbuf_bytes;
     ConnectionTracker tracker;
 
     const int listen_fd = listenOn(socket_path);
@@ -400,6 +380,18 @@ serveMain(const std::string &socket_path,
         const int fd = ::accept(listen_fd, nullptr, nullptr);
         if (fd < 0)
             continue;
+        // Non-blocking is what makes the write bound real: a
+        // blocking write() to a stalled peer sleeps in the kernel
+        // where no poll() timeout can reach it.
+        const int fl = ::fcntl(fd, F_GETFL, 0);
+        if (fl >= 0)
+            ::fcntl(fd, F_SETFL, fl | O_NONBLOCK);
+        if (state.sndbufBytes > 0) {
+            const int sndbuf = static_cast<int>(std::min<
+                std::uint64_t>(state.sndbufBytes, 1u << 30));
+            ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &sndbuf,
+                         sizeof sndbuf);
+        }
         tracker.enter();
         try {
             std::thread([fd, &state, &tracker] {
@@ -417,7 +409,8 @@ serveMain(const std::string &socket_path,
             response.error = std::string("cannot spawn a handler "
                                          "thread: ") +
                              err.what();
-            writeLine(fd, encodeServiceResponse(response));
+            netio::writeLine(fd, encodeServiceResponse(response),
+                             state.streamTimeoutMs);
             ::close(fd);
         }
     }
@@ -445,34 +438,95 @@ writeArtifact(const std::string &path, const std::string &content)
         die("short write to " + path);
 }
 
-int
-clientMain(const std::string &socket_path,
-           const ServiceRequest &request,
-           const std::string &telemetry_out)
+/**
+ * How one request attempt ended.  The split decides the retry loop:
+ * transport failures and server backpressure are Retry (the world
+ * may have improved by the next attempt), protocol violations and
+ * non-retryable server errors are Hard (a retry would only repeat
+ * them).
+ */
+enum class Attempt
 {
-    std::signal(SIGPIPE, SIG_IGN);
+    Ok,
+    Hard,
+    Retry,
+};
+
+/** True for connect() errnos worth another attempt. */
+bool
+retryableConnectErrno(int err)
+{
+    // ECONNREFUSED/ENOENT: the daemon is (re)starting and has not
+    // bound its socket yet.  The rest are transient kernel or load
+    // conditions.
+    return err == ECONNREFUSED || err == ENOENT || err == EAGAIN ||
+           err == ETIMEDOUT || err == ECONNRESET;
+}
+
+/**
+ * Submit the request once and stream the reply.  On Ok the response
+ * has been fully handled (artifacts written, summary printed).  On
+ * Hard/Retry `why` says what went wrong.
+ */
+Attempt
+attemptRequest(const std::string &socket_path,
+               const ServiceRequest &request,
+               const std::string &telemetry_out, std::string &why)
+{
     const int fd = connectTo(socket_path);
-    if (!writeLine(fd, encodeServiceRequest(request)))
-        die("request write failed (server gone?)");
+    if (fd < 0) {
+        const int err = errno;
+        why = "connect(" + socket_path + "): " +
+              std::string(std::strerror(err));
+        return retryableConnectErrno(err) ? Attempt::Retry
+                                          : Attempt::Hard;
+    }
+
+    // Chaos seam: delay or fail the request send.
+    if (failpoint::check("client.send").kind ==
+        failpoint::Action::Kind::Error) {
+        ::close(fd);
+        why = "request write failed (client.send failpoint)";
+        return Attempt::Retry;
+    }
+    if (!netio::writeAll(fd,
+                         encodeServiceRequest(request).dump() +
+                             "\n")) {
+        ::close(fd);
+        why = "request write failed (server gone?)";
+        return Attempt::Retry;
+    }
 
     std::string line;
     ServiceResponse response;
-    LineReader reader(fd);
+    netio::LineReader reader(fd, kMaxLineBytes);
     bool have_response = false;
     while (!have_response) {
-        const LineReader::Result got = reader.next(line);
-        if (got == LineReader::Result::Eof)
+        // Chaos seam: stall the client between reads (the delay
+        // action sleeps inside check()).
+        failpoint::check("client.read");
+        const netio::ReadResult got = reader.next(line);
+        if (got == netio::ReadResult::Eof)
             break;
-        if (got == LineReader::Result::TooLong)
-            die("server line exceeds the protocol bound (" +
-                std::to_string(kMaxLineBytes) + " bytes)");
-        if (got == LineReader::Result::Error)
-            die("read from server failed: " +
-                std::string(std::strerror(errno)));
+        if (got == netio::ReadResult::TooLong) {
+            ::close(fd);
+            why = "server line exceeds the protocol bound (" +
+                  std::to_string(kMaxLineBytes) + " bytes)";
+            return Attempt::Hard;
+        }
+        if (got == netio::ReadResult::Error) {
+            ::close(fd);
+            why = "read from server failed: " +
+                  std::string(std::strerror(errno));
+            return Attempt::Retry;
+        }
         json::Value parsed;
         std::string error;
-        if (!json::parse(line, parsed, error))
-            die("malformed server line: " + error);
+        if (!json::parse(line, parsed, error)) {
+            ::close(fd);
+            why = "malformed server line: " + error;
+            return Attempt::Hard;
+        }
         const json::Value *kind = parsed.find("kind");
         if (kind != nullptr &&
             kind->kind() == json::Kind::String &&
@@ -484,40 +538,49 @@ clientMain(const std::string &socket_path,
                        v->kind() == json::Kind::Int &&
                        !v->isNegative();
             };
-            if (!uintField(done) || !uintField(total))
-                die("malformed server progress line");
+            if (!uintField(done) || !uintField(total)) {
+                ::close(fd);
+                why = "malformed server progress line";
+                return Attempt::Hard;
+            }
             std::fprintf(
                 stderr, "  %llu/%llu runs\n",
                 static_cast<unsigned long long>(done->asUint()),
                 static_cast<unsigned long long>(total->asUint()));
             continue;
         }
-        if (!decodeServiceResponse(parsed, response, error))
-            die("malformed server response: " + error);
+        if (!decodeServiceResponse(parsed, response, error)) {
+            ::close(fd);
+            why = "malformed server response: " + error;
+            return Attempt::Hard;
+        }
         have_response = true;
     }
     ::close(fd);
-    if (!have_response)
-        die("connection closed before a response arrived");
+    if (!have_response) {
+        // A mid-stream disconnect: the server (or its stream bound)
+        // dropped us.  The campaign still completed server-side and
+        // warmed the cache, so a retry is cheap.
+        why = "connection closed before a response arrived";
+        return Attempt::Retry;
+    }
 
     if (!response.ok) {
-        std::fprintf(stderr, "dfi-serve: server error: %s%s\n",
-                     response.error.c_str(),
-                     response.retryable ? " (retryable)" : "");
-        return 1;
+        why = "server error: " + response.error;
+        return response.retryable ? Attempt::Retry : Attempt::Hard;
     }
 
     if (response.op == "ping") {
         std::printf("pong: %s\n", response.extra.asString().c_str());
-        return 0;
+        return Attempt::Ok;
     }
     if (response.op == "stats") {
         std::fputs(response.extra.dumpPretty().c_str(), stdout);
-        return 0;
+        return Attempt::Ok;
     }
     if (response.op == "shutdown") {
         std::puts("shutdown requested");
-        return 0;
+        return Attempt::Ok;
     }
 
     // Campaign: artifacts land wherever the client says, exactly as
@@ -540,7 +603,84 @@ clientMain(const std::string &socket_path,
                                     response.runsTotal));
     std::printf("vulnerability (non-masked): %.2f%%\n",
                 response.vulnerability);
-    return 0;
+    return Attempt::Ok;
+}
+
+/** Client retry policy (see DESIGN.md §12). */
+struct RetryPolicy
+{
+    std::uint64_t retries = 0;    //!< extra attempts after the first
+    std::uint64_t backoffMs = 100;
+    std::uint64_t deadlineMs = 0; //!< total budget (0: none)
+    std::uint64_t seed = 0;       //!< jitter stream (campaign seed)
+};
+
+int
+clientMain(const std::string &socket_path,
+           const ServiceRequest &request,
+           const std::string &telemetry_out,
+           const RetryPolicy &policy)
+{
+    std::signal(SIGPIPE, SIG_IGN);
+    const auto start = std::chrono::steady_clock::now();
+    const auto elapsedMs = [&start] {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count());
+    };
+
+    std::string why;
+    for (std::uint64_t attempt = 0;; ++attempt) {
+        switch (attemptRequest(socket_path, request, telemetry_out,
+                               why)) {
+          case Attempt::Ok:
+            return 0;
+          case Attempt::Hard:
+            std::fprintf(stderr, "dfi-serve: %s\n", why.c_str());
+            return 1;
+          case Attempt::Retry:
+            break;
+        }
+        if (attempt >= policy.retries) {
+            std::fprintf(stderr,
+                         "dfi-serve: %s (retries exhausted after "
+                         "%llu attempt%s)\n",
+                         why.c_str(),
+                         static_cast<unsigned long long>(attempt +
+                                                         1),
+                         attempt == 0 ? "" : "s");
+            return 3;
+        }
+
+        // Deterministic exponential backoff: the jitter stream is a
+        // pure function of (seed, attempt), so a chaos schedule
+        // replays the same wait sequence every run.
+        std::uint64_t delay = policy.backoffMs;
+        if (attempt < 63)
+            delay = std::min<std::uint64_t>(
+                policy.backoffMs << attempt, 30000);
+        Rng jitter(policy.seed ^ (attempt + 1));
+        delay = static_cast<std::uint64_t>(
+            static_cast<double>(delay) *
+            (0.5 + jitter.nextDouble() / 2.0));
+        if (policy.deadlineMs != 0 &&
+            elapsedMs() + delay >= policy.deadlineMs) {
+            std::fprintf(stderr,
+                         "dfi-serve: %s (deadline of %llu ms "
+                         "exceeded)\n",
+                         why.c_str(),
+                         static_cast<unsigned long long>(
+                             policy.deadlineMs));
+            return 3;
+        }
+        std::fprintf(stderr,
+                     "dfi-serve: %s; retrying in %llu ms\n",
+                     why.c_str(),
+                     static_cast<unsigned long long>(delay));
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(delay));
+    }
 }
 
 bool
@@ -592,6 +732,11 @@ main(int argc, char **argv)
     std::uint64_t cache_budget_mb = 1024;
     std::uint64_t quota = 2, queue = 64, workers = 1;
     std::string cache_dir;
+    std::uint64_t idle_timeout_ms = 30000;
+    std::uint64_t stream_timeout_ms = 10000;
+    std::uint64_t sndbuf_bytes = 0;
+    std::string failpoints_spec;
+    RetryPolicy retry;
 
     ServiceRequest request;
     CampaignConfig &cfg = request.config;
@@ -624,6 +769,21 @@ main(int argc, char **argv)
                "persist prepared state and memoized\n"
                "responses here across restarts",
                &cache_dir);
+    flags.uint64("--idle-timeout-ms", "MS",
+                 "drop a connection that sends no\n"
+                 "request within MS (default 30000;\n"
+                 "0 waits forever)",
+                 &idle_timeout_ms);
+    flags.uint64("--stream-timeout-ms", "MS",
+                 "drop a progress/response stream that\n"
+                 "accepts no bytes within MS (default\n"
+                 "10000; 0 waits forever)",
+                 &stream_timeout_ms);
+    flags.uint64("--sndbuf", "BYTES",
+                 "SO_SNDBUF for accepted sockets\n"
+                 "(default 0: OS default; chaos tests\n"
+                 "shrink it to stall streams early)",
+                 &sndbuf_bytes);
 
     flags.section("client mode");
     flags.text("--connect", "PATH",
@@ -642,6 +802,28 @@ main(int argc, char **argv)
                "write the returned artifacts to\n"
                "BASE.jsonl + BASE.summary.json",
                &telemetry_out);
+    flags.uint64("--retries", "N",
+                 "retry a retryable failure up to N\n"
+                 "times (default 0; exit 3 when\n"
+                 "exhausted)",
+                 &retry.retries);
+    flags.uint64("--backoff-ms", "MS",
+                 "base retry delay, doubled per attempt\n"
+                 "with deterministic jitter (default\n"
+                 "100, capped at 30000)",
+                 &retry.backoffMs);
+    flags.uint64("--deadline-ms", "MS",
+                 "give up retrying once MS have passed\n"
+                 "in total (default 0: no deadline)",
+                 &retry.deadlineMs);
+
+    flags.section("chaos testing (both modes)");
+    flags.text("--failpoints", "SPEC",
+               "arm deterministic failpoints, e.g.\n"
+               "'cache.write=error@every:2;sock.read=\n"
+               "eintr@nth:3' (overrides the\n"
+               "DFI_FAILPOINTS environment variable)",
+               &failpoints_spec);
 
     flags.section("campaign request (mirrors dfi-campaign)");
     flags.text("--core", "NAME", "marss-x86 | gem5-x86 | gem5-arm",
@@ -729,6 +911,22 @@ main(int argc, char **argv)
     }
     cfg.scale = static_cast<std::uint32_t>(scale);
     cfg.checkpointCount = static_cast<std::uint32_t>(checkpoint_count);
+    retry.seed = cfg.seed;
+
+    // Arm the failpoint registry before any instrumented code runs.
+    // The explicit flag wins over the environment so a chaos harness
+    // can exercise one process of a pipeline without leaking the
+    // schedule into the others.
+    std::string failpoint_cfg = failpoints_spec;
+    if (failpoint_cfg.empty()) {
+        if (const char *env = std::getenv("DFI_FAILPOINTS"))
+            failpoint_cfg = env;
+    }
+    if (!failpoint_cfg.empty()) {
+        std::string failpoint_error;
+        if (!failpoint::configure(failpoint_cfg, failpoint_error))
+            die("--failpoints: " + failpoint_error);
+    }
 
     if (!socket_path.empty() && !connect_path.empty())
         die("--socket (server) and --connect (client) are mutually "
@@ -746,7 +944,15 @@ main(int argc, char **argv)
         options.queueCapacity = static_cast<std::uint32_t>(queue);
         options.workers = static_cast<std::uint32_t>(workers);
         options.cacheDir = cache_dir;
-        return serveMain(socket_path, options);
+        const auto pollMs = [](std::uint64_t ms) {
+            if (ms == 0)
+                return -1;
+            return static_cast<int>(std::min<std::uint64_t>(
+                ms, std::numeric_limits<int>::max()));
+        };
+        return serveMain(socket_path, options,
+                         pollMs(idle_timeout_ms),
+                         pollMs(stream_timeout_ms), sndbuf_bytes);
     }
 
     const int ops = (op_ping ? 1 : 0) + (op_stats ? 1 : 0) +
@@ -757,5 +963,5 @@ main(int argc, char **argv)
                  : op_stats    ? "stats"
                  : op_shutdown ? "shutdown"
                                : "campaign";
-    return clientMain(connect_path, request, telemetry_out);
+    return clientMain(connect_path, request, telemetry_out, retry);
 }
